@@ -1,0 +1,22 @@
+"""Ablation: hot-state cache hit rate and gain vs shared-memory budget.
+
+Extends Figure 15: the gain saturates once the hot rows fit; a cache too
+small to hold them is a net loss because every lookup still pays the
+Hot_States hash check (the paper's extra-access trade-off, Section 4.2).
+"""
+
+from repro.bench.experiments import ablation_cache_budget
+
+
+def test_cache_budget_sweep(benchmark, save_result):
+    res = benchmark.pedantic(ablation_cache_budget, rounds=1, iterations=1)
+    save_result(res)
+    rows = {r["budget_bytes"]: r for r in res.rows}
+    # no budget, all overhead: a net loss vs uncached
+    assert rows[0]["gain_vs_uncached"] < 1.0
+    # hit rate grows monotonically with budget
+    hits = [r["hit_rate"] for r in res.rows]
+    assert all(a <= b + 1e-9 for a, b in zip(hits, hits[1:]))
+    # full budget reaches the Figure 15 regime (~1.5x)
+    assert rows[48 * 1024]["gain_vs_uncached"] > 1.3
+    assert rows[48 * 1024]["hit_rate"] > 0.95

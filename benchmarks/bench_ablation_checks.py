@@ -1,0 +1,23 @@
+"""Ablation: nested-loop vs hash runtime checks as k grows.
+
+Validates the code generator's selection rule (hash iff k > 12) in the
+miss-heavy regime that rule guards against.
+"""
+
+from repro.bench.experiments import ablation_check_crossover
+
+
+def test_check_crossover(benchmark, save_result):
+    res = benchmark.pedantic(
+        lambda: ablation_check_crossover(ks=(2, 4, 8, 12, 16, 24, 48)),
+        rounds=1, iterations=1,
+    )
+    save_result(res)
+    winners = {r["k"]: r["winner"] for r in res.rows}
+    assert winners[2] == "nested"
+    assert winners[4] == "nested"
+    assert winners[24] == "hash"
+    assert winners[48] == "hash"
+    # the crossover falls in the paper's neighbourhood (k ~ 12)
+    boundary = [k for k in sorted(winners) if winners[k] == "hash"]
+    assert boundary and 8 <= boundary[0] <= 24

@@ -1,0 +1,21 @@
+"""Ablation: the same execution priced on a smaller device (GTX 1080 Ti).
+
+Scaling stops at the device's SM residency under persistent threads — the
+"scale out" headroom is a property of the device, the algorithm keeps it
+usable all the way there.
+"""
+
+from repro.bench.experiments import ablation_device_comparison
+
+
+def test_device_comparison(benchmark, save_result):
+    res = benchmark.pedantic(ablation_device_comparison, rounds=1, iterations=1)
+    save_result(res)
+    v100 = [r for r in res.rows if r["device"] == "Tesla V100"]
+    gtx = [r for r in res.rows if r["device"] == "GTX 1080 Ti"]
+    # V100 keeps scaling through 80 blocks
+    assert v100[-1]["speedup"] == max(r["speedup"] for r in v100)
+    # the 28-SM device peaks at its residency and gains nothing beyond
+    peak = max(r["speedup"] for r in gtx)
+    at_res = next(r["speedup"] for r in gtx if r["blocks"] == 28)
+    assert at_res >= 0.95 * peak

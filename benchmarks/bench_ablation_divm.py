@@ -1,0 +1,27 @@
+"""Ablation: speculation success across the div-m machine family.
+
+gcd(2, m) == 1 machines permute residues (no convergence): success is the
+blind rate k/m. Machines with a shared factor converge and look-back
+collapses the state set — m=8's state is literally the last three bits, so
+success is 1.0 at any k >= 1.
+"""
+
+import pytest
+
+from repro.bench.experiments import ablation_divm_family
+
+
+def test_divm_family(benchmark, save_result):
+    res = benchmark.pedantic(ablation_divm_family, rounds=1, iterations=1)
+    save_result(res)
+    rows = {r["modulus"]: r for r in res.rows}
+    # non-convergent: success equals the blind rate k/m (within noise)
+    for m in (3, 5, 7):
+        assert rows[m]["success"] == pytest.approx(
+            rows[m]["blind_rate_k_over_m"], abs=0.08
+        )
+    # convergent: success well above the blind rate
+    for m in (6, 8, 12):
+        assert rows[m]["success"] > rows[m]["blind_rate_k_over_m"] + 0.2
+    # m=8: the state is the last 3 bits — suffix-determined, success 1.0
+    assert rows[8]["success"] == pytest.approx(1.0)

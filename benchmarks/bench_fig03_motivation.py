@@ -1,0 +1,22 @@
+"""Figure 3: sequential merge caps scalability for every k (regex 2).
+
+The motivating experiment: regardless of the speculation width, speedup
+under the sequential merge stops improving (or regresses) as thread blocks
+grow — the observation that motivates the parallel merge.
+"""
+
+from repro.bench.experiments import fig3_motivation
+
+
+def test_fig3_reproduction(benchmark, save_result):
+    res = benchmark.pedantic(fig3_motivation, rounds=1, iterations=1)
+    save_result(res)
+    by_k: dict = {}
+    for row in res.rows:
+        by_k.setdefault(row["k"], []).append(row["speedup"])
+    for k, speeds in by_k.items():
+        # 80-block speedup must not meaningfully exceed the 20-40 block peak
+        peak_small = max(speeds[:-1])
+        assert speeds[-1] <= peak_small * 1.15, (k, speeds)
+    # smaller k does less redundant work: k=4 beats spec-N everywhere
+    assert max(by_k[4]) > max(by_k["N"])

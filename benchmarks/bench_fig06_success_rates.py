@@ -1,0 +1,30 @@
+"""Figure 6: speculation success rates vs k for every application."""
+
+import pytest
+
+from repro.bench.experiments import fig6_success_rates
+
+
+def test_fig6_reproduction(benchmark, save_result):
+    res = benchmark.pedantic(
+        lambda: fig6_success_rates(ks=(1, 2, 4, 8, 16)), rounds=1, iterations=1
+    )
+    save_result(res)
+    rates = {(r["application"], r["k"]): r["success_rate"] for r in res.rows}
+
+    # html and regex2: ~1.0 already at k=1 (the paper's best k=1 apps)
+    assert rates[("html", 1)] > 0.98
+    assert rates[("regex2", 1)] > 0.98
+
+    # regex1 climbs and reaches ~1.0 by k=8
+    assert rates[("regex1", 1)] < 0.95
+    assert rates[("regex1", 8)] > 0.99
+    assert rates[("regex1", 4)] >= rates[("regex1", 1)]
+
+    # huffman rises with k
+    assert rates[("huffman", 1)] < rates[("huffman", 4)]
+    assert rates[("huffman", 8)] > 0.95
+
+    # div7 is linear: success ~ k/7
+    assert rates[("div7", 1)] == pytest.approx(1 / 7, abs=0.05)
+    assert rates[("div7", 4)] == pytest.approx(4 / 7, abs=0.08)

@@ -1,0 +1,8 @@
+"""Figure 7: merge scalability for huffman (sequential vs parallel,
+spec-k and spec-N, at 20/40/80 thread blocks)."""
+
+from benchmarks.scaling_common import run_and_check
+
+
+def test_fig7_reproduction(benchmark, save_result):
+    run_and_check("huffman", benchmark, save_result)

@@ -1,0 +1,8 @@
+"""Figure 8: merge scalability for regex1 (sequential vs parallel,
+spec-k and spec-N, at 20/40/80 thread blocks)."""
+
+from benchmarks.scaling_common import run_and_check
+
+
+def test_fig8_reproduction(benchmark, save_result):
+    run_and_check("regex1", benchmark, save_result)

@@ -1,0 +1,8 @@
+"""Figure 9: merge scalability for regex2 (sequential vs parallel,
+spec-k and spec-N, at 20/40/80 thread blocks)."""
+
+from benchmarks.scaling_common import run_and_check
+
+
+def test_fig9_reproduction(benchmark, save_result):
+    run_and_check("regex2", benchmark, save_result)

@@ -1,0 +1,8 @@
+"""Figure 10: merge scalability for html (sequential vs parallel,
+spec-k and spec-N, at 20/40/80 thread blocks)."""
+
+from benchmarks.scaling_common import run_and_check
+
+
+def test_fig10_reproduction(benchmark, save_result):
+    run_and_check("html", benchmark, save_result)

@@ -1,0 +1,8 @@
+"""Figure 11: merge scalability for div7 (sequential vs parallel,
+spec-k and spec-N, at 20/40/80 thread blocks)."""
+
+from benchmarks.scaling_common import run_and_check
+
+
+def test_fig11_reproduction(benchmark, save_result):
+    run_and_check("div7", benchmark, save_result)

@@ -1,0 +1,20 @@
+"""Figure 12: speedup vs k for regular expression 1 (best around k=8).
+
+The success rate climbs with k (Figure 6), so speedup improves until the
+speculation is reliable; the paper finds k=8 optimal.
+"""
+
+from repro.bench.experiments import fig12_13_k_sweep
+
+
+def test_fig12_reproduction(benchmark, save_result):
+    res = benchmark.pedantic(
+        lambda: fig12_13_k_sweep("regex1"), rounds=1, iterations=1
+    )
+    save_result(res)
+    speeds = {r["k"]: r["speedup"] for r in res.rows}
+    rates = {r["k"]: r["success"] for r in res.rows}
+    # low k suffers from misses; k=8 reaches ~1.0 success and outperforms
+    assert rates[8] > 0.99
+    assert speeds[8] > speeds[1]
+    assert speeds[8] > speeds[2]

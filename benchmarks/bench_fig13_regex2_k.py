@@ -1,0 +1,20 @@
+"""Figure 13: speedup vs k for regular expression 2 (best at k=1).
+
+Success is ~1.0 already at k=1 on the paper's workload, so extra
+speculation only adds redundant work and speedup decreases monotonically.
+"""
+
+from repro.bench.experiments import fig12_13_k_sweep
+
+
+def test_fig13_reproduction(benchmark, save_result):
+    res = benchmark.pedantic(
+        lambda: fig12_13_k_sweep("regex2"), rounds=1, iterations=1
+    )
+    save_result(res)
+    rows = res.rows
+    assert rows[0]["k"] == 1
+    assert rows[0]["success"] > 0.99
+    speeds = [r["speedup"] for r in rows]
+    assert speeds[0] == max(speeds)  # best k = 1
+    assert speeds == sorted(speeds, reverse=True)  # monotone decline

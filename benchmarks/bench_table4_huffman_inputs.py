@@ -1,0 +1,15 @@
+"""Table 4: Huffman FSM sizes for the four input texts plus 'combined'."""
+
+from repro.bench.experiments import table4_huffman_inputs
+
+
+def test_table4_reproduction(benchmark, save_result):
+    res = benchmark.pedantic(
+        lambda: table4_huffman_inputs(chars_per_book=1 << 17),
+        rounds=1, iterations=1,
+    )
+    save_result(res)
+    states = [r["fsm_states"] for r in res.rows]
+    # every machine is in the paper's band and 'combined' is the largest
+    assert all(140 <= s <= 240 for s in states)
+    assert states[-1] == max(states)

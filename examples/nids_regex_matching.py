@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""NIDS-style regular-expression matching over a traffic stream.
+
+The paper's motivating scenario (Snort-like intrusion detection): many
+regular expressions checked against the same input stream. The layout
+transformation is performed once and amortized across all patterns —
+exactly the argument of Section 4.1.
+
+This example compiles several patterns to DFAs (with input-class
+compression), runs each speculatively over the same 1M-character stream,
+reports match counts and positions, and verifies everything against the
+sequential reference.
+
+Run:  python examples/nids_regex_matching.py
+"""
+
+import numpy as np
+
+import repro
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.run import run_reference_trace
+from repro.regex import compile_search, compress_inputs
+from repro.util.rng import ensure_rng
+
+PATTERNS = {
+    "subseq-like-or-apple": "(.*l.*i.*k.*e)|(.*a.*p.*p.*l.*e)",
+    "attack-literal": "attack",
+    "exfil-pattern": "get(x|y)*data",
+    "repeated-fields": "(.+;){3}",
+    "hex-run": "[abcdef]{6}",
+}
+
+
+def main() -> None:
+    rng = ensure_rng(7)
+    alphabet = Alphabet.from_symbols(
+        tuple("abcdefghijklmnopqrstuvwxyz;")
+    )
+    # synthetic "traffic": letters with occasional ';' separators
+    probs = np.full(27, 0.9 / 26)
+    probs[-1] = 0.1
+    stream_ids = rng.choice(27, size=1_000_000, p=probs).astype(np.int32)
+
+    print(f"stream: {stream_ids.size:,} characters, "
+          f"{len(PATTERNS)} patterns\n")
+
+    for name, pattern in PATTERNS.items():
+        searcher = compile_search(pattern, alphabet, name=name)
+        comp = compress_inputs(searcher)
+        inputs = comp.encode_inputs(stream_ids)
+
+        result = repro.run_speculative(
+            comp.dfa,
+            inputs,
+            k=4,
+            num_blocks=40,
+            threads_per_block=256,
+            lookback=8,
+            collect=("match_positions",),
+            price=True,
+        )
+
+        # verify against the sequential trace
+        trace = run_reference_trace(comp.dfa, inputs)
+        expected = np.flatnonzero(comp.dfa.accepting[trace])
+        assert np.array_equal(result.match_positions, expected)
+
+        first = (
+            f"first at {result.match_positions[0]:,}"
+            if result.match_positions.size
+            else "no matches"
+        )
+        from repro.gpu.cost import price_at_scale
+
+        tb = price_at_scale(result, 2**30)  # a 1 GiB traffic capture
+        print(
+            f"{name:22s} states={comp.dfa.num_states:3d} "
+            f"classes={comp.num_classes}  "
+            f"matches={result.match_positions.size:7,}  {first}  "
+            f"success={result.success_rate:.3f}  "
+            f"modeled speedup at 2^30 items={tb.speedup:7.1f}x"
+        )
+
+    print("\nall patterns verified against the sequential reference.")
+
+
+if __name__ == "__main__":
+    main()

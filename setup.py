@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``python setup.py develop`` on environments without the ``wheel``
+package (pip's PEP-660 editable installs need it); all real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

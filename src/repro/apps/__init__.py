@@ -1,0 +1,53 @@
+"""The paper's FSM applications, built from scratch.
+
+* :mod:`repro.apps.huffman` — Huffman coding: tree construction, encoder,
+  and the bit-level decoder FSM (Table 3's 205-state machine).
+* :mod:`repro.apps.html_tok` — an HTML tokenizer FSM (~38 states over 128
+  ASCII inputs) plus an independent reference tokenizer.
+* :mod:`repro.apps.div` — divisibility FSMs (Div7 and the general div-by-m).
+* :mod:`repro.apps.paper_regexes` — the two regular expressions of Table 5.
+* :mod:`repro.apps.registry` — one-stop construction of each benchmark
+  application together with its workload generator and paper metadata.
+"""
+
+from repro.apps.div import div_dfa, div7_dfa
+from repro.apps.huffman import HuffmanCode
+from repro.apps.html_tok import (
+    TOKEN_NAMES,
+    build_html_tokenizer,
+    reference_tokenize,
+)
+from repro.apps.paper_regexes import (
+    REGEX1_PATTERN,
+    REGEX2_PATTERN,
+    build_regex1,
+    build_regex2,
+)
+from repro.apps.csv_tok import (
+    build_csv_tokenizer,
+    reference_tokenize_csv,
+    synthetic_csv,
+)
+from repro.apps.registry import APPLICATIONS, Application, get_application
+from repro.apps.utf8 import encode_utf8_workload, utf8_validator_dfa
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "HuffmanCode",
+    "REGEX1_PATTERN",
+    "REGEX2_PATTERN",
+    "TOKEN_NAMES",
+    "build_csv_tokenizer",
+    "build_html_tokenizer",
+    "build_regex1",
+    "build_regex2",
+    "div7_dfa",
+    "div_dfa",
+    "encode_utf8_workload",
+    "get_application",
+    "reference_tokenize",
+    "reference_tokenize_csv",
+    "synthetic_csv",
+    "utf8_validator_dfa",
+]

@@ -1,0 +1,174 @@
+"""CSV tokenizer as a 4-state FSM — an extension application.
+
+RFC 4180-style CSV with double-quoted fields and ``""`` escapes, LF record
+terminators. The machine is tiny (4 states over 128 ASCII inputs) but its
+*quoted* state makes chunk-boundary speculation interesting: a chunk
+starting inside a quoted field behaves completely differently from one
+starting outside, the same ambiguity class as the paper's HTML attribute
+values.
+
+Emissions: ``FIELD_SEP`` when a field ends at a comma, ``RECORD_SEP`` when
+a record ends at a newline. :func:`reference_tokenize_csv` is the
+independent oracle; :func:`synthetic_csv` generates workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "build_csv_tokenizer",
+    "reference_tokenize_csv",
+    "synthetic_csv",
+    "FIELD_SEP",
+    "RECORD_SEP",
+]
+
+FIELD_SEP = 0
+RECORD_SEP = 1
+
+FIELD_START = 0  # at the start of a field
+UNQUOTED = 1  # inside an unquoted field
+QUOTED = 2  # inside a quoted field
+QUOTE_Q = 3  # just saw '"' inside a quoted field
+
+NUM_STATES = 4
+NUM_INPUTS = 128
+
+_COMMA, _QUOTE, _LF = ord(","), ord('"'), ord("\n")
+
+
+def build_csv_tokenizer() -> DFA:
+    """The 4-state CSV tokenizer transducer."""
+    table = np.zeros((NUM_INPUTS, NUM_STATES), dtype=np.int32)
+    emit = np.full((NUM_INPUTS, NUM_STATES), -1, dtype=np.int32)
+
+    # FIELD_START
+    table[:, FIELD_START] = UNQUOTED
+    table[_QUOTE, FIELD_START] = QUOTED
+    table[_COMMA, FIELD_START] = FIELD_START
+    emit[_COMMA, FIELD_START] = FIELD_SEP
+    table[_LF, FIELD_START] = FIELD_START
+    emit[_LF, FIELD_START] = RECORD_SEP
+
+    # UNQUOTED
+    table[:, UNQUOTED] = UNQUOTED
+    table[_COMMA, UNQUOTED] = FIELD_START
+    emit[_COMMA, UNQUOTED] = FIELD_SEP
+    table[_LF, UNQUOTED] = FIELD_START
+    emit[_LF, UNQUOTED] = RECORD_SEP
+
+    # QUOTED: everything is data until the closing quote
+    table[:, QUOTED] = QUOTED
+    table[_QUOTE, QUOTED] = QUOTE_Q
+
+    # QUOTE_Q: '""' escapes, comma/newline close the field, junk continues
+    table[:, QUOTE_Q] = UNQUOTED  # sloppy trailing data after the quote
+    table[_QUOTE, QUOTE_Q] = QUOTED
+    table[_COMMA, QUOTE_Q] = FIELD_START
+    emit[_COMMA, QUOTE_Q] = FIELD_SEP
+    table[_LF, QUOTE_Q] = FIELD_START
+    emit[_LF, QUOTE_Q] = RECORD_SEP
+
+    accepting = np.zeros(NUM_STATES, dtype=bool)
+    accepting[FIELD_START] = True  # well-terminated iff between fields
+    return DFA(
+        table=table,
+        start=FIELD_START,
+        accepting=accepting,
+        alphabet=Alphabet.ascii(NUM_INPUTS),
+        emit=emit,
+        name="csv_tokenizer",
+        state_names=("field_start", "unquoted", "quoted", "quote_q"),
+    )
+
+
+def reference_tokenize_csv(text: str) -> list[tuple[int, int]]:
+    """Independent per-character tokenizer: ``[(position, token_id), ...]``."""
+    out: list[tuple[int, int]] = []
+    state = "field_start"
+    for i, ch in enumerate(text):
+        if ord(ch) >= NUM_INPUTS:
+            raise ValueError(f"character {ch!r} at {i} outside ASCII-{NUM_INPUTS}")
+        if state == "field_start":
+            if ch == '"':
+                state = "quoted"
+            elif ch == ",":
+                out.append((i, FIELD_SEP))
+            elif ch == "\n":
+                out.append((i, RECORD_SEP))
+            else:
+                state = "unquoted"
+        elif state == "unquoted":
+            if ch == ",":
+                out.append((i, FIELD_SEP))
+                state = "field_start"
+            elif ch == "\n":
+                out.append((i, RECORD_SEP))
+                state = "field_start"
+        elif state == "quoted":
+            if ch == '"':
+                state = "quote_q"
+        elif state == "quote_q":
+            if ch == '"':
+                state = "quoted"
+            elif ch == ",":
+                out.append((i, FIELD_SEP))
+                state = "field_start"
+            elif ch == "\n":
+                out.append((i, RECORD_SEP))
+                state = "field_start"
+            else:
+                state = "unquoted"
+    return out
+
+
+_WORDS = (
+    "alpha", "beta", "gamma", "delta", "sigma", "omega", "value",
+    "metric", "total", "sample", "x", "y",
+)
+
+
+def synthetic_csv(
+    approx_chars: int,
+    *,
+    columns: int = 6,
+    quoted_fraction: float = 0.3,
+    rng: int | np.random.Generator | None = 0,
+) -> str:
+    """Generate CSV text: mixed quoted/unquoted fields, embedded commas,
+    newlines and escaped quotes inside quoted fields."""
+    if approx_chars < 0:
+        raise ValueError(f"approx_chars must be >= 0, got {approx_chars}")
+    if columns < 1:
+        raise ValueError(f"columns must be >= 1, got {columns}")
+    if not 0.0 <= quoted_fraction <= 1.0:
+        raise ValueError(f"quoted_fraction must be in [0, 1], got {quoted_fraction}")
+    gen = ensure_rng(rng)
+    parts: list[str] = []
+    size = 0
+    while size < approx_chars:
+        fields = []
+        for _ in range(columns):
+            word = _WORDS[int(gen.integers(0, len(_WORDS)))]
+            if gen.random() < quoted_fraction:
+                inner = word
+                roll = gen.random()
+                if roll < 0.25:
+                    inner += ", " + _WORDS[int(gen.integers(0, len(_WORDS)))]
+                elif roll < 0.4:
+                    inner += '""' + _WORDS[int(gen.integers(0, len(_WORDS)))] + '""'
+                elif roll < 0.5:
+                    inner += "\n" + _WORDS[int(gen.integers(0, len(_WORDS)))]
+                fields.append(f'"{inner}"')
+            else:
+                suffix = str(int(gen.integers(0, 10_000)))
+                fields.append(word + suffix)
+        row = ",".join(fields) + "\n"
+        parts.append(row)
+        size += len(row)
+    return "".join(parts)

@@ -1,0 +1,60 @@
+"""Divisibility FSMs.
+
+Div7 (Figure 11 of the paper) tests whether a binary sequence, read MSB
+first, is divisible by seven. The machine's states are the residues mod 7;
+consuming bit ``b`` maps residue ``s`` to ``(2*s + b) mod 7``. For any input
+symbol the seven states map to seven *distinct* states (multiplication by 2
+is invertible mod 7), so no pair of states ever converges — the adversarial
+case for speculation, which is why the paper runs Div7 with spec-N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+
+__all__ = ["div_dfa", "div7_dfa", "residues_converge"]
+
+
+def div_dfa(modulus: int, base: int = 2) -> DFA:
+    """DFA accepting base-``base`` numerals divisible by ``modulus``.
+
+    States are residues ``0 .. modulus-1``; reading digit ``d`` maps residue
+    ``s`` to ``(base*s + d) % modulus``. The empty string (residue 0) is
+    accepted, matching the convention of prior FSM-parallelization work.
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be >= 1, got {modulus}")
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    states = np.arange(modulus, dtype=np.int64)
+    table = np.empty((base, modulus), dtype=np.int32)
+    for d in range(base):
+        table[d] = (base * states + d) % modulus
+    accepting = states == 0
+    return DFA(
+        table=table,
+        start=0,
+        accepting=accepting,
+        alphabet=Alphabet.from_symbols(range(base)),
+        name=f"div{modulus}" + (f"_base{base}" if base != 2 else ""),
+    )
+
+
+def div7_dfa() -> DFA:
+    """The paper's Div7 machine (7 states, binary input)."""
+    return div_dfa(7)
+
+
+def residues_converge(modulus: int, base: int = 2) -> bool:
+    """Whether any two residues can converge under some digit.
+
+    ``False`` iff ``gcd(base, modulus) == 1`` — multiplication by ``base`` is
+    then a bijection on residues, so speculation can never be helped by
+    convergence (the Div7 property the paper highlights).
+    """
+    from math import gcd
+
+    return gcd(base, modulus) != 1

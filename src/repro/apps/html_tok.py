@@ -1,0 +1,610 @@
+"""HTML tokenizer as a 38-state character-level FSM.
+
+A simplified (but complete-table) HTML5-style tokenizer over the 128 ASCII
+code points, sized to match the paper's Table 3 machine (38 states, 128
+inputs). It covers: text data, character references (named / decimal / hex),
+start and end tags, attributes (double-quoted, single-quoted, unquoted),
+self-closing tags, comments (including the ``--`` end-game), bogus comments,
+and DOCTYPE declarations with quoted public/system identifiers.
+
+Deliberate simplifications versus the full WHATWG spec (documented here and
+in DESIGN.md): no RCDATA/RAWTEXT/script-data modes (those need tag-name
+memory beyond a DFA of this size), character references are not decoded
+inside attribute values, and tag names are not lower-cased (tokenization
+only reports token boundaries, not token text).
+
+The machine is a Mealy transducer: it emits a token-type id on the
+transition that *completes* each token. :func:`reference_tokenize` is an
+independently written per-character tokenizer used to cross-check the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+
+__all__ = [
+    "build_html_tokenizer",
+    "reference_tokenize",
+    "TOKEN_NAMES",
+    "STATE_NAMES",
+]
+
+# --- token-type ids emitted by the transducer --------------------------- #
+TOK_START_TAG = 0
+TOK_SELF_CLOSING_TAG = 1
+TOK_END_TAG = 2
+TOK_COMMENT = 3
+TOK_DOCTYPE = 4
+TOK_CHARREF = 5
+
+TOKEN_NAMES = (
+    "start_tag",
+    "self_closing_tag",
+    "end_tag",
+    "comment",
+    "doctype",
+    "charref",
+)
+
+# --- state ids ----------------------------------------------------------- #
+DATA = 0
+CHARREF = 1  # '&' seen in data
+CHARREF_NAMED = 2  # '&' + letters
+CHARREF_NUMERIC = 3  # '&#'
+CHARREF_DEC = 4  # '&#' + digits
+CHARREF_HEX_START = 5  # '&#x'
+CHARREF_HEX = 6  # '&#x' + hex digits
+TAG_OPEN = 7  # '<'
+END_TAG_OPEN = 8  # '</'
+TAG_NAME = 9
+END_TAG_NAME = 10
+SELF_CLOSING_START = 11  # '/' inside a tag
+BEFORE_ATTR_NAME = 12
+ATTR_NAME = 13
+AFTER_ATTR_NAME = 14
+BEFORE_ATTR_VALUE = 15
+ATTR_VALUE_DQ = 16
+ATTR_VALUE_SQ = 17
+ATTR_VALUE_UNQ = 18
+AFTER_ATTR_VALUE_Q = 19
+MARKUP_DECL_OPEN = 20  # '<!'
+COMMENT_START_DASH = 21  # '<!-'
+COMMENT = 22  # inside '<!--'
+COMMENT_END_DASH = 23  # '-' inside comment
+COMMENT_END = 24  # '--' inside comment
+BOGUS_COMMENT = 25  # '<!x' ... until '>'
+DOCTYPE_D = 26  # '<!D'
+DOCTYPE_DO = 27
+DOCTYPE_DOC = 28
+DOCTYPE_DOCT = 29
+DOCTYPE_DOCTY = 30
+DOCTYPE_DOCTYP = 31
+DOCTYPE_DOCTYPE = 32  # full '<!DOCTYPE'
+BEFORE_DOCTYPE_NAME = 33
+DOCTYPE_NAME = 34
+AFTER_DOCTYPE_NAME = 35
+DOCTYPE_ID_DQ = 36  # inside a quoted public/system identifier
+DOCTYPE_ID_SQ = 37
+
+NUM_STATES = 38
+NUM_INPUTS = 128
+
+STATE_NAMES = (
+    "data", "charref", "charref_named", "charref_numeric", "charref_dec",
+    "charref_hex_start", "charref_hex", "tag_open", "end_tag_open",
+    "tag_name", "end_tag_name", "self_closing_start", "before_attr_name",
+    "attr_name", "after_attr_name", "before_attr_value", "attr_value_dq",
+    "attr_value_sq", "attr_value_unq", "after_attr_value_q",
+    "markup_decl_open", "comment_start_dash", "comment", "comment_end_dash",
+    "comment_end", "bogus_comment", "doctype_d", "doctype_do", "doctype_doc",
+    "doctype_doct", "doctype_docty", "doctype_doctyp", "doctype_doctype",
+    "before_doctype_name", "doctype_name", "after_doctype_name",
+    "doctype_id_dq", "doctype_id_sq",
+)
+
+_WHITESPACE = tuple(ord(c) for c in " \t\n\r\f")
+_LETTERS = tuple(range(ord("a"), ord("z") + 1)) + tuple(range(ord("A"), ord("Z") + 1))
+_DIGITS = tuple(range(ord("0"), ord("9") + 1))
+_HEX_LETTERS = tuple(ord(c) for c in "abcdefABCDEF")
+
+
+def build_html_tokenizer() -> DFA:
+    """Construct the 38-state tokenizer transducer.
+
+    The table is built as "default transition per state" plus targeted
+    overrides, which keeps each tokenizer rule visible as one line.
+    """
+    table = np.zeros((NUM_INPUTS, NUM_STATES), dtype=np.int32)
+    emit = np.full((NUM_INPUTS, NUM_STATES), -1, dtype=np.int32)
+
+    def default(state: int, target: int) -> None:
+        table[:, state] = target
+
+    def on(state: int, chars, target: int, token: int | None = None) -> None:
+        if isinstance(chars, str):
+            ids = [ord(c) for c in chars]
+        else:
+            ids = list(chars)
+        for cid in ids:
+            table[cid, state] = target
+            if token is not None:
+                emit[cid, state] = token
+
+    LT, GT, SLASH, BANG, AMP = ord("<"), ord(">"), ord("/"), ord("!"), ord("&")
+    EQ, DQ, SQ, HASH, SEMI, DASH, X = (
+        ord("="), ord('"'), ord("'"), ord("#"), ord(";"), ord("-"), ord("x"),
+    )
+
+    # -- data ------------------------------------------------------------ #
+    default(DATA, DATA)
+    on(DATA, [LT], TAG_OPEN)
+    on(DATA, [AMP], CHARREF)
+
+    # -- character references --------------------------------------------- #
+    # '&' then: '#' -> numeric, letter -> named, '<' back to tag open,
+    # anything else -> plain data (the '&' was literal).
+    default(CHARREF, DATA)
+    on(CHARREF, [HASH], CHARREF_NUMERIC)
+    on(CHARREF, _LETTERS, CHARREF_NAMED)
+    on(CHARREF, [LT], TAG_OPEN)
+    on(CHARREF, [AMP], CHARREF)
+
+    default(CHARREF_NAMED, DATA)
+    on(CHARREF_NAMED, _LETTERS + _DIGITS, CHARREF_NAMED)
+    on(CHARREF_NAMED, [SEMI], DATA, TOK_CHARREF)
+    on(CHARREF_NAMED, [LT], TAG_OPEN)
+    on(CHARREF_NAMED, [AMP], CHARREF)
+
+    default(CHARREF_NUMERIC, DATA)
+    on(CHARREF_NUMERIC, _DIGITS, CHARREF_DEC)
+    on(CHARREF_NUMERIC, [X, ord("X")], CHARREF_HEX_START)
+    on(CHARREF_NUMERIC, [LT], TAG_OPEN)
+    on(CHARREF_NUMERIC, [AMP], CHARREF)
+
+    default(CHARREF_DEC, DATA)
+    on(CHARREF_DEC, _DIGITS, CHARREF_DEC)
+    on(CHARREF_DEC, [SEMI], DATA, TOK_CHARREF)
+    on(CHARREF_DEC, [LT], TAG_OPEN)
+    on(CHARREF_DEC, [AMP], CHARREF)
+
+    default(CHARREF_HEX_START, DATA)
+    on(CHARREF_HEX_START, _DIGITS + _HEX_LETTERS, CHARREF_HEX)
+    on(CHARREF_HEX_START, [LT], TAG_OPEN)
+    on(CHARREF_HEX_START, [AMP], CHARREF)
+
+    default(CHARREF_HEX, DATA)
+    on(CHARREF_HEX, _DIGITS + _HEX_LETTERS, CHARREF_HEX)
+    on(CHARREF_HEX, [SEMI], DATA, TOK_CHARREF)
+    on(CHARREF_HEX, [LT], TAG_OPEN)
+    on(CHARREF_HEX, [AMP], CHARREF)
+
+    # -- tag open ---------------------------------------------------------- #
+    default(TAG_OPEN, DATA)  # '<' followed by junk is literal text
+    on(TAG_OPEN, _LETTERS, TAG_NAME)
+    on(TAG_OPEN, [SLASH], END_TAG_OPEN)
+    on(TAG_OPEN, [BANG], MARKUP_DECL_OPEN)
+    on(TAG_OPEN, [LT], TAG_OPEN)
+    on(TAG_OPEN, [AMP], CHARREF)
+
+    default(END_TAG_OPEN, BOGUS_COMMENT)  # '</3' etc. parses as bogus comment
+    on(END_TAG_OPEN, _LETTERS, END_TAG_NAME)
+    on(END_TAG_OPEN, [GT], DATA)  # '</>' is dropped
+
+    default(TAG_NAME, TAG_NAME)
+    on(TAG_NAME, _WHITESPACE, BEFORE_ATTR_NAME)
+    on(TAG_NAME, [SLASH], SELF_CLOSING_START)
+    on(TAG_NAME, [GT], DATA, TOK_START_TAG)
+
+    default(END_TAG_NAME, END_TAG_NAME)
+    on(END_TAG_NAME, _WHITESPACE, END_TAG_NAME)
+    on(END_TAG_NAME, [GT], DATA, TOK_END_TAG)
+
+    default(SELF_CLOSING_START, ATTR_NAME)  # '<a/b': 'b' starts an attr name
+    on(SELF_CLOSING_START, _WHITESPACE, BEFORE_ATTR_NAME)
+    on(SELF_CLOSING_START, [GT], DATA, TOK_SELF_CLOSING_TAG)
+    on(SELF_CLOSING_START, [SLASH], SELF_CLOSING_START)
+
+    # -- attributes -------------------------------------------------------- #
+    default(BEFORE_ATTR_NAME, ATTR_NAME)
+    on(BEFORE_ATTR_NAME, _WHITESPACE, BEFORE_ATTR_NAME)
+    on(BEFORE_ATTR_NAME, [SLASH], SELF_CLOSING_START)
+    on(BEFORE_ATTR_NAME, [GT], DATA, TOK_START_TAG)
+    on(BEFORE_ATTR_NAME, [EQ], ATTR_NAME)  # '=' before a name: treated as name char
+
+    default(ATTR_NAME, ATTR_NAME)
+    on(ATTR_NAME, _WHITESPACE, AFTER_ATTR_NAME)
+    on(ATTR_NAME, [EQ], BEFORE_ATTR_VALUE)
+    on(ATTR_NAME, [SLASH], SELF_CLOSING_START)
+    on(ATTR_NAME, [GT], DATA, TOK_START_TAG)
+
+    default(AFTER_ATTR_NAME, ATTR_NAME)  # new attribute begins
+    on(AFTER_ATTR_NAME, _WHITESPACE, AFTER_ATTR_NAME)
+    on(AFTER_ATTR_NAME, [EQ], BEFORE_ATTR_VALUE)
+    on(AFTER_ATTR_NAME, [SLASH], SELF_CLOSING_START)
+    on(AFTER_ATTR_NAME, [GT], DATA, TOK_START_TAG)
+
+    default(BEFORE_ATTR_VALUE, ATTR_VALUE_UNQ)
+    on(BEFORE_ATTR_VALUE, _WHITESPACE, BEFORE_ATTR_VALUE)
+    on(BEFORE_ATTR_VALUE, [DQ], ATTR_VALUE_DQ)
+    on(BEFORE_ATTR_VALUE, [SQ], ATTR_VALUE_SQ)
+    on(BEFORE_ATTR_VALUE, [GT], DATA, TOK_START_TAG)  # '=>' ends the tag
+
+    default(ATTR_VALUE_DQ, ATTR_VALUE_DQ)
+    on(ATTR_VALUE_DQ, [DQ], AFTER_ATTR_VALUE_Q)
+
+    default(ATTR_VALUE_SQ, ATTR_VALUE_SQ)
+    on(ATTR_VALUE_SQ, [SQ], AFTER_ATTR_VALUE_Q)
+
+    default(ATTR_VALUE_UNQ, ATTR_VALUE_UNQ)
+    on(ATTR_VALUE_UNQ, _WHITESPACE, BEFORE_ATTR_NAME)
+    on(ATTR_VALUE_UNQ, [GT], DATA, TOK_START_TAG)
+
+    default(AFTER_ATTR_VALUE_Q, ATTR_NAME)  # sloppy 'a="v"b' starts a name
+    on(AFTER_ATTR_VALUE_Q, _WHITESPACE, BEFORE_ATTR_NAME)
+    on(AFTER_ATTR_VALUE_Q, [SLASH], SELF_CLOSING_START)
+    on(AFTER_ATTR_VALUE_Q, [GT], DATA, TOK_START_TAG)
+
+    # -- markup declarations: comments, doctype, bogus --------------------- #
+    default(MARKUP_DECL_OPEN, BOGUS_COMMENT)
+    on(MARKUP_DECL_OPEN, [DASH], COMMENT_START_DASH)
+    on(MARKUP_DECL_OPEN, [ord("D"), ord("d")], DOCTYPE_D)
+    on(MARKUP_DECL_OPEN, [GT], DATA, TOK_COMMENT)  # '<!>' = empty bogus comment
+
+    default(COMMENT_START_DASH, BOGUS_COMMENT)
+    on(COMMENT_START_DASH, [DASH], COMMENT)
+    on(COMMENT_START_DASH, [GT], DATA, TOK_COMMENT)  # '<!->' ends bogus comment
+
+    default(COMMENT, COMMENT)
+    on(COMMENT, [DASH], COMMENT_END_DASH)
+
+    default(COMMENT_END_DASH, COMMENT)
+    on(COMMENT_END_DASH, [DASH], COMMENT_END)
+
+    default(COMMENT_END, COMMENT)
+    on(COMMENT_END, [DASH], COMMENT_END)  # '--->' style runs of dashes
+    on(COMMENT_END, [GT], DATA, TOK_COMMENT)
+
+    default(BOGUS_COMMENT, BOGUS_COMMENT)
+    on(BOGUS_COMMENT, [GT], DATA, TOK_COMMENT)
+
+    # -- doctype: match 'OCTYPE' letter by letter --------------------------- #
+    for state, expected, nxt in (
+        (DOCTYPE_D, "oO", DOCTYPE_DO),
+        (DOCTYPE_DO, "cC", DOCTYPE_DOC),
+        (DOCTYPE_DOC, "tT", DOCTYPE_DOCT),
+        (DOCTYPE_DOCT, "yY", DOCTYPE_DOCTY),
+        (DOCTYPE_DOCTY, "pP", DOCTYPE_DOCTYP),
+        (DOCTYPE_DOCTYP, "eE", DOCTYPE_DOCTYPE),
+    ):
+        default(state, BOGUS_COMMENT)
+        on(state, expected, nxt)
+        on(state, [GT], DATA, TOK_COMMENT)  # truncated '<!DOC>' = bogus comment
+
+    default(DOCTYPE_DOCTYPE, BOGUS_COMMENT)
+    on(DOCTYPE_DOCTYPE, _WHITESPACE, BEFORE_DOCTYPE_NAME)
+    on(DOCTYPE_DOCTYPE, [GT], DATA, TOK_DOCTYPE)
+
+    default(BEFORE_DOCTYPE_NAME, DOCTYPE_NAME)
+    on(BEFORE_DOCTYPE_NAME, _WHITESPACE, BEFORE_DOCTYPE_NAME)
+    on(BEFORE_DOCTYPE_NAME, [GT], DATA, TOK_DOCTYPE)
+
+    default(DOCTYPE_NAME, DOCTYPE_NAME)
+    on(DOCTYPE_NAME, _WHITESPACE, AFTER_DOCTYPE_NAME)
+    on(DOCTYPE_NAME, [GT], DATA, TOK_DOCTYPE)
+
+    default(AFTER_DOCTYPE_NAME, AFTER_DOCTYPE_NAME)
+    on(AFTER_DOCTYPE_NAME, [DQ], DOCTYPE_ID_DQ)
+    on(AFTER_DOCTYPE_NAME, [SQ], DOCTYPE_ID_SQ)
+    on(AFTER_DOCTYPE_NAME, [GT], DATA, TOK_DOCTYPE)
+
+    default(DOCTYPE_ID_DQ, DOCTYPE_ID_DQ)
+    on(DOCTYPE_ID_DQ, [DQ], AFTER_DOCTYPE_NAME)
+
+    default(DOCTYPE_ID_SQ, DOCTYPE_ID_SQ)
+    on(DOCTYPE_ID_SQ, [SQ], AFTER_DOCTYPE_NAME)
+
+    accepting = np.zeros(NUM_STATES, dtype=bool)
+    accepting[DATA] = True  # document is well-terminated iff we end in data
+    return DFA(
+        table=table,
+        start=DATA,
+        accepting=accepting,
+        alphabet=Alphabet.ascii(NUM_INPUTS),
+        emit=emit,
+        name="html_tokenizer",
+        state_names=STATE_NAMES,
+    )
+
+
+def reference_tokenize(text: str) -> list[tuple[int, int]]:
+    """Independent per-character tokenizer: ``[(position, token_id), ...]``.
+
+    Implements the same simplified tokenization rules as
+    :func:`build_html_tokenizer` but as straight-line Python conditionals —
+    an intentionally separate code path used to validate the table.
+    Positions are the index of the character that completed the token.
+    """
+    dfa = build_html_tokenizer()
+    # NOTE: the reference deliberately avoids the table; it re-derives each
+    # transition from the rules. The DFA object above is used only to map
+    # characters outside ASCII-128 to errors consistently.
+    del dfa
+
+    ws = set(" \t\n\r\f")
+    letters = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+    digits = set("0123456789")
+    hexdig = digits | set("abcdefABCDEF")
+    out: list[tuple[int, int]] = []
+    state = "data"
+    doctype_word = "doctype"
+    doctype_idx = 0
+
+    for i, ch in enumerate(text):
+        if ord(ch) >= NUM_INPUTS:
+            raise ValueError(f"character {ch!r} at {i} outside ASCII-{NUM_INPUTS}")
+        if state == "data":
+            if ch == "<":
+                state = "tag_open"
+            elif ch == "&":
+                state = "charref"
+        elif state == "charref":
+            if ch == "#":
+                state = "charref_numeric"
+            elif ch in letters:
+                state = "charref_named"
+            elif ch == "<":
+                state = "tag_open"
+            elif ch == "&":
+                pass
+            else:
+                state = "data"
+        elif state == "charref_named":
+            if ch in letters or ch in digits:
+                pass
+            elif ch == ";":
+                out.append((i, TOK_CHARREF))
+                state = "data"
+            elif ch == "<":
+                state = "tag_open"
+            elif ch == "&":
+                state = "charref"
+            else:
+                state = "data"
+        elif state == "charref_numeric":
+            if ch in digits:
+                state = "charref_dec"
+            elif ch in "xX":
+                state = "charref_hex_start"
+            elif ch == "<":
+                state = "tag_open"
+            elif ch == "&":
+                state = "charref"
+            else:
+                state = "data"
+        elif state == "charref_dec":
+            if ch in digits:
+                pass
+            elif ch == ";":
+                out.append((i, TOK_CHARREF))
+                state = "data"
+            elif ch == "<":
+                state = "tag_open"
+            elif ch == "&":
+                state = "charref"
+            else:
+                state = "data"
+        elif state == "charref_hex_start":
+            if ch in hexdig:
+                state = "charref_hex"
+            elif ch == "<":
+                state = "tag_open"
+            elif ch == "&":
+                state = "charref"
+            else:
+                state = "data"
+        elif state == "charref_hex":
+            if ch in hexdig:
+                pass
+            elif ch == ";":
+                out.append((i, TOK_CHARREF))
+                state = "data"
+            elif ch == "<":
+                state = "tag_open"
+            elif ch == "&":
+                state = "charref"
+            else:
+                state = "data"
+        elif state == "tag_open":
+            if ch in letters:
+                state = "tag_name"
+            elif ch == "/":
+                state = "end_tag_open"
+            elif ch == "!":
+                state = "markup_decl_open"
+            elif ch == "<":
+                pass
+            elif ch == "&":
+                state = "charref"
+            else:
+                state = "data"
+        elif state == "end_tag_open":
+            if ch in letters:
+                state = "end_tag_name"
+            elif ch == ">":
+                state = "data"
+            else:
+                state = "bogus_comment"
+        elif state == "tag_name":
+            if ch in ws:
+                state = "before_attr_name"
+            elif ch == "/":
+                state = "self_closing_start"
+            elif ch == ">":
+                out.append((i, TOK_START_TAG))
+                state = "data"
+        elif state == "end_tag_name":
+            if ch == ">":
+                out.append((i, TOK_END_TAG))
+                state = "data"
+        elif state == "self_closing_start":
+            if ch == ">":
+                out.append((i, TOK_SELF_CLOSING_TAG))
+                state = "data"
+            elif ch == "/":
+                pass
+            else:
+                state = "before_attr_name" if ch in ws else "attr_name"
+        elif state == "before_attr_name":
+            if ch in ws:
+                pass
+            elif ch == "/":
+                state = "self_closing_start"
+            elif ch == ">":
+                out.append((i, TOK_START_TAG))
+                state = "data"
+            else:
+                state = "attr_name"
+        elif state == "attr_name":
+            if ch in ws:
+                state = "after_attr_name"
+            elif ch == "=":
+                state = "before_attr_value"
+            elif ch == "/":
+                state = "self_closing_start"
+            elif ch == ">":
+                out.append((i, TOK_START_TAG))
+                state = "data"
+        elif state == "after_attr_name":
+            if ch in ws:
+                pass
+            elif ch == "=":
+                state = "before_attr_value"
+            elif ch == "/":
+                state = "self_closing_start"
+            elif ch == ">":
+                out.append((i, TOK_START_TAG))
+                state = "data"
+            else:
+                state = "attr_name"
+        elif state == "before_attr_value":
+            if ch in ws:
+                pass
+            elif ch == '"':
+                state = "attr_value_dq"
+            elif ch == "'":
+                state = "attr_value_sq"
+            elif ch == ">":
+                out.append((i, TOK_START_TAG))
+                state = "data"
+            else:
+                state = "attr_value_unq"
+        elif state == "attr_value_dq":
+            if ch == '"':
+                state = "after_attr_value_q"
+        elif state == "attr_value_sq":
+            if ch == "'":
+                state = "after_attr_value_q"
+        elif state == "attr_value_unq":
+            if ch in ws:
+                state = "before_attr_name"
+            elif ch == ">":
+                out.append((i, TOK_START_TAG))
+                state = "data"
+        elif state == "after_attr_value_q":
+            if ch in ws:
+                state = "before_attr_name"
+            elif ch == "/":
+                state = "self_closing_start"
+            elif ch == ">":
+                out.append((i, TOK_START_TAG))
+                state = "data"
+            else:
+                state = "attr_name"
+        elif state == "markup_decl_open":
+            if ch == "-":
+                state = "comment_start_dash"
+            elif ch in "dD":
+                state = "doctype_match"
+                doctype_idx = 1
+            elif ch == ">":
+                out.append((i, TOK_COMMENT))
+                state = "data"
+            else:
+                state = "bogus_comment"
+        elif state == "comment_start_dash":
+            if ch == "-":
+                state = "comment"
+            elif ch == ">":
+                out.append((i, TOK_COMMENT))
+                state = "data"
+            else:
+                state = "bogus_comment"
+        elif state == "comment":
+            if ch == "-":
+                state = "comment_end_dash"
+        elif state == "comment_end_dash":
+            state = "comment_end" if ch == "-" else "comment"
+        elif state == "comment_end":
+            if ch == ">":
+                out.append((i, TOK_COMMENT))
+                state = "data"
+            elif ch == "-":
+                pass
+            else:
+                state = "comment"
+        elif state == "bogus_comment":
+            if ch == ">":
+                out.append((i, TOK_COMMENT))
+                state = "data"
+        elif state == "doctype_match":
+            if doctype_idx < len(doctype_word) and ch.lower() == doctype_word[doctype_idx]:
+                doctype_idx += 1
+                if doctype_idx == len(doctype_word):
+                    state = "doctype_matched"
+            elif ch == ">":
+                out.append((i, TOK_COMMENT))
+                state = "data"
+            else:
+                state = "bogus_comment"
+        elif state == "doctype_matched":
+            if ch in ws:
+                state = "before_doctype_name"
+            elif ch == ">":
+                out.append((i, TOK_DOCTYPE))
+                state = "data"
+            else:
+                state = "bogus_comment"
+        elif state == "before_doctype_name":
+            if ch in ws:
+                pass
+            elif ch == ">":
+                out.append((i, TOK_DOCTYPE))
+                state = "data"
+            else:
+                state = "doctype_name"
+        elif state == "doctype_name":
+            if ch in ws:
+                state = "after_doctype_name"
+            elif ch == ">":
+                out.append((i, TOK_DOCTYPE))
+                state = "data"
+        elif state == "after_doctype_name":
+            if ch == '"':
+                state = "doctype_id_dq"
+            elif ch == "'":
+                state = "doctype_id_sq"
+            elif ch == ">":
+                out.append((i, TOK_DOCTYPE))
+                state = "data"
+        elif state == "doctype_id_dq":
+            if ch == '"':
+                state = "after_doctype_name"
+        elif state == "doctype_id_sq":
+            if ch == "'":
+                state = "after_doctype_name"
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown state {state}")
+    return out

@@ -1,0 +1,252 @@
+"""Huffman coding: tree construction, encoder, and the decoder FSM.
+
+Huffman decoding is the paper's largest-table application (205 states,
+binary input — Table 3). Decoding walks the Huffman tree bit by bit and
+emits a symbol at each leaf; that walk *is* a finite-state transducer whose
+states are the internal tree nodes:
+
+    state = root
+    for each bit b:
+        child = tree.child(state, b)
+        if child is a leaf:  emit child.symbol; state = root-after-restart
+        else:                state = child
+
+:meth:`HuffmanCode.decoder_dfa` materializes exactly this machine as a
+:class:`repro.fsm.dfa.DFA` with an emission table, so the speculative engine
+can run it like any other FSM. ``num_states`` equals the number of internal
+nodes, i.e. ``num_symbols - 1`` — the paper's 205-state machine corresponds
+to a 206-symbol text alphabet.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+
+__all__ = ["HuffmanCode"]
+
+
+@dataclass(frozen=True)
+class _Node:
+    weight: int
+    order: int  # tie-breaker for deterministic trees
+    symbol: int | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    def __lt__(self, other: "_Node") -> bool:
+        return (self.weight, self.order) < (other.weight, other.order)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.symbol is not None
+
+
+class HuffmanCode:
+    """A Huffman code over dense symbol ids ``0 .. num_symbols-1``.
+
+    Build with :meth:`from_frequencies` (or :meth:`from_data`). The code is
+    deterministic for a given frequency vector (ties broken by insertion
+    order), so encoder, decoder, and FSM always agree.
+    """
+
+    def __init__(self, root: _Node, num_symbols: int) -> None:
+        self._root = root
+        self._num_symbols = num_symbols
+        self._codes, self._lengths = self._build_codebook()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_frequencies(cls, freqs: np.ndarray) -> "HuffmanCode":
+        """Build the code for a non-negative frequency vector.
+
+        Symbols with zero frequency are excluded from the tree (encoding
+        them raises). At least one symbol must have positive frequency.
+        """
+        freqs = np.asarray(freqs, dtype=np.int64)
+        if freqs.ndim != 1:
+            raise ValueError(f"freqs must be 1-D, got shape {freqs.shape}")
+        if freqs.size and freqs.min() < 0:
+            raise ValueError("frequencies must be non-negative")
+        present = np.flatnonzero(freqs > 0)
+        if present.size == 0:
+            raise ValueError("at least one symbol must have positive frequency")
+        heap: list[_Node] = []
+        order = 0
+        for s in present:
+            heap.append(_Node(weight=int(freqs[s]), order=order, symbol=int(s)))
+            order += 1
+        heapq.heapify(heap)
+        if len(heap) == 1:
+            # Degenerate single-symbol code: give it a 1-bit code so the
+            # decoder FSM still has a well-defined binary transition.
+            only = heap[0]
+            root = _Node(weight=only.weight, order=order, left=only, right=only)
+            return cls(root, int(freqs.size))
+        while len(heap) > 1:
+            a = heapq.heappop(heap)
+            b = heapq.heappop(heap)
+            heapq.heappush(heap, _Node(weight=a.weight + b.weight, order=order, left=a, right=b))
+            order += 1
+        return cls(heap[0], int(freqs.size))
+
+    @classmethod
+    def from_data(cls, data: np.ndarray, num_symbols: int | None = None) -> "HuffmanCode":
+        """Build the code from a sample of symbol ids."""
+        data = np.asarray(data)
+        if num_symbols is None:
+            num_symbols = int(data.max()) + 1 if data.size else 1
+        freqs = np.bincount(data, minlength=num_symbols)
+        return cls.from_frequencies(freqs)
+
+    def _build_codebook(self) -> tuple[list[np.ndarray | None], np.ndarray]:
+        codes: list[np.ndarray | None] = [None] * self._num_symbols
+        lengths = np.zeros(self._num_symbols, dtype=np.int64)
+
+        def walk(node: _Node, prefix: list[int]) -> None:
+            if node.is_leaf:
+                codes[node.symbol] = np.asarray(prefix, dtype=np.uint8)
+                lengths[node.symbol] = len(prefix)
+                return
+            walk(node.left, prefix + [0])
+            walk(node.right, prefix + [1])
+
+        # The degenerate single-symbol tree reuses one leaf for both
+        # children; walk left only to assign code [0].
+        if self._root.left is self._root.right and self._root.left is not None:
+            walk(self._root.left, [0])
+        else:
+            walk(self._root, [])
+        return codes, lengths
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_symbols(self) -> int:
+        """Size of the symbol space (including zero-frequency symbols)."""
+        return self._num_symbols
+
+    @property
+    def num_coded_symbols(self) -> int:
+        """Number of symbols with a code (positive frequency)."""
+        return sum(c is not None for c in self._codes)
+
+    @property
+    def code_lengths(self) -> np.ndarray:
+        """Per-symbol code lengths (0 for uncoded symbols)."""
+        return self._lengths.copy()
+
+    def codebook(self) -> dict[int, str]:
+        """Human-readable ``{symbol: '0101'}`` map for coded symbols."""
+        return {
+            s: "".join(map(str, c.tolist()))
+            for s, c in enumerate(self._codes)
+            if c is not None
+        }
+
+    def encoded_length(self, data: np.ndarray) -> int:
+        """Exact bit count :meth:`encode` would produce for ``data``."""
+        return int(self._lengths[np.asarray(data)].sum())
+
+    # ------------------------------------------------------------------ #
+    # encode / decode
+    # ------------------------------------------------------------------ #
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode symbol ids into a 0/1 bit array (vectorized).
+
+        Builds a dense ``(num_symbols, max_len)`` code matrix and scatters
+        rows via a boolean mask — one pass, no Python-level loop over data.
+        """
+        data = np.asarray(data)
+        if data.size == 0:
+            return np.zeros(0, dtype=np.uint8)
+        lengths = self._lengths[data]
+        if (self._lengths[np.unique(data)] == 0).any():
+            bad = int(np.unique(data)[self._lengths[np.unique(data)] == 0][0])
+            raise ValueError(f"symbol {bad} has zero frequency and no code")
+        max_len = int(self._lengths.max())
+        matrix = np.zeros((self._num_symbols, max_len), dtype=np.uint8)
+        for s, code in enumerate(self._codes):
+            if code is not None:
+                matrix[s, : code.size] = code
+        rows = matrix[data]  # (n, max_len)
+        mask = np.arange(max_len)[None, :] < lengths[:, None]
+        return rows[mask]  # row-major ravel keeps symbol order
+
+    def decode_reference(self, bits: np.ndarray) -> np.ndarray:
+        """Trusted tree-walk decoder (ground truth for tests).
+
+        Raises ``ValueError`` if the stream ends mid-codeword.
+        """
+        out: list[int] = []
+        node = self._root
+        for b in np.asarray(bits):
+            node = node.left if b == 0 else node.right
+            if node is None:
+                raise ValueError("invalid bit stream: fell off the tree")
+            if node.is_leaf:
+                out.append(node.symbol)
+                node = self._root
+        if node is not self._root:
+            raise ValueError("bit stream ended mid-codeword")
+        return np.asarray(out, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # the decoder FSM
+    # ------------------------------------------------------------------ #
+
+    def decoder_dfa(self) -> DFA:
+        """The bit-level decoder as a Mealy transducer DFA.
+
+        States are the internal nodes of the Huffman tree (root = state 0 =
+        start). On bit ``b`` the machine moves to the corresponding child;
+        if that child is a leaf it emits the leaf's symbol and the next
+        state is the root (restart). ``accepting`` marks the root — the
+        stream is a whole number of codewords iff the run ends there.
+        """
+        internal: list[_Node] = []
+        ids: dict[int, int] = {}
+
+        def number(node: _Node) -> int:
+            nid = ids.get(id(node))
+            if nid is None:
+                nid = len(internal)
+                ids[id(node)] = nid
+                internal.append(node)
+                for child in (node.left, node.right):
+                    if child is not None and not child.is_leaf:
+                        number(child)
+            return nid
+
+        number(self._root)
+        n = len(internal)
+        table = np.zeros((2, n), dtype=np.int32)
+        emit = np.full((2, n), -1, dtype=np.int32)
+        for q, node in enumerate(internal):
+            for b, child in enumerate((node.left, node.right)):
+                if child.is_leaf:
+                    table[b, q] = 0  # back to the root
+                    emit[b, q] = child.symbol
+                else:
+                    table[b, q] = ids[id(child)]
+        accepting = np.zeros(n, dtype=bool)
+        accepting[0] = True
+        return DFA(
+            table=table,
+            start=0,
+            accepting=accepting,
+            alphabet=Alphabet.binary(),
+            emit=emit,
+            name="huffman_decoder",
+        )

@@ -1,0 +1,119 @@
+"""UTF-8 validation as an FSM — an extension application.
+
+Byte-level UTF-8 validation is a classic FSM workload (the paper's
+"data decoding" family): 9 states over 256 byte values, rejecting overlong
+encodings, surrogates (U+D800..DFFF), and code points above U+10FFFF —
+the same structure as Hoehrmann's well-known DFA. Useful here both as an
+extra benchmark machine (moderate states, very wide input alphabet) and
+as another independently verifiable app: Python's own ``bytes.decode``
+is the reference oracle in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+
+__all__ = ["utf8_validator_dfa", "encode_utf8_workload"]
+
+ACCEPT = 0
+REJECT = 1
+CONT_1 = 2  # expect one continuation byte
+CONT_2 = 3  # expect two continuation bytes
+CONT_3 = 4  # expect three continuation bytes
+AFTER_E0 = 5  # second byte restricted to A0..BF (no overlong 3-byte)
+AFTER_ED = 6  # second byte restricted to 80..9F (no surrogates)
+AFTER_F0 = 7  # second byte restricted to 90..BF (no overlong 4-byte)
+AFTER_F4 = 8  # second byte restricted to 80..8F (<= U+10FFFF)
+
+NUM_STATES = 9
+
+STATE_NAMES = (
+    "accept", "reject", "cont1", "cont2", "cont3",
+    "after_e0", "after_ed", "after_f0", "after_f4",
+)
+
+
+def utf8_validator_dfa() -> DFA:
+    """The 9-state UTF-8 validation DFA over all 256 byte values.
+
+    The machine is in ``accept`` exactly at the positions where the byte
+    stream so far is a complete, valid UTF-8 sequence; ``reject`` is
+    absorbing.
+    """
+    table = np.full((256, NUM_STATES), REJECT, dtype=np.int32)
+
+    def on(state: int, lo: int, hi: int, target: int) -> None:
+        table[lo : hi + 1, state] = target
+
+    # From ACCEPT: classify the lead byte.
+    on(ACCEPT, 0x00, 0x7F, ACCEPT)
+    on(ACCEPT, 0xC2, 0xDF, CONT_1)
+    on(ACCEPT, 0xE0, 0xE0, AFTER_E0)
+    on(ACCEPT, 0xE1, 0xEC, CONT_2)
+    on(ACCEPT, 0xED, 0xED, AFTER_ED)
+    on(ACCEPT, 0xEE, 0xEF, CONT_2)
+    on(ACCEPT, 0xF0, 0xF0, AFTER_F0)
+    on(ACCEPT, 0xF1, 0xF3, CONT_3)
+    on(ACCEPT, 0xF4, 0xF4, AFTER_F4)
+    # 0x80-0xBF (bare continuation), 0xC0-0xC1 (overlong), 0xF5-0xFF: reject.
+
+    on(CONT_1, 0x80, 0xBF, ACCEPT)
+    on(CONT_2, 0x80, 0xBF, CONT_1)
+    on(CONT_3, 0x80, 0xBF, CONT_2)
+    on(AFTER_E0, 0xA0, 0xBF, CONT_1)
+    on(AFTER_ED, 0x80, 0x9F, CONT_1)
+    on(AFTER_F0, 0x90, 0xBF, CONT_2)
+    on(AFTER_F4, 0x80, 0x8F, CONT_2)
+    # REJECT rows stay all-REJECT (absorbing).
+
+    accepting = np.zeros(NUM_STATES, dtype=bool)
+    accepting[ACCEPT] = True
+    return DFA(
+        table=table,
+        start=ACCEPT,
+        accepting=accepting,
+        alphabet=Alphabet.from_symbols(range(256)),
+        name="utf8_validator",
+        state_names=STATE_NAMES,
+    )
+
+
+def encode_utf8_workload(
+    n_bytes: int,
+    *,
+    corruption_rate: float = 0.0,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """A UTF-8 byte stream of roughly ``n_bytes`` bytes (``int32`` ids).
+
+    Encodes synthetic English-like text (including multi-byte sequences
+    from the generator's high-byte tail) to UTF-8. ``corruption_rate``
+    randomly overwrites that fraction of bytes, producing invalid
+    sequences for failure-path testing.
+    """
+    from repro.util.rng import ensure_rng
+    from repro.workloads.text import synthetic_book
+
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+    if not 0.0 <= corruption_rate <= 1.0:
+        raise ValueError(f"corruption_rate must be in [0, 1], got {corruption_rate}")
+    gen = ensure_rng(rng)
+    # High-tail characters encode to 2 bytes; oversample then trim.
+    chars = synthetic_book(n_bytes, rng=gen)
+    text = "".join(chr(int(c)) for c in chars)
+    raw = np.frombuffer(text.encode("utf-8"), dtype=np.uint8).astype(np.int32)
+    raw = raw[:n_bytes].copy()
+    # Trimming can split a final multi-byte sequence; chop trailing
+    # continuation bytes and a dangling lead byte so the stream stays valid.
+    while raw.size and 0x80 <= raw[-1] <= 0xBF:
+        raw = raw[:-1]
+    if raw.size and raw[-1] >= 0xC0:
+        raw = raw[:-1]
+    if corruption_rate > 0 and raw.size:
+        flips = gen.random(raw.size) < corruption_rate
+        raw[flips] = gen.integers(0, 256, size=int(flips.sum()))
+    return raw

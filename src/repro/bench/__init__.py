@@ -1,0 +1,51 @@
+"""Experiment harness: one function per paper table/figure.
+
+:mod:`repro.bench.experiments` defines the experiments; each returns an
+:class:`repro.bench.runner.ExperimentResult` whose rows reproduce the
+series the paper plots, alongside the paper's reported values where the
+paper gives them. :mod:`repro.bench.tables` renders results as aligned
+text tables; ``benchmarks/`` wraps each experiment in a pytest-benchmark
+target and archives its table under ``benchmarks/out/``.
+"""
+
+from repro.bench.experiments import (
+    ablation_cache_budget,
+    ablation_check_crossover,
+    ablation_device_comparison,
+    ablation_divm_family,
+    ablation_eager_vs_delayed,
+    fig3_motivation,
+    fig5_state_frequency_cdf,
+    fig6_success_rates,
+    fig12_13_k_sweep,
+    fig14_layout,
+    fig15_hot_cache,
+    scaling_figure,
+    table3_applications,
+    table4_huffman_inputs,
+    table5_regexes,
+)
+from repro.bench.runner import BenchConfig, ExperimentResult, measure
+from repro.bench.tables import format_table
+
+__all__ = [
+    "BenchConfig",
+    "ExperimentResult",
+    "ablation_cache_budget",
+    "ablation_check_crossover",
+    "ablation_device_comparison",
+    "ablation_divm_family",
+    "ablation_eager_vs_delayed",
+    "fig3_motivation",
+    "fig5_state_frequency_cdf",
+    "fig6_success_rates",
+    "fig12_13_k_sweep",
+    "fig14_layout",
+    "fig15_hot_cache",
+    "format_table",
+    "measure",
+    "scaling_figure",
+    "table3_applications",
+    "table4_huffman_inputs",
+    "table5_regexes",
+]

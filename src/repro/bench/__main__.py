@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — regenerate the paper's evaluation section."""
+
+import sys
+
+from repro.bench.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""ASCII rendering of the paper's figures.
+
+No plotting stack is available offline, so the harness renders each
+figure's series as horizontal bar charts — close enough to eyeball the
+shapes (sequential merge's peak-and-decline, parallel merge's monotone
+climb) directly in a terminal or the markdown report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BAR = "#"
+_WIDTH = 48
+
+
+def bar_chart(
+    items: Iterable[tuple[str, float]],
+    *,
+    title: str = "",
+    width: int = _WIDTH,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per (label, value); scaled to the maximum."""
+    rows = list(items)
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    peak = max(v for _, v in rows)
+    label_w = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        n = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{label.rjust(label_w)} | {_BAR * n}{' ' * (width - n)} "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    group_key: str,
+    label_key: str,
+    value_key: str,
+    title: str = "",
+    width: int = _WIDTH,
+) -> str:
+    """Bars grouped under headers — one section per distinct ``group_key``.
+
+    Values are scaled to the global maximum so groups stay comparable.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    peak = max(float(r[value_key]) for r in rows)  # type: ignore[arg-type]
+    groups: dict[str, list] = {}
+    for r in rows:
+        groups.setdefault(str(r[group_key]), []).append(r)
+    label_w = max(len(str(r[label_key])) for r in rows)
+    lines = [title] if title else []
+    for gname, grows in groups.items():
+        lines.append(f"[{gname}]")
+        for r in grows:
+            value = float(r[value_key])  # type: ignore[arg-type]
+            n = 0 if peak <= 0 else int(round(width * value / peak))
+            lines.append(
+                f"  {str(r[label_key]).rjust(label_w)} | "
+                f"{_BAR * n}{' ' * (width - n)} {value:g}"
+            )
+    return "\n".join(lines)

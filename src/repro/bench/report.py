@@ -1,0 +1,115 @@
+"""One-shot reproduction report: run every experiment, emit one document.
+
+``python -m repro.bench [--items N] [--out PATH]`` runs all tables,
+figures, and ablations and writes a single markdown report — the quickest
+way to regenerate the paper's whole evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["build_report", "main"]
+
+
+def _all_experiments(num_items: int):
+    """Yield (callable, kwargs) for every experiment in DESIGN.md's index."""
+    from repro.bench import experiments as ex
+
+    yield ex.table3_applications, {"num_items": num_items}
+    yield ex.table4_huffman_inputs, {}
+    yield ex.table5_regexes, {}
+    yield ex.fig3_motivation, {"num_items": num_items}
+    yield ex.fig5_state_frequency_cdf, {}
+    yield ex.fig6_success_rates, {"num_items": num_items}
+    for app in ("huffman", "regex1", "regex2", "html", "div7"):
+        yield ex.scaling_figure, {"app_name": app, "num_items": num_items}
+    yield ex.fig12_13_k_sweep, {"app_name": "regex1", "num_items": num_items}
+    yield ex.fig12_13_k_sweep, {"app_name": "regex2", "num_items": num_items}
+    yield ex.fig14_layout, {"num_items": num_items}
+    yield ex.fig15_hot_cache, {"num_items": num_items}
+    yield ex.ablation_check_crossover, {"num_items": num_items}
+    yield ex.ablation_eager_vs_delayed, {"num_items": num_items}
+    yield ex.ablation_device_comparison, {"num_items": num_items}
+    yield ex.ablation_cache_budget, {"num_items": num_items}
+    yield ex.ablation_divm_family, {"num_items": num_items}
+
+
+def _chart_for(result) -> str:
+    """ASCII chart for figure-shaped results (empty string otherwise)."""
+    from repro.bench.plots import bar_chart, grouped_bar_chart
+
+    rows = result.rows
+    if not rows:
+        return ""
+    keys = set(rows[0])
+    if {"series", "blocks", "speedup"} <= keys:
+        return grouped_bar_chart(
+            rows, group_key="series", label_key="blocks", value_key="speedup"
+        )
+    if {"k", "speedup"} <= keys and "blocks" not in keys:
+        return bar_chart(
+            [(f"k={r['k']}", float(r["speedup"])) for r in rows], unit="x"
+        )
+    if {"k", "blocks", "speedup"} <= keys:
+        return grouped_bar_chart(
+            rows, group_key="k", label_key="blocks", value_key="speedup"
+        )
+    return ""
+
+
+def build_report(num_items: int = 400_000, *, progress=None) -> str:
+    """Run everything; return the consolidated markdown report."""
+    lines = [
+        "# Reproduction report",
+        "",
+        f"functional input size: {num_items:,} items "
+        "(statistics projected to the paper's input sizes before pricing)",
+        "",
+    ]
+    t0 = time.perf_counter()
+    for fn, kwargs in _all_experiments(num_items):
+        if progress is not None:
+            label = kwargs.get("app_name", "")
+            progress(f"{fn.__name__}({label})")
+        result = fn(**kwargs)
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.to_text())
+        chart = _chart_for(result)
+        if chart:
+            lines.append("")
+            lines.append(chart)
+        lines.append("```")
+        lines.append("")
+    lines.append(f"_total experiment time: {time.perf_counter() - t0:.1f}s_")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument(
+        "--items", type=int, default=400_000,
+        help="functional input size per experiment (default 400000)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("reproduction_report.md"),
+        help="output markdown path (default ./reproduction_report.md)",
+    )
+    args = parser.parse_args(argv)
+
+    def progress(label: str) -> None:
+        print(f"[bench] {label}", file=sys.stderr, flush=True)
+
+    report = build_report(args.items, progress=progress)
+    args.out.write_text(report)
+    print(f"wrote {args.out} ({len(report):,} chars)")
+    return 0

@@ -1,0 +1,5 @@
+"""Hot-state caching of the transition table (Section 4.2 of the paper)."""
+
+from repro.cache.hotstates import HotStateCache, plan_hot_states
+
+__all__ = ["HotStateCache", "plan_hot_states"]

@@ -1,0 +1,124 @@
+"""Hot-state caching of transition-table rows in (simulated) shared memory.
+
+Section 4.2 of the paper: FSM table accesses are data-dependent and random,
+so when the table cannot fit in shared memory whole, cache only the rows of
+*hot* states. The paper uses a static scheme:
+
+1. rank states by frequency — by default the *static* count of appearances
+   as transition targets (their worked example ranks states a and c hot
+   with count 4), optionally by a measured occupancy sample;
+2. place rows via an open-addressed hash ``hash(q) = (q * SCALE) % HASH_SIZE``;
+   on a collision keep the hotter state;
+3. at run time, a state's row is served from shared memory iff the hash
+   slot holds exactly that state.
+
+:class:`HotStateCache` reproduces the placement (including collision
+evictions) and exposes the resident-row mask that the engine uses to tally
+hits and misses; the cost model prices hits at shared-memory latency plus
+the hash overhead and misses at global/L2 latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsm.analysis import static_state_frequency
+from repro.fsm.dfa import DFA
+
+__all__ = ["HotStateCache", "plan_hot_states", "DEFAULT_SCALE"]
+
+DEFAULT_SCALE = 17  # spreads states across slots; coprime with table sizes
+
+
+@dataclass(frozen=True)
+class HotStateCache:
+    """A static shared-memory cache plan for a DFA's transition table.
+
+    ``slot_of[q]`` is the hash slot assigned to state ``q`` (or -1),
+    ``resident[q]`` says whether state ``q``'s row actually lives in shared
+    memory (it may have lost its slot to a hotter state).
+    """
+
+    num_slots: int
+    scale: int
+    slot_state: np.ndarray  # (num_slots,) int32, -1 = empty
+    resident: np.ndarray  # (num_states,) bool
+    row_bytes: int
+
+    @property
+    def rows_resident(self) -> int:
+        """Number of table rows held in shared memory."""
+        return int(self.resident.sum())
+
+    @property
+    def shared_bytes(self) -> int:
+        """Shared-memory footprint: resident rows plus the hash table."""
+        return self.rows_resident * self.row_bytes + self.num_slots * 4
+
+    def is_hit(self, states: np.ndarray) -> np.ndarray:
+        """Boolean hit mask for an array of accessed states."""
+        return self.resident[states]
+
+
+def plan_hot_states(
+    dfa: DFA,
+    *,
+    shared_budget_bytes: int = 48 * 1024,
+    frequency: np.ndarray | None = None,
+    scale: int = DEFAULT_SCALE,
+    entry_bytes: int = 4,
+) -> HotStateCache:
+    """Build the static cache plan for ``dfa`` within a shared-memory budget.
+
+    ``frequency`` overrides the ranking (e.g. a measured occupancy sample);
+    the default is the paper's static target-count heuristic. The hash
+    table size is the largest power of two such that the table plus the
+    hottest rows fit in the budget; collisions evict the colder state,
+    exactly as described in the paper.
+    """
+    if shared_budget_bytes < 0:
+        raise ValueError(f"shared_budget_bytes must be >= 0, got {shared_budget_bytes}")
+    n = dfa.num_states
+    row_bytes = dfa.num_inputs * entry_bytes
+    freq = (
+        static_state_frequency(dfa)
+        if frequency is None
+        else np.asarray(frequency, dtype=np.float64)
+    )
+    if freq.shape != (n,):
+        raise ValueError(f"frequency must have shape ({n},), got {freq.shape}")
+
+    # Capacity: how many rows fit once the hash table itself is paid for.
+    # Hash table sized to the next power of two >= the row count, then rows
+    # trimmed until rows + hash table fit the budget.
+    target_rows = min(n, max(0, shared_budget_bytes // max(1, row_bytes)))
+    num_slots = 1
+    while num_slots < max(1, target_rows):
+        num_slots *= 2
+    while num_slots > 1 and num_slots * 4 > shared_budget_bytes:
+        num_slots //= 2
+    while target_rows > 0 and target_rows * row_bytes + num_slots * 4 > shared_budget_bytes:
+        target_rows -= 1
+
+    slot_state = np.full(num_slots, -1, dtype=np.int32)
+    slot_freq = np.full(num_slots, -1.0)
+    resident = np.zeros(n, dtype=bool)
+    if target_rows > 0 and num_slots > 0:
+        order = np.argsort(-freq, kind="stable")[:target_rows]
+        for q in order:
+            h = (int(q) * scale) % num_slots
+            if freq[q] > slot_freq[h]:
+                if slot_state[h] >= 0:
+                    resident[slot_state[h]] = False
+                slot_state[h] = q
+                slot_freq[h] = freq[q]
+                resident[q] = True
+    return HotStateCache(
+        num_slots=num_slots,
+        scale=scale,
+        slot_state=slot_state,
+        resident=resident,
+        row_bytes=row_bytes,
+    )

@@ -1,0 +1,37 @@
+"""The paper's contribution: speculative FSM execution with parallel merge.
+
+Pipeline (one call to :func:`repro.core.engine.run_speculative`):
+
+1. partition the input into one chunk per simulated GPU thread
+   (:mod:`repro.workloads.chunking`);
+2. speculate ``k`` starting states per chunk by look-back
+   (:mod:`repro.core.lookback`);
+3. process all chunks in lock-step, vectorized across threads and
+   speculated states (:mod:`repro.core.local`);
+4. merge the per-chunk ``speculated -> ending`` maps — sequentially
+   (:mod:`repro.core.merge_seq`, the baseline whose cost grows linearly in
+   thread count) or with the paper's hierarchical parallel merge
+   (:mod:`repro.core.merge_par`), using nested-loop or hash runtime checks
+   (:mod:`repro.core.checks`) and eager or delayed re-execution;
+5. recover outputs (final state, match counts/positions, decoded symbols).
+
+Every step increments :class:`repro.core.types.ExecStats` counters that the
+GPU cost model (:mod:`repro.gpu.cost`) prices into modeled V100 time.
+"""
+
+from repro.core.autotune import KChoice, choose_k
+from repro.core.engine import EngineConfig, SpecExecutionResult, run_speculative
+from repro.core.streaming import StreamingExecutor
+from repro.core.types import ChunkResults, ExecStats, SegmentMaps
+
+__all__ = [
+    "ChunkResults",
+    "EngineConfig",
+    "ExecStats",
+    "KChoice",
+    "SegmentMaps",
+    "SpecExecutionResult",
+    "StreamingExecutor",
+    "choose_k",
+    "run_speculative",
+]

@@ -1,0 +1,112 @@
+"""Kernel configuration selection — the code generator's decision logic.
+
+Reproduces the choices the paper's generator makes before emitting a
+kernel: spec-k vs spec-N, nested-loop vs hash runtime checks (hash iff
+``num_guess > 12``), whether the speculated-state array stays in registers
+or spills, and how much of the transition table the hot-state cache can
+hold within the shared-memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hotstates import plan_hot_states
+from repro.core.checks import HASH_THRESHOLD, select_check
+from repro.fsm.dfa import DFA
+from repro.gpu import calibration as cal
+from repro.gpu.device import DeviceSpec, TESLA_V100
+from repro.gpu.occupancy import occupancy_report, spill_factor
+
+__all__ = ["KernelPlan", "plan_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Everything the generator decided for one kernel instantiation."""
+
+    k: int
+    enumerative: bool
+    check: str
+    states_in_registers: bool
+    spill_factor: float
+    threads_per_block: int
+    cache_rows: int
+    cache_slots: int
+    shared_bytes: int
+    resident_warps_per_sm: int
+    num_states: int = 0
+    num_inputs: int = 0
+
+    def describe(self) -> str:
+        """Human-readable summary (mirrors the generator's build log)."""
+        lines = [
+            f"spec-{'N' if self.enumerative else self.k} kernel, "
+            f"{self.threads_per_block} threads/block",
+            f"runtime check: {self.check} "
+            f"(threshold k > {HASH_THRESHOLD})",
+            "states array: "
+            + (
+                "registers (unrolled)"
+                if self.states_in_registers
+                else f"local memory (spill x{self.spill_factor:.0f})"
+            ),
+        ]
+        if self.cache_rows:
+            lines.append(
+                f"hot-state cache: {self.cache_rows} rows, "
+                f"{self.cache_slots} hash slots, {self.shared_bytes} B shared"
+            )
+        else:
+            lines.append("hot-state cache: disabled")
+        lines.append(f"occupancy: {self.resident_warps_per_sm} warps/SM")
+        return "\n".join(lines)
+
+
+def plan_kernel(
+    dfa: DFA,
+    k: int | None,
+    *,
+    device: DeviceSpec = TESLA_V100,
+    threads_per_block: int = 256,
+    check: str = "auto",
+    cache_table: bool = False,
+    cache_budget_bytes: int | None = None,
+) -> KernelPlan:
+    """Make all generator decisions for one configuration."""
+    enumerative = k is None or k >= dfa.num_states
+    k_eff = dfa.num_states if enumerative else int(k)
+    if k_eff < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    impl = select_check(k_eff, check)
+    in_regs = k_eff <= cal.SPILL_THRESHOLD_STATES
+
+    cache_rows = cache_slots = shared_bytes = 0
+    if cache_table:
+        budget = (
+            cache_budget_bytes
+            if cache_budget_bytes is not None
+            else device.shared_mem_per_sm_bytes // 2
+        )
+        cache = plan_hot_states(dfa, shared_budget_bytes=budget)
+        cache_rows = cache.rows_resident
+        cache_slots = cache.num_slots
+        shared_bytes = cache.shared_bytes
+
+    occ = occupancy_report(
+        device, threads_per_block, k=k_eff, shared_bytes_per_block=shared_bytes
+    )
+    return KernelPlan(
+        k=k_eff,
+        enumerative=enumerative,
+        check=impl,
+        states_in_registers=in_regs,
+        spill_factor=spill_factor(k_eff),
+        threads_per_block=threads_per_block,
+        cache_rows=cache_rows,
+        cache_slots=cache_slots,
+        shared_bytes=shared_bytes,
+        resident_warps_per_sm=occ.resident_warps_per_sm,
+        num_states=dfa.num_states,
+        num_inputs=dfa.num_inputs,
+    )

@@ -1,0 +1,339 @@
+"""The spec-k execution engine: one entry point for the whole pipeline.
+
+:func:`run_speculative` is the library's main API. It simulates the paper's
+GPU execution functionally — partition, look-back speculation, lock-step
+local processing, then a sequential or parallel merge — while counting every
+algorithmic event, and (optionally) prices those events into modeled V100
+time via :class:`repro.gpu.cost.CostModel`.
+
+``k`` selects the method on the paper's continuum: ``1`` is classic
+speculative execution, ``None`` (or ``num_states``) is enumerative
+execution (spec-N), anything between is enumerative speculation (spec-k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.hotstates import HotStateCache, plan_hot_states
+from repro.core.local import process_chunks, recover_accepts, recover_emissions
+from repro.core.lookback import enumerative_spec, speculate
+from repro.core.merge_par import MergeTree, merge_parallel
+from repro.core.merge_seq import merge_sequential
+from repro.core.types import ChunkResults, ExecStats
+from repro.fsm.dfa import DFA
+from repro.gpu.cost import CostModel, TimeBreakdown
+from repro.gpu.device import DeviceSpec, TESLA_V100, launch_geometry
+from repro.util.validation import check_in_set
+from repro.workloads.chunking import plan_chunks, transform_layout
+
+__all__ = ["EngineConfig", "SpecExecutionResult", "run_speculative"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Resolved configuration of one speculative execution."""
+
+    k: int
+    enumerative: bool
+    num_blocks: int
+    threads_per_block: int
+    merge: str
+    check: str
+    reexec: str
+    layout: str
+    lookback: int
+    cache_table: bool
+    device: DeviceSpec
+
+    @property
+    def num_threads(self) -> int:
+        """Total simulated threads (= chunks)."""
+        return self.num_blocks * self.threads_per_block
+
+
+@dataclass
+class SpecExecutionResult:
+    """Everything produced by one :func:`run_speculative` call."""
+
+    final_state: int
+    stats: ExecStats
+    config: EngineConfig
+    accepted: bool = False
+    true_starts: np.ndarray | None = None
+    accept_counts: np.ndarray | None = None
+    match_positions: np.ndarray | None = None
+    emissions: tuple[np.ndarray, np.ndarray] | None = None
+    timing: TimeBreakdown | None = None
+    cache: HotStateCache | None = None
+    merge_tree: MergeTree | None = field(default=None, repr=False)
+
+    @property
+    def success_rate(self) -> float:
+        """Speculation success rate over chunk boundaries."""
+        return self.stats.success_rate
+
+
+def run_speculative(
+    dfa: DFA,
+    inputs: np.ndarray,
+    *,
+    k: int | None = 4,
+    num_blocks: int = 80,
+    threads_per_block: int = 256,
+    merge: str = "parallel",
+    check: str = "auto",
+    reexec: str = "delayed",
+    layout: str = "transformed",
+    lookback: int = 8,
+    cache_table: bool = False,
+    cache_budget_bytes: int | None = None,
+    device: DeviceSpec = TESLA_V100,
+    ranking: np.ndarray | None = None,
+    measure_success: bool = True,
+    collect: tuple[str, ...] = (),
+    price: bool = True,
+    cpu_transition_ns: float | None = None,
+    keep_merge_tree: bool = False,
+    backend: str = "vectorized",
+) -> SpecExecutionResult:
+    """Execute ``dfa`` over ``inputs`` with spec-k speculation.
+
+    Parameters
+    ----------
+    k:
+        Speculation width. ``None`` selects spec-N (enumerative execution);
+        values are clamped to ``dfa.num_states``.
+    num_blocks, threads_per_block:
+        Simulated launch geometry; one chunk per thread.
+    merge:
+        ``"sequential"`` (baseline, Figure 4a) or ``"parallel"`` (the
+        paper's tree merge).
+    check:
+        ``"nested"``, ``"hash"``, or ``"auto"`` (hash iff k > 12).
+    reexec:
+        ``"delayed"`` (Section 3.3) or ``"eager"`` — parallel merge only.
+    layout:
+        ``"transformed"`` (coalesced, Section 4.1) or ``"natural"``.
+    lookback:
+        Look-back window length for speculation.
+    cache_table:
+        Enable the hot-state shared-memory cache (Section 4.2).
+    collect:
+        Extra outputs: ``"accept_count"``, ``"match_positions"``,
+        ``"emissions"``. The latter two require the true chunk states and
+        imply ``measure_success``-style truth recovery.
+    price:
+        Attach a modeled-V100 :class:`TimeBreakdown`.
+    cpu_transition_ns:
+        CPU baseline cost per input item (defaults to the calibrated
+        constant; pass a Table 3-derived value for paper-scale speedups).
+    backend:
+        ``"vectorized"`` (one ``(n, k)`` gather per step) or ``"codegen"``
+        (the generated, per-``k`` specialized kernel from
+        :mod:`repro.core.codegen.pykernel` — the paper's code-generation
+        path). Functionally identical; codegen does not support
+        ``cache_table`` or ``accept_count``.
+
+    Returns
+    -------
+    SpecExecutionResult
+        Final state, statistics, optional outputs, optional modeled timing.
+    """
+    check_in_set("merge", merge, ("sequential", "parallel"))
+    check_in_set("check", check, ("auto", "nested", "hash"))
+    check_in_set("reexec", reexec, ("delayed", "eager"))
+    check_in_set("layout", layout, ("transformed", "natural"))
+    check_in_set("backend", backend, ("vectorized", "codegen"))
+    for item in collect:
+        check_in_set("collect item", item, ("accept_count", "match_positions", "emissions"))
+
+    inputs = np.ascontiguousarray(np.asarray(inputs))
+    if inputs.ndim != 1:
+        raise ValueError(f"inputs must be 1-D, got shape {inputs.shape}")
+    geo = launch_geometry(device, num_blocks, threads_per_block)
+    n = geo.total_threads
+
+    enumerative = k is None or k >= dfa.num_states
+    k_eff = dfa.num_states if enumerative else int(k)
+    if k_eff < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    config = EngineConfig(
+        k=k_eff,
+        enumerative=enumerative,
+        num_blocks=num_blocks,
+        threads_per_block=threads_per_block,
+        merge=merge,
+        check=check,
+        reexec=reexec,
+        layout=layout,
+        lookback=lookback,
+        cache_table=cache_table,
+        device=device,
+    )
+    stats = ExecStats(
+        num_items=int(inputs.size),
+        num_chunks=n,
+        k=k_eff,
+        num_states=dfa.num_states,
+        num_inputs=dfa.num_inputs,
+    )
+
+    plan = plan_chunks(inputs.size, n)
+
+    # --- speculation ------------------------------------------------------ #
+    if enumerative:
+        spec = enumerative_spec(dfa, n)
+    else:
+        prior = None
+        if ranking is None and inputs.size:
+            # Weight states by measured occupancy over an input-prefix
+            # sample — the offline-profiling analog of principled
+            # speculation. This is preprocessing (like the paper's
+            # look-back tables), not counted execution work.
+            from repro.core.lookback import state_prior
+
+            prior = state_prior(dfa, sample=inputs[: 1 << 14])
+        spec = speculate(
+            dfa,
+            inputs,
+            plan,
+            k_eff,
+            lookback=lookback,
+            prior=prior,
+            ranking=ranking,
+            stats=stats,
+        )
+
+    # --- hot-state cache plan ---------------------------------------------- #
+    cache = None
+    cache_mask = None
+    if cache_table:
+        budget = (
+            cache_budget_bytes
+            if cache_budget_bytes is not None
+            else device.shared_mem_per_sm_bytes // 2
+        )
+        cache = plan_hot_states(dfa, shared_budget_bytes=budget)
+        cache_mask = cache.resident
+        stats.cache_rows_resident = cache.rows_resident
+
+    # --- local processing ---------------------------------------------------- #
+    transformed = transform_layout(inputs, plan) if layout == "transformed" else None
+    if backend == "codegen":
+        if cache_mask is not None or "accept_count" in collect:
+            raise ValueError(
+                "backend='codegen' does not support cache_table or accept_count; "
+                "use the default vectorized backend"
+            )
+        from repro.core.codegen.pykernel import compile_local_kernel
+
+        kernel = compile_local_kernel(k_eff)
+        end = kernel(
+            dfa.table,
+            spec,
+            plan.starts,
+            plan.lengths,
+            inputs,
+            transformed.main if transformed is not None else None,
+            transformed.tail if transformed is not None else None,
+        )
+        acc = None
+        stats.local_steps += plan.max_len
+        stats.local_transitions += int(plan.lengths.sum()) * k_eff
+        stats.local_input_reads += int(plan.lengths.sum())
+    else:
+        end, acc = process_chunks(
+            dfa,
+            inputs,
+            plan,
+            spec,
+            transformed=transformed,
+            stats=stats,
+            cache_mask=cache_mask,
+            count_accepting="accept_count" in collect,
+        )
+    results = ChunkResults(
+        spec=spec, end=end, valid=np.ones_like(spec, dtype=bool)
+    )
+
+    # --- merge ------------------------------------------------------------------
+    tree = None
+    true_starts: np.ndarray | None = None
+    if merge == "sequential":
+        final_state, true_starts = merge_sequential(
+            dfa, inputs, plan, results, check=check, stats=stats
+        )
+    else:
+        final_state, tree = merge_parallel(
+            dfa,
+            inputs,
+            plan,
+            results,
+            check=check,
+            reexec=reexec,
+            threads_per_block=threads_per_block,
+            warp_size=device.warp_size,
+            stats=stats,
+        )
+
+    # --- truth recovery (instrumentation; uncounted) --------------------------- #
+    need_truth = (
+        true_starts is None
+        and (measure_success or "match_positions" in collect or "emissions" in collect)
+    )
+    if need_truth:
+        from repro.core.merge_seq import true_boundary_walk
+
+        _, true_starts = true_boundary_walk(dfa, inputs, plan, results)
+    if merge == "parallel" and measure_success and true_starts is not None and n > 1:
+        hits = int(
+            ((spec[1:] == true_starts[1:, None]).any(axis=1)).sum()
+        )
+        stats.success_hits += hits
+        stats.success_total += n - 1
+
+    # --- output recovery ----------------------------------------------------------
+    match_positions = None
+    emissions = None
+    if "match_positions" in collect:
+        match_positions = recover_accepts(dfa, inputs, plan, true_starts)
+    if "emissions" in collect:
+        emissions = recover_emissions(dfa, inputs, plan, true_starts)
+
+    # --- modeled timing --------------------------------------------------------------
+    timing = None
+    if price:
+        model = CostModel(
+            device=device,
+            **(
+                {"cpu_transition_ns": cpu_transition_ns}
+                if cpu_transition_ns is not None
+                else {}
+            ),
+        )
+        timing = model.price(
+            stats,
+            num_blocks=num_blocks,
+            threads_per_block=threads_per_block,
+            merge=merge,
+            layout_transformed=(layout == "transformed"),
+            cache_enabled=cache_table,
+        )
+
+    return SpecExecutionResult(
+        final_state=final_state,
+        stats=stats,
+        config=config,
+        accepted=bool(dfa.accepting[final_state]),
+        true_starts=true_starts,
+        accept_counts=acc,
+        match_positions=match_positions,
+        emissions=emissions,
+        timing=timing,
+        cache=cache,
+        merge_tree=tree if keep_merge_tree else None,
+    )

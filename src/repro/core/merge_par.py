@@ -1,0 +1,320 @@
+"""Parallel (tree) merge with speculation — the paper's contribution.
+
+The merge reduces the per-chunk speculation maps pairwise up a binary tree;
+a level merges all adjacent pairs at once (vectorized over pairs, the
+analog of all warps/blocks merging concurrently). Composing two maps is the
+semi-join of Section 3.2; a left ending state with no valid match on the
+right is handled by the *re-execution strategy*:
+
+* ``"eager"`` — re-execute the right segment from the unmatched state
+  immediately. Exact, but the unmatched state may never lie on the true
+  path, so the work may be wasted (the paper's Figure 4b problem).
+* ``"delayed"`` — mark the composed entry invalid and keep merging
+  (Section 3.3). Invalidity can propagate to the root; if the root entry
+  for the true initial state is invalid, a *fix-up descent* walks down the
+  stored tree, probing each segment's map first and re-executing only the
+  chunks that are genuinely needed — so every re-execution it performs is
+  necessary.
+
+The functional result is always identical to the sequential reference;
+property tests in ``tests/core/test_merge_equivalence.py`` assert this over
+random machines, inputs, widths and strategies.
+
+Cost attribution: tree levels are charged to the GPU hierarchy the paper
+uses — the first five levels within a warp (shuffle), the next
+``log2(threads_per_block / 32)`` within a block (shared memory), and the
+across-block reduction as the sequential global stage over ``num_blocks``
+results (Section 4.1's three sub-stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checks import count_hash, count_nested, match_pairs, select_check
+from repro.core.types import ChunkResults, ExecStats, SegmentMaps
+from repro.fsm.dfa import DFA
+from repro.fsm.run import run_segment
+from repro.workloads.chunking import ChunkPlan
+
+__all__ = ["merge_parallel", "MergeTree"]
+
+
+@dataclass
+class MergeTree:
+    """All levels of the merge tree, leaves first (kept for fix-up)."""
+
+    levels: list[SegmentMaps]
+
+    @property
+    def root(self) -> SegmentMaps:
+        """The final single-segment level."""
+        return self.levels[-1]
+
+
+def merge_parallel(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    results: ChunkResults,
+    *,
+    check: str = "auto",
+    reexec: str = "delayed",
+    threads_per_block: int = 256,
+    warp_size: int = 32,
+    stats: ExecStats | None = None,
+) -> tuple[int, MergeTree]:
+    """Tree-merge all chunk results; return ``(final_state, tree)``.
+
+    ``reexec`` selects the strategy described in the module docstring. The
+    returned tree is the full reduction history (used by the fix-up pass
+    and by tests that inspect intermediate validity).
+    """
+    if reexec not in ("eager", "delayed"):
+        raise ValueError(f"reexec must be 'eager' or 'delayed', got {reexec!r}")
+    k = results.k
+    impl = select_check(k, check)
+    counted = stats is not None
+
+    maps = SegmentMaps.from_chunks(results)
+    levels = [maps]
+    level_index = 0
+    eager_chain = 0
+
+    while maps.num_segments > 1:
+        maps, had_reexec = _merge_level(
+            dfa, inputs, plan, results, maps,
+            impl=impl, reexec=reexec, stats=stats,
+        )
+        levels.append(maps)
+        level_index += 1
+        if had_reexec:
+            eager_chain += 1
+
+    if counted:
+        _attribute_levels(stats, plan.num_chunks, threads_per_block, warp_size)
+        if eager_chain:
+            stats.reexec_max_chain = max(stats.reexec_max_chain, eager_chain)
+
+    tree = MergeTree(levels=levels)
+    root = tree.root
+    hits = np.flatnonzero((root.spec[0] == dfa.start) & root.valid[0])
+    if hits.size:
+        return int(root.end[0, hits[0]]), tree
+
+    # Root entry for the true initial state is invalid (possible only with
+    # the delayed strategy, or when chunk 0's spec row was corrupted).
+    final = _fixup(dfa, inputs, plan, tree, dfa.start, stats)
+    return final, tree
+
+
+# --------------------------------------------------------------------------- #
+# one tree level
+# --------------------------------------------------------------------------- #
+
+
+def _merge_level(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    results: ChunkResults,
+    maps: SegmentMaps,
+    *,
+    impl: str,
+    reexec: str,
+    stats: ExecStats | None,
+) -> tuple[SegmentMaps, bool]:
+    m = maps.num_segments
+    npairs = m // 2
+    carry = m % 2 == 1
+    k = maps.k
+
+    sl = maps.spec[0 : 2 * npairs : 2]
+    el = maps.end[0 : 2 * npairs : 2]
+    vl = maps.valid[0 : 2 * npairs : 2]
+    sr = maps.spec[1 : 2 * npairs : 2]
+    er = maps.end[1 : 2 * npairs : 2]
+    vr = maps.valid[1 : 2 * npairs : 2]
+
+    match_idx, found = match_pairs(el, vl, sr, vr)
+    if stats is not None:
+        stats.merge_pair_ops += npairs
+        if impl == "nested":
+            count_nested(match_idx, found, vl, k, stats)
+        else:
+            count_hash(el, vl, sr, vr, match_idx, found, stats)
+
+    new_end = np.where(found, np.take_along_axis(er, match_idx, axis=1), el)
+    new_valid = found.copy()
+
+    had_reexec = False
+    if reexec == "eager":
+        # Resolve every valid-but-unmatched entry by re-executing the right
+        # segment from the unmatched ending state. These resolutions are
+        # independent of the true path — some will be wasted work. Within a
+        # level the resolutions run concurrently (one per lane); the level's
+        # wall time is its largest single resolution, tracked for costing.
+        misses = np.argwhere(vl & ~found)
+        right_lo = maps.chunk_lo[1 : 2 * npairs : 2]
+        right_hi = maps.chunk_hi[1 : 2 * npairs : 2]
+        level_max_items = 0
+        for p, j in misses:
+            state = int(el[p, j])
+            before = stats.reexec_items_eager if stats is not None else 0
+            resolved = _resolve_segment(
+                dfa, inputs, plan, results,
+                state, int(right_lo[p]), int(right_hi[p]),
+                stats, bucket="eager",
+            )
+            if stats is not None:
+                level_max_items = max(
+                    level_max_items, stats.reexec_items_eager - before
+                )
+            new_end[p, j] = resolved
+            new_valid[p, j] = True
+            had_reexec = True
+        if stats is not None:
+            stats.reexec_wall_items += level_max_items
+
+    out = SegmentMaps(
+        spec=sl.copy(),
+        end=new_end.astype(np.int32),
+        valid=new_valid,
+        chunk_lo=maps.chunk_lo[0 : 2 * npairs : 2].copy(),
+        chunk_hi=maps.chunk_hi[1 : 2 * npairs : 2].copy(),
+    )
+    if carry:
+        out = SegmentMaps(
+            spec=np.vstack([out.spec, maps.spec[-1:]]),
+            end=np.vstack([out.end, maps.end[-1:]]),
+            valid=np.vstack([out.valid, maps.valid[-1:]]),
+            chunk_lo=np.concatenate([out.chunk_lo, maps.chunk_lo[-1:]]),
+            chunk_hi=np.concatenate([out.chunk_hi, maps.chunk_hi[-1:]]),
+        )
+    return out, had_reexec
+
+
+def _resolve_segment(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    results: ChunkResults,
+    state: int,
+    lo: int,
+    hi: int,
+    stats: ExecStats | None,
+    *,
+    bucket: str,
+) -> int:
+    """Exact ending state of chunks ``[lo, hi)`` started from ``state``.
+
+    Walks chunk results, reusing each chunk's speculation map on a hit and
+    re-executing the chunk's input on a miss — the re-execution work a GPU
+    thread would perform, charged to ``bucket`` ('eager' or 'fixup').
+    """
+    cur = int(state)
+    for c in range(lo, hi):
+        hit = results.lookup(c, cur)
+        if hit is not None:
+            cur = hit
+            continue
+        seg = inputs[plan.chunk_slice(c)]
+        cur = run_segment(dfa, seg, cur)
+        if stats is not None:
+            if bucket == "eager":
+                stats.reexec_chunks_eager += 1
+                stats.reexec_items_eager += int(seg.size)
+            else:
+                stats.fixup_chunks += 1
+                stats.fixup_items += int(seg.size)
+    return cur
+
+
+# --------------------------------------------------------------------------- #
+# fix-up descent (delayed strategy)
+# --------------------------------------------------------------------------- #
+
+
+def _fixup(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    tree: MergeTree,
+    state: int,
+    stats: ExecStats | None,
+) -> int:
+    """Resolve ``state`` through the whole input using the stored tree.
+
+    Probes each segment's map before descending, so intact subtrees cost
+    O(k) and only genuinely missing chunks are re-executed. Re-executed
+    chunk ids are tracked to measure the longest *consecutive* run — the
+    dependent chain that bounds wall time when re-executions of independent
+    chunks are dispatched to their owner threads concurrently.
+    """
+    top = len(tree.levels) - 1
+    reexecuted: list[int] = []
+    out = _fixup_node(dfa, inputs, plan, tree, state, top, 0, stats, reexecuted)
+    if stats is not None and reexecuted:
+        chain = best = 1
+        for prev, cur in zip(reexecuted, reexecuted[1:]):
+            chain = chain + 1 if cur == prev + 1 else 1
+            best = max(best, chain)
+        stats.fixup_chain = max(stats.fixup_chain, best)
+    return out
+
+
+def _fixup_node(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    tree: MergeTree,
+    state: int,
+    level: int,
+    idx: int,
+    stats: ExecStats | None,
+    reexecuted: list[int],
+) -> int:
+    maps = tree.levels[level]
+    if stats is not None:
+        stats.fixup_probes += 1
+    hits = np.flatnonzero((maps.spec[idx] == state) & maps.valid[idx])
+    if hits.size:
+        return int(maps.end[idx, hits[0]])
+    if level == 0:
+        seg = inputs[plan.chunk_slice(idx)]
+        out = run_segment(dfa, seg, int(state))
+        reexecuted.append(idx)
+        if stats is not None:
+            stats.fixup_chunks += 1
+            stats.fixup_items += int(seg.size)
+        return out
+    prev_m = tree.levels[level - 1].num_segments
+    left = 2 * idx
+    right = 2 * idx + 1
+    mid = _fixup_node(dfa, inputs, plan, tree, state, level - 1, left, stats, reexecuted)
+    if right >= prev_m:  # carried segment: no right child
+        return mid
+    return _fixup_node(
+        dfa, inputs, plan, tree, mid, level - 1, right, stats, reexecuted
+    )
+
+
+# --------------------------------------------------------------------------- #
+# cost attribution of tree levels to the GPU merge hierarchy
+# --------------------------------------------------------------------------- #
+
+
+def _attribute_levels(
+    stats: ExecStats, num_chunks: int, threads_per_block: int, warp_size: int
+) -> None:
+    """Split tree depth into warp/block/global stages for the cost model."""
+    total_levels = max(1, int(np.ceil(np.log2(max(2, num_chunks)))))
+    warp_levels = int(np.ceil(np.log2(warp_size)))
+    block_levels = int(np.ceil(np.log2(max(1, threads_per_block // warp_size))))
+    stats.merge_levels_warp += min(total_levels, warp_levels)
+    remaining = max(0, total_levels - warp_levels)
+    stats.merge_levels_block += min(remaining, block_levels)
+    num_blocks = max(1, num_chunks // max(1, threads_per_block))
+    stats.merge_global_steps += num_blocks if num_blocks > 1 else 0

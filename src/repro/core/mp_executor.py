@@ -1,0 +1,155 @@
+"""Multiprocessing backend: real scale-out on CPU cores.
+
+The GPU in this reproduction is simulated, but the *algorithm* scales out on
+real hardware too: this backend splits the input into one segment per
+worker process, each worker runs the lock-step engine over its segment with
+**enumerative** speculation (spec-N: its segment map is exact for every
+possible incoming state, so no cross-process re-execution is ever needed),
+and the parent composes the per-segment maps — a two-level version of the
+paper's merge.
+
+Workers receive the DFA as plain arrays (cheap to pickle); inputs are
+sliced before dispatch so each worker only receives its own segment.
+
+For FSMs whose state count is large, spec-N per worker is wasteful — pass a
+``k`` to run speculative workers instead; the parent-side composition then
+re-executes a worker's segment on a speculation miss (counted, and
+exercised in tests via adversarial machines like Div7 with small ``k``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.local import process_chunks
+from repro.core.lookback import speculate
+from repro.core.types import ExecStats
+from repro.fsm.dfa import DFA
+from repro.fsm.run import run_segment
+from repro.workloads.chunking import plan_chunks
+
+__all__ = ["run_multiprocess", "MultiprocessResult"]
+
+
+@dataclass
+class MultiprocessResult:
+    """Outcome of a multiprocess run."""
+
+    final_state: int
+    num_workers: int
+    segment_reexecs: int
+    stats: ExecStats
+
+
+def _worker_segment_map(
+    table: np.ndarray,
+    start: int,
+    accepting: np.ndarray,
+    segment: np.ndarray,
+    k: int | None,
+    sub_chunks: int,
+    lookback: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run one segment; return ``(spec_row, end_row)`` — its speculation map.
+
+    Executed inside a worker process. Rebuilds a lightweight DFA from the
+    shipped arrays, runs the lock-step kernel over ``sub_chunks`` chunks and
+    folds the per-chunk maps left to right (all arrays are exact under
+    spec-N; under spec-k a missing entry invalidates that speculation).
+    """
+    dfa = DFA(table=table, start=start, accepting=accepting)
+    n_states = dfa.num_states
+    plan = plan_chunks(segment.size, sub_chunks)
+    if k is None or k >= n_states:
+        spec = np.tile(np.arange(n_states, dtype=np.int32), (sub_chunks, 1))
+    else:
+        spec = speculate(dfa, segment, plan, k, lookback=lookback)
+        # Worker chunk 0 must cover *all* speculated incoming states of the
+        # segment, not just the machine start: use the same speculation row
+        # as the segment boundary would produce. (The parent handles misses.)
+    end, _ = process_chunks(dfa, segment, plan, spec, stats=None)
+
+    # Fold chunk maps into one segment map over chunk 0's speculation row.
+    # On a speculation miss the worker re-executes its own sub-chunk (it
+    # holds the data locally), so the returned map is always complete.
+    cur_spec = spec[0].copy()
+    cur_end = end[0].copy()
+    for c in range(1, sub_chunks):
+        nxt = np.empty_like(cur_end)
+        for j in range(cur_end.size):
+            hits = np.flatnonzero(spec[c] == cur_end[j])
+            if hits.size:
+                nxt[j] = end[c, hits[0]]
+            else:
+                nxt[j] = run_segment(dfa, segment[plan.chunk_slice(c)], int(cur_end[j]))
+        cur_end = nxt
+    return cur_spec, cur_end
+
+
+def run_multiprocess(
+    dfa: DFA,
+    inputs: np.ndarray,
+    *,
+    num_workers: int = 4,
+    k: int | None = None,
+    sub_chunks_per_worker: int = 64,
+    lookback: int = 8,
+) -> MultiprocessResult:
+    """Compute the final state using a pool of worker processes.
+
+    ``k=None`` (spec-N workers) guarantees zero re-execution; a finite ``k``
+    runs speculative workers and the parent re-executes a segment serially
+    when its map misses the needed state.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    inputs = np.ascontiguousarray(np.asarray(inputs))
+    stats = ExecStats(
+        num_items=int(inputs.size),
+        num_chunks=num_workers,
+        k=dfa.num_states if (k is None or k >= dfa.num_states) else int(k),
+        num_states=dfa.num_states,
+        num_inputs=dfa.num_inputs,
+    )
+    seg_plan = plan_chunks(inputs.size, num_workers)
+    segments = [inputs[seg_plan.chunk_slice(w)] for w in range(num_workers)]
+
+    if num_workers == 1:
+        final = run_segment(dfa, segments[0], dfa.start)
+        return MultiprocessResult(final, 1, 0, stats)
+
+    with ProcessPoolExecutor(max_workers=num_workers) as pool:
+        futures = [
+            pool.submit(
+                _worker_segment_map,
+                dfa.table,
+                dfa.start,
+                dfa.accepting,
+                seg,
+                k,
+                sub_chunks_per_worker,
+                lookback,
+            )
+            for seg in segments
+        ]
+        maps = [f.result() for f in futures]
+
+    cur = dfa.start
+    reexecs = 0
+    for w, (spec_row, end_row) in enumerate(maps):
+        hits = np.flatnonzero((spec_row == cur) & (end_row >= 0))
+        if hits.size:
+            cur = int(end_row[hits[0]])
+            if w > 0:
+                stats.success_hits += 1
+        else:
+            cur = run_segment(dfa, segments[w], cur)
+            reexecs += 1
+            stats.reexec_items_seq += int(segments[w].size)
+            stats.reexec_chunks_seq += 1
+        if w > 0:
+            stats.success_total += 1
+    return MultiprocessResult(int(cur), num_workers, reexecs, stats)

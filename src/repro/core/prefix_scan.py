@@ -1,0 +1,130 @@
+"""Function-composition (prefix-scan) execution — the enumerative baseline.
+
+The data-parallel FSM formulation of Mytkowicz et al. (the paper's [18],
+discussed in Related Work): each chunk's effect is its full transition
+*function* ``f_c : Q -> Q`` (an int vector of length ``num_states``), and
+functions compose associatively by gather — ``(f ∘ g)[q] = g[f[q]]`` — so
+chunks reduce with a parallel scan and no speculation is ever needed.
+
+The price is enumerative redundancy: every chunk is executed from **all**
+states, i.e. total work is ``num_items * num_states`` transitions. This is
+the semantics behind spec-N; having it as a standalone engine gives the
+benchmark suite an exact, speculation-free baseline and the tests a third
+independent implementation to cross-check (serial reference, spec-k
+engine, prefix scan).
+
+Everything is vectorized: local processing advances a
+``(num_chunks, num_states)`` state matrix one lock-step symbol at a time,
+and the reduction is ``log2(num_chunks)`` composition gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import ExecStats
+from repro.fsm.dfa import DFA
+from repro.workloads.chunking import ChunkPlan, plan_chunks, transform_layout
+
+__all__ = ["run_prefix_scan", "PrefixScanResult", "chunk_transition_functions"]
+
+
+@dataclass
+class PrefixScanResult:
+    """Outcome of a prefix-scan execution."""
+
+    final_state: int
+    stats: ExecStats
+    total_function: np.ndarray  # (num_states,): end state from every start
+
+
+def chunk_transition_functions(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    *,
+    transformed=None,
+    stats: ExecStats | None = None,
+) -> np.ndarray:
+    """Per-chunk full transition functions, shape ``(num_chunks, num_states)``.
+
+    ``F[c, q]`` is the state reached from ``q`` after chunk ``c`` — the
+    enumerative local-processing stage, lock-step across chunks.
+    """
+    n, n_states = plan.num_chunks, dfa.num_states
+    table = dfa.table
+    F = np.tile(np.arange(n_states, dtype=np.int32), (n, 1))
+    starts = plan.starts
+    inputs = np.asarray(inputs)
+    q = plan.min_len
+    for j in range(q):
+        syms = transformed.main[j] if transformed is not None else inputs[starts + j]
+        F = table[syms[:, None], F]
+    r = plan.num_long
+    if r:
+        if transformed is not None:
+            syms_tail = transformed.tail
+        else:
+            long_idx = np.flatnonzero(plan.lengths > q)
+            syms_tail = inputs[starts[long_idx] + q]
+        F[:r] = table[syms_tail[:, None], F[:r]]
+    if stats is not None:
+        stats.local_steps += plan.max_len
+        stats.local_transitions += int(plan.lengths.sum()) * n_states
+        stats.local_input_reads += int(plan.lengths.sum())
+    return F
+
+
+def _compose(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Compose function vectors: apply ``left`` first, then ``right``."""
+    return np.take_along_axis(right, left, axis=1)
+
+
+def run_prefix_scan(
+    dfa: DFA,
+    inputs: np.ndarray,
+    *,
+    num_chunks: int = 4096,
+    layout: str = "transformed",
+    stats: ExecStats | None = None,
+) -> PrefixScanResult:
+    """Execute ``dfa`` over ``inputs`` by parallel function composition.
+
+    Exact for every input and machine; never re-executes. Work is
+    ``num_items * num_states`` transitions plus ``log2(num_chunks)``
+    composition gathers of ``num_states`` entries per chunk pair.
+    """
+    inputs = np.ascontiguousarray(np.asarray(inputs))
+    if inputs.ndim != 1:
+        raise ValueError(f"inputs must be 1-D, got shape {inputs.shape}")
+    if num_chunks < 1:
+        raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+    plan = plan_chunks(inputs.size, num_chunks)
+    if stats is None:
+        stats = ExecStats(
+            num_items=int(inputs.size),
+            num_chunks=num_chunks,
+            k=dfa.num_states,
+            num_states=dfa.num_states,
+            num_inputs=dfa.num_inputs,
+        )
+    transformed = transform_layout(inputs, plan) if layout == "transformed" else None
+    F = chunk_transition_functions(
+        dfa, inputs, plan, transformed=transformed, stats=stats
+    )
+
+    # Tree reduction by composition; odd counts carry the trailing chunk.
+    while F.shape[0] > 1:
+        m = F.shape[0]
+        pairs = m // 2
+        combined = _compose(F[0 : 2 * pairs : 2], F[1 : 2 * pairs : 2])
+        stats.merge_pair_ops += pairs
+        if m % 2:
+            combined = np.vstack([combined, F[-1:]])
+        F = combined
+    total = F[0]
+    return PrefixScanResult(
+        final_state=int(total[dfa.start]), stats=stats, total_function=total
+    )

@@ -1,0 +1,109 @@
+"""Streaming execution: speculative processing of unbounded inputs.
+
+NIDS-style deployments process packets/blocks as they arrive. A
+:class:`StreamingExecutor` carries the exact machine state across blocks
+and runs each block through the speculative engine — the block's chunk 0
+starts from the carried state (never a guess), so results are exact and
+block boundaries cost nothing.
+
+The executor accumulates :class:`repro.core.types.ExecStats` across blocks
+so a whole session can be priced with the cost model, and can optionally
+collect match positions (offset-adjusted to the global stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import run_speculative
+from repro.core.types import ExecStats
+from repro.fsm.dfa import DFA
+from repro.gpu.device import DeviceSpec, TESLA_V100
+
+__all__ = ["StreamingExecutor"]
+
+
+@dataclass
+class StreamingExecutor:
+    """Process an input stream block by block, speculatively.
+
+    Parameters mirror :func:`repro.core.engine.run_speculative`; the
+    executor pins ``measure_success`` on so per-block hit rates accumulate.
+    """
+
+    dfa: DFA
+    k: int | None = 4
+    num_blocks: int = 20
+    threads_per_block: int = 256
+    merge: str = "parallel"
+    lookback: int = 8
+    device: DeviceSpec = TESLA_V100
+    collect_matches: bool = False
+
+    state: int = field(init=False)
+    items_consumed: int = field(init=False, default=0)
+    blocks_consumed: int = field(init=False, default=0)
+    stats: ExecStats = field(init=False)
+    _matches: list = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.state = self.dfa.start
+        self.stats = ExecStats(
+            num_chunks=self.num_blocks * self.threads_per_block,
+            k=self.k if isinstance(self.k, int) else self.dfa.num_states,
+            num_states=self.dfa.num_states,
+            num_inputs=self.dfa.num_inputs,
+        )
+
+    def feed(self, block: np.ndarray) -> int:
+        """Consume one block; returns the machine state after it."""
+        block = np.asarray(block)
+        if block.size == 0:
+            return self.state
+        result = run_speculative(
+            self.dfa.with_start(self.state),
+            block,
+            k=self.k,
+            num_blocks=self.num_blocks,
+            threads_per_block=self.threads_per_block,
+            merge=self.merge,
+            lookback=self.lookback,
+            device=self.device,
+            collect=("match_positions",) if self.collect_matches else (),
+            price=False,
+        )
+        if self.collect_matches:
+            self._matches.append(result.match_positions + self.items_consumed)
+        self.stats = self.stats.merged_with(result.stats)
+        self.stats.num_items += int(block.size)
+        self.items_consumed += int(block.size)
+        self.blocks_consumed += 1
+        self.state = result.final_state
+        return self.state
+
+    @property
+    def match_positions(self) -> np.ndarray:
+        """All match-end positions seen so far (global stream offsets)."""
+        if not self._matches:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(self._matches)
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the machine currently sits in an accepting state."""
+        return bool(self.dfa.accepting[self.state])
+
+    def reset(self) -> None:
+        """Return to the initial state and clear accumulated results."""
+        self.state = self.dfa.start
+        self.items_consumed = 0
+        self.blocks_consumed = 0
+        self._matches.clear()
+        self.stats = ExecStats(
+            num_chunks=self.num_blocks * self.threads_per_block,
+            k=self.stats.k,
+            num_states=self.dfa.num_states,
+            num_inputs=self.dfa.num_inputs,
+        )

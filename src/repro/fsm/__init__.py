@@ -1,0 +1,59 @@
+"""Finite-state machine substrate.
+
+This subpackage provides the deterministic/non-deterministic automata that
+everything else builds on:
+
+* :class:`repro.fsm.dfa.DFA` — dense-transition-table DFA (optionally a Mealy
+  transducer via an emission table), the object consumed by the speculative
+  execution engine.
+* :class:`repro.fsm.nfa.NFA` and :func:`repro.fsm.subset.subset_construction`
+  — NFAs and their determinization (the regex pipeline uses these).
+* :func:`repro.fsm.minimize.minimize_dfa` — Hopcroft minimization.
+* :mod:`repro.fsm.analysis` — state-frequency and convergence analysis
+  (Figure 5 of the paper and the hot-state cache heuristics).
+* :mod:`repro.fsm.run` — trusted sequential reference runners.
+"""
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.analysis import (
+    dynamic_state_frequency,
+    reachable_states,
+    state_convergence,
+    static_state_frequency,
+    stationary_distribution,
+)
+from repro.fsm.bitset_nfa import BitsetNFA
+from repro.fsm.dfa import DFA
+from repro.fsm.minimize import minimize_dfa
+from repro.fsm.nfa import NFA
+from repro.fsm.product import ProductDFA, product_dfa
+from repro.fsm.run import (
+    run_all_starts,
+    run_reference,
+    run_reference_trace,
+    run_segment,
+)
+from repro.fsm.serialization import load_dfa, save_dfa
+from repro.fsm.subset import subset_construction
+
+__all__ = [
+    "Alphabet",
+    "BitsetNFA",
+    "DFA",
+    "NFA",
+    "ProductDFA",
+    "dynamic_state_frequency",
+    "load_dfa",
+    "product_dfa",
+    "save_dfa",
+    "minimize_dfa",
+    "reachable_states",
+    "run_all_starts",
+    "run_reference",
+    "run_reference_trace",
+    "run_segment",
+    "state_convergence",
+    "static_state_frequency",
+    "stationary_distribution",
+    "subset_construction",
+]

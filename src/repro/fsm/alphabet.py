@@ -1,0 +1,126 @@
+"""Alphabet: bidirectional mapping between raw symbols and dense symbol ids.
+
+The execution engine works on dense ``uint8``/``int32`` symbol-id arrays
+(``0 .. num_inputs-1``). Applications map their raw inputs (characters, bits,
+bytes) into that space once, up front — this is the analog of the paper's
+assumption that inputs are preprocessed into transition-table column indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Alphabet"]
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A finite input alphabet with dense integer ids.
+
+    Parameters
+    ----------
+    symbols:
+        The raw symbols in id order; ``symbols[i]`` has id ``i``. Symbols must
+        be hashable and unique.
+    """
+
+    symbols: tuple = ()
+    _index: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        index = {}
+        for i, s in enumerate(self.symbols):
+            if s in index:
+                raise ValueError(f"duplicate symbol {s!r} in alphabet")
+            index[s] = i
+        object.__setattr__(self, "_index", index)
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable) -> "Alphabet":
+        """Build an alphabet from an iterable of unique symbols."""
+        return cls(tuple(symbols))
+
+    @classmethod
+    def binary(cls) -> "Alphabet":
+        """The two-symbol alphabet {0, 1} (Huffman bits, Div7)."""
+        return cls((0, 1))
+
+    @classmethod
+    def ascii(cls, size: int = 128) -> "Alphabet":
+        """Single-character alphabet covering code points ``0 .. size-1``."""
+        if not 1 <= size <= 0x110000:
+            raise ValueError(f"size must be in [1, 0x110000], got {size}")
+        return cls(tuple(chr(i) for i in range(size)))
+
+    @classmethod
+    def lowercase(cls) -> "Alphabet":
+        """The 26 lowercase letters (paper's regex input alphabet)."""
+        return cls(tuple(chr(c) for c in range(ord("a"), ord("z") + 1)))
+
+    @property
+    def size(self) -> int:
+        """Number of symbols (``num_inputs`` in the paper's terminology)."""
+        return len(self.symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol) -> bool:
+        return symbol in self._index
+
+    def id_of(self, symbol) -> int:
+        """Dense id of a raw symbol; raises ``KeyError`` if unknown."""
+        return self._index[symbol]
+
+    def symbol_of(self, sid: int) -> object:
+        """Raw symbol for a dense id."""
+        return self.symbols[sid]
+
+    def encode(self, raw: Sequence) -> np.ndarray:
+        """Encode a sequence of raw symbols into an ``int32`` id array."""
+        try:
+            return np.fromiter(
+                (self._index[s] for s in raw), dtype=np.int32, count=len(raw)
+            )
+        except KeyError as exc:
+            raise KeyError(f"symbol {exc.args[0]!r} not in alphabet") from None
+
+    def encode_text(self, text: str) -> np.ndarray:
+        """Vectorized encoding of a string for character alphabets.
+
+        For contiguous ``chr(0) .. chr(size-1)`` alphabets this is a plain
+        dtype view; otherwise falls back to a lookup table over code points.
+        """
+        codes = np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32).astype(np.int64)
+        if self._is_contiguous_chars():
+            if codes.size and int(codes.max()) >= self.size:
+                bad = chr(int(codes[codes >= self.size][0]))
+                raise KeyError(f"symbol {bad!r} not in alphabet")
+            return codes.astype(np.int32)
+        lut = np.full(0x110000, -1, dtype=np.int32)
+        for i, s in enumerate(self.symbols):
+            if not (isinstance(s, str) and len(s) == 1):
+                raise TypeError("encode_text requires a single-character alphabet")
+            lut[ord(s)] = i
+        out = lut[codes]
+        if out.size and int(out.min()) < 0:
+            bad = chr(int(codes[out < 0][0]))
+            raise KeyError(f"symbol {bad!r} not in alphabet")
+        return out
+
+    def decode(self, ids: np.ndarray) -> list:
+        """Raw symbols for an array of ids."""
+        return [self.symbols[int(i)] for i in np.asarray(ids)]
+
+    def decode_text(self, ids: np.ndarray) -> str:
+        """Decode ids to a string for single-character alphabets."""
+        return "".join(str(self.symbols[int(i)]) for i in np.asarray(ids))
+
+    def _is_contiguous_chars(self) -> bool:
+        return all(
+            isinstance(s, str) and len(s) == 1 and ord(s) == i
+            for i, s in enumerate(self.symbols)
+        )

@@ -1,0 +1,186 @@
+"""Bitset NFA execution with data-parallel chunk composition.
+
+The paper determinizes NFAs (subset construction) and runs DFAs; the
+related-work alternative (iNFAnt [4]) executes the NFA *directly*, keeping
+the active-state set as a bit vector. This module implements that engine
+and its data-parallel form:
+
+* a run step ORs together the target masks of every active state —
+  set-valued transition is linear over union;
+* consequently a chunk's effect is a **boolean matrix** ``R`` with
+  ``R[q, r] = 1`` iff state ``r`` is active after the chunk when only ``q``
+  was active before it, and chunks compose by boolean matrix
+  multiplication — associative, so the same parallel tree merge applies
+  with *no speculation and no re-execution*, at O(num_states) work per
+  state per item.
+
+The machine is capped at 64 states (masks are ``uint64``); bigger NFAs
+should be determinized (:func:`repro.fsm.subset.subset_construction`)
+instead — exactly the trade-off the paper's Section 2.1 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsm.nfa import NFA
+from repro.workloads.chunking import plan_chunks
+
+__all__ = ["BitsetNFA"]
+
+_MAX_STATES = 64
+
+
+@dataclass(frozen=True)
+class BitsetNFA:
+    """An epsilon-free bitset form of an NFA (≤ 64 states).
+
+    ``step_masks[a, q]`` is the bitmask of states reachable from ``q`` on
+    symbol ``a`` (epsilon closure already folded in); ``start_mask`` and
+    ``accept_mask`` are the closed initial set and the accepting set.
+    """
+
+    step_masks: np.ndarray  # (num_inputs, num_states) uint64
+    start_mask: np.uint64
+    accept_mask: np.uint64
+    num_states: int
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "BitsetNFA":
+        """Fold epsilon edges and pack the NFA into bit masks."""
+        n = nfa.num_states
+        if n > _MAX_STATES:
+            raise ValueError(
+                f"bitset engine supports <= {_MAX_STATES} states, got {n}; "
+                "determinize instead (subset_construction)"
+            )
+        if n == 0:
+            raise ValueError("NFA has no states")
+
+        def mask_of(states) -> np.uint64:
+            m = np.uint64(0)
+            for q in states:
+                m |= np.uint64(1) << np.uint64(q)
+            return m
+
+        closures = [nfa.epsilon_closure({q}) for q in range(n)]
+        step = np.zeros((nfa.num_inputs, n), dtype=np.uint64)
+        for q in range(n):
+            for a in range(nfa.num_inputs):
+                targets: set = set()
+                for p in closures[q]:
+                    targets |= nfa.transitions[p].get(a, set())
+                closed: set = set()
+                for t in targets:
+                    closed |= closures[t]
+                step[a, q] = mask_of(closed)
+        return cls(
+            step_masks=step,
+            start_mask=mask_of(closures[nfa.start]),
+            accept_mask=mask_of(nfa.accepting),
+            num_states=n,
+        )
+
+    @property
+    def num_inputs(self) -> int:
+        """Input alphabet size."""
+        return self.step_masks.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # direct execution
+    # ------------------------------------------------------------------ #
+
+    def _mask_to_bools(self, masks: np.ndarray) -> np.ndarray:
+        """(..., ) uint64 -> (..., num_states) bool."""
+        bits = np.unpackbits(
+            masks[..., None].view(np.uint8), axis=-1, bitorder="little"
+        )
+        return bits[..., : self.num_states].astype(bool)
+
+    def run(self, symbols: np.ndarray) -> np.uint64:
+        """Active-state mask after consuming ``symbols`` from the start set."""
+        cur = np.uint64(self.start_mask)
+        step = self.step_masks
+        n = self.num_states
+        for a in np.asarray(symbols):
+            row = step[a]
+            nxt = np.uint64(0)
+            m = cur
+            q = 0
+            while m:
+                if m & np.uint64(1):
+                    nxt |= row[q]
+                m >>= np.uint64(1)
+                q += 1
+                if q >= n:
+                    break
+            cur = nxt
+            if not cur:
+                break
+        return cur
+
+    def accepts(self, symbols: np.ndarray) -> bool:
+        """True when an accepting state is active at the end."""
+        return bool(self.run(symbols) & self.accept_mask)
+
+    # ------------------------------------------------------------------ #
+    # data-parallel execution: boolean-matrix chunk composition
+    # ------------------------------------------------------------------ #
+
+    def chunk_matrices(self, symbols: np.ndarray, num_chunks: int) -> np.ndarray:
+        """Per-chunk reachability matrices, shape (num_chunks, n, n) bool.
+
+        ``M[c, q, r]``: starting chunk ``c`` with only ``q`` active leaves
+        ``r`` active. Computed for all chunks in lock-step; each step
+        updates every chunk's matrix with one gather + OR-reduction.
+        """
+        symbols = np.asarray(symbols)
+        plan = plan_chunks(symbols.size, num_chunks)
+        n = self.num_states
+        # bool transition tensor T[a, q, r]
+        T = self._mask_to_bools(self.step_masks)  # (num_inputs, n, n)
+        M = np.broadcast_to(np.eye(n, dtype=bool), (num_chunks, n, n)).copy()
+        q_len = plan.min_len
+        starts = plan.starts
+        for j in range(q_len):
+            syms = symbols[starts + j]
+            # M'[c,q,r] = OR_s M[c,q,s] & T[a_c,s,r]  (boolean matmul)
+            M = np.matmul(M, T[syms])
+        r = plan.num_long
+        if r:
+            long_idx = np.flatnonzero(plan.lengths > q_len)
+            syms = symbols[starts[long_idx] + q_len]
+            M[long_idx] = np.matmul(M[long_idx], T[syms])
+        return M
+
+    def run_parallel(self, symbols: np.ndarray, *, num_chunks: int = 256) -> np.uint64:
+        """Data-parallel run: chunk matrices reduced by boolean matmul.
+
+        Exact (no speculation); returns the same mask as :meth:`run`.
+        """
+        symbols = np.asarray(symbols)
+        if symbols.size == 0:
+            return np.uint64(self.start_mask)
+        num_chunks = max(1, min(num_chunks, symbols.size))
+        M = self.chunk_matrices(symbols, num_chunks)
+        while M.shape[0] > 1:
+            m = M.shape[0]
+            pairs = m // 2
+            combined = np.matmul(M[0 : 2 * pairs : 2], M[1 : 2 * pairs : 2])
+            if m % 2:
+                combined = np.concatenate([combined, M[-1:]])
+            M = combined
+        start_bools = self._mask_to_bools(
+            np.array(self.start_mask, dtype=np.uint64)
+        )
+        final = start_bools @ M[0]  # (n,) bool
+        out = np.uint64(0)
+        for r in np.flatnonzero(final):
+            out |= np.uint64(1) << np.uint64(r)
+        return out
+
+    def accepts_parallel(self, symbols: np.ndarray, *, num_chunks: int = 256) -> bool:
+        """Parallel counterpart of :meth:`accepts`."""
+        return bool(self.run_parallel(symbols, num_chunks=num_chunks) & self.accept_mask)

@@ -1,0 +1,282 @@
+"""Deterministic finite automata over dense transition tables.
+
+The :class:`DFA` is the central object of the library. Its transition table
+follows the paper's orientation (Figure 1c): ``table[symbol, state]`` is the
+state reached from ``state`` on ``symbol``. Keeping symbols on the leading
+axis means one lock-step execution step for a batch of machines is a single
+fancy-index gather ``table[syms[:, None], states]`` — the NumPy analog of the
+paper's inner loop, vectorized across threads and speculated states at once.
+
+A DFA may optionally be a Mealy transducer: ``emit[symbol, state]`` gives an
+output id produced *by the transition* (or -1 for none). Huffman decoding and
+HTML tokenization use this to recover decoded characters / token boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+
+__all__ = ["DFA"]
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A deterministic FSM ``(Q, Sigma, q0, delta, F)`` with dense tables.
+
+    Parameters
+    ----------
+    table:
+        ``int32`` array of shape ``(num_inputs, num_states)``;
+        ``table[a, q]`` is ``delta(q, a)``.
+    start:
+        The initial state ``q0``.
+    accepting:
+        Boolean mask of shape ``(num_states,)`` for ``F``. May be all-False
+        for pure transducers.
+    alphabet:
+        Optional :class:`Alphabet` describing raw symbols.
+    emit:
+        Optional ``int32`` array of shape ``(num_inputs, num_states)``;
+        ``emit[a, q]`` is an output id emitted when taking transition
+        ``(q, a)``, or -1 for no output.
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    table: np.ndarray
+    start: int
+    accepting: np.ndarray
+    alphabet: Alphabet | None = None
+    emit: np.ndarray | None = None
+    name: str = ""
+    state_names: tuple = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        table = np.ascontiguousarray(np.asarray(self.table, dtype=np.int32))
+        if table.ndim != 2:
+            raise ValueError(f"table must be 2-D (num_inputs, num_states), got {table.shape}")
+        num_inputs, num_states = table.shape
+        if num_states < 1 or num_inputs < 1:
+            raise ValueError(f"table must be non-empty, got shape {table.shape}")
+        if table.size and (int(table.min()) < 0 or int(table.max()) >= num_states):
+            raise ValueError("transition table contains out-of-range states")
+        accepting = np.ascontiguousarray(np.asarray(self.accepting, dtype=bool))
+        if accepting.shape != (num_states,):
+            raise ValueError(
+                f"accepting must have shape ({num_states},), got {accepting.shape}"
+            )
+        if not 0 <= self.start < num_states:
+            raise ValueError(f"start state {self.start} out of range [0, {num_states})")
+        if self.alphabet is not None and self.alphabet.size != num_inputs:
+            raise ValueError(
+                f"alphabet size {self.alphabet.size} != num_inputs {num_inputs}"
+            )
+        emit = self.emit
+        if emit is not None:
+            emit = np.ascontiguousarray(np.asarray(emit, dtype=np.int32))
+            if emit.shape != table.shape:
+                raise ValueError(f"emit shape {emit.shape} != table shape {table.shape}")
+        if self.state_names and len(self.state_names) != num_states:
+            raise ValueError("state_names length must equal num_states")
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "accepting", accepting)
+        object.__setattr__(self, "emit", emit)
+        object.__setattr__(self, "start", int(self.start))
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_states(self) -> int:
+        """``N`` in the paper's terminology."""
+        return self.table.shape[1]
+
+    @property
+    def num_inputs(self) -> int:
+        """``num_inputs`` in the paper's terminology."""
+        return self.table.shape[0]
+
+    @property
+    def table_entries(self) -> int:
+        """Number of transition-table entries (``num_states * num_inputs``)."""
+        return int(self.table.size)
+
+    @property
+    def is_transducer(self) -> bool:
+        """True when the machine carries an emission table."""
+        return self.emit is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"DFA({tag.strip()} states={self.num_states} inputs={self.num_inputs}"
+            f" start={self.start} accepting={int(self.accepting.sum())})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(
+        cls,
+        transitions: dict,
+        start,
+        accepting: Iterable,
+        *,
+        alphabet: Alphabet | None = None,
+        name: str = "",
+    ) -> "DFA":
+        """Build a DFA from ``{(state, symbol): next_state}``.
+
+        States and symbols may be arbitrary hashables; they are assigned
+        dense ids in first-seen order (states) and alphabet order (symbols,
+        when an :class:`Alphabet` is given; otherwise first-seen order).
+        """
+        state_ids: dict = {}
+
+        def sid(s) -> int:
+            if s not in state_ids:
+                state_ids[s] = len(state_ids)
+            return state_ids[s]
+
+        sid(start)
+        if alphabet is None:
+            symbols: list = []
+            sym_ids: dict = {}
+            for (_, a) in transitions:
+                if a not in sym_ids:
+                    sym_ids[a] = len(symbols)
+                    symbols.append(a)
+            alphabet = Alphabet.from_symbols(symbols)
+        for (q, _a), r in transitions.items():
+            sid(q)
+            sid(r)
+        n = len(state_ids)
+        table = np.zeros((alphabet.size, n), dtype=np.int32)
+        seen = np.zeros((alphabet.size, n), dtype=bool)
+        for (q, a), r in transitions.items():
+            table[alphabet.id_of(a), state_ids[q]] = state_ids[r]
+            seen[alphabet.id_of(a), state_ids[q]] = True
+        if not seen.all():
+            missing = np.argwhere(~seen)[0]
+            raise ValueError(
+                f"transition table incomplete: no transition for symbol id "
+                f"{int(missing[0])} from state id {int(missing[1])}"
+            )
+        acc = np.zeros(n, dtype=bool)
+        for s in accepting:
+            acc[state_ids[s]] = True
+        names = tuple(str(s) for s in state_ids)
+        return cls(
+            table=table,
+            start=state_ids[start],
+            accepting=acc,
+            alphabet=alphabet,
+            name=name,
+            state_names=names,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_states: int,
+        num_inputs: int,
+        *,
+        rng: int | np.random.Generator | None = 0,
+        accepting_fraction: float = 0.25,
+        name: str = "random",
+    ) -> "DFA":
+        """A uniformly random complete DFA (used heavily by property tests)."""
+        from repro.util.rng import ensure_rng
+
+        if num_states < 1 or num_inputs < 1:
+            raise ValueError("num_states and num_inputs must be >= 1")
+        gen = ensure_rng(rng)
+        table = gen.integers(0, num_states, size=(num_inputs, num_states), dtype=np.int32)
+        accepting = gen.random(num_states) < accepting_fraction
+        return cls(table=table, start=0, accepting=accepting, name=name)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def step(self, state: int, symbol: int) -> int:
+        """Single transition ``delta(state, symbol)``."""
+        return int(self.table[symbol, state])
+
+    def step_batch(self, states: np.ndarray, symbols: np.ndarray) -> np.ndarray:
+        """Vectorized transition for paired ``states``/``symbols`` arrays."""
+        return self.table[symbols, states]
+
+    def run(self, symbols: np.ndarray, start: int | None = None) -> int:
+        """Run the machine over a symbol-id array, returning the final state.
+
+        This is the trusted scalar reference (the paper's Figure 1c loop);
+        see :mod:`repro.fsm.run` for faster batched runners.
+        """
+        state = self.start if start is None else int(start)
+        table = self.table
+        for a in np.asarray(symbols):
+            state = table[a, state]
+        return int(state)
+
+    def accepts(self, symbols: np.ndarray, start: int | None = None) -> bool:
+        """True when the run ends in an accepting state."""
+        return bool(self.accepting[self.run(symbols, start)])
+
+    def encode(self, raw) -> np.ndarray:
+        """Encode raw input using the attached alphabet."""
+        if self.alphabet is None:
+            raise ValueError("DFA has no alphabet; pass symbol ids directly")
+        if isinstance(raw, str):
+            return self.alphabet.encode_text(raw)
+        return self.alphabet.encode(raw)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+
+    def with_start(self, start: int) -> "DFA":
+        """Copy of this DFA with a different initial state."""
+        return replace(self, start=int(start))
+
+    def with_name(self, name: str) -> "DFA":
+        """Copy of this DFA with a different name."""
+        return replace(self, name=name)
+
+    def renumber(self, order: Sequence[int]) -> "DFA":
+        """Relabel states so old state ``order[i]`` becomes new state ``i``.
+
+        ``order`` must be a permutation of ``range(num_states)``. Hot-state
+        caching uses this to place frequent states at low ids.
+        """
+        order = np.asarray(order, dtype=np.int64)
+        n = self.num_states
+        if sorted(order.tolist()) != list(range(n)):
+            raise ValueError("order must be a permutation of range(num_states)")
+        inverse = np.empty(n, dtype=np.int32)
+        inverse[order] = np.arange(n, dtype=np.int32)
+        table = inverse[self.table[:, order]]
+        accepting = self.accepting[order]
+        emit = None if self.emit is None else self.emit[:, order]
+        names = tuple(self.state_names[i] for i in order) if self.state_names else ()
+        return DFA(
+            table=table,
+            start=int(inverse[self.start]),
+            accepting=accepting,
+            alphabet=self.alphabet,
+            emit=emit,
+            name=self.name,
+            state_names=names,
+        )
+
+    def language_equal_on(self, other: "DFA", inputs: np.ndarray) -> bool:
+        """Check acceptance agreement on a single concrete input (test helper)."""
+        return self.accepts(inputs) == other.accepts(inputs)

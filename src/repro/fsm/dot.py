@@ -1,0 +1,91 @@
+"""Graphviz DOT export for automata.
+
+Debugging aid: render machines like the paper's Figure 1a. Symbols on
+parallel edges between the same pair of states are grouped into one label,
+and character alphabets print their symbols directly. The output is plain
+DOT text — pipe it to ``dot -Tpng`` where Graphviz is available.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.fsm.dfa import DFA
+from repro.fsm.nfa import NFA
+
+__all__ = ["dfa_to_dot", "nfa_to_dot"]
+
+
+def _escape(label: str) -> str:
+    return label.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _symbol_label(dfa: DFA, sym_id: int) -> str:
+    if dfa.alphabet is not None:
+        return str(dfa.alphabet.symbol_of(sym_id))
+    return str(sym_id)
+
+
+def _state_label(dfa: DFA, q: int) -> str:
+    if dfa.state_names:
+        return str(dfa.state_names[q])
+    return str(q)
+
+
+def dfa_to_dot(
+    dfa: DFA,
+    *,
+    max_states: int = 200,
+    rankdir: str = "LR",
+) -> str:
+    """Render ``dfa`` as DOT. Raises for machines beyond ``max_states``."""
+    if dfa.num_states > max_states:
+        raise ValueError(
+            f"machine has {dfa.num_states} states > max_states={max_states}; "
+            "raise the limit explicitly to render anyway"
+        )
+    lines = [
+        f'digraph "{_escape(dfa.name or "dfa")}" {{',
+        f"  rankdir={rankdir};",
+        '  __start [shape=point, label=""];',
+    ]
+    for q in range(dfa.num_states):
+        shape = "doublecircle" if dfa.accepting[q] else "circle"
+        lines.append(
+            f'  q{q} [shape={shape}, label="{_escape(_state_label(dfa, q))}"];'
+        )
+    lines.append(f"  __start -> q{dfa.start};")
+    # group symbols per (src, dst) edge
+    grouped: dict[tuple[int, int], list[str]] = defaultdict(list)
+    for a in range(dfa.num_inputs):
+        for q in range(dfa.num_states):
+            grouped[(q, int(dfa.table[a, q]))].append(_symbol_label(dfa, a))
+    for (src, dst), symbols in sorted(grouped.items()):
+        label = ",".join(symbols) if len(symbols) <= 6 else f"{len(symbols)} symbols"
+        lines.append(f'  q{src} -> q{dst} [label="{_escape(label)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nfa_to_dot(nfa: NFA, *, rankdir: str = "LR") -> str:
+    """Render an NFA as DOT (epsilon edges labeled with a lowercase 'eps')."""
+    lines = [
+        'digraph "nfa" {',
+        f"  rankdir={rankdir};",
+        '  __start [shape=point, label=""];',
+    ]
+    for q in range(nfa.num_states):
+        shape = "doublecircle" if q in nfa.accepting else "circle"
+        lines.append(f'  q{q} [shape={shape}, label="{q}"];')
+    lines.append(f"  __start -> q{nfa.start};")
+    for q, edges in enumerate(nfa.transitions):
+        grouped: dict[int, list[str]] = defaultdict(list)
+        for sym, targets in edges.items():
+            for t in targets:
+                grouped[t].append("eps" if sym is None else str(sym))
+        for dst, symbols in sorted(grouped.items()):
+            lines.append(
+                f'  q{q} -> q{dst} [label="{_escape(",".join(sorted(symbols)))}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

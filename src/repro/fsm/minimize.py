@@ -1,0 +1,109 @@
+"""DFA minimization (Hopcroft's partition-refinement algorithm).
+
+Minimization keeps the regex-derived DFAs at the paper's reported sizes
+(18 states for regular expression 1, 29 for regular expression 2) and is a
+correctness anchor for property tests: a minimized machine must accept the
+same language as the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.dfa import DFA
+
+__all__ = ["minimize_dfa"]
+
+
+def _reachable_mask(dfa: DFA) -> np.ndarray:
+    mask = np.zeros(dfa.num_states, dtype=bool)
+    stack = [dfa.start]
+    mask[dfa.start] = True
+    while stack:
+        q = stack.pop()
+        for r in dfa.table[:, q]:
+            r = int(r)
+            if not mask[r]:
+                mask[r] = True
+                stack.append(r)
+    return mask
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return the minimal DFA equivalent to ``dfa``.
+
+    Unreachable states are dropped first; Hopcroft refinement then merges
+    behaviourally equivalent states. The result preserves the alphabet and
+    name. Transducers (machines with an ``emit`` table) refine on emissions
+    as well, so output behaviour is preserved exactly.
+    """
+    reach = _reachable_mask(dfa)
+    old_ids = np.flatnonzero(reach)
+    remap = -np.ones(dfa.num_states, dtype=np.int64)
+    remap[old_ids] = np.arange(old_ids.size)
+    table = remap[dfa.table[:, old_ids]]
+    accepting = dfa.accepting[old_ids]
+    emit = None if dfa.emit is None else dfa.emit[:, old_ids]
+    n = old_ids.size
+    num_inputs = dfa.num_inputs
+
+    # Initial partition: accepting vs non-accepting, further split by the
+    # emission signature so transducer outputs are preserved.
+    if emit is None:
+        keys = accepting.astype(np.int64)
+    else:
+        # Hash each state's emission column together with acceptance.
+        sig = [tuple(emit[:, q]) + (bool(accepting[q]),) for q in range(n)]
+        uniq = {s: i for i, s in enumerate(dict.fromkeys(sig))}
+        keys = np.array([uniq[s] for s in sig], dtype=np.int64)
+
+    block_of = _canonical_labels(keys)
+    num_blocks = int(block_of.max()) + 1 if n else 0
+
+    # Moore/Hopcroft-style refinement: split blocks by successor-block
+    # signatures until a fixed point. With dense numpy relabeling each sweep
+    # is O(num_inputs * n); the loop runs at most n sweeps.
+    while True:
+        # signature = (own block, block of successor under each symbol)
+        succ_blocks = block_of[table]  # (num_inputs, n)
+        sig_matrix = np.vstack([block_of[None, :], succ_blocks])
+        new_block_of = _canonical_labels_rows(sig_matrix)
+        new_num = int(new_block_of.max()) + 1 if n else 0
+        if new_num == num_blocks:
+            break
+        block_of = new_block_of
+        num_blocks = new_num
+
+    # Build the quotient machine. Representative = first state of each block.
+    rep = np.zeros(num_blocks, dtype=np.int64)
+    seen = np.zeros(num_blocks, dtype=bool)
+    for q in range(n):
+        b = int(block_of[q])
+        if not seen[b]:
+            seen[b] = True
+            rep[b] = q
+    new_table = block_of[table[:, rep]].astype(np.int32)
+    new_accepting = accepting[rep]
+    new_emit = None if emit is None else emit[:, rep].astype(np.int32)
+    new_start = int(block_of[remap[dfa.start]])
+    return DFA(
+        table=new_table,
+        start=new_start,
+        accepting=new_accepting,
+        alphabet=dfa.alphabet,
+        emit=new_emit,
+        name=dfa.name,
+    )
+
+
+def _canonical_labels(keys: np.ndarray) -> np.ndarray:
+    """Relabel arbitrary integer keys to dense 0..m-1 (first-seen order)."""
+    _, labels = np.unique(keys, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def _canonical_labels_rows(matrix: np.ndarray) -> np.ndarray:
+    """Dense labels for the *columns* of ``matrix`` (equal columns share one)."""
+    # View each column as a composite key via np.unique over the transpose.
+    _, labels = np.unique(matrix.T, axis=0, return_inverse=True)
+    return labels.astype(np.int64)

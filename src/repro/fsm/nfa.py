@@ -1,0 +1,99 @@
+"""Non-deterministic finite automata with epsilon transitions.
+
+NFAs appear in the regex pipeline (Thompson construction) and are immediately
+determinized by :func:`repro.fsm.subset.subset_construction`. The
+representation is adjacency dictionaries — NFAs here are small compile-time
+objects, not execution-time ones, so clarity beats vectorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["NFA"]
+
+EPSILON = None  # sentinel symbol id for epsilon edges
+
+
+@dataclass
+class NFA:
+    """An NFA over dense symbol ids ``0 .. num_inputs-1`` plus epsilon.
+
+    States are dense integers allocated through :meth:`add_state`.
+    ``transitions[q]`` maps a symbol id (or ``None`` for epsilon) to a set of
+    successor states.
+    """
+
+    num_inputs: int
+    transitions: list[dict] = field(default_factory=list)
+    start: int = 0
+    accepting: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError(f"num_inputs must be >= 1, got {self.num_inputs}")
+
+    @property
+    def num_states(self) -> int:
+        """Number of allocated states."""
+        return len(self.transitions)
+
+    def add_state(self) -> int:
+        """Allocate and return a new state id."""
+        self.transitions.append({})
+        return len(self.transitions) - 1
+
+    def add_edge(self, src: int, symbol: int | None, dst: int) -> None:
+        """Add a transition on ``symbol`` (``None`` = epsilon)."""
+        self._check_state(src)
+        self._check_state(dst)
+        if symbol is not None and not 0 <= symbol < self.num_inputs:
+            raise ValueError(f"symbol {symbol} out of range [0, {self.num_inputs})")
+        self.transitions[src].setdefault(symbol, set()).add(dst)
+
+    def add_edges(self, src: int, symbols, dst: int) -> None:
+        """Add transitions on each symbol in ``symbols``."""
+        for a in symbols:
+            self.add_edge(src, a, dst)
+
+    def _check_state(self, q: int) -> None:
+        if not 0 <= q < self.num_states:
+            raise ValueError(f"state {q} out of range [0, {self.num_states})")
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+
+    def epsilon_closure(self, states: frozenset | set) -> frozenset:
+        """All states reachable from ``states`` via epsilon edges."""
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            q = stack.pop()
+            for r in self.transitions[q].get(EPSILON, ()):
+                if r not in seen:
+                    seen.add(r)
+                    stack.append(r)
+        return frozenset(seen)
+
+    def move(self, states: frozenset | set, symbol: int) -> set:
+        """States reachable from ``states`` by one ``symbol`` edge (no closure)."""
+        out: set = set()
+        for q in states:
+            out |= self.transitions[q].get(symbol, set())
+        return out
+
+    def run(self, symbols: np.ndarray) -> frozenset:
+        """Set of states active after consuming ``symbols`` (reference semantics)."""
+        current = self.epsilon_closure({self.start})
+        for a in np.asarray(symbols):
+            current = self.epsilon_closure(self.move(current, int(a)))
+            if not current:
+                break
+        return frozenset(current)
+
+    def accepts(self, symbols: np.ndarray) -> bool:
+        """True when some active final state is accepting."""
+        return bool(self.run(symbols) & self.accepting)

@@ -1,0 +1,65 @@
+"""Trusted sequential reference runners.
+
+These are the "simple serial implementation" of the paper's Figure 1c. They
+are intentionally straightforward — every parallel result in the library is
+ultimately checked against them. :func:`run_all_starts` provides the
+enumerative-execution reference (one run per possible start state) in a
+vectorized form: the Python-level loop is over input items, but each step
+advances *all* start states with one gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.dfa import DFA
+
+__all__ = ["run_reference", "run_reference_trace", "run_segment", "run_all_starts"]
+
+
+def run_reference(dfa: DFA, symbols: np.ndarray, start: int | None = None) -> int:
+    """Final state of the serial run — the ground truth for all tests."""
+    state = dfa.start if start is None else int(start)
+    table = dfa.table
+    for a in np.asarray(symbols):
+        state = table[a, state]
+    return int(state)
+
+
+def run_reference_trace(
+    dfa: DFA, symbols: np.ndarray, start: int | None = None
+) -> np.ndarray:
+    """States *after* each transition (length ``len(symbols)``)."""
+    symbols = np.asarray(symbols)
+    out = np.empty(symbols.size, dtype=np.int32)
+    state = dfa.start if start is None else int(start)
+    table = dfa.table
+    for i, a in enumerate(symbols):
+        state = table[a, state]
+        out[i] = state
+    return out
+
+
+def run_segment(dfa: DFA, symbols: np.ndarray, start: int) -> int:
+    """Run a segment from an explicit ``start`` — the re-execution primitive.
+
+    Semantically identical to :func:`run_reference`; kept separate so the
+    engine's re-execution call sites are greppable and so instrumentation
+    can wrap exactly the re-executed work.
+    """
+    return run_reference(dfa, symbols, start)
+
+
+def run_all_starts(dfa: DFA, symbols: np.ndarray) -> np.ndarray:
+    """Map every state ``q`` to the final state of the run started at ``q``.
+
+    This is the enumerative-execution reference: ``out[q]`` is the state
+    reached from ``q`` after consuming all of ``symbols``. Equivalently it is
+    the composition of the per-symbol transition functions, computed by
+    folding gathers; ``out = T[a_n] ∘ ... ∘ T[a_1]``.
+    """
+    states = np.arange(dfa.num_states, dtype=np.int32)
+    table = dfa.table
+    for a in np.asarray(symbols):
+        states = table[a, states]
+    return states

@@ -1,0 +1,72 @@
+"""DFA persistence: save/load machines as ``.npz`` archives.
+
+Compiled machines (regex DFAs, Huffman decoders, tokenizers) are build
+artifacts worth caching — the paper's code generator similarly treats the
+transition table as a precompiled input. The format is a plain NumPy
+archive: dense arrays plus a small JSON metadata blob, so files are
+portable and inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+
+__all__ = ["save_dfa", "load_dfa"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dfa(dfa: DFA, path: str | Path) -> None:
+    """Write ``dfa`` to ``path`` (a ``.npz`` archive)."""
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "start": int(dfa.start),
+        "name": dfa.name,
+        "state_names": list(dfa.state_names) if dfa.state_names else None,
+        "alphabet": None,
+    }
+    if dfa.alphabet is not None:
+        try:
+            json.dumps(list(dfa.alphabet.symbols))
+            meta["alphabet"] = list(dfa.alphabet.symbols)
+        except TypeError as exc:
+            raise ValueError(
+                "alphabet symbols must be JSON-serializable to save"
+            ) from exc
+    arrays = {
+        "table": dfa.table,
+        "accepting": dfa.accepting,
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    if dfa.emit is not None:
+        arrays["emit"] = dfa.emit
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_dfa(path: str | Path) -> DFA:
+    """Read a DFA previously written by :func:`save_dfa`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported DFA file version {meta.get('format_version')!r}"
+            )
+        alphabet = None
+        if meta["alphabet"] is not None:
+            # JSON round-trips tuples as lists; symbols are scalars/strings.
+            alphabet = Alphabet.from_symbols(meta["alphabet"])
+        return DFA(
+            table=data["table"],
+            start=meta["start"],
+            accepting=data["accepting"],
+            alphabet=alphabet,
+            emit=data["emit"] if "emit" in data.files else None,
+            name=meta["name"],
+            state_names=tuple(meta["state_names"]) if meta["state_names"] else (),
+        )

@@ -1,0 +1,74 @@
+"""Subset construction: determinize an NFA into a complete-table DFA.
+
+The resulting DFA is *complete* — the empty subset becomes an explicit dead
+state when reachable — because the speculative engine requires a total
+transition function (every ``table[a, q]`` entry must be a valid state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+from repro.fsm.nfa import NFA
+
+__all__ = ["subset_construction"]
+
+
+def subset_construction(
+    nfa: NFA,
+    *,
+    alphabet: Alphabet | None = None,
+    name: str = "",
+) -> DFA:
+    """Determinize ``nfa`` via the classical subset construction.
+
+    Subsets are discovered breadth-first from the epsilon closure of the NFA
+    start state, so every DFA state is reachable by construction. A dead
+    state (the empty subset) is materialized only if some transition actually
+    reaches it.
+    """
+    if alphabet is not None and alphabet.size != nfa.num_inputs:
+        raise ValueError(
+            f"alphabet size {alphabet.size} != nfa.num_inputs {nfa.num_inputs}"
+        )
+    start_set = nfa.epsilon_closure({nfa.start})
+    subset_ids: dict[frozenset, int] = {start_set: 0}
+    worklist: list[frozenset] = [start_set]
+    rows: list[list[int]] = []  # rows[q][a] = next state id
+    accepting_flags: list[bool] = [bool(start_set & nfa.accepting)]
+
+    def subset_id(s: frozenset) -> int:
+        sid = subset_ids.get(s)
+        if sid is None:
+            sid = len(subset_ids)
+            subset_ids[s] = sid
+            worklist.append(s)
+            accepting_flags.append(bool(s & nfa.accepting))
+        return sid
+
+    processed = 0
+    while processed < len(worklist):
+        current = worklist[processed]
+        processed += 1
+        row = []
+        for a in range(nfa.num_inputs):
+            nxt = nfa.epsilon_closure(nfa.move(current, a))
+            row.append(subset_id(frozenset(nxt)))
+        rows.append(row)
+
+    num_states = len(subset_ids)
+    table = np.asarray(rows, dtype=np.int32).T  # (num_inputs, num_states)
+    accepting = np.asarray(accepting_flags, dtype=bool)
+    names = tuple(
+        "{" + ",".join(map(str, sorted(s))) + "}" for s in subset_ids
+    )
+    return DFA(
+        table=table,
+        start=0,
+        accepting=accepting,
+        alphabet=alphabet,
+        name=name,
+        state_names=names,
+    )

@@ -1,0 +1,83 @@
+"""Exact memory-transaction counting for the input-access patterns.
+
+Section 4.1's argument, made quantitative: for each lock-step iteration,
+the 32 lanes of a warp read one input symbol each. The hardware coalesces
+the warp's reads into 128-byte transactions — one transaction when the
+lanes' addresses fall in one segment (the transformed layout), up to 32
+when every lane touches its own segment (the natural layout with large
+chunks). This module counts the *actual* transactions both layouts would
+issue for a concrete chunk plan, which is how the memory model's
+coalescing factor is validated (see ``tests/gpu/test_coalescing.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.chunking import ChunkPlan
+
+__all__ = ["TransactionCount", "count_input_transactions"]
+
+SEGMENT_BYTES = 128
+
+
+@dataclass(frozen=True)
+class TransactionCount:
+    """Transactions issued for the whole local-processing phase."""
+
+    natural: int
+    transformed: int
+
+    @property
+    def coalescing_factor(self) -> float:
+        """How many times more transactions the natural layout issues."""
+        if self.transformed == 0:
+            return 1.0
+        return self.natural / self.transformed
+
+
+def _transactions_for_step(addresses: np.ndarray, warp_size: int) -> int:
+    """Transactions for one step given per-lane byte addresses (all warps)."""
+    total = 0
+    segments = addresses // SEGMENT_BYTES
+    for w in range(0, segments.size, warp_size):
+        total += np.unique(segments[w : w + warp_size]).size
+    return total
+
+
+def count_input_transactions(
+    plan: ChunkPlan,
+    *,
+    item_bytes: int = 1,
+    warp_size: int = 32,
+    max_steps: int | None = 64,
+) -> TransactionCount:
+    """Count input-read transactions under both layouts for ``plan``.
+
+    ``max_steps`` samples the first steps (the pattern is identical every
+    step, so sampling is exact up to the ragged tail); pass ``None`` for
+    the full count.
+    """
+    if item_bytes < 1:
+        raise ValueError(f"item_bytes must be >= 1, got {item_bytes}")
+    q = plan.min_len
+    steps = q if max_steps is None else min(q, max_steps)
+    n = plan.num_chunks
+    lanes = np.arange(n, dtype=np.int64)
+    natural = 0
+    transformed = 0
+    for j in range(steps):
+        # natural: lane c reads inputs[starts[c] + j]
+        nat_addr = (plan.starts + j) * item_bytes
+        natural += _transactions_for_step(nat_addr, warp_size)
+        # transformed: lane c reads row j at offset c (contiguous row)
+        tra_addr = (j * n + lanes) * item_bytes
+        transformed += _transactions_for_step(tra_addr, warp_size)
+    # scale the sample to the full phase (both patterns repeat per step)
+    if steps and steps < q:
+        scale = q / steps
+        natural = int(round(natural * scale))
+        transformed = int(round(transformed * scale))
+    return TransactionCount(natural=natural, transformed=transformed)

@@ -1,0 +1,216 @@
+"""Price counted execution events into modeled V100 wall time.
+
+The functional engine counts *what happened* (transitions, comparisons,
+hash probes, re-executed items, merge structure); this module prices those
+counts under the device's memory model and launch geometry, producing the
+time breakdown and CPU-relative speedup that the paper's figures plot.
+
+Two regimes are priced differently, which is the crux of the paper:
+
+* **throughput regime** — local processing and the parallel merge levels:
+  thousands of threads are in flight, the ``k`` speculated states overlap
+  under ILP, wall time is per-thread *steps* times the dependent-access
+  latency of one step (see :mod:`repro.gpu.calibration`);
+* **latency regime** — the sequential merge walk, the global (across-block)
+  merge stage, re-executions and the fix-up descent: a dependent chain on
+  one thread, each access paying full memory latency. This is why
+  sequential-merge cost grows linearly with thread count and caps
+  scalability (Figure 3), and why avoidable re-executions matter
+  (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import ExecStats
+from repro.gpu import calibration as cal
+from repro.gpu.device import DeviceSpec, TESLA_V100, launch_geometry
+from repro.gpu.memory import MemoryModel
+from repro.gpu.occupancy import spill_factor
+
+__all__ = ["TimeBreakdown", "CostModel", "price_at_scale"]
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Modeled wall time of one speculative execution (seconds)."""
+
+    local_s: float
+    merge_s: float
+    reexec_s: float
+    fixup_s: float
+    cpu_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Modeled GPU wall time."""
+        return self.local_s + self.merge_s + self.reexec_s + self.fixup_s
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the modeled single-core CPU baseline."""
+        return self.cpu_s / self.total_s if self.total_s > 0 else float("inf")
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for table printing."""
+        return {
+            "local_ms": self.local_s * 1e3,
+            "merge_ms": self.merge_s * 1e3,
+            "reexec_ms": self.reexec_s * 1e3,
+            "fixup_ms": self.fixup_s * 1e3,
+            "total_ms": self.total_s * 1e3,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Event-count pricer for one device.
+
+    ``cpu_transition_ns`` sets the sequential CPU baseline; pass the
+    Table 3-derived per-application value for paper-scale comparisons.
+    """
+
+    device: DeviceSpec = TESLA_V100
+    cpu_transition_ns: float = cal.CPU_TRANSITION_NS
+
+    def price(
+        self,
+        stats: ExecStats,
+        *,
+        num_blocks: int,
+        threads_per_block: int,
+        merge: str,
+        layout_transformed: bool,
+        cache_enabled: bool = False,
+        input_item_bytes: int = 1,
+    ) -> TimeBreakdown:
+        """Model the wall time of an execution described by ``stats``."""
+        if merge not in ("sequential", "parallel"):
+            raise ValueError(f"merge must be 'sequential' or 'parallel', got {merge!r}")
+        geo = launch_geometry(self.device, num_blocks, threads_per_block)
+        mem = MemoryModel(self.device)
+        k = max(1, stats.k)
+        table_bytes = stats.num_states * stats.num_inputs * 4
+
+        # ---- local processing (throughput regime) ----------------------- #
+        # Per step: the dependent table access serializes the chain; the k
+        # speculated states overlap under ILP (per-state issue cost), and
+        # one input symbol is read. Waves serialize when the grid exceeds
+        # residency (the persistent-thread launch avoids oversubscription).
+        table_step_ns = mem.table_step_ns(
+            table_bytes,
+            cache_enabled=cache_enabled,
+            cache_hit_rate=stats.cache_hit_rate,
+        )
+        step_ns = (
+            table_step_ns
+            + mem.input_read_ns(layout_transformed)
+            + k * cal.EXEC_NS * spill_factor(k)
+        )
+        waves = -(-geo.num_blocks // geo.resident_blocks)  # ceil division
+        local_s = stats.local_steps * step_ns * waves / 1e9
+        floor_s = mem.bandwidth_floor_s(stats.num_items * input_item_bytes)
+        local_s = max(local_s, floor_s)
+
+        # ---- merge ------------------------------------------------------- #
+        if merge == "sequential":
+            # One thread walks all n results through global memory: two
+            # dependent row reads per step (spec + end arrays of the next
+            # chunk) plus one dependent read per scanned entry.
+            dependent_reads = (
+                2 * stats.seq_merge_steps
+                + stats.check_comparisons
+                + stats.hash_probe_steps
+            )
+            merge_s = (
+                dependent_reads * mem.dependent_global_ns()
+                + stats.hash_inserts * cal.HASH_OP_NS
+            ) / 1e9
+            reexec_s = stats.reexec_items_seq * cal.DEP_TRANSITION_NS / 1e9
+            fixup_s = 0.0
+        else:
+            pair_ops = max(1, stats.merge_pair_ops)
+            check_ns_total = (
+                stats.check_comparisons * cal.CMP_NS
+                + (stats.hash_inserts + stats.hash_probe_steps) * cal.HASH_OP_NS
+                + stats.hash_probes * cal.HASH_OP_NS
+            )
+            avg_pair_ns = check_ns_total / pair_ops
+            warp_s = (
+                stats.merge_levels_warp
+                * (avg_pair_ns + 2 * k * mem.shuffle_ns())
+                / 1e9
+            )
+            block_s = (
+                stats.merge_levels_block
+                * (avg_pair_ns + 2 * k * mem.shared_exchange_ns() + cal.BARRIER_NS)
+                / 1e9
+            )
+            global_s = (
+                stats.merge_global_steps
+                * ((2 + min(k, 4)) * mem.dependent_global_ns())
+                / 1e9
+            )
+            merge_s = warp_s + block_s + global_s
+
+            # Eager re-executions within a level run concurrently across
+            # pairs; the critical path is the largest resolution per level,
+            # summed over levels (reexec_wall_items, counted by the merge).
+            reexec_s = stats.reexec_wall_items * cal.DEP_TRANSITION_NS / 1e9
+            # Fix-up re-executions of distinct chunks are dispatched to
+            # their owner threads and overlap; only consecutive-chunk runs
+            # chain (each needs its predecessor's ending state). The
+            # descent's probes are a dependent chain on one thread.
+            if stats.fixup_chunks:
+                avg_fix_items = stats.fixup_items / stats.fixup_chunks
+                chain = max(1, stats.fixup_chain)
+                fixup_s = chain * avg_fix_items * cal.DEP_TRANSITION_NS / 1e9
+            else:
+                fixup_s = 0.0
+            fixup_s += (
+                stats.fixup_probes * (k * cal.CMP_NS + mem.dependent_global_ns())
+            ) / 1e9
+
+        cpu_s = stats.num_items * self.cpu_transition_ns / 1e9
+        return TimeBreakdown(
+            local_s=local_s,
+            merge_s=merge_s,
+            reexec_s=reexec_s,
+            fixup_s=fixup_s,
+            cpu_s=cpu_s,
+        )
+
+
+def price_at_scale(
+    result,
+    target_items: int,
+    *,
+    cpu_transition_ns: float | None = None,
+    device: DeviceSpec | None = None,
+) -> TimeBreakdown:
+    """Price a :class:`SpecExecutionResult` as if run on a larger input.
+
+    Projects the result's counted statistics to ``target_items`` (per-item
+    work scales linearly; merge structure and rates are preserved) and
+    prices them under the result's own configuration. This is how bench
+    runs at 10^6 items report the paper's 2^30-scale speedups.
+    """
+    cfg = result.config
+    model = CostModel(
+        device=device if device is not None else cfg.device,
+        **(
+            {"cpu_transition_ns": cpu_transition_ns}
+            if cpu_transition_ns is not None
+            else {}
+        ),
+    )
+    return model.price(
+        result.stats.project(target_items),
+        num_blocks=cfg.num_blocks,
+        threads_per_block=cfg.threads_per_block,
+        merge=cfg.merge,
+        layout_transformed=(cfg.layout == "transformed"),
+        cache_enabled=cfg.cache_table,
+    )

@@ -1,0 +1,120 @@
+"""Device descriptions and launch geometry.
+
+:data:`TESLA_V100` transcribes Table 2 of the paper. The persistent-thread
+model (Section 4.1) launches only as many blocks as can be simultaneously
+resident; :func:`launch_geometry` computes residency and the resulting
+grid-stride work assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "TESLA_V100", "GTX_1080TI", "launch_geometry", "LaunchGeometry"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU (the fields the cost model needs)."""
+
+    name: str
+    num_sms: int
+    cuda_cores: int
+    clock_ghz: float
+    warp_size: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    registers_per_thread_max: int
+    register_file_per_sm_bytes: int
+    shared_mem_per_sm_bytes: int
+    l2_bytes: int
+    mem_bandwidth_gbs: float
+    mem_bus_bits: int
+
+    @property
+    def max_resident_blocks(self) -> int:
+        """Upper bound on concurrently resident blocks (1 block/SM model).
+
+        The paper launches at most ``num_sms`` (80) thread blocks under the
+        persistent-thread model; we follow the same convention.
+        """
+        return self.num_sms
+
+    def validate_block(self, threads_per_block: int) -> None:
+        """Raise if a block shape is not launchable on this device."""
+        if threads_per_block < 1 or threads_per_block > self.max_threads_per_block:
+            raise ValueError(
+                f"threads_per_block must be in [1, {self.max_threads_per_block}], "
+                f"got {threads_per_block}"
+            )
+        if threads_per_block % self.warp_size:
+            raise ValueError(
+                f"threads_per_block must be a multiple of the warp size "
+                f"({self.warp_size}), got {threads_per_block}"
+            )
+
+
+TESLA_V100 = DeviceSpec(
+    name="Tesla V100",
+    num_sms=80,
+    cuda_cores=5120,
+    clock_ghz=1.38,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    registers_per_thread_max=255,
+    register_file_per_sm_bytes=65536 * 4,  # 64K 32-bit registers per SM
+    shared_mem_per_sm_bytes=96 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+    mem_bandwidth_gbs=900.0,
+    mem_bus_bits=4096,
+)
+
+GTX_1080TI = DeviceSpec(
+    name="GTX 1080 Ti",
+    num_sms=28,
+    cuda_cores=3584,
+    clock_ghz=1.58,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    registers_per_thread_max=255,
+    register_file_per_sm_bytes=65536 * 4,
+    shared_mem_per_sm_bytes=96 * 1024,
+    l2_bytes=int(2.75 * 1024 * 1024),
+    mem_bandwidth_gbs=484.0,
+    mem_bus_bits=352,
+)
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Resolved launch shape under the persistent-thread model."""
+
+    num_blocks: int
+    threads_per_block: int
+    resident_blocks: int
+    total_threads: int
+    warps_per_block: int
+
+    @property
+    def oversubscribed(self) -> bool:
+        """True when more blocks were requested than can be resident."""
+        return self.num_blocks > self.resident_blocks
+
+
+def launch_geometry(
+    device: DeviceSpec, num_blocks: int, threads_per_block: int
+) -> LaunchGeometry:
+    """Validate and resolve a launch configuration on ``device``."""
+    if num_blocks < 1:
+        raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+    device.validate_block(threads_per_block)
+    resident = min(num_blocks, device.max_resident_blocks)
+    return LaunchGeometry(
+        num_blocks=num_blocks,
+        threads_per_block=threads_per_block,
+        resident_blocks=resident,
+        total_threads=num_blocks * threads_per_block,
+        warps_per_block=threads_per_block // device.warp_size,
+    )

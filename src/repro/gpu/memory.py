@@ -1,0 +1,86 @@
+"""Memory-system model: where each access class is served and at what cost.
+
+The model distinguishes the access classes that drive the paper's
+optimizations:
+
+* **per-step table latency** — the dependent table access that serializes a
+  lock-step iteration. Served from the user-managed shared-memory cache on
+  a hot-state hit (plus the ``Hot_States`` hash overhead), else from L2 when
+  the table fits there, else from DRAM (Section 4.2);
+* **input reads** — coalesced (transformed layout: all lanes of a warp read
+  one 128-byte segment) or uncoalesced (natural layout: one transaction per
+  lane), Section 4.1;
+* **merge traffic** — shuffles within a warp, shared memory within a block,
+  *dependent* global reads for the sequential walk and the global stage.
+
+A bandwidth floor (input bytes / DRAM bandwidth) keeps the model honest at
+high thread counts where the latency model would otherwise predict
+super-hardware throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu import calibration as cal
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-access-class effective costs (ns) for one device."""
+
+    device: DeviceSpec
+
+    # -- input stream ----------------------------------------------------- #
+    def input_read_ns(self, transformed: bool) -> float:
+        """Cost of one thread reading one input symbol."""
+        return cal.GMEM_COALESCED_NS if transformed else cal.GMEM_UNCOALESCED_NS
+
+    # -- transition table: per-step serializing latency ----------------------- #
+    def table_step_ns(
+        self,
+        table_bytes: int,
+        *,
+        cache_enabled: bool = False,
+        cache_hit_rate: float = 1.0,
+    ) -> float:
+        """Latency of the dependent table access in one lock-step step.
+
+        With the hot-state cache enabled every access pays the hash check;
+        hits are served from shared memory and misses fall back to L2/DRAM.
+        """
+        uncached = self._uncached_step_ns(table_bytes)
+        if not cache_enabled:
+            return uncached
+        hit = min(1.0, max(0.0, cache_hit_rate))
+        return (
+            hit * cal.TABLE_STEP_SHARED_NS
+            + (1.0 - hit) * uncached
+            + cal.CACHE_HASH_NS
+        )
+
+    def _uncached_step_ns(self, table_bytes: int) -> float:
+        if table_bytes <= self.device.l2_bytes:
+            return cal.TABLE_STEP_L2_NS
+        return cal.TABLE_STEP_DRAM_NS
+
+    # -- merge traffic ------------------------------------------------------- #
+    def shuffle_ns(self) -> float:
+        """One warp-shuffle exchange."""
+        return cal.SHUFFLE_NS
+
+    def shared_exchange_ns(self) -> float:
+        """One shared-memory store+load pair in the block stage."""
+        return 2.0 * cal.SHARED_NS
+
+    def dependent_global_ns(self) -> float:
+        """One dependent global read (global merge stage / seq merge walk)."""
+        return cal.DEP_GMEM_NS
+
+    # -- floors ----------------------------------------------------------------
+    def bandwidth_floor_s(self, bytes_moved: int) -> float:
+        """Minimum time to move ``bytes_moved`` through DRAM, in seconds."""
+        return bytes_moved / (self.device.mem_bandwidth_gbs * 1e9)

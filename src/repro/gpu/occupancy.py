@@ -1,0 +1,105 @@
+"""Occupancy and register-pressure model.
+
+Two effects from the paper live here:
+
+* **register spill** — Algorithm 3 keeps the ``states[num_guess]`` array in
+  registers only while ``num_guess`` is small ("array states can be loaded
+  in the registers as long as num_guess is not large"). For spec-N on the
+  205-state Huffman FSM the array spills to local memory, which is why the
+  paper measures only a 15x speedup there. :func:`spill_factor` returns the
+  multiplier the cost model applies to per-transition work.
+* **occupancy accounting** — how many warps a block's register and shared
+  memory appetite allows per SM, reported for diagnostics and used to damp
+  throughput when occupancy is very low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu import calibration as cal
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["spill_factor", "occupancy_report", "OccupancyReport"]
+
+
+def spill_factor(k: int) -> float:
+    """Per-transition cost multiplier due to the speculated-state array.
+
+    1.0 while the array stays in registers; once ``k`` exceeds the register
+    budget the array lives in local memory and every access round-trips
+    through the memory hierarchy.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k <= cal.SPILL_THRESHOLD_STATES:
+        return 1.0
+    return cal.SPILL_FACTOR
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Resource-limited occupancy of one kernel configuration."""
+
+    threads_per_block: int
+    registers_per_thread: int
+    shared_bytes_per_block: int
+    max_blocks_registers: int
+    max_blocks_shared: int
+    max_blocks_threads: int
+
+    @property
+    def resident_blocks_per_sm(self) -> int:
+        """Blocks per SM under the binding resource limit."""
+        return max(
+            1,
+            min(
+                self.max_blocks_registers,
+                self.max_blocks_shared,
+                self.max_blocks_threads,
+            ),
+        )
+
+    @property
+    def resident_warps_per_sm(self) -> int:
+        """Warps per SM, the latency-hiding currency."""
+        return self.resident_blocks_per_sm * (self.threads_per_block // 32)
+
+
+def occupancy_report(
+    device: DeviceSpec,
+    threads_per_block: int,
+    *,
+    k: int,
+    shared_bytes_per_block: int = 0,
+) -> OccupancyReport:
+    """Estimate occupancy for a spec-k kernel.
+
+    Register appetite is modeled as a fixed kernel overhead plus one
+    register per speculated state (capped at the device maximum — beyond
+    the cap the state array is spilled, see :func:`spill_factor`).
+    """
+    device.validate_block(threads_per_block)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    regs = min(32 + min(k, cal.SPILL_THRESHOLD_STATES), device.registers_per_thread_max)
+    reg_bytes_per_block = regs * 4 * threads_per_block
+    max_blocks_regs = max(1, device.register_file_per_sm_bytes // max(1, reg_bytes_per_block))
+    if shared_bytes_per_block > 0:
+        max_blocks_shared = device.shared_mem_per_sm_bytes // shared_bytes_per_block
+        if max_blocks_shared == 0:
+            raise ValueError(
+                f"shared memory request {shared_bytes_per_block}B exceeds the "
+                f"per-SM capacity {device.shared_mem_per_sm_bytes}B"
+            )
+    else:
+        max_blocks_shared = 32
+    max_blocks_threads = max(1, device.max_threads_per_sm // threads_per_block)
+    return OccupancyReport(
+        threads_per_block=threads_per_block,
+        registers_per_thread=regs,
+        shared_bytes_per_block=shared_bytes_per_block,
+        max_blocks_registers=int(max_blocks_regs),
+        max_blocks_shared=int(max_blocks_shared),
+        max_blocks_threads=int(max_blocks_threads),
+    )

@@ -1,0 +1,193 @@
+"""Lane-level simulation of the hierarchical GPU merge (Section 4.1).
+
+The engine's :mod:`repro.core.merge_par` computes the merge as a flat
+binary tree, vectorized over pairs, and *attributes* levels to the GPU
+hierarchy for costing. This module is the cross-check: it simulates the
+merge the way the generated CUDA kernel actually executes it —
+
+* **warp stage** — 32 lanes hold their chunk maps in registers; five
+  shuffle rounds combine lane ``i`` with lane ``i + offset`` (offset = 1,
+  2, 4, 8, 16), with only ``i % (2*offset) == 0`` lanes producing live
+  results (the divergence the simulator accounts);
+* **block stage** — each warp's lane 0 writes its result to shared
+  memory; after a barrier, the first warp's lanes load the per-warp
+  results and shuffle-reduce them the same way;
+* **grid stage** — one lane per block publishes to global memory; a single
+  persistent thread folds the block results sequentially.
+
+The simulated result is bit-identical to ``merge_parallel`` with the
+delayed strategy (asserted by tests over random machines), and the
+simulation returns the exact operation counters (shuffles, shared-memory
+accesses, barriers, dependent global reads, per-round active-lane counts)
+that a real kernel would incur — an independent validation of the cost
+model's merge pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.types import ChunkResults
+from repro.gpu.device import DeviceSpec, TESLA_V100
+
+__all__ = ["SimCounters", "SimulatedMerge", "simulate_hierarchical_merge"]
+
+
+@dataclass
+class SimCounters:
+    """Operation counts from one simulated hierarchical merge."""
+
+    shuffle_ops: int = 0  # register exchanges between lanes
+    shared_stores: int = 0
+    shared_loads: int = 0
+    barriers: int = 0
+    global_stores: int = 0
+    global_loads: int = 0  # dependent reads in the grid stage
+    compare_ops: int = 0  # semi-join equality tests
+    active_lane_rounds: list = field(default_factory=list)  # divergence trace
+
+    @property
+    def divergence_ratio(self) -> float:
+        """Mean fraction of lanes idle across shuffle rounds (0 = none)."""
+        if not self.active_lane_rounds:
+            return 0.0
+        idle = [1.0 - active / total for active, total in self.active_lane_rounds]
+        return float(np.mean(idle))
+
+
+@dataclass
+class SimulatedMerge:
+    """Outcome of the simulation."""
+
+    final_spec: np.ndarray  # (k,)
+    final_end: np.ndarray  # (k,)
+    final_valid: np.ndarray  # (k,) bool
+    counters: SimCounters
+
+    def lookup(self, state: int) -> int | None:
+        """Final map lookup (None when the entry is invalid/missing)."""
+        hits = np.flatnonzero((self.final_spec == state) & self.final_valid)
+        return int(self.final_end[hits[0]]) if hits.size else None
+
+
+def _compose(
+    spec_l: np.ndarray, end_l: np.ndarray, valid_l: np.ndarray,
+    spec_r: np.ndarray, end_r: np.ndarray, valid_r: np.ndarray,
+    counters: SimCounters,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Delayed-strategy composition of two per-lane maps (one lane's work)."""
+    k = spec_l.size
+    out_end = end_l.copy()
+    out_valid = np.zeros(k, dtype=bool)
+    for j in range(k):
+        if not valid_l[j]:
+            continue
+        target = end_l[j]
+        for i in range(k):
+            counters.compare_ops += 1
+            if valid_r[i] and spec_r[i] == target:
+                out_end[j] = end_r[i]
+                out_valid[j] = True
+                break
+    return spec_l.copy(), out_end, out_valid
+
+
+def _shuffle_reduce(
+    spec: np.ndarray, end: np.ndarray, valid: np.ndarray, counters: SimCounters
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce ``lanes`` maps to one via shuffle rounds (lane 0 holds it).
+
+    ``spec``/``end``/``valid`` have shape ``(lanes, k)``. Lanes is any
+    power of two (the simulator pads with identity-less inactive lanes
+    when a partial group occurs, counting them idle).
+    """
+    lanes = spec.shape[0]
+    offset = 1
+    while offset < lanes:
+        active = 0
+        for i in range(0, lanes, 2 * offset):
+            j = i + offset
+            if j >= lanes:
+                continue
+            # shuffle: lane i receives lane j's registers (2k values)
+            counters.shuffle_ops += 2 * spec.shape[1]
+            spec[i], end[i], valid[i] = _compose(
+                spec[i], end[i], valid[i], spec[j], end[j], valid[j], counters
+            )
+            active += 1
+        counters.active_lane_rounds.append((active, lanes // 2 if lanes > 1 else 1))
+        offset *= 2
+    return spec[0], end[0], valid[0]
+
+
+def simulate_hierarchical_merge(
+    results: ChunkResults,
+    *,
+    threads_per_block: int = 256,
+    device: DeviceSpec = TESLA_V100,
+) -> SimulatedMerge:
+    """Simulate the warp/block/grid merge over ``results``.
+
+    ``results.num_chunks`` must equal ``blocks * threads_per_block`` for
+    some integer block count (one chunk per thread, as the engine lays
+    them out).
+    """
+    warp = device.warp_size
+    n = results.num_chunks
+    if threads_per_block % warp:
+        raise ValueError(
+            f"threads_per_block must be a multiple of {warp}, got {threads_per_block}"
+        )
+    if n % threads_per_block:
+        raise ValueError(
+            f"num_chunks ({n}) must be a multiple of threads_per_block "
+            f"({threads_per_block})"
+        )
+    num_blocks = n // threads_per_block
+    warps_per_block = threads_per_block // warp
+    counters = SimCounters()
+    k = results.k
+
+    block_spec = np.empty((num_blocks, k), dtype=np.int32)
+    block_end = np.empty((num_blocks, k), dtype=np.int32)
+    block_valid = np.empty((num_blocks, k), dtype=bool)
+
+    for b in range(num_blocks):
+        # --- warp stage -------------------------------------------------
+        warp_spec = np.empty((warps_per_block, k), dtype=np.int32)
+        warp_end = np.empty((warps_per_block, k), dtype=np.int32)
+        warp_valid = np.empty((warps_per_block, k), dtype=bool)
+        for w in range(warps_per_block):
+            lo = b * threads_per_block + w * warp
+            s = results.spec[lo : lo + warp].copy()
+            e = results.end[lo : lo + warp].copy()
+            v = results.valid[lo : lo + warp].copy()
+            ws, we, wv = _shuffle_reduce(s, e, v, counters)
+            warp_spec[w], warp_end[w], warp_valid[w] = ws, we, wv
+            # lane 0 stores the warp result to shared memory
+            counters.shared_stores += 2 * k
+
+        # --- block stage --------------------------------------------------
+        counters.barriers += 1
+        # first warp loads the per-warp results from shared memory
+        counters.shared_loads += 2 * k * warps_per_block
+        bs, be, bv = _shuffle_reduce(
+            warp_spec.copy(), warp_end.copy(), warp_valid.copy(), counters
+        )
+        block_spec[b], block_end[b], block_valid[b] = bs, be, bv
+        counters.barriers += 1
+        counters.global_stores += 2 * k  # thread 0 publishes the block result
+
+    # --- grid stage: one persistent thread folds block results ------------
+    spec, end, valid = block_spec[0], block_end[0], block_valid[0]
+    for b in range(1, num_blocks):
+        counters.global_loads += 2 * k
+        spec, end, valid = _compose(
+            spec, end, valid,
+            block_spec[b], block_end[b], block_valid[b], counters,
+        )
+    return SimulatedMerge(
+        final_spec=spec, final_end=end, final_valid=valid, counters=counters
+    )

@@ -1,0 +1,134 @@
+"""Export modeled executions as Chrome trace-event JSON.
+
+Load the output at ``chrome://tracing`` (or Perfetto) to see the modeled
+execution the way a profiler would show it: local processing across the
+simulated SMs, then the warp/block/global merge stages, re-execution, and
+fix-up on the timeline. Purely a visualization of the cost model — spans
+come from :class:`repro.gpu.cost.TimeBreakdown`, not from wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.engine import SpecExecutionResult
+from repro.gpu.cost import TimeBreakdown, price_at_scale
+
+__all__ = ["trace_events", "write_trace"]
+
+
+def trace_events(
+    result: SpecExecutionResult,
+    *,
+    timing: TimeBreakdown | None = None,
+    sm_lanes: int = 8,
+) -> list[dict]:
+    """Chrome trace events for one execution.
+
+    ``sm_lanes`` controls how many representative SM rows the local stage
+    is drawn across (purely cosmetic — all SMs run the same schedule).
+    """
+    tb = timing if timing is not None else result.timing
+    if tb is None:
+        raise ValueError("result carries no timing; run with price=True or pass timing=")
+    cfg = result.config
+    us = 1e6  # chrome traces are in microseconds
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": f"{cfg.device.name} (modeled)"},
+        }
+    ]
+    # local processing: one span per representative SM lane
+    lanes = max(1, min(sm_lanes, cfg.device.num_sms))
+    for lane in range(lanes):
+        events.append(
+            {
+                "name": f"local spec-{'N' if cfg.enumerative else cfg.k} "
+                f"({cfg.layout})",
+                "ph": "X",
+                "pid": 0,
+                "tid": lane + 1,
+                "ts": 0.0,
+                "dur": tb.local_s * us,
+                "args": {
+                    "chunks": result.stats.num_chunks,
+                    "transitions": result.stats.local_transitions,
+                },
+            }
+        )
+    cursor = tb.local_s * us
+    for name, dur_s, args in (
+        (
+            f"{cfg.merge} merge ({cfg.check} checks)",
+            tb.merge_s,
+            {
+                "pair_ops": result.stats.merge_pair_ops,
+                "comparisons": result.stats.check_comparisons,
+                "global_steps": result.stats.merge_global_steps,
+            },
+        ),
+        (
+            "re-execution (eager)",
+            tb.reexec_s,
+            {"items": result.stats.reexec_items_eager},
+        ),
+        (
+            "fix-up descent",
+            tb.fixup_s,
+            {
+                "chunks": result.stats.fixup_chunks,
+                "items": result.stats.fixup_items,
+                "probes": result.stats.fixup_probes,
+            },
+        ),
+    ):
+        if dur_s > 0:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": cursor,
+                    "dur": dur_s * us,
+                    "args": args,
+                }
+            )
+            cursor += dur_s * us
+    # CPU baseline reference track
+    events.append(
+        {
+            "name": "single-core CPU baseline",
+            "ph": "X",
+            "pid": 1,
+            "tid": 0,
+            "ts": 0.0,
+            "dur": tb.cpu_s * us,
+            "args": {"speedup": round(tb.speedup, 2)},
+        }
+    )
+    events.append(
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "CPU (modeled)"}}
+    )
+    return events
+
+
+def write_trace(
+    result: SpecExecutionResult,
+    path: str | Path,
+    *,
+    at_scale: int | None = None,
+) -> Path:
+    """Write the trace JSON; ``at_scale`` re-prices at a larger input first."""
+    timing = (
+        price_at_scale(result, at_scale) if at_scale is not None else result.timing
+    )
+    path = Path(path)
+    path.write_text(
+        json.dumps({"traceEvents": trace_events(result, timing=timing)}, indent=1)
+    )
+    return path

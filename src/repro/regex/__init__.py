@@ -1,0 +1,46 @@
+"""Regular-expression engine: pattern -> AST -> Thompson NFA -> minimal DFA.
+
+The paper evaluates FSMs derived from regular expressions (Table 5); this
+subpackage builds those machines from scratch:
+
+* :func:`repro.regex.parser.parse` — POSIX-ish syntax: literals, ``.``,
+  escapes, character classes (ranges, negation), ``* + ?``, bounded repeats
+  ``{n}``/``{n,m}``/``{n,}``, alternation, and grouping.
+* :func:`repro.regex.thompson.to_nfa` — Thompson construction.
+* :func:`repro.regex.compile.compile_regex` / ``compile_search`` — anchored
+  and unanchored (``.*R``) DFAs, minimized, optionally with input classes
+  compressed (which is how the paper reaches ``num_inputs`` of 7 and 3 for
+  its two expressions).
+"""
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Repeat,
+    SymbolClass,
+)
+from repro.regex.compile import compile_regex, compile_search, compress_inputs
+from repro.regex.derivatives import (
+    compile_regex_derivatives,
+    compile_search_derivatives,
+)
+from repro.regex.parser import parse
+from repro.regex.thompson import to_nfa
+
+__all__ = [
+    "Alternation",
+    "Concat",
+    "Empty",
+    "Literal",
+    "Repeat",
+    "SymbolClass",
+    "compile_regex",
+    "compile_regex_derivatives",
+    "compile_search",
+    "compile_search_derivatives",
+    "compress_inputs",
+    "parse",
+    "to_nfa",
+]

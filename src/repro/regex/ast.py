@@ -1,0 +1,106 @@
+"""Regular-expression abstract syntax tree.
+
+Nodes are immutable; symbol sets are stored as frozensets of *characters*
+(resolution to dense symbol ids happens at NFA-construction time against a
+concrete :class:`repro.fsm.alphabet.Alphabet`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Node", "Empty", "Literal", "SymbolClass", "Concat", "Alternation", "Repeat"]
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    def __or__(self, other: "Node") -> "Alternation":
+        return Alternation((self, other))
+
+    def __add__(self, other: "Node") -> "Concat":
+        return Concat((self, other))
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """Matches the empty string (epsilon)."""
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """Matches a single specific character."""
+
+    char: str
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.char, str) and len(self.char) == 1):
+            raise ValueError(f"Literal requires a single character, got {self.char!r}")
+
+
+@dataclass(frozen=True)
+class SymbolClass(Node):
+    """Matches one character from a set (or its complement).
+
+    ``chars`` is a frozenset of characters; ``negated=True`` means "any
+    alphabet character *not* in the set". The dot ``.`` is represented as a
+    negated empty class.
+    """
+
+    chars: frozenset
+    negated: bool = False
+
+    @classmethod
+    def dot(cls) -> "SymbolClass":
+        """The any-character class ``.``."""
+        return cls(frozenset(), negated=True)
+
+    def resolve(self, alphabet_symbols) -> frozenset:
+        """Concrete character set against an alphabet's symbols."""
+        symbols = frozenset(alphabet_symbols)
+        if self.negated:
+            return symbols - self.chars
+        return self.chars & symbols
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """Concatenation of parts, in order."""
+
+    parts: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 1:
+            raise ValueError("Concat requires at least one part")
+
+
+@dataclass(frozen=True)
+class Alternation(Node):
+    """Union of options."""
+
+    options: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 1:
+            raise ValueError("Alternation requires at least one option")
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """Bounded or unbounded repetition of ``inner``.
+
+    ``lo`` copies are mandatory; if ``hi`` is ``None`` the tail is a Kleene
+    star, otherwise up to ``hi - lo`` further optional copies. ``a*`` is
+    ``Repeat(a, 0, None)``, ``a+`` is ``Repeat(a, 1, None)``, ``a?`` is
+    ``Repeat(a, 0, 1)``, ``a{4}`` is ``Repeat(a, 4, 4)``.
+    """
+
+    inner: Node
+    lo: int
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"Repeat lower bound must be >= 0, got {self.lo}")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"Repeat bounds inverted: {{{self.lo},{self.hi}}}")

@@ -1,0 +1,122 @@
+"""Regex compilation pipeline: pattern -> minimal DFA (+ input compression).
+
+``compile_regex`` gives the anchored full-match machine; ``compile_search``
+gives the streaming searcher (equivalent to ``.*R``) whose accepting states
+fire exactly at positions where some match *ends* — the machine the paper
+runs over its 2^30-character inputs.
+
+``compress_inputs`` merges alphabet symbols with identical transition-table
+columns into input *classes*. This is how the paper's machines get their
+small ``num_inputs`` (7 for regular expression 1 — {a,e,i,k,l,p} + other; 3
+for regular expression 2 — {',', '.'} + other) even though the raw input is
+a 26-letter character stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+from repro.fsm.minimize import minimize_dfa
+from repro.fsm.subset import subset_construction
+from repro.regex.ast import Node, Repeat, SymbolClass
+from repro.regex.parser import parse
+from repro.regex.thompson import to_nfa
+
+__all__ = ["compile_regex", "compile_search", "compress_inputs", "CompressedDFA"]
+
+
+def compile_regex(
+    pattern: str | Node,
+    alphabet: Alphabet,
+    *,
+    minimize: bool = True,
+    name: str = "",
+) -> DFA:
+    """Anchored DFA: accepts exactly the strings matching ``pattern``."""
+    node = parse(pattern) if isinstance(pattern, str) else pattern
+    dfa = subset_construction(to_nfa(node, alphabet), alphabet=alphabet, name=name)
+    if minimize:
+        dfa = minimize_dfa(dfa)
+    return dfa
+
+
+def compile_search(
+    pattern: str | Node,
+    alphabet: Alphabet,
+    *,
+    minimize: bool = True,
+    name: str = "",
+) -> DFA:
+    """Streaming search DFA (``.*R``): accepting whenever a match just ended.
+
+    Running this machine over a text and recording the positions at which it
+    sits in an accepting state reproduces the paper's "output the position
+    of the match" semantics.
+    """
+    node = parse(pattern) if isinstance(pattern, str) else pattern
+    from repro.regex.ast import Concat
+
+    search_node = Concat((Repeat(SymbolClass.dot(), 0, None), node))
+    return compile_regex(search_node, alphabet, minimize=minimize, name=name)
+
+
+@dataclass(frozen=True)
+class CompressedDFA:
+    """A DFA over input classes plus the symbol -> class map.
+
+    ``class_of[s]`` maps a raw symbol id (index into the original alphabet)
+    to the compressed input class consumed by ``dfa``. Encode raw inputs
+    once with :meth:`encode_inputs`, then run ``dfa`` on the class stream.
+    """
+
+    dfa: DFA
+    class_of: np.ndarray  # (original_num_inputs,) int32
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct input classes (the compressed ``num_inputs``)."""
+        return self.dfa.num_inputs
+
+    def encode_inputs(self, symbol_ids: np.ndarray) -> np.ndarray:
+        """Map raw symbol ids to input-class ids."""
+        return self.class_of[np.asarray(symbol_ids)]
+
+
+def compress_inputs(dfa: DFA) -> CompressedDFA:
+    """Merge symbols with identical behaviour into input classes.
+
+    Two symbols are equivalent iff their transition-table rows (and emission
+    rows, for transducers) are identical. Classes are numbered in
+    first-appearance order. The compressed machine is language-equivalent to the
+    original on the mapped input stream and its table has only
+    ``num_classes * num_states`` entries — often dramatically smaller.
+    """
+    key = dfa.table
+    if dfa.emit is not None:
+        key = np.concatenate([dfa.table, dfa.emit], axis=1)
+    _, first_idx, inverse = np.unique(
+        key, axis=0, return_index=True, return_inverse=True
+    )
+    # np.unique sorts lexicographically; renumber classes by first appearance
+    # so class ids are stable and human-friendly.
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size)
+    class_of = rank[inverse].astype(np.int32)
+    representatives = first_idx[order]
+    table = dfa.table[representatives]
+    emit = None if dfa.emit is None else dfa.emit[representatives]
+    compressed = DFA(
+        table=table,
+        start=dfa.start,
+        accepting=dfa.accepting,
+        alphabet=None,
+        emit=emit,
+        name=(dfa.name + "/compressed") if dfa.name else "compressed",
+        state_names=dfa.state_names,
+    )
+    return CompressedDFA(dfa=compressed, class_of=class_of)

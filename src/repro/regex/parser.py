@@ -1,0 +1,240 @@
+"""Recursive-descent regular-expression parser.
+
+Grammar (standard precedence — alternation < concatenation < repetition):
+
+    alternation  := concat ('|' concat)*
+    concat       := repeat+
+    repeat       := atom ('*' | '+' | '?' | '{' bounds '}')*
+    atom         := literal | '.' | escape | class | '(' alternation ')'
+    class        := '[' '^'? item+ ']'        item := char | char '-' char
+    bounds       := n | n ',' | n ',' m
+
+Escapes: ``\\.`` ``\\*`` ``\\+`` ``\\?`` ``\\(`` ``\\)`` ``\\[`` ``\\]``
+``\\{`` ``\\}`` ``\\|`` ``\\\\`` ``\\n`` ``\\t`` ``\\r``.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Node,
+    Repeat,
+    SymbolClass,
+)
+
+__all__ = ["parse", "RegexSyntaxError"]
+
+_SPECIAL = set("|*+?()[]{}.\\")
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r"}
+
+# Class shorthands: \d \w \s and their negations. Sets are ASCII (the
+# machines here run over finite alphabets; Unicode categories would make
+# the class infinite).
+_DIGITS = frozenset("0123456789")
+_WORD = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+_SPACE = frozenset(" \t\n\r\f\v")
+_CLASS_SHORTHANDS = {
+    "d": (_DIGITS, False),
+    "D": (_DIGITS, True),
+    "w": (_WORD, False),
+    "W": (_WORD, True),
+    "s": (_SPACE, False),
+    "S": (_SPACE, True),
+}
+
+
+class RegexSyntaxError(ValueError):
+    """Raised for malformed patterns, with position information."""
+
+    def __init__(self, message: str, pattern: str, pos: int) -> None:
+        super().__init__(f"{message} at position {pos} in {pattern!r}")
+        self.pattern = pattern
+        self.pos = pos
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # --- low-level cursor ------------------------------------------------
+    def peek(self) -> str | None:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def take(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            self.error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            self.error(f"expected {ch!r}")
+        self.pos += 1
+
+    def error(self, message: str) -> None:
+        raise RegexSyntaxError(message, self.pattern, self.pos)
+
+    # --- grammar ----------------------------------------------------------
+    def parse(self) -> Node:
+        node = self.alternation()
+        if self.peek() is not None:
+            self.error(f"unexpected {self.peek()!r}")
+        return node
+
+    def alternation(self) -> Node:
+        options = [self.concat()]
+        while self.peek() == "|":
+            self.take()
+            options.append(self.concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(tuple(options))
+
+    def concat(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self.repeat())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def repeat(self) -> Node:
+        node = self.atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.take()
+                node = Repeat(node, 0, None)
+            elif ch == "+":
+                self.take()
+                node = Repeat(node, 1, None)
+            elif ch == "?":
+                self.take()
+                node = Repeat(node, 0, 1)
+            elif ch == "{":
+                node = self._bounds(node)
+            else:
+                return node
+
+    def _bounds(self, inner: Node) -> Node:
+        self.expect("{")
+        lo = self._number()
+        hi: int | None
+        if self.peek() == ",":
+            self.take()
+            if self.peek() == "}":
+                hi = None
+            else:
+                hi = self._number()
+        else:
+            hi = lo
+        self.expect("}")
+        if hi is not None and hi < lo:
+            self.error(f"repeat bounds inverted {{{lo},{hi}}}")
+        return Repeat(inner, lo, hi)
+
+    def _number(self) -> int:
+        start = self.pos
+        while (ch := self.peek()) is not None and ch.isdigit():
+            self.take()
+        if self.pos == start:
+            self.error("expected a number")
+        return int(self.pattern[start : self.pos])
+
+    def atom(self) -> Node:
+        ch = self.peek()
+        if ch is None:
+            self.error("unexpected end of pattern")
+        if ch == "(":
+            self.take()
+            node = self.alternation()
+            self.expect(")")
+            return node
+        if ch == ".":
+            self.take()
+            return SymbolClass.dot()
+        if ch == "[":
+            return self._char_class()
+        if ch == "\\":
+            self.take()
+            nxt = self.peek()
+            if nxt in _CLASS_SHORTHANDS:
+                self.take()
+                chars, negated = _CLASS_SHORTHANDS[nxt]
+                return SymbolClass(chars, negated=negated)
+            return Literal(self._escaped())
+        if ch in "*+?{":
+            self.error(f"nothing to repeat before {ch!r}")
+        if ch in ")|]}":
+            self.error(f"unexpected {ch!r}")
+        return Literal(self.take())
+
+    def _escaped(self) -> str:
+        ch = self.take()
+        if ch in _ESCAPES:
+            return _ESCAPES[ch]
+        if ch in _SPECIAL or not ch.isalnum():
+            return ch
+        self.error(f"unknown escape \\{ch}")
+        raise AssertionError("unreachable")
+
+    def _char_class(self) -> SymbolClass:
+        self.expect("[")
+        negated = False
+        if self.peek() == "^":
+            self.take()
+            negated = True
+        chars: set[str] = set()
+        first = True
+        while True:
+            ch = self.peek()
+            if ch is None:
+                self.error("unterminated character class")
+            if ch == "]" and not first:
+                self.take()
+                break
+            first = False
+            lo = self.take()
+            if lo == "\\":
+                nxt = self.peek()
+                if nxt in ("d", "w", "s"):
+                    # positive shorthand inside a class unions its set
+                    self.take()
+                    chars |= _CLASS_SHORTHANDS[nxt][0]
+                    continue
+                if nxt in ("D", "W", "S"):
+                    self.error(
+                        f"negated shorthand \\{nxt} is not supported inside "
+                        "a character class"
+                    )
+                lo = self._escaped()
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.take()  # '-'
+                hi = self.take()
+                if hi == "\\":
+                    hi = self._escaped()
+                if ord(hi) < ord(lo):
+                    self.error(f"inverted range {lo}-{hi}")
+                chars.update(chr(c) for c in range(ord(lo), ord(hi) + 1))
+            else:
+                chars.add(lo)
+        if not chars:
+            self.error("empty character class")
+        return SymbolClass(frozenset(chars), negated=negated)
+
+
+def parse(pattern: str) -> Node:
+    """Parse ``pattern`` into an AST; raises :class:`RegexSyntaxError` on error."""
+    return _Parser(pattern).parse()

@@ -1,0 +1,139 @@
+"""Thompson construction: regex AST -> epsilon-NFA over a concrete alphabet.
+
+Each AST node becomes a fragment with one entry and one exit state; bounded
+repeats ``{n,m}`` expand into ``n`` mandatory copies plus ``m - n`` optional
+ones (or a Kleene-star tail for ``{n,}``). The construction is linear in the
+expanded pattern size.
+"""
+
+from __future__ import annotations
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.nfa import NFA
+from repro.regex.ast import (
+    Alternation,
+    Concat,
+    Empty,
+    Literal,
+    Node,
+    Repeat,
+    SymbolClass,
+)
+
+__all__ = ["to_nfa"]
+
+
+def to_nfa(node: Node, alphabet: Alphabet) -> NFA:
+    """Compile an AST into an :class:`repro.fsm.nfa.NFA` over ``alphabet``."""
+    nfa = NFA(num_inputs=alphabet.size)
+    entry, exit_ = _build(node, nfa, alphabet)
+    nfa.start = entry
+    nfa.accepting = {exit_}
+    return nfa
+
+
+def _build(node: Node, nfa: NFA, alphabet: Alphabet) -> tuple[int, int]:
+    """Return (entry, exit) states of the fragment for ``node``."""
+    if isinstance(node, Empty):
+        s = nfa.add_state()
+        t = nfa.add_state()
+        nfa.add_edge(s, None, t)
+        return s, t
+
+    if isinstance(node, Literal):
+        if node.char not in alphabet:
+            raise ValueError(
+                f"literal {node.char!r} is not in the target alphabet"
+            )
+        s = nfa.add_state()
+        t = nfa.add_state()
+        nfa.add_edge(s, alphabet.id_of(node.char), t)
+        return s, t
+
+    if isinstance(node, SymbolClass):
+        chars = node.resolve(alphabet.symbols)
+        if not chars:
+            raise ValueError(f"character class {node} matches nothing in the alphabet")
+        s = nfa.add_state()
+        t = nfa.add_state()
+        nfa.add_edges(s, (alphabet.id_of(c) for c in chars), t)
+        return s, t
+
+    if isinstance(node, Concat):
+        entry, cur = _build(node.parts[0], nfa, alphabet)
+        for part in node.parts[1:]:
+            nxt_entry, nxt_exit = _build(part, nfa, alphabet)
+            nfa.add_edge(cur, None, nxt_entry)
+            cur = nxt_exit
+        return entry, cur
+
+    if isinstance(node, Alternation):
+        s = nfa.add_state()
+        t = nfa.add_state()
+        for option in node.options:
+            oe, ox = _build(option, nfa, alphabet)
+            nfa.add_edge(s, None, oe)
+            nfa.add_edge(ox, None, t)
+        return s, t
+
+    if isinstance(node, Repeat):
+        return _build_repeat(node, nfa, alphabet)
+
+    raise TypeError(f"unknown AST node type {type(node).__name__}")
+
+
+def _build_repeat(node: Repeat, nfa: NFA, alphabet: Alphabet) -> tuple[int, int]:
+    inner, lo, hi = node.inner, node.lo, node.hi
+
+    def star() -> tuple[int, int]:
+        s = nfa.add_state()
+        t = nfa.add_state()
+        ie, ix = _build(inner, nfa, alphabet)
+        nfa.add_edge(s, None, ie)
+        nfa.add_edge(ix, None, t)
+        nfa.add_edge(s, None, t)
+        nfa.add_edge(ix, None, ie)
+        return s, t
+
+    if lo == 0 and hi is None:  # a*
+        return star()
+
+    # Mandatory prefix: lo copies chained.
+    entry: int | None = None
+    cur: int | None = None
+    for _ in range(lo):
+        ie, ix = _build(inner, nfa, alphabet)
+        if entry is None:
+            entry, cur = ie, ix
+        else:
+            nfa.add_edge(cur, None, ie)  # type: ignore[arg-type]
+            cur = ix
+
+    if hi is None:  # a{lo,} = a^lo a*
+        se, sx = star()
+        if entry is None:
+            return se, sx
+        nfa.add_edge(cur, None, se)  # type: ignore[arg-type]
+        return entry, sx
+
+    # Optional tail: hi - lo skippable copies.
+    exits: list[int] = [] if cur is None else [cur]
+    for _ in range(hi - lo):
+        ie, ix = _build(inner, nfa, alphabet)
+        if entry is None:
+            entry = nfa.add_state()
+            nfa.add_edge(entry, None, ie)
+            exits.append(entry)
+        else:
+            nfa.add_edge(cur, None, ie)  # type: ignore[arg-type]
+        cur = ix
+        exits.append(ix)
+    if entry is None:  # {0,0}: epsilon
+        s = nfa.add_state()
+        t = nfa.add_state()
+        nfa.add_edge(s, None, t)
+        return s, t
+    final = nfa.add_state()
+    for e in dict.fromkeys(exits):
+        nfa.add_edge(e, None, final)
+    return entry, final

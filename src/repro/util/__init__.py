@@ -1,0 +1,32 @@
+"""Shared utilities: bit streams, validation, RNG helpers, statistics."""
+
+from repro.util.bitstream import (
+    BitReader,
+    BitWriter,
+    bits_from_bytes,
+    bits_to_bytes,
+)
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.stats import cdf_by_frequency, describe, geometric_mean
+from repro.util.validation import (
+    check_dtype_integer,
+    check_in_set,
+    check_positive,
+    check_range,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bits_from_bytes",
+    "bits_to_bytes",
+    "cdf_by_frequency",
+    "check_dtype_integer",
+    "check_in_set",
+    "check_positive",
+    "check_range",
+    "describe",
+    "ensure_rng",
+    "geometric_mean",
+    "spawn_rngs",
+]

@@ -1,0 +1,109 @@
+"""Bit-stream packing and unpacking.
+
+Huffman-coded data is a stream of bits; the decoder FSM consumes one bit per
+transition (``num_inputs == 2`` in Table 3 of the paper). These helpers
+convert between packed ``uint8`` byte buffers and unpacked ``uint8`` arrays of
+0/1 symbols, plus small incremental reader/writer classes used by the
+reference (non-FSM) Huffman codec.
+
+Packing uses ``numpy.packbits``/``unpackbits`` (MSB-first), so round-trips
+are exact and vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bits_to_bytes", "bits_from_bytes", "BitWriter", "BitReader"]
+
+
+def bits_to_bytes(bits: np.ndarray) -> tuple[bytes, int]:
+    """Pack an array of 0/1 values into bytes (MSB first).
+
+    Returns ``(payload, nbits)`` where ``nbits`` is the exact bit count
+    (needed because the final byte may be padded with zeros).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError(f"bits must be 1-D, got shape {bits.shape}")
+    if bits.size and int(bits.max(initial=0)) > 1:
+        raise ValueError("bits must contain only 0 and 1")
+    return np.packbits(bits).tobytes(), int(bits.size)
+
+
+def bits_from_bytes(payload: bytes, nbits: int) -> np.ndarray:
+    """Unpack ``payload`` into an array of exactly ``nbits`` 0/1 values."""
+    if nbits < 0:
+        raise ValueError(f"nbits must be >= 0, got {nbits}")
+    if nbits > 8 * len(payload):
+        raise ValueError(f"nbits={nbits} exceeds payload capacity {8 * len(payload)}")
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    return np.unpackbits(raw)[:nbits]
+
+
+class BitWriter:
+    """Incrementally collect bits, then retrieve them as an array or bytes."""
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    def write(self, bits: np.ndarray) -> None:
+        """Append an array of 0/1 values."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError(f"bits must be 1-D, got shape {bits.shape}")
+        self._chunks.append(bits)
+        self._nbits += bits.size
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self.write(np.array([bit], dtype=np.uint8))
+
+    def getvalue(self) -> np.ndarray:
+        """Return all written bits as one array."""
+        if not self._chunks:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate(self._chunks)
+
+    def packed(self) -> tuple[bytes, int]:
+        """Return ``(bytes, nbits)`` for the written stream."""
+        return bits_to_bytes(self.getvalue())
+
+
+class BitReader:
+    """Sequentially read bits from an unpacked bit array."""
+
+    def __init__(self, bits: np.ndarray) -> None:
+        self._bits = np.asarray(bits, dtype=np.uint8)
+        if self._bits.ndim != 1:
+            raise ValueError(f"bits must be 1-D, got shape {self._bits.shape}")
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._bits.size - self._pos
+
+    def read_bit(self) -> int:
+        """Read one bit; raises ``EOFError`` when exhausted."""
+        if self._pos >= self._bits.size:
+            raise EOFError("bit stream exhausted")
+        bit = int(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read(self, n: int) -> np.ndarray:
+        """Read ``n`` bits; raises ``EOFError`` if fewer remain."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if self._pos + n > self._bits.size:
+            raise EOFError(f"requested {n} bits, only {self.remaining} remain")
+        out = self._bits[self._pos : self._pos + n]
+        self._pos += n
+        return out

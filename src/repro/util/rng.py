@@ -1,0 +1,40 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component of the library accepts either a seed or a
+``numpy.random.Generator``; :func:`ensure_rng` normalizes both to a
+``Generator`` so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    ``None`` yields a fresh nondeterministic generator, an ``int`` is used as
+    a seed, and an existing ``Generator`` is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int, or numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Uses ``Generator.spawn`` so the children are statistically independent —
+    the right way to seed per-worker streams in parallel workloads.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return list(ensure_rng(rng).spawn(n))

@@ -1,0 +1,66 @@
+"""Small statistics helpers used by the analysis and benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["cdf_by_frequency", "geometric_mean", "describe", "Summary"]
+
+
+def cdf_by_frequency(counts: np.ndarray) -> np.ndarray:
+    """Cumulative distribution with items sorted by decreasing frequency.
+
+    This is the quantity plotted in Figure 5 of the paper: sort state
+    frequencies in decreasing order and return the running share of the
+    total. ``cdf[i]`` is the fraction of all events covered by the ``i+1``
+    most frequent items. An all-zero input yields an all-zero CDF.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise ValueError(f"counts must be 1-D, got shape {counts.shape}")
+    if counts.size and counts.min() < 0:
+        raise ValueError("counts must be non-negative")
+    total = counts.sum()
+    if total == 0:
+        return np.zeros_like(counts)
+    ordered = np.sort(counts)[::-1]
+    return np.cumsum(ordered) / total
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean of positive values (standard for speedup aggregation)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("geometric_mean of empty array")
+    if values.min() <= 0:
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    median: float
+    max: float
+
+
+def describe(values: np.ndarray) -> Summary:
+    """Return a :class:`Summary` of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("describe of empty array")
+    return Summary(
+        n=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        min=float(values.min()),
+        median=float(np.median(values)),
+        max=float(values.max()),
+    )

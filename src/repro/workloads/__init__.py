@@ -1,0 +1,39 @@
+"""Workload generators and input partitioning.
+
+The paper's inputs were Project Gutenberg books (Huffman), random lowercase
+text (regexes), New York Times pages (HTML tokenization), and random bits
+(Div7). Offline, we synthesize statistically equivalent inputs:
+
+* :func:`repro.workloads.text.synthetic_book` — English-like text whose
+  character-frequency profile yields Huffman decoders in the paper's
+  170–210-state range.
+* :func:`repro.workloads.html.synthetic_page` — well-formed-ish HTML with
+  tags, attributes, comments, character references, and a doctype.
+* :func:`repro.workloads.binary.random_bits` — uniform or biased bit streams.
+* :mod:`repro.workloads.chunking` — the chunk partitioner and the input
+  layout transformation (Section 4.1's coalescing optimization).
+"""
+
+from repro.workloads.binary import random_bits, random_symbols
+from repro.workloads.chunking import ChunkPlan, plan_chunks, transform_layout
+from repro.workloads.html import synthetic_page, synthetic_pages
+from repro.workloads.text import (
+    ENGLISH_CHAR_WEIGHTS,
+    random_lowercase,
+    synthetic_book,
+    synthetic_library,
+)
+
+__all__ = [
+    "ChunkPlan",
+    "ENGLISH_CHAR_WEIGHTS",
+    "plan_chunks",
+    "random_bits",
+    "random_lowercase",
+    "random_symbols",
+    "synthetic_book",
+    "synthetic_library",
+    "synthetic_page",
+    "synthetic_pages",
+    "transform_layout",
+]

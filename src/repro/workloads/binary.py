@@ -1,0 +1,53 @@
+"""Random symbol streams: bits and generic categorical draws."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["random_bits", "random_symbols"]
+
+
+def random_bits(
+    n: int,
+    *,
+    p_one: float = 0.5,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """A length-``n`` array of 0/1 symbols (``int32``), P(1) = ``p_one``.
+
+    The Div7 input of the paper is the ``p_one = 0.5`` case.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p_one <= 1.0:
+        raise ValueError(f"p_one must be in [0, 1], got {p_one}")
+    gen = ensure_rng(rng)
+    return (gen.random(n) < p_one).astype(np.int32)
+
+
+def random_symbols(
+    n: int,
+    num_symbols: int,
+    *,
+    probs: np.ndarray | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """A length-``n`` categorical stream over ``num_symbols`` ids.
+
+    ``probs`` defaults to uniform; it is normalized if it does not sum to 1.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if num_symbols < 1:
+        raise ValueError(f"num_symbols must be >= 1, got {num_symbols}")
+    gen = ensure_rng(rng)
+    if probs is None:
+        return gen.integers(0, num_symbols, size=n, dtype=np.int32)
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.shape != (num_symbols,):
+        raise ValueError(f"probs must have shape ({num_symbols},), got {probs.shape}")
+    if probs.min() < 0 or probs.sum() <= 0:
+        raise ValueError("probs must be non-negative with positive sum")
+    return gen.choice(num_symbols, size=n, p=probs / probs.sum()).astype(np.int32)

@@ -1,0 +1,120 @@
+"""Synthetic HTML page generator (the New York Times substitute).
+
+Pages contain the constructs the 38-state tokenizer distinguishes: a
+doctype, nested start/end tags with attributes in all three quoting styles,
+self-closing tags, comments, character references, and text runs. Tag/text
+proportions are tuned so look-back speculation succeeds at a high rate, as
+the paper observes for its HTML workload (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["synthetic_page", "synthetic_pages"]
+
+_TAGS = (
+    "div", "span", "p", "a", "li", "ul", "h1", "h2", "img", "table",
+    "tr", "td", "section", "article", "header", "footer", "nav", "em",
+)
+_ATTRS = ("class", "id", "href", "src", "style", "title", "data-x", "role")
+_WORDS = (
+    "the", "quick", "news", "report", "today", "world", "politics", "arts",
+    "science", "health", "business", "opinion", "review", "election",
+    "market", "climate", "city", "sports", "travel", "food",
+)
+_CHARREFS = ("&amp;", "&lt;", "&gt;", "&nbsp;", "&#169;", "&#x2014;", "&quot;")
+
+
+def _text_run(gen: np.random.Generator, n_words: int) -> str:
+    words = [_WORDS[int(i)] for i in gen.integers(0, len(_WORDS), size=n_words)]
+    out = " ".join(words)
+    if n_words > 3 and gen.random() < 0.3:
+        out += " " + _CHARREFS[int(gen.integers(0, len(_CHARREFS)))] + " "
+    return out
+
+
+def _attributes(gen: np.random.Generator) -> str:
+    n = int(gen.integers(0, 4))
+    parts = []
+    for _ in range(n):
+        name = _ATTRS[int(gen.integers(0, len(_ATTRS)))]
+        style = gen.random()
+        value = _WORDS[int(gen.integers(0, len(_WORDS)))]
+        if style < 0.6:
+            parts.append(f'{name}="{value}"')
+        elif style < 0.8:
+            parts.append(f"{name}='{value}'")
+        elif style < 0.9:
+            parts.append(f"{name}={value}")
+        else:
+            parts.append(name)  # boolean attribute
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def synthetic_page(
+    approx_chars: int,
+    *,
+    rng: int | np.random.Generator | None = 0,
+) -> str:
+    """One synthetic page of roughly ``approx_chars`` characters."""
+    if approx_chars < 0:
+        raise ValueError(f"approx_chars must be >= 0, got {approx_chars}")
+    gen = ensure_rng(rng)
+    parts: list[str] = ['<!DOCTYPE html "about:legacy-compat">', "<html><body>"]
+    size = sum(len(p) for p in parts)
+    open_stack: list[str] = []
+    while size < approx_chars:
+        roll = gen.random()
+        if roll < 0.58:
+            piece = _text_run(gen, int(gen.integers(6, 24)))
+        elif roll < 0.74 or not open_stack:
+            tag = _TAGS[int(gen.integers(0, len(_TAGS)))]
+            if tag == "img" or gen.random() < 0.08:
+                piece = f"<{tag}{_attributes(gen)}/>"
+            else:
+                piece = f"<{tag}{_attributes(gen)}>"
+                open_stack.append(tag)
+        elif roll < 0.92:
+            piece = f"</{open_stack.pop()}>"
+        elif roll < 0.97:
+            piece = f"<!-- {_text_run(gen, int(gen.integers(1, 6)))} -->"
+        else:
+            piece = _CHARREFS[int(gen.integers(0, len(_CHARREFS)))]
+        parts.append(piece)
+        size += len(piece)
+    while open_stack:
+        closer = f"</{open_stack.pop()}>"
+        parts.append(closer)
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def synthetic_pages(
+    total_chars: int,
+    *,
+    page_chars: int = 1 << 14,
+    rng: int | np.random.Generator | None = 0,
+) -> str:
+    """Concatenated pages totalling at least ``total_chars`` characters.
+
+    Mirrors the paper's "randomly combining web pages" input construction.
+    Pages are whole (never cut mid-tag), so the result may overshoot
+    ``total_chars`` by up to one page.
+    """
+    from repro.util.rng import spawn_rngs
+
+    if total_chars < 0:
+        raise ValueError(f"total_chars must be >= 0, got {total_chars}")
+    pages: list[str] = []
+    size = 0
+    gens = spawn_rngs(rng, max(1, -(-total_chars // max(1, page_chars))) + 2)
+    i = 0
+    while size < total_chars:
+        page = synthetic_page(page_chars, rng=gens[i % len(gens)])
+        pages.append(page)
+        size += len(page)
+        i += 1
+    return "".join(pages)

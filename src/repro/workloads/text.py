@@ -1,0 +1,122 @@
+"""Synthetic English-like text (the Project Gutenberg substitute).
+
+The paper builds Huffman codes from downloaded books; the resulting decoder
+FSMs have 177–205 states (Table 4), i.e. 178–206 distinct symbols. What the
+experiments actually depend on is the *character frequency profile*: a
+heavily skewed head (space, e, t, a, ...) plus a long tail of rare symbols
+(capitals, punctuation, digits, and — in UTF-8 books — occasional multi-byte
+sequences). :func:`synthetic_book` reproduces that profile:
+
+* a head of ~70 common characters with empirical English weights, and
+* a Zipf-distributed tail of ``tail_size`` rare byte values,
+
+so the Huffman decoder lands in the paper's state-count range and its
+row-access distribution shows the strong skew of Figure 5/15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "ENGLISH_CHAR_WEIGHTS",
+    "synthetic_book",
+    "synthetic_library",
+    "random_lowercase",
+]
+
+# Empirical English letter/punctuation weights (per mille, approximate;
+# derived from standard corpus tables). Keys are single characters.
+ENGLISH_CHAR_WEIGHTS: dict[str, float] = {
+    " ": 180.0,
+    "e": 102.0, "t": 75.0, "a": 65.0, "o": 62.0, "i": 57.0, "n": 57.0,
+    "s": 53.0, "h": 50.0, "r": 48.0, "d": 34.0, "l": 33.0, "u": 23.0,
+    "c": 22.0, "m": 20.0, "w": 19.0, "f": 18.0, "g": 16.0, "y": 16.0,
+    "p": 13.0, "b": 12.0, "v": 8.0, "k": 6.4, "j": 1.2, "x": 1.2,
+    "q": 0.8, "z": 0.6,
+    "\n": 16.0, ",": 10.0, ".": 9.0, "'": 2.4, '"': 2.2, ";": 0.8,
+    "-": 1.6, "?": 0.5, "!": 0.4, ":": 0.3, "(": 0.2, ")": 0.2,
+    "0": 0.5, "1": 0.6, "2": 0.3, "3": 0.2, "4": 0.2, "5": 0.3,
+    "6": 0.2, "7": 0.2, "8": 0.3, "9": 0.2,
+    "A": 1.3, "B": 0.9, "C": 0.8, "D": 0.6, "E": 0.6, "F": 0.5,
+    "G": 0.5, "H": 1.0, "I": 2.0, "J": 0.3, "K": 0.2, "L": 0.5,
+    "M": 0.9, "N": 0.6, "O": 0.5, "P": 0.6, "Q": 0.1, "R": 0.5,
+    "S": 1.0, "T": 1.6, "U": 0.2, "V": 0.2, "W": 0.8, "X": 0.05,
+    "Y": 0.3, "Z": 0.05,
+}
+
+
+def _symbol_distribution(tail_size: int, tail_weight: float) -> tuple[np.ndarray, np.ndarray]:
+    """Return (byte_values, probabilities) for head + Zipf tail."""
+    head_chars = list(ENGLISH_CHAR_WEIGHTS)
+    head_vals = np.array([ord(c) for c in head_chars], dtype=np.int64)
+    head_w = np.array([ENGLISH_CHAR_WEIGHTS[c] for c in head_chars], dtype=np.float64)
+    used = set(head_vals.tolist())
+    tail_vals = [v for v in range(128, 256) if v not in used]
+    tail_vals += [v for v in range(1, 128) if v not in used and v not in (10,)]
+    tail_vals = np.array(tail_vals[:tail_size], dtype=np.int64)
+    if tail_vals.size < tail_size:
+        raise ValueError(f"tail_size {tail_size} exceeds available byte values")
+    ranks = np.arange(1, tail_vals.size + 1, dtype=np.float64)
+    tail_w = 1.0 / ranks  # Zipf(1)
+    head_w = head_w / head_w.sum() * (1.0 - tail_weight)
+    tail_w = tail_w / tail_w.sum() * tail_weight
+    values = np.concatenate([head_vals, tail_vals])
+    probs = np.concatenate([head_w, tail_w])
+    return values, probs
+
+
+def synthetic_book(
+    n_chars: int,
+    *,
+    tail_size: int = 140,
+    tail_weight: float = 0.004,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Generate ``n_chars`` byte values (``int32``) of English-like text.
+
+    ``tail_size`` controls how many rare byte values exist; together with
+    ``n_chars`` it determines how many distinct symbols actually occur and
+    hence the Huffman decoder size. The defaults produce ~175–210 observed
+    symbols for inputs of 10^5 .. 10^7 characters, matching Table 4.
+    """
+    if n_chars < 0:
+        raise ValueError(f"n_chars must be >= 0, got {n_chars}")
+    gen = ensure_rng(rng)
+    values, probs = _symbol_distribution(tail_size, tail_weight)
+    return values[gen.choice(values.size, size=n_chars, p=probs)].astype(np.int32)
+
+
+def synthetic_library(
+    n_books: int,
+    chars_per_book: int,
+    *,
+    rng: int | np.random.Generator | None = 0,
+) -> list[np.ndarray]:
+    """Several books with slightly different profiles (Table 4's four texts).
+
+    Each book perturbs the tail size so the per-book Huffman FSMs differ in
+    state count, as in the paper's 179/203/177/179 spread.
+    """
+    from repro.util.rng import spawn_rngs
+
+    gens = spawn_rngs(rng, n_books)
+    books = []
+    for i, g in enumerate(gens):
+        tail = 110 + 17 * i  # varied tails -> varied distinct-symbol counts
+        books.append(synthetic_book(chars_per_book, tail_size=tail, rng=g))
+    return books
+
+
+def random_lowercase(
+    n_chars: int,
+    *,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Uniform random lowercase symbol ids 0..25 (the paper's regex input)."""
+    if n_chars < 0:
+        raise ValueError(f"n_chars must be >= 0, got {n_chars}")
+    gen = ensure_rng(rng)
+    return gen.integers(0, 26, size=n_chars, dtype=np.int32)

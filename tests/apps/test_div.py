@@ -1,0 +1,74 @@
+"""Tests for divisibility FSMs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.div import div7_dfa, div_dfa, residues_converge
+from repro.fsm.run import run_all_starts
+
+
+class TestDiv7:
+    def test_shape(self):
+        dfa = div7_dfa()
+        assert dfa.num_states == 7
+        assert dfa.num_inputs == 2
+
+    def test_known_values(self):
+        dfa = div7_dfa()
+        # 14 = 0b1110 is divisible by 7
+        assert dfa.accepts(np.array([1, 1, 1, 0]))
+        # 15 = 0b1111 is not
+        assert not dfa.accepts(np.array([1, 1, 1, 1]))
+
+    def test_empty_accepted(self):
+        assert div7_dfa().accepts(np.zeros(0, dtype=int))
+
+    def test_no_convergence(self):
+        # For any input symbol, the 7 states map to 7 distinct states.
+        dfa = div7_dfa()
+        for b in (0, 1):
+            assert np.unique(dfa.table[b]).size == 7
+
+    def test_permutation_over_any_word(self):
+        rng = np.random.default_rng(0)
+        word = rng.integers(0, 2, size=100)
+        assert np.unique(run_all_starts(div7_dfa(), word)).size == 7
+
+
+class TestDivGeneral:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        m=st.integers(1, 23),
+        base=st.integers(2, 8),
+        digits=st.lists(st.integers(0, 7), max_size=16),
+    )
+    def test_matches_arithmetic(self, m, base, digits):
+        digits = [d % base for d in digits]
+        dfa = div_dfa(m, base)
+        value = 0
+        for d in digits:
+            value = value * base + d
+        assert dfa.accepts(np.array(digits, dtype=int)) == (value % m == 0)
+
+    def test_state_is_residue(self):
+        dfa = div_dfa(5)
+        # after reading 0b1101 = 13, state must be 13 % 5 = 3
+        assert dfa.run(np.array([1, 1, 0, 1])) == 3
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            div_dfa(0)
+
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            div_dfa(7, base=1)
+
+    def test_residues_converge(self):
+        assert not residues_converge(7, 2)  # gcd(2,7)=1: no convergence
+        assert residues_converge(6, 2)  # gcd(2,6)=2: convergence possible
+
+    def test_convergent_machine_loses_states(self):
+        dfa = div_dfa(6, 2)
+        word = np.random.default_rng(1).integers(0, 2, size=50)
+        assert np.unique(run_all_starts(dfa, word)).size < 6

@@ -1,0 +1,149 @@
+"""Tests for the HTML tokenizer FSM vs the independent reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.html_tok import (
+    NUM_INPUTS,
+    NUM_STATES,
+    TOK_CHARREF,
+    TOK_COMMENT,
+    TOK_DOCTYPE,
+    TOK_END_TAG,
+    TOK_SELF_CLOSING_TAG,
+    TOK_START_TAG,
+    build_html_tokenizer,
+    reference_tokenize,
+)
+from repro.fsm.alphabet import Alphabet
+
+AB = Alphabet.ascii(NUM_INPUTS)
+
+
+def fsm_tokenize(text: str) -> list[tuple[int, int]]:
+    """Token events from the FSM transducer."""
+    dfa = build_html_tokenizer()
+    ids = AB.encode_text(text)
+    state = dfa.start
+    out = []
+    for i, a in enumerate(ids):
+        e = dfa.emit[a, state]
+        state = dfa.table[a, state]
+        if e >= 0:
+            out.append((i, int(e)))
+    return out
+
+
+class TestShape:
+    def test_paper_dimensions(self):
+        dfa = build_html_tokenizer()
+        assert dfa.num_states == NUM_STATES == 38
+        assert dfa.num_inputs == NUM_INPUTS == 128
+
+    def test_is_transducer(self):
+        assert build_html_tokenizer().is_transducer
+
+    def test_data_accepting(self):
+        dfa = build_html_tokenizer()
+        assert dfa.accepting[dfa.start]
+
+
+class TestTokens:
+    def test_start_tag(self):
+        assert fsm_tokenize("<div>") == [(4, TOK_START_TAG)]
+
+    def test_end_tag(self):
+        assert fsm_tokenize("</div>") == [(5, TOK_END_TAG)]
+
+    def test_self_closing(self):
+        assert fsm_tokenize("<br/>") == [(4, TOK_SELF_CLOSING_TAG)]
+
+    def test_attributes_all_styles(self):
+        text = '<a href="x" id=\'y\' w=z bare>'
+        assert fsm_tokenize(text) == [(len(text) - 1, TOK_START_TAG)]
+
+    def test_comment(self):
+        text = "<!-- hi -->"
+        assert fsm_tokenize(text) == [(len(text) - 1, TOK_COMMENT)]
+
+    def test_comment_with_dashes(self):
+        text = "<!-- a - b -- c --->"
+        assert fsm_tokenize(text) == [(len(text) - 1, TOK_COMMENT)]
+
+    def test_bogus_comment(self):
+        text = "<!bogus>"
+        assert fsm_tokenize(text) == [(len(text) - 1, TOK_COMMENT)]
+
+    def test_doctype(self):
+        text = "<!DOCTYPE html>"
+        assert fsm_tokenize(text) == [(len(text) - 1, TOK_DOCTYPE)]
+
+    def test_doctype_with_ids(self):
+        text = '<!doctype html "a>b" \'c>\'>'
+        assert fsm_tokenize(text) == [(len(text) - 1, TOK_DOCTYPE)]
+
+    def test_charref_named(self):
+        assert fsm_tokenize("x&amp;y") == [(5, TOK_CHARREF)]
+
+    def test_charref_decimal(self):
+        assert fsm_tokenize("&#169;") == [(5, TOK_CHARREF)]
+
+    def test_charref_hex(self):
+        assert fsm_tokenize("&#x2014;") == [(7, TOK_CHARREF)]
+
+    def test_abandoned_charref(self):
+        assert fsm_tokenize("a&b c") == []
+
+    def test_lt_as_text(self):
+        assert fsm_tokenize("1<2 ") == []
+
+    def test_quoted_gt_does_not_end_tag(self):
+        text = '<a t=">">'
+        assert fsm_tokenize(text) == [(len(text) - 1, TOK_START_TAG)]
+
+    def test_nested_sequence(self):
+        text = "<ul><li>x</li></ul>"
+        types = [t for _, t in fsm_tokenize(text)]
+        assert types == [TOK_START_TAG, TOK_START_TAG, TOK_END_TAG, TOK_END_TAG]
+
+    def test_non_ascii_rejected_by_reference(self):
+        with pytest.raises(ValueError):
+            reference_tokenize("café")
+
+
+class TestAgainstReference:
+    CASES = [
+        "",
+        "plain text only",
+        "<p>hello</p>",
+        "<img src=x />",
+        '<a href="q>u" a=\'<\' >link</a>',
+        "<!-- -- - --> after",
+        "<!doctypehtml>",  # no space: bogus
+        "<!DOCT>",
+        "</ div>",  # bogus comment path
+        "</>",
+        "<<div>>",
+        "a && b &amp; c &#12 &#x1f;",
+        "<a/b=c><a / b>",
+        "<e x=1 y z='2'/>",
+        "text <b>bold</b> <!-- note --> &gt; done",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_fsm_matches_reference(self, text):
+        assert fsm_tokenize(text) == reference_tokenize(text)
+
+    def test_random_pages_match(self):
+        from repro.workloads.html import synthetic_page
+
+        for seed in range(5):
+            page = synthetic_page(2000, rng=seed)
+            assert fsm_tokenize(page) == reference_tokenize(page)
+
+    def test_random_ascii_soup_matches(self):
+        rng = np.random.default_rng(0)
+        chars = list("<>!-&;#xX/='\"abc 123\n")
+        for _ in range(20):
+            text = "".join(rng.choice(chars, size=200))
+            assert fsm_tokenize(text) == reference_tokenize(text)

@@ -1,0 +1,168 @@
+"""Tests for Huffman coding and the decoder FSM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.huffman import HuffmanCode
+from repro.fsm.run import run_reference
+
+
+class TestTreeConstruction:
+    def test_two_symbols(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 3]))
+        book = code.codebook()
+        assert sorted(book.values()) == ["0", "1"]
+
+    def test_skewed_gets_short_code(self):
+        code = HuffmanCode.from_frequencies(np.array([100, 1, 1, 1]))
+        lengths = code.code_lengths
+        assert lengths[0] == 1  # most frequent symbol gets the shortest code
+
+    def test_single_symbol_degenerate(self):
+        code = HuffmanCode.from_frequencies(np.array([0, 7, 0]))
+        assert code.codebook() == {1: "0"}
+
+    def test_zero_frequency_symbols_uncoded(self):
+        code = HuffmanCode.from_frequencies(np.array([4, 0, 4]))
+        assert code.code_lengths[1] == 0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="positive frequency"):
+            HuffmanCode.from_frequencies(np.array([0, 0]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCode.from_frequencies(np.array([1, -1]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCode.from_frequencies(np.ones((2, 2), dtype=np.int64))
+
+    def test_deterministic(self):
+        f = np.array([3, 1, 4, 1, 5])
+        a = HuffmanCode.from_frequencies(f).codebook()
+        b = HuffmanCode.from_frequencies(f).codebook()
+        assert a == b
+
+    def test_from_data(self):
+        data = np.array([0, 0, 1, 2, 2, 2])
+        code = HuffmanCode.from_data(data)
+        assert code.num_symbols == 3
+        assert code.code_lengths[2] <= code.code_lengths[1]
+
+    def test_prefix_free(self):
+        code = HuffmanCode.from_frequencies(np.array([9, 5, 3, 2, 1, 1]))
+        words = list(code.codebook().values())
+        for i, w in enumerate(words):
+            for j, v in enumerate(words):
+                if i != j:
+                    assert not v.startswith(w)
+
+    def test_kraft_equality(self):
+        code = HuffmanCode.from_frequencies(np.array([7, 5, 3, 2, 2, 1]))
+        lengths = code.code_lengths[code.code_lengths > 0]
+        assert sum(2.0 ** -l for l in lengths) == pytest.approx(1.0)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_small(self):
+        code = HuffmanCode.from_frequencies(np.array([4, 3, 2, 1]))
+        data = np.array([0, 1, 2, 3, 0, 0, 2])
+        bits = code.encode(data)
+        np.testing.assert_array_equal(code.decode_reference(bits), data)
+
+    def test_encoded_length_matches(self):
+        code = HuffmanCode.from_frequencies(np.array([4, 3, 2, 1]))
+        data = np.array([0, 1, 2, 3])
+        assert code.encode(data).size == code.encoded_length(data)
+
+    def test_empty(self):
+        code = HuffmanCode.from_frequencies(np.array([1, 1]))
+        assert code.encode(np.zeros(0, dtype=int)).size == 0
+        assert code.decode_reference(np.zeros(0, dtype=np.uint8)).size == 0
+
+    def test_encode_uncoded_symbol_rejected(self):
+        code = HuffmanCode.from_frequencies(np.array([1, 0, 1]))
+        with pytest.raises(ValueError, match="zero frequency"):
+            code.encode(np.array([1]))
+
+    def test_decode_truncated_rejected(self):
+        code = HuffmanCode.from_frequencies(np.array([4, 3, 2, 1]))
+        bits = code.encode(np.array([3]))
+        with pytest.raises(ValueError, match="mid-codeword"):
+            code.decode_reference(bits[:-1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 5), min_size=1, max_size=200),
+        freqs=st.lists(st.integers(1, 50), min_size=6, max_size=6),
+    )
+    def test_roundtrip_property(self, data, freqs):
+        code = HuffmanCode.from_frequencies(np.array(freqs))
+        arr = np.array(data)
+        np.testing.assert_array_equal(code.decode_reference(code.encode(arr)), arr)
+
+
+class TestDecoderFSM:
+    def test_state_count_is_symbols_minus_one(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 4, 3, 2, 1]))
+        assert code.decoder_dfa().num_states == 4
+
+    def test_binary_alphabet(self):
+        code = HuffmanCode.from_frequencies(np.array([2, 1, 1]))
+        dfa = code.decoder_dfa()
+        assert dfa.num_inputs == 2
+        assert dfa.is_transducer
+
+    def test_root_accepting(self):
+        dfa = HuffmanCode.from_frequencies(np.array([2, 1, 1])).decoder_dfa()
+        assert dfa.accepting[dfa.start]
+
+    def test_whole_codewords_end_at_root(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 4, 3, 2]))
+        dfa = code.decoder_dfa()
+        bits = code.encode(np.array([2, 0, 1, 3, 3]))
+        assert run_reference(dfa, bits) == dfa.start
+
+    def test_partial_codeword_not_at_root(self):
+        code = HuffmanCode.from_frequencies(np.array([5, 4, 3, 2]))
+        dfa = code.decoder_dfa()
+        bits = code.encode(np.array([3]))  # longest code
+        assert run_reference(dfa, bits[:-1]) != dfa.start
+
+    def test_fsm_emissions_equal_reference_decode(self):
+        code = HuffmanCode.from_frequencies(np.array([9, 5, 3, 2, 1]))
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 5, size=500)
+        bits = code.encode(data)
+        dfa = code.decoder_dfa()
+        # walk the FSM collecting emissions
+        state = dfa.start
+        out = []
+        for b in bits:
+            e = dfa.emit[b, state]
+            state = dfa.table[b, state]
+            if e >= 0:
+                out.append(int(e))
+        np.testing.assert_array_equal(out, data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 7), min_size=1, max_size=100),
+        seed=st.integers(0, 100),
+    )
+    def test_fsm_decode_property(self, data, seed):
+        freqs = np.random.default_rng(seed).integers(1, 40, size=8)
+        code = HuffmanCode.from_frequencies(freqs)
+        arr = np.array(data)
+        bits = code.encode(arr)
+        dfa = code.decoder_dfa()
+        state = dfa.start
+        out = []
+        for b in bits:
+            e = dfa.emit[b, state]
+            state = dfa.table[b, state]
+            if e >= 0:
+                out.append(int(e))
+        np.testing.assert_array_equal(out, arr)

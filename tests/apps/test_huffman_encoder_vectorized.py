@@ -1,0 +1,53 @@
+"""The vectorized Huffman encoder vs a naive string-join encoder."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.huffman import HuffmanCode
+
+
+def naive_encode(code: HuffmanCode, data: np.ndarray) -> np.ndarray:
+    book = code.codebook()
+    bits = "".join(book[int(s)] for s in data)
+    return np.frombuffer(bits.encode(), dtype=np.uint8) - ord("0")
+
+
+class TestEncoderEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 9), min_size=0, max_size=300),
+        seed=st.integers(0, 50),
+    )
+    def test_vectorized_equals_naive(self, data, seed):
+        freqs = np.random.default_rng(seed).integers(1, 100, size=10)
+        code = HuffmanCode.from_frequencies(freqs)
+        arr = np.array(data, dtype=np.int64)
+        fast = code.encode(arr)
+        slow = naive_encode(code, arr)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_large_input_stays_exact(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(1, 1000, size=64)
+        code = HuffmanCode.from_frequencies(freqs)
+        data = rng.integers(0, 64, size=100_000)
+        fast = code.encode(data)
+        assert fast.size == code.encoded_length(data)
+        np.testing.assert_array_equal(code.decode_reference(fast), data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_optimality_vs_uniform_code(self, seed):
+        # Huffman never does worse than the fixed-length code.
+        rng = np.random.default_rng(seed)
+        n_sym = int(rng.integers(2, 32))
+        freqs = rng.integers(1, 100, size=n_sym)
+        code = HuffmanCode.from_frequencies(freqs)
+        data = rng.integers(0, n_sym, size=2000)
+        fixed_bits = int(np.ceil(np.log2(n_sym)))
+        assert code.encoded_length(data) <= max(1, fixed_bits) * data.size + data.size
+        # and entropy lower-bounds it (within 1 bit/symbol)
+        p = np.bincount(data, minlength=n_sym) / data.size
+        p = p[p > 0]
+        entropy = float(-(p * np.log2(p)).sum())
+        assert code.encoded_length(data) >= entropy * data.size * 0.99 - 8

@@ -1,0 +1,104 @@
+"""Tests for the paper's two regular expressions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.paper_regexes import (
+    REGEX1_PATTERN,
+    REGEX2_PATTERN,
+    build_regex1,
+    build_regex2,
+    regex1_alphabet,
+    regex2_alphabet,
+)
+from repro.fsm.run import run_reference_trace
+
+
+def subsequence(word: str, text: str) -> bool:
+    it = iter(text)
+    return all(c in it for c in word)
+
+
+class TestRegex1:
+    def test_input_classes(self):
+        dfa, class_of = build_regex1()
+        assert dfa.num_inputs == 7
+        assert class_of is not None and class_of.shape == (26,)
+
+    def test_uncompressed(self):
+        dfa, class_of = build_regex1(compressed=False)
+        assert dfa.num_inputs == 26
+        assert class_of is None
+
+    def test_minimized_smaller(self):
+        unmin, _ = build_regex1(minimize=False)
+        mini, _ = build_regex1(minimize=True)
+        assert mini.num_states < unmin.num_states
+
+    @pytest.mark.parametrize(
+        "text,ends_with_match",
+        [
+            ("like", True),
+            ("apple", True),
+            ("lxxixxkxxe", True),
+            ("axpxpxlxe", True),
+            ("lik", False),
+            ("elki", False),  # wrong order
+            ("likex", False),  # match must end at the cursor
+        ],
+    )
+    def test_search_semantics(self, text, ends_with_match):
+        dfa, class_of = build_regex1()
+        ab = regex1_alphabet()
+        ids = class_of[ab.encode_text(text)]
+        assert bool(dfa.accepting[dfa.run(ids)]) == ends_with_match
+
+    def test_match_positions_vs_subsequence(self):
+        dfa, class_of = build_regex1()
+        ab = regex1_alphabet()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            text = "".join(rng.choice(list("likeap" + "xyz"), size=30))
+            ids = class_of[ab.encode_text(text)]
+            trace = run_reference_trace(dfa, ids)
+            for pos in range(len(text)):
+                prefix = text[: pos + 1]
+                want = (
+                    subsequence("like", prefix) and prefix.endswith("e")
+                    and subsequence("lik", prefix[:-1])
+                ) or (
+                    subsequence("apple", prefix) and prefix.endswith("e")
+                    and subsequence("appl", prefix[:-1])
+                )
+                assert bool(dfa.accepting[trace[pos]]) == want
+
+
+class TestRegex2:
+    def test_alphabet(self):
+        assert regex2_alphabet().size == 3
+
+    def test_shape(self):
+        dfa, _ = build_regex2()
+        assert dfa.num_inputs == 3
+        assert dfa.num_states > 1
+
+    def test_match_ends_detected(self):
+        import re
+
+        dfa, _ = build_regex2()
+        ab = regex2_alphabet()
+        pat = re.compile(r"(.+,.+\.){4}|(.+,){4}|(.+\.){4}")
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            text = "".join(rng.choice([",", ".", "x"], size=40, p=[0.25, 0.25, 0.5]))
+            ids = ab.encode(list(text))
+            trace = run_reference_trace(dfa, ids)
+            for pos in range(len(text)):
+                mine = bool(dfa.accepting[trace[pos]])
+                theirs = any(
+                    pat.fullmatch(text[i : pos + 1]) for i in range(pos + 1)
+                )
+                assert mine == theirs
+
+    def test_patterns_exported(self):
+        assert "l" in REGEX1_PATTERN and "{4}" in REGEX2_PATTERN

@@ -1,0 +1,55 @@
+"""Tests for the application registry."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import APPLICATIONS, get_application
+
+
+class TestRegistry:
+    def test_all_paper_apps_present(self):
+        assert set(APPLICATIONS) == {"huffman", "regex1", "regex2", "html", "div7"}
+
+    def test_get_application(self):
+        assert get_application("div7").name == "div7"
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="available"):
+            get_application("nope")
+
+    def test_paper_cpu_ns(self):
+        app = get_application("huffman")
+        assert app.paper_cpu_ns_per_item == pytest.approx(2.224, abs=0.01)
+
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_build_instance(self, name):
+        app = get_application(name)
+        dfa, inputs = app.build_instance(20_000, seed=0)
+        assert inputs.shape == (20_000,)
+        assert inputs.dtype == np.int32
+        assert inputs.min() >= 0
+        assert int(inputs.max()) < dfa.num_inputs
+
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_build_deterministic(self, name):
+        app = get_application(name)
+        d1, i1 = app.build_instance(5_000, seed=3)
+        d2, i2 = app.build_instance(5_000, seed=3)
+        np.testing.assert_array_equal(i1, i2)
+        np.testing.assert_array_equal(d1.table, d2.table)
+
+    def test_huffman_machine_size_in_paper_range(self):
+        dfa, _ = get_application("huffman").build_instance(50_000, seed=1)
+        assert 150 <= dfa.num_states <= 230
+
+    def test_html_machine_exact(self):
+        dfa, _ = get_application("html").build_instance(10_000, seed=1)
+        assert dfa.num_states == 38 and dfa.num_inputs == 128
+
+    def test_div7_machine_exact(self):
+        dfa, _ = get_application("div7").build_instance(10_000, seed=1)
+        assert dfa.num_states == 7
+
+    def test_best_k_settings(self):
+        assert get_application("div7").best_k is None  # spec-N
+        assert get_application("regex2").best_k == 1

@@ -1,0 +1,129 @@
+"""Smoke tests for the experiment harness (tiny inputs)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_check_crossover,
+    ablation_eager_vs_delayed,
+    fig5_state_frequency_cdf,
+    fig6_success_rates,
+    fig12_13_k_sweep,
+    fig14_layout,
+    fig15_hot_cache,
+    scaling_figure,
+    table3_applications,
+    table4_huffman_inputs,
+    table5_regexes,
+)
+from repro.bench.runner import BenchConfig, measure
+from repro.bench.tables import format_table
+
+N = 60_000  # tiny but large enough for meaningful rates
+
+
+class TestTables:
+    def test_table3(self):
+        res = table3_applications(num_items=N)
+        assert len(res.rows) == 5
+        names = {r["application"] for r in res.rows}
+        assert names == {"huffman", "regex1", "regex2", "html", "div7"}
+
+    def test_table4(self):
+        res = table4_huffman_inputs(chars_per_book=30_000)
+        assert len(res.rows) == 5
+        assert res.rows[-1]["text"] == "combined"
+        for row in res.rows:
+            assert 100 <= row["fsm_states"] <= 250
+
+    def test_table5(self):
+        res = table5_regexes()
+        assert res.rows[0]["input_classes"] == 7
+        assert res.rows[1]["input_classes"] == 3
+
+
+class TestFigures:
+    def test_fig5_cdf_monotone(self):
+        res = fig5_state_frequency_cdf(num_items=N)
+        shares = [r["cumulative_share"] for r in res.rows]
+        assert shares == sorted(shares)
+        assert shares[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig6_div7_linear(self):
+        res = fig6_success_rates(num_items=N, ks=(1, 2, 4))
+        div7 = {r["k"]: r["success_rate"] for r in res.rows
+                if r["application"] == "div7"}
+        assert div7[1] == pytest.approx(1 / 7, abs=0.05)
+        assert div7[4] == pytest.approx(4 / 7, abs=0.08)
+
+    def test_scaling_figure_rows(self):
+        res = scaling_figure("div7", num_items=N)
+        series = {r["series"] for r in res.rows}
+        assert series == {"spec-N/sequential", "spec-N/parallel"}
+        assert len(res.rows) == 6
+
+    def test_scaling_parallel_monotone(self):
+        res = scaling_figure("div7", num_items=N)
+        par = [r["speedup"] for r in res.rows if r["series"] == "spec-N/parallel"]
+        assert par[0] < par[1] < par[2]
+
+    def test_k_sweep(self):
+        res = fig12_13_k_sweep("regex2", num_items=N, ks=(1, 4))
+        assert [r["k"] for r in res.rows] == [1, 4]
+        assert res.rows[0]["speedup"] > res.rows[1]["speedup"]  # best k = 1
+
+    def test_fig14_gains_positive(self):
+        res = fig14_layout(num_items=200_000)
+        for row in res.rows:
+            assert row["gain"] > 1.2
+        # most applications see the full coalescing effect
+        assert sum(row["gain"] > 3.0 for row in res.rows) >= 3
+
+    def test_fig15_cache_helps(self):
+        res = fig15_hot_cache(num_items=N)
+        for row in res.rows:
+            assert row["gain"] > 1.0
+            assert row["hit_rate"] > 0.5
+
+
+class TestAblations:
+    def test_check_crossover_rule(self):
+        res = ablation_check_crossover(num_items=N, ks=(4, 48))
+        by_k = {r["k"]: r for r in res.rows}
+        assert by_k[4]["winner"] == "nested"
+        assert by_k[48]["winner"] == "hash"
+
+    def test_crossover_near_paper_threshold(self):
+        res = ablation_check_crossover(num_items=N, ks=(8, 16))
+        by_k = {r["k"]: r for r in res.rows}
+        assert by_k[8]["winner"] == "nested"
+        assert by_k[16]["winner"] == "hash"
+
+    def test_eager_wastes_work(self):
+        res = ablation_eager_vs_delayed(num_items=N)
+        for row in res.rows:
+            assert row["waste_ratio"] >= 1.0
+
+
+class TestRunnerAndTables:
+    def test_measure_returns_fields(self):
+        m = measure(BenchConfig(app="div7", k=None, num_blocks=20), num_items=N)
+        assert m.speedup > 0
+        assert 0 <= m.success_rate <= 1
+
+    def test_config_label(self):
+        c = BenchConfig(app="div7", k=None, num_blocks=20)
+        assert c.label() == "div7/spec-N/parallel/B20"
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}],
+                            title="t")
+        assert "t" in text and "a" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_result_to_text(self):
+        res = table5_regexes()
+        text = res.to_text()
+        assert "table5" in text

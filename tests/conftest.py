@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fsm.dfa import DFA
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests derive all randomness from it."""
+    return np.random.default_rng(12345)
+
+
+def make_random_dfa(
+    num_states: int, num_inputs: int, seed: int, accepting_fraction: float = 0.3
+) -> DFA:
+    """Uniform random complete DFA (deterministic in ``seed``)."""
+    return DFA.random(
+        num_states, num_inputs, rng=seed, accepting_fraction=accepting_fraction
+    )
+
+
+def random_input(
+    num_inputs: int, length: int, seed: int
+) -> np.ndarray:
+    """Random symbol-id stream for a machine with ``num_inputs`` symbols."""
+    return (
+        np.random.default_rng(seed)
+        .integers(0, num_inputs, size=length)
+        .astype(np.int32)
+    )

@@ -1,0 +1,155 @@
+"""Tests for runtime checks: vectorized counting vs the paper's pseudocode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checks import (
+    DEFAULT_HASH_SIZE,
+    HASH_THRESHOLD,
+    count_hash,
+    count_nested,
+    hash_check_reference,
+    match_pairs,
+    nested_loop_check_reference,
+    select_check,
+)
+from repro.core.types import ExecStats
+
+
+class TestSelect:
+    def test_auto_small_k(self):
+        assert select_check(12, "auto") == "nested"
+
+    def test_auto_large_k(self):
+        assert select_check(13, "auto") == "hash"
+
+    def test_threshold_is_papers(self):
+        assert HASH_THRESHOLD == 12
+
+    def test_explicit(self):
+        assert select_check(2, "hash") == "hash"
+        assert select_check(50, "nested") == "nested"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            select_check(4, "bogus")
+
+
+class TestMatchPairs:
+    def test_basic_match(self):
+        el = np.array([[3, 5]])
+        sr = np.array([[5, 3]])
+        idx, found = match_pairs(el, np.ones((1, 2), bool), sr, np.ones((1, 2), bool))
+        assert found.all()
+        np.testing.assert_array_equal(idx[0], [1, 0])
+
+    def test_miss(self):
+        el = np.array([[9, 5]])
+        sr = np.array([[5, 3]])
+        idx, found = match_pairs(el, np.ones((1, 2), bool), sr, np.ones((1, 2), bool))
+        np.testing.assert_array_equal(found[0], [False, True])
+
+    def test_invalid_right_excluded(self):
+        el = np.array([[3]])
+        sr = np.array([[3]])
+        _, found = match_pairs(
+            el, np.ones((1, 1), bool), sr, np.zeros((1, 1), bool)
+        )
+        assert not found.any()
+
+    def test_invalid_left_reports_not_found(self):
+        el = np.array([[3]])
+        sr = np.array([[3]])
+        _, found = match_pairs(
+            el, np.zeros((1, 1), bool), sr, np.ones((1, 1), bool)
+        )
+        assert not found.any()
+
+    def test_first_valid_match_selected(self):
+        el = np.array([[7]])
+        sr = np.array([[7, 7, 7]])
+        vr = np.array([[False, True, True]])
+        idx, found = match_pairs(el, np.ones((1, 1), bool), sr, vr)
+        assert found.all() and idx[0, 0] == 1
+
+
+class TestCountsVsReference:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2000), k=st.integers(1, 12))
+    def test_nested_counts_match_pseudocode(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n_states = 20
+        states = rng.integers(0, n_states, size=k)
+        init_states = rng.permutation(n_states)[:k]  # distinct, like real spec rows
+        next_states = rng.integers(0, n_states, size=k)
+
+        ref_out, ref_needs, ref_compares = nested_loop_check_reference(
+            states, init_states, next_states
+        )
+        stats = ExecStats()
+        idx, found = match_pairs(
+            states[None, :], np.ones((1, k), bool),
+            init_states[None, :], np.ones((1, k), bool),
+        )
+        count_nested(idx, found, np.ones((1, k), bool), k, stats)
+        assert stats.check_comparisons == ref_compares
+        np.testing.assert_array_equal(found[0], ~ref_needs)
+        got = np.where(found[0], next_states[idx[0]], states)
+        np.testing.assert_array_equal(got, ref_out)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2000), k=st.integers(1, 16))
+    def test_hash_counts_match_pseudocode(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n_states = 40
+        states = rng.integers(0, n_states, size=k)
+        init_states = rng.permutation(n_states)[:k]
+        next_states = rng.integers(0, n_states, size=k)
+
+        ref_out, ref_needs, ref_inserts, ref_steps = hash_check_reference(
+            states, init_states, next_states, hash_size=DEFAULT_HASH_SIZE
+        )
+        stats = ExecStats()
+        idx, found = match_pairs(
+            states[None, :], np.ones((1, k), bool),
+            init_states[None, :], np.ones((1, k), bool),
+        )
+        count_hash(
+            states[None, :], np.ones((1, k), bool),
+            init_states[None, :], np.ones((1, k), bool),
+            idx, found, stats, hash_size=DEFAULT_HASH_SIZE,
+        )
+        assert stats.hash_inserts == ref_inserts
+        assert stats.hash_probe_steps == ref_steps
+        np.testing.assert_array_equal(found[0], ~ref_needs)
+        got = np.where(found[0], next_states[idx[0]], states)
+        np.testing.assert_array_equal(got, ref_out)
+
+    def test_hash_and_nested_agree_on_results(self):
+        rng = np.random.default_rng(1)
+        k = 8
+        states = rng.integers(0, 30, size=k)
+        init_states = rng.permutation(30)[:k]
+        next_states = rng.integers(0, 30, size=k)
+        out_n, needs_n, _ = nested_loop_check_reference(states, init_states, next_states)
+        out_h, needs_h, _, _ = hash_check_reference(states, init_states, next_states)
+        np.testing.assert_array_equal(out_n, out_h)
+        np.testing.assert_array_equal(needs_n, needs_h)
+
+    def test_nested_miss_costs_k(self):
+        stats = ExecStats()
+        idx = np.zeros((1, 1), dtype=np.int64)
+        found = np.zeros((1, 1), dtype=bool)
+        count_nested(idx, found, np.ones((1, 1), bool), 5, stats)
+        assert stats.check_comparisons == 5
+
+    def test_hash_probe_counts_only_valid_left(self):
+        stats = ExecStats()
+        el = np.array([[1, 2]])
+        vl = np.array([[True, False]])
+        sr = np.array([[1, 9]])
+        vr = np.ones((1, 2), bool)
+        idx, found = match_pairs(el, vl, sr, vr)
+        count_hash(el, vl, sr, vr, idx, found, stats)
+        assert stats.hash_probes == 1

@@ -1,0 +1,141 @@
+"""Tests for look-back speculation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.div import div7_dfa
+from repro.core.lookback import (
+    enumerative_spec,
+    speculate,
+    state_prior,
+    state_ranking,
+)
+from repro.workloads.chunking import plan_chunks
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestPriorAndRanking:
+    def test_prior_is_distribution(self):
+        dfa = make_random_dfa(6, 2, seed=0)
+        p = state_prior(dfa, sample=random_input(2, 500, seed=1))
+        assert p.shape == (6,)
+        assert p.sum() == pytest.approx(1.0)
+        assert p.min() > 0  # smoothing
+
+    def test_prior_without_sample_is_stationary(self):
+        dfa = div7_dfa()
+        p = state_prior(dfa)
+        np.testing.assert_allclose(p, np.full(7, 1 / 7), atol=1e-6)
+
+    def test_ranking_permutation(self):
+        dfa = make_random_dfa(8, 2, seed=1)
+        r = state_ranking(dfa, sample=random_input(2, 300, seed=2))
+        assert sorted(r.tolist()) == list(range(8))
+
+    def test_ranking_orders_by_frequency(self):
+        dfa = make_random_dfa(6, 2, seed=2)
+        sample = random_input(2, 2000, seed=3)
+        from repro.fsm.analysis import dynamic_state_frequency
+
+        freq = dynamic_state_frequency(dfa, sample)
+        rank = state_ranking(dfa, sample=sample)
+        assert rank[freq.argmax()] == 0
+
+
+class TestEnumerative:
+    def test_all_states_every_chunk(self):
+        dfa = div7_dfa()
+        spec = enumerative_spec(dfa, 5)
+        assert spec.shape == (5, 7)
+        for row in spec:
+            assert sorted(row.tolist()) == list(range(7))
+
+
+class TestSpeculate:
+    def test_shape_and_dtype(self):
+        dfa = make_random_dfa(10, 3, seed=0)
+        inp = random_input(3, 1000, seed=1)
+        plan = plan_chunks(1000, 8)
+        spec = speculate(dfa, inp, plan, 4)
+        assert spec.shape == (8, 4)
+        assert spec.dtype == np.int32
+
+    def test_chunk0_starts_true(self):
+        dfa = make_random_dfa(10, 3, seed=0)
+        inp = random_input(3, 1000, seed=1)
+        spec = speculate(dfa, inp, plan_chunks(1000, 8), 4)
+        assert spec[0, 0] == dfa.start
+
+    def test_rows_distinct(self):
+        dfa = make_random_dfa(10, 3, seed=5)
+        inp = random_input(3, 500, seed=2)
+        spec = speculate(dfa, inp, plan_chunks(500, 6), 5)
+        for row in spec:
+            assert len(set(row.tolist())) == 5
+
+    def test_k_bounds(self):
+        dfa = make_random_dfa(4, 2, seed=0)
+        inp = random_input(2, 100, seed=0)
+        plan = plan_chunks(100, 2)
+        with pytest.raises(ValueError):
+            speculate(dfa, inp, plan, 0)
+        with pytest.raises(ValueError):
+            speculate(dfa, inp, plan, 5)
+
+    def test_negative_lookback(self):
+        dfa = make_random_dfa(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            speculate(dfa, random_input(2, 100, seed=0), plan_chunks(100, 2), 2,
+                      lookback=-1)
+
+    def test_lookback_zero_uses_prior_only(self):
+        dfa = make_random_dfa(6, 2, seed=1)
+        inp = random_input(2, 600, seed=3)
+        prior = np.array([0.5, 0.2, 0.1, 0.1, 0.05, 0.05])
+        spec = speculate(dfa, inp, plan_chunks(600, 4), 2,
+                         lookback=0, prior=prior)
+        # every non-initial chunk speculates the two most likely states
+        for row in spec[1:]:
+            assert set(row.tolist()) == {0, 1}
+
+    def test_deterministic_suffix_pins_state(self):
+        # A machine where one symbol maps everything to state 3: after a
+        # look-back window ending in that symbol, speculation must pick 3.
+        table = np.array([[1, 2, 3, 0], [3, 3, 3, 3]], dtype=np.int32)
+        from repro.fsm.dfa import DFA
+
+        dfa = DFA(table=table, start=0, accepting=np.zeros(4, dtype=bool))
+        inp = np.array([0, 0, 0, 1, 0, 0, 1, 0], dtype=np.int32)
+        plan = plan_chunks(8, 2)  # chunk 1 starts at 4, preceded by symbol 1
+        spec = speculate(dfa, inp, plan, 1, lookback=1)
+        assert spec[1, 0] == 3
+
+    def test_div7_flat_posterior_covers_k_by_rank(self):
+        dfa = div7_dfa()
+        inp = random_input(2, 700, seed=4)
+        spec = speculate(dfa, inp, plan_chunks(700, 5), 3, lookback=4)
+        # no convergence: posterior flat, so top-3 by rank, identical rows
+        for row in spec[1:]:
+            assert len(set(row.tolist())) == 3
+
+    def test_lookback_clipped_at_input_start(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 10, seed=5)
+        # chunk 1 starts at item 5; lookback 100 must clip, not crash
+        spec = speculate(dfa, inp, plan_chunks(10, 2), 2, lookback=100)
+        assert spec.shape == (2, 2)
+
+    def test_stats_lookback_counter(self):
+        from repro.core.types import ExecStats
+
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 100, seed=5)
+        stats = ExecStats()
+        speculate(dfa, inp, plan_chunks(100, 4), 2, lookback=8, stats=stats)
+        assert stats.lookback_symbols == 3 * 8  # chunks 1..3, full windows
+
+    def test_bad_prior_shape(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        with pytest.raises(ValueError, match="prior"):
+            speculate(dfa, random_input(2, 50, seed=0), plan_chunks(50, 2), 2,
+                      prior=np.ones(3))

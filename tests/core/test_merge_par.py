@@ -1,0 +1,206 @@
+"""Tests for the parallel tree merge (delayed & eager re-execution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.local import process_chunks
+from repro.core.merge_par import merge_parallel
+from repro.core.types import ChunkResults, ExecStats
+from repro.fsm.run import run_reference, run_reference_trace
+from repro.workloads.chunking import plan_chunks
+from tests.conftest import make_random_dfa, random_input
+
+
+def build_results(dfa, inp, chunks, spec):
+    plan = plan_chunks(inp.size, chunks)
+    end, _ = process_chunks(dfa, inp, plan, spec)
+    return plan, ChunkResults(
+        spec=spec, end=end, valid=np.ones_like(spec, dtype=bool)
+    )
+
+
+def perfect_spec(dfa, inp, chunks, k=1):
+    plan = plan_chunks(inp.size, chunks)
+    trace = run_reference_trace(dfa, inp)
+    truth = np.concatenate([[dfa.start], trace[plan.starts[1:] - 1]])
+    spec = np.empty((chunks, k), dtype=np.int32)
+    for c in range(chunks):
+        row = [int(truth[c])] + [s for s in range(dfa.num_states) if s != truth[c]]
+        spec[c] = row[:k]
+    return spec
+
+
+class TestDelayed:
+    def test_perfect_speculation_no_fixup(self):
+        dfa = make_random_dfa(6, 2, seed=1)
+        inp = random_input(2, 240, seed=2)
+        spec = perfect_spec(dfa, inp, 8, k=2)
+        plan, results = build_results(dfa, inp, 8, spec)
+        stats = ExecStats()
+        final, tree = merge_parallel(dfa, inp, plan, results, stats=stats)
+        assert final == run_reference(dfa, inp)
+        assert stats.fixup_chunks == 0
+        assert stats.reexec_chunks_eager == 0
+
+    def test_bad_speculation_fixup_recovers(self):
+        dfa = make_random_dfa(7, 2, seed=3)
+        inp = random_input(2, 210, seed=4)
+        spec = np.full((6, 1), 5, dtype=np.int32)  # wrong almost everywhere
+        plan, results = build_results(dfa, inp, 6, spec)
+        stats = ExecStats()
+        final, _ = merge_parallel(dfa, inp, plan, results, stats=stats)
+        assert final == run_reference(dfa, inp)
+        assert stats.fixup_chunks > 0
+
+    def test_invalidity_propagates_in_tree(self):
+        dfa = make_random_dfa(7, 2, seed=3)
+        inp = random_input(2, 200, seed=5)
+        spec = np.full((4, 1), 6, dtype=np.int32)
+        plan, results = build_results(dfa, inp, 4, spec)
+        _, tree = merge_parallel(dfa, inp, plan, results, stats=None)
+        # leaves all valid, deeper levels lose entries unless lucky
+        assert tree.levels[0].valid.all()
+
+    def test_fixup_chain_tracked(self):
+        dfa = make_random_dfa(9, 2, seed=6)
+        inp = random_input(2, 300, seed=6)
+        spec = np.full((8, 1), 8, dtype=np.int32)
+        plan, results = build_results(dfa, inp, 8, spec)
+        stats = ExecStats()
+        merge_parallel(dfa, inp, plan, results, stats=stats)
+        assert stats.fixup_chain >= 1
+
+    def test_tree_depth(self):
+        dfa = make_random_dfa(5, 2, seed=0)
+        inp = random_input(2, 160, seed=0)
+        spec = perfect_spec(dfa, inp, 16)
+        plan, results = build_results(dfa, inp, 16, spec)
+        _, tree = merge_parallel(dfa, inp, plan, results, stats=None)
+        assert len(tree.levels) == 5  # 16 -> 8 -> 4 -> 2 -> 1
+        assert tree.root.num_segments == 1
+
+
+class TestEager:
+    def test_eager_always_valid(self):
+        dfa = make_random_dfa(7, 2, seed=3)
+        inp = random_input(2, 210, seed=4)
+        spec = np.full((6, 1), 5, dtype=np.int32)
+        spec[0, 0] = dfa.start
+        plan, results = build_results(dfa, inp, 6, spec)
+        stats = ExecStats()
+        final, tree = merge_parallel(
+            dfa, inp, plan, results, reexec="eager", stats=stats
+        )
+        assert final == run_reference(dfa, inp)
+        assert tree.root.valid.all()
+        assert stats.fixup_chunks == 0  # eager never needs fix-up
+
+    def test_eager_does_more_work_than_delayed(self):
+        from repro.apps.div import div7_dfa
+
+        dfa = div7_dfa()
+        inp = random_input(2, 700, seed=7)
+        rng = np.random.default_rng(0)
+        spec = np.stack([rng.permutation(7)[:2] for _ in range(16)]).astype(np.int32)
+        spec[0, 0] = dfa.start
+        plan, results = build_results(dfa, inp, 16, spec)
+        s_eager, s_delay = ExecStats(), ExecStats()
+        f1, _ = merge_parallel(dfa, inp, plan, results, reexec="eager", stats=s_eager)
+        f2, _ = merge_parallel(dfa, inp, plan, results, reexec="delayed", stats=s_delay)
+        ref = run_reference(dfa, inp)
+        assert f1 == f2 == ref
+        assert (
+            s_eager.reexec_items_eager
+            >= s_delay.fixup_items
+        )
+
+    def test_eager_wall_items_bounded_by_total(self):
+        dfa = make_random_dfa(8, 2, seed=9)
+        inp = random_input(2, 320, seed=8)
+        spec = np.full((8, 1), 7, dtype=np.int32)
+        spec[0, 0] = dfa.start
+        plan, results = build_results(dfa, inp, 8, spec)
+        stats = ExecStats()
+        merge_parallel(dfa, inp, plan, results, reexec="eager", stats=stats)
+        assert stats.reexec_wall_items <= stats.reexec_items_eager
+
+
+class TestStructure:
+    def test_invalid_reexec_mode(self):
+        dfa = make_random_dfa(4, 2, seed=0)
+        inp = random_input(2, 40, seed=0)
+        spec = perfect_spec(dfa, inp, 4)
+        plan, results = build_results(dfa, inp, 4, spec)
+        with pytest.raises(ValueError, match="reexec"):
+            merge_parallel(dfa, inp, plan, results, reexec="lazy")
+
+    def test_odd_chunk_count_carry(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 250, seed=3)
+        for chunks in (3, 5, 7, 9, 11):
+            spec = perfect_spec(dfa, inp, chunks, k=2)
+            plan, results = build_results(dfa, inp, chunks, spec)
+            final, _ = merge_parallel(dfa, inp, plan, results, stats=None)
+            assert final == run_reference(dfa, inp), f"chunks={chunks}"
+
+    def test_single_chunk(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 50, seed=3)
+        spec = perfect_spec(dfa, inp, 1, k=2)
+        plan, results = build_results(dfa, inp, 1, spec)
+        final, tree = merge_parallel(dfa, inp, plan, results, stats=None)
+        assert final == run_reference(dfa, inp)
+        assert len(tree.levels) == 1
+
+    def test_level_attribution(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 640, seed=3)
+        spec = perfect_spec(dfa, inp, 64)
+        plan, results = build_results(dfa, inp, 64, spec)
+        stats = ExecStats()
+        merge_parallel(
+            dfa, inp, plan, results, threads_per_block=32, warp_size=32, stats=stats
+        )
+        # 64 chunks, 32-thread blocks: 5 warp levels, 0 block levels, 2 blocks
+        assert stats.merge_levels_warp == 5
+        assert stats.merge_levels_block == 0
+        assert stats.merge_global_steps == 2
+
+    def test_composition_associativity(self):
+        # The tree's root map must equal a plain left-fold of the chunk
+        # maps — composition of speculation maps is associative, so tree
+        # shape cannot matter.
+        from repro.gpu.simulate import SimCounters, _compose
+
+        dfa = make_random_dfa(7, 2, seed=12)
+        inp = random_input(2, 350, seed=13)
+        rng = np.random.default_rng(2)
+        chunks = 10
+        spec = np.stack([rng.permutation(7)[:3] for _ in range(chunks)]).astype(np.int32)
+        spec[0, 0] = dfa.start
+        plan, results = build_results(dfa, inp, chunks, spec)
+        _, tree = merge_parallel(dfa, inp, plan, results, stats=None)
+
+        counters = SimCounters()
+        s, e, v = (
+            results.spec[0].copy(),
+            results.end[0].copy(),
+            results.valid[0].copy(),
+        )
+        for c in range(1, chunks):
+            s, e, v = _compose(
+                s, e, v,
+                results.spec[c], results.end[c], results.valid[c], counters,
+            )
+        root = tree.root
+        np.testing.assert_array_equal(v, root.valid[0])
+        np.testing.assert_array_equal(e[v], root.end[0][root.valid[0]])
+
+    def test_pair_ops_counted(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 160, seed=3)
+        spec = perfect_spec(dfa, inp, 16)
+        plan, results = build_results(dfa, inp, 16, spec)
+        stats = ExecStats()
+        merge_parallel(dfa, inp, plan, results, stats=stats)
+        assert stats.merge_pair_ops == 15  # 8+4+2+1

@@ -1,0 +1,49 @@
+"""Tests for the multiprocessing backend."""
+
+import numpy as np
+import pytest
+
+from repro.apps.div import div7_dfa
+from repro.core.mp_executor import run_multiprocess
+from repro.fsm.run import run_reference
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestMultiprocess:
+    def test_single_worker_exact(self):
+        dfa = make_random_dfa(6, 2, seed=0)
+        inp = random_input(2, 5000, seed=1)
+        res = run_multiprocess(dfa, inp, num_workers=1)
+        assert res.final_state == run_reference(dfa, inp)
+        assert res.segment_reexecs == 0
+
+    def test_spec_n_workers_no_reexec(self):
+        dfa = make_random_dfa(6, 2, seed=0)
+        inp = random_input(2, 20_000, seed=1)
+        res = run_multiprocess(dfa, inp, num_workers=2)
+        assert res.final_state == run_reference(dfa, inp)
+        assert res.segment_reexecs == 0
+        assert res.stats.success_rate == 1.0
+
+    def test_speculative_workers_correct(self):
+        dfa = div7_dfa()  # adversarial: small k will miss
+        inp = random_input(2, 10_000, seed=2)
+        res = run_multiprocess(dfa, inp, num_workers=2, k=2,
+                               sub_chunks_per_worker=8)
+        assert res.final_state == run_reference(dfa, inp)
+
+    def test_empty_input(self):
+        dfa = make_random_dfa(4, 2, seed=3)
+        res = run_multiprocess(dfa, np.zeros(0, dtype=np.int32), num_workers=2)
+        assert res.final_state == dfa.start
+
+    def test_bad_worker_count(self):
+        dfa = make_random_dfa(4, 2, seed=3)
+        with pytest.raises(ValueError):
+            run_multiprocess(dfa, np.zeros(4, dtype=np.int32), num_workers=0)
+
+    def test_input_smaller_than_workers(self):
+        dfa = make_random_dfa(4, 2, seed=3)
+        inp = random_input(2, 3, seed=0)
+        res = run_multiprocess(dfa, inp, num_workers=2, sub_chunks_per_worker=4)
+        assert res.final_state == run_reference(dfa, inp)

@@ -1,0 +1,90 @@
+"""Tests for the function-composition (prefix-scan) engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prefix_scan import (
+    chunk_transition_functions,
+    run_prefix_scan,
+)
+from repro.fsm.run import run_all_starts, run_reference
+from repro.workloads.chunking import plan_chunks
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestChunkFunctions:
+    def test_matches_run_all_starts(self):
+        dfa = make_random_dfa(6, 3, seed=0)
+        inp = random_input(3, 200, seed=1)
+        plan = plan_chunks(200, 4)
+        F = chunk_transition_functions(dfa, inp, plan)
+        for c in range(4):
+            seg = inp[plan.chunk_slice(c)]
+            np.testing.assert_array_equal(F[c], run_all_starts(dfa, seg))
+
+    def test_empty_chunks_identity(self):
+        dfa = make_random_dfa(5, 2, seed=1)
+        inp = random_input(2, 2, seed=2)
+        plan = plan_chunks(2, 5)
+        F = chunk_transition_functions(dfa, inp, plan)
+        np.testing.assert_array_equal(F[2], np.arange(5))
+
+
+class TestRunPrefixScan:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        n=st.integers(0, 800),
+        chunks=st.integers(1, 40),
+        layout=st.sampled_from(["transformed", "natural"]),
+    )
+    def test_equals_reference(self, seed, n, chunks, layout):
+        dfa = make_random_dfa(7, 2, seed=seed)
+        inp = random_input(2, n, seed=seed + 1)
+        res = run_prefix_scan(dfa, inp, num_chunks=chunks, layout=layout)
+        assert res.final_state == run_reference(dfa, inp)
+
+    def test_total_function_correct(self):
+        dfa = make_random_dfa(8, 3, seed=2)
+        inp = random_input(3, 500, seed=3)
+        res = run_prefix_scan(dfa, inp, num_chunks=16)
+        np.testing.assert_array_equal(res.total_function, run_all_starts(dfa, inp))
+
+    def test_agrees_with_spec_engine(self):
+        import repro
+
+        dfa = make_random_dfa(6, 2, seed=4)
+        inp = random_input(2, 3000, seed=5)
+        scan = run_prefix_scan(dfa, inp, num_chunks=64)
+        spec = repro.run_speculative(dfa, inp, k=3, num_blocks=2,
+                                     threads_per_block=32, price=False)
+        assert scan.final_state == spec.final_state
+
+    def test_work_is_enumerative(self):
+        dfa = make_random_dfa(9, 2, seed=6)
+        inp = random_input(2, 900, seed=7)
+        res = run_prefix_scan(dfa, inp, num_chunks=8)
+        assert res.stats.local_transitions == 900 * 9
+
+    def test_merge_ops_logarithmic(self):
+        dfa = make_random_dfa(4, 2, seed=8)
+        inp = random_input(2, 640, seed=9)
+        res = run_prefix_scan(dfa, inp, num_chunks=64)
+        assert res.stats.merge_pair_ops == 63  # 32+16+8+4+2+1
+
+    def test_validation(self):
+        dfa = make_random_dfa(4, 2, seed=8)
+        with pytest.raises(ValueError):
+            run_prefix_scan(dfa, np.zeros((2, 2), dtype=np.int32))
+        with pytest.raises(ValueError):
+            run_prefix_scan(dfa, np.zeros(4, dtype=np.int32), num_chunks=0)
+
+    def test_no_reexecution_ever(self):
+        from repro.apps.div import div7_dfa
+
+        dfa = div7_dfa()  # adversarial for speculation, trivial for scan
+        inp = random_input(2, 7000, seed=10)
+        res = run_prefix_scan(dfa, inp, num_chunks=128)
+        assert res.final_state == run_reference(dfa, inp)
+        assert res.stats.total_reexec_items == 0

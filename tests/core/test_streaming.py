@@ -1,0 +1,92 @@
+"""Tests for the streaming executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingExecutor
+from repro.fsm.run import run_reference, run_reference_trace
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestStreaming:
+    def test_blocks_equal_one_shot(self):
+        dfa = make_random_dfa(6, 3, seed=0)
+        stream = random_input(3, 30_000, seed=1)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=64)
+        for block in np.array_split(stream, 7):
+            ex.feed(block)
+        assert ex.state == run_reference(dfa, stream)
+        assert ex.items_consumed == 30_000
+        assert ex.blocks_consumed == 7
+
+    def test_empty_block_noop(self):
+        dfa = make_random_dfa(4, 2, seed=1)
+        ex = StreamingExecutor(dfa, num_blocks=1, threads_per_block=32)
+        s = ex.feed(np.zeros(0, dtype=np.int32))
+        assert s == dfa.start
+        assert ex.blocks_consumed == 0
+
+    def test_irregular_block_sizes(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        stream = random_input(2, 5000, seed=3)
+        ex = StreamingExecutor(dfa, k=1, num_blocks=1, threads_per_block=32)
+        offsets = [0, 17, 17 + 2048, 17 + 2048 + 1, 5000]
+        for lo, hi in zip(offsets, offsets[1:]):
+            ex.feed(stream[lo:hi])
+        assert ex.state == run_reference(dfa, stream)
+
+    def test_match_positions_global_offsets(self):
+        dfa = make_random_dfa(5, 2, seed=4, accepting_fraction=0.4)
+        stream = random_input(2, 8000, seed=5)
+        ex = StreamingExecutor(
+            dfa, k=2, num_blocks=1, threads_per_block=32, collect_matches=True
+        )
+        for block in np.array_split(stream, 5):
+            ex.feed(block)
+        trace = run_reference_trace(dfa, stream)
+        want = np.flatnonzero(dfa.accepting[trace])
+        np.testing.assert_array_equal(ex.match_positions, want)
+
+    def test_accepted_property(self):
+        from repro.apps.div import div7_dfa
+
+        dfa = div7_dfa()
+        ex = StreamingExecutor(dfa, k=None, num_blocks=1, threads_per_block=32)
+        ex.feed(np.array([1, 1, 1, 0], dtype=np.int32))  # 14: divisible by 7
+        assert ex.accepted
+        ex.feed(np.array([1], dtype=np.int32))  # 29: not divisible
+        assert not ex.accepted
+
+    def test_stats_accumulate(self):
+        dfa = make_random_dfa(5, 2, seed=6)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=32)
+        ex.feed(random_input(2, 1000, seed=7))
+        first = ex.stats.local_transitions
+        ex.feed(random_input(2, 1000, seed=8))
+        assert ex.stats.local_transitions == 2 * first
+        assert ex.stats.num_items == 2000
+
+    def test_reset(self):
+        dfa = make_random_dfa(5, 2, seed=6)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=32,
+                               collect_matches=True)
+        ex.feed(random_input(2, 500, seed=9))
+        ex.reset()
+        assert ex.state == dfa.start
+        assert ex.items_consumed == 0
+        assert ex.match_positions.size == 0
+        assert ex.stats.num_items == 0
+
+    def test_utf8_streaming_session(self):
+        # realistic: validate a UTF-8 stream arriving in blocks that split
+        # multi-byte sequences
+        from repro.apps.utf8 import encode_utf8_workload, utf8_validator_dfa
+
+        dfa = utf8_validator_dfa()
+        stream = encode_utf8_workload(20_000, rng=3)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=64,
+                               lookback=4)
+        for block in np.array_split(stream, 13):
+            ex.feed(block)
+        assert ex.accepted
+        assert ex.state == run_reference(dfa, stream)

@@ -1,0 +1,84 @@
+"""Tests for repro.fsm.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.alphabet import Alphabet
+
+
+class TestConstruction:
+    def test_from_symbols(self):
+        ab = Alphabet.from_symbols("abc")
+        assert ab.size == 3
+        assert ab.id_of("b") == 1
+        assert ab.symbol_of(2) == "c"
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alphabet.from_symbols("aba")
+
+    def test_binary(self):
+        ab = Alphabet.binary()
+        assert ab.size == 2
+        assert ab.id_of(1) == 1
+
+    def test_ascii(self):
+        ab = Alphabet.ascii(128)
+        assert ab.size == 128
+        assert ab.id_of("A") == 65
+
+    def test_ascii_bad_size(self):
+        with pytest.raises(ValueError):
+            Alphabet.ascii(0)
+
+    def test_lowercase(self):
+        ab = Alphabet.lowercase()
+        assert ab.size == 26
+        assert ab.id_of("z") == 25
+
+    def test_contains(self):
+        ab = Alphabet.from_symbols("xy")
+        assert "x" in ab and "q" not in ab
+
+    def test_len(self):
+        assert len(Alphabet.from_symbols("xy")) == 2
+
+
+class TestEncoding:
+    def test_encode_sequence(self):
+        ab = Alphabet.from_symbols("abc")
+        np.testing.assert_array_equal(ab.encode("cab"), [2, 0, 1])
+
+    def test_encode_unknown(self):
+        with pytest.raises(KeyError, match="not in alphabet"):
+            Alphabet.from_symbols("ab").encode("abc")
+
+    def test_encode_text_contiguous_fast_path(self):
+        ab = Alphabet.ascii(128)
+        ids = ab.encode_text("Hi!")
+        np.testing.assert_array_equal(ids, [72, 105, 33])
+
+    def test_encode_text_out_of_range(self):
+        with pytest.raises(KeyError):
+            Alphabet.ascii(128).encode_text("é")
+
+    def test_encode_text_noncontiguous(self):
+        ab = Alphabet.from_symbols("ba")
+        np.testing.assert_array_equal(ab.encode_text("ab"), [1, 0])
+
+    def test_encode_text_noncontiguous_unknown(self):
+        with pytest.raises(KeyError):
+            Alphabet.from_symbols("ba").encode_text("c")
+
+    def test_decode(self):
+        ab = Alphabet.from_symbols("abc")
+        assert ab.decode(np.array([2, 0])) == ["c", "a"]
+
+    def test_decode_text(self):
+        ab = Alphabet.from_symbols("abc")
+        assert ab.decode_text(np.array([0, 1, 2])) == "abc"
+
+    def test_roundtrip(self):
+        ab = Alphabet.lowercase()
+        text = "speculative"
+        assert ab.decode_text(ab.encode_text(text)) == text

@@ -1,0 +1,118 @@
+"""Tests for the bitset NFA engine vs the reference NFA semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm.bitset_nfa import BitsetNFA
+from repro.fsm.nfa import NFA
+from tests.fsm.test_subset import random_nfa
+
+
+def mask_to_set(mask: np.uint64) -> frozenset:
+    out = set()
+    m = int(mask)
+    q = 0
+    while m:
+        if m & 1:
+            out.add(q)
+        m >>= 1
+        q += 1
+    return frozenset(out)
+
+
+class TestConstruction:
+    def test_start_mask_is_closure(self):
+        nfa = NFA(num_inputs=1)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_edge(a, None, b)
+        bit = BitsetNFA.from_nfa(nfa)
+        assert mask_to_set(bit.start_mask) == {a, b}
+
+    def test_too_many_states_rejected(self):
+        nfa = NFA(num_inputs=1)
+        for _ in range(65):
+            nfa.add_state()
+        with pytest.raises(ValueError, match="64"):
+            BitsetNFA.from_nfa(nfa)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no states"):
+            BitsetNFA.from_nfa(NFA(num_inputs=1))
+
+    def test_epsilon_folded_into_steps(self):
+        # a --0--> b --eps--> c: stepping on 0 from a must activate both
+        nfa = NFA(num_inputs=1)
+        a, b, c = (nfa.add_state() for _ in range(3))
+        nfa.add_edge(a, 0, b)
+        nfa.add_edge(b, None, c)
+        bit = BitsetNFA.from_nfa(nfa)
+        assert mask_to_set(bit.step_masks[0, a]) == {b, c}
+
+
+class TestDirectExecution:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 500), data=st.data())
+    def test_run_matches_reference(self, seed, data):
+        nfa = random_nfa(seed)
+        bit = BitsetNFA.from_nfa(nfa)
+        word = np.array(data.draw(st.lists(st.integers(0, 1), max_size=20)),
+                        dtype=np.int64)
+        assert mask_to_set(bit.run(word)) == nfa.run(word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 500), data=st.data())
+    def test_accepts_matches_reference(self, seed, data):
+        nfa = random_nfa(seed)
+        bit = BitsetNFA.from_nfa(nfa)
+        word = np.array(data.draw(st.lists(st.integers(0, 1), max_size=20)),
+                        dtype=np.int64)
+        assert bit.accepts(word) == nfa.accepts(word)
+
+
+class TestParallelExecution:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 300), n=st.integers(0, 400),
+           chunks=st.integers(1, 16))
+    def test_parallel_equals_direct(self, seed, n, chunks):
+        nfa = random_nfa(seed)
+        bit = BitsetNFA.from_nfa(nfa)
+        word = np.random.default_rng(seed + 1).integers(0, 2, size=n)
+        assert bit.run_parallel(word, num_chunks=chunks) == bit.run(word)
+
+    def test_chunk_matrices_compose(self):
+        nfa = random_nfa(7)
+        bit = BitsetNFA.from_nfa(nfa)
+        word = np.random.default_rng(0).integers(0, 2, size=100)
+        M = bit.chunk_matrices(word, 4)
+        total = M[0] @ M[1] @ M[2] @ M[3]
+        whole = bit.chunk_matrices(word, 1)[0]
+        np.testing.assert_array_equal(total, whole)
+
+    def test_empty_input(self):
+        nfa = random_nfa(3)
+        bit = BitsetNFA.from_nfa(nfa)
+        assert bit.run_parallel(np.zeros(0, dtype=np.int64)) == bit.start_mask
+
+    def test_dead_set_stays_dead(self):
+        nfa = NFA(num_inputs=2)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_edge(a, 0, b)
+        nfa.accepting = {b}
+        bit = BitsetNFA.from_nfa(nfa)
+        word = np.array([1, 0, 0])  # dies on the first symbol
+        assert bit.run(word) == np.uint64(0)
+        assert bit.run_parallel(word, num_chunks=3) == np.uint64(0)
+
+    def test_regex_nfa_end_to_end(self):
+        from repro.fsm.alphabet import Alphabet
+        from repro.regex.parser import parse
+        from repro.regex.thompson import to_nfa
+
+        ab = Alphabet.from_symbols("abc")
+        nfa = to_nfa(parse("(ab|ba)+c"), ab)
+        bit = BitsetNFA.from_nfa(nfa)
+        assert bit.accepts_parallel(ab.encode("ababc"), num_chunks=3)
+        assert bit.accepts_parallel(ab.encode("babac"), num_chunks=2)
+        assert not bit.accepts_parallel(ab.encode("ababab"), num_chunks=3)
+        assert not bit.accepts_parallel(ab.encode("c"), num_chunks=1)

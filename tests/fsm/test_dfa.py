@@ -1,0 +1,146 @@
+"""Tests for repro.fsm.dfa."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.dfa import DFA
+from tests.conftest import make_random_dfa, random_input
+
+
+def comment_dfa() -> DFA:
+    """The paper's Figure 1 machine: C-style /* */ comments."""
+    # states: a=outside, b=seen '/', c=inside, d=inside-seen-'*'
+    trans = {
+        ("a", "/"): "b", ("a", "*"): "a", ("a", "x"): "a",
+        ("b", "/"): "b", ("b", "*"): "c", ("b", "x"): "a",
+        ("c", "/"): "c", ("c", "*"): "d", ("c", "x"): "c",
+        ("d", "/"): "a", ("d", "*"): "d", ("d", "x"): "c",
+    }
+    return DFA.from_dict(trans, start="a", accepting=["a"], name="comments")
+
+
+class TestConstruction:
+    def test_from_dict_shapes(self):
+        dfa = comment_dfa()
+        assert dfa.num_states == 4
+        assert dfa.num_inputs == 3
+        assert dfa.start == 0
+        assert dfa.table_entries == 12
+
+    def test_from_dict_incomplete(self):
+        with pytest.raises(ValueError, match="incomplete"):
+            DFA.from_dict({("a", 0): "a", ("b", 0): "a", ("a", 1): "b"},
+                          start="a", accepting=[])
+
+    def test_table_out_of_range(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            DFA(table=np.array([[5]]), start=0, accepting=np.array([True]))
+
+    def test_bad_start(self):
+        with pytest.raises(ValueError, match="start state"):
+            DFA(table=np.zeros((1, 2), dtype=np.int32), start=2,
+                accepting=np.zeros(2, dtype=bool))
+
+    def test_bad_accepting_shape(self):
+        with pytest.raises(ValueError, match="accepting"):
+            DFA(table=np.zeros((1, 2), dtype=np.int32), start=0,
+                accepting=np.zeros(3, dtype=bool))
+
+    def test_emit_shape_checked(self):
+        with pytest.raises(ValueError, match="emit"):
+            DFA(table=np.zeros((1, 2), dtype=np.int32), start=0,
+                accepting=np.zeros(2, dtype=bool),
+                emit=np.zeros((2, 2), dtype=np.int32))
+
+    def test_alphabet_size_checked(self):
+        with pytest.raises(ValueError, match="alphabet"):
+            DFA(table=np.zeros((2, 2), dtype=np.int32), start=0,
+                accepting=np.zeros(2, dtype=bool),
+                alphabet=Alphabet.from_symbols("abc"))
+
+    def test_random_is_deterministic(self):
+        a = DFA.random(5, 3, rng=9)
+        b = DFA.random(5, 3, rng=9)
+        np.testing.assert_array_equal(a.table, b.table)
+
+    def test_table_contiguous_int32(self):
+        dfa = comment_dfa()
+        assert dfa.table.dtype == np.int32
+        assert dfa.table.flags.c_contiguous
+
+
+class TestExecution:
+    def test_paper_example(self):
+        dfa = comment_dfa()
+        # '/*xxx**/' ends outside the comment (state a)
+        ids = dfa.encode("/*xxx**/")
+        assert dfa.run(ids) == 0
+        assert dfa.accepts(ids)
+
+    def test_partial_comment_not_accepting(self):
+        dfa = comment_dfa()
+        assert not dfa.accepts(dfa.encode("/*xx"))
+
+    def test_run_with_explicit_start(self):
+        dfa = comment_dfa()
+        assert dfa.run(dfa.encode("*/"), start=2) == 0  # c --*--> d --/--> a
+
+    def test_step(self):
+        dfa = comment_dfa()
+        assert dfa.step(0, dfa.alphabet.id_of("/")) == 1
+
+    def test_step_batch(self):
+        dfa = comment_dfa()
+        states = np.array([0, 0], dtype=np.int32)
+        syms = np.array([dfa.alphabet.id_of("/"), dfa.alphabet.id_of("x")])
+        np.testing.assert_array_equal(dfa.step_batch(states, syms), [1, 0])
+
+    def test_empty_input(self):
+        dfa = comment_dfa()
+        assert dfa.run(np.zeros(0, dtype=np.int32)) == dfa.start
+
+    def test_encode_requires_alphabet(self):
+        dfa = make_random_dfa(3, 2, seed=0)
+        with pytest.raises(ValueError, match="no alphabet"):
+            dfa.encode("ab")
+
+
+class TestTransformations:
+    def test_with_start(self):
+        dfa = comment_dfa()
+        assert dfa.with_start(2).start == 2
+
+    def test_renumber_identity(self):
+        dfa = comment_dfa()
+        same = dfa.renumber(range(dfa.num_states))
+        np.testing.assert_array_equal(same.table, dfa.table)
+
+    def test_renumber_preserves_behaviour(self):
+        dfa = make_random_dfa(6, 3, seed=4)
+        perm = [3, 1, 5, 0, 2, 4]
+        ren = dfa.renumber(perm)
+        inp = random_input(3, 200, seed=11)
+        # Run both; map the renumbered result back through the permutation.
+        inverse = np.empty(6, dtype=int)
+        inverse[perm] = np.arange(6)
+        assert inverse[dfa.run(inp)] == ren.run(inp)
+
+    def test_renumber_preserves_acceptance(self):
+        dfa = make_random_dfa(6, 3, seed=4)
+        ren = dfa.renumber([5, 4, 3, 2, 1, 0])
+        inp = random_input(3, 100, seed=3)
+        assert dfa.accepts(inp) == ren.accepts(inp)
+
+    def test_renumber_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            comment_dfa().renumber([0, 0, 1, 2])
+
+    def test_renumber_transducer(self):
+        table = np.array([[1, 0], [0, 1]], dtype=np.int32)
+        emit = np.array([[5, -1], [-1, 7]], dtype=np.int32)
+        dfa = DFA(table=table, start=0, accepting=np.zeros(2, dtype=bool), emit=emit)
+        ren = dfa.renumber([1, 0])
+        assert ren.emit is not None
+        # emission for (old state 0, symbol 0) must follow state 0 -> new id 1
+        assert ren.emit[0, 1] == 5

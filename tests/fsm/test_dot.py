@@ -1,0 +1,71 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.apps.div import div7_dfa
+from repro.fsm.dot import dfa_to_dot, nfa_to_dot
+from repro.fsm.nfa import NFA
+from tests.conftest import make_random_dfa
+
+
+class TestDfaDot:
+    def test_structure(self):
+        dot = dfa_to_dot(div7_dfa())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "__start -> q0" in dot
+        assert "doublecircle" in dot  # state 0 accepts
+
+    def test_all_states_present(self):
+        dfa = make_random_dfa(5, 2, seed=0)
+        dot = dfa_to_dot(dfa)
+        for q in range(5):
+            assert f"q{q} [" in dot
+
+    def test_symbols_grouped(self):
+        # Div7's state 0 on symbol 0 stays at 0: the self-edge appears once
+        dot = dfa_to_dot(div7_dfa())
+        assert dot.count("q0 -> q0") == 1
+
+    def test_alphabet_symbols_used(self):
+        dot = dfa_to_dot(div7_dfa())
+        assert 'label="0"' in dot or 'label="0,' in dot
+
+    def test_max_states_guard(self):
+        dfa = make_random_dfa(30, 2, seed=1)
+        with pytest.raises(ValueError, match="max_states"):
+            dfa_to_dot(dfa, max_states=10)
+
+    def test_escaping(self):
+        from repro.fsm.alphabet import Alphabet
+        from repro.fsm.dfa import DFA
+        import numpy as np
+
+        dfa = DFA(
+            table=np.zeros((1, 1), dtype=np.int32),
+            start=0,
+            accepting=np.array([False]),
+            alphabet=Alphabet.from_symbols(['"']),
+            name='with"quote',
+        )
+        dot = dfa_to_dot(dfa)
+        assert '\\"' in dot
+
+
+class TestNfaDot:
+    def test_epsilon_labeled(self):
+        nfa = NFA(num_inputs=2)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_edge(a, None, b)
+        nfa.accepting = {b}
+        dot = nfa_to_dot(nfa)
+        assert "eps" in dot
+        assert "doublecircle" in dot
+
+    def test_symbol_edges(self):
+        nfa = NFA(num_inputs=2)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_edge(a, 0, b)
+        nfa.add_edge(a, 1, b)
+        dot = nfa_to_dot(nfa)
+        assert 'label="0,1"' in dot

@@ -1,0 +1,69 @@
+"""Tests for Hopcroft minimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm.dfa import DFA
+from repro.fsm.minimize import minimize_dfa
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestMinimize:
+    def test_idempotent(self):
+        dfa = make_random_dfa(8, 2, seed=3)
+        m1 = minimize_dfa(dfa)
+        m2 = minimize_dfa(m1)
+        assert m1.num_states == m2.num_states
+
+    def test_no_larger(self):
+        dfa = make_random_dfa(10, 2, seed=5)
+        assert minimize_dfa(dfa).num_states <= dfa.num_states
+
+    def test_merges_equivalent_states(self):
+        # States 1 and 2 have identical successor rows and acceptance.
+        table = np.array([[1, 0, 0], [2, 0, 0]], dtype=np.int32)
+        dfa = DFA(table=table, start=0, accepting=np.array([False, True, True]))
+        m = minimize_dfa(dfa)
+        assert m.num_states == 2
+
+    def test_drops_unreachable(self):
+        table = np.array([[0, 2, 2]], dtype=np.int32)  # state 1 unreachable
+        dfa = DFA(table=table, start=0, accepting=np.array([False, True, False]))
+        m = minimize_dfa(dfa)
+        assert m.num_states <= 2
+
+    def test_all_accepting_collapses(self):
+        dfa = make_random_dfa(7, 2, seed=1, accepting_fraction=1.1)
+        assert minimize_dfa(dfa).num_states == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 500), data=st.data())
+    def test_language_preserved(self, seed, data):
+        dfa = make_random_dfa(7, 2, seed=seed)
+        m = minimize_dfa(dfa)
+        word = np.array(data.draw(st.lists(st.integers(0, 1), max_size=20)), dtype=np.int64)
+        assert dfa.accepts(word) == m.accepts(word)
+
+    def test_transducer_outputs_preserved(self):
+        table = np.array([[1, 0], [0, 1]], dtype=np.int32)
+        emit = np.array([[3, -1], [-1, 4]], dtype=np.int32)
+        dfa = DFA(table=table, start=0, accepting=np.zeros(2, dtype=bool), emit=emit)
+        m = minimize_dfa(dfa)
+        assert m.emit is not None
+        # States emit differently -> must not merge.
+        assert m.num_states == 2
+
+    def test_transducer_identical_states_merge(self):
+        table = np.array([[1, 1], [0, 0]], dtype=np.int32)
+        emit = np.array([[7, 7], [-1, -1]], dtype=np.int32)
+        dfa = DFA(table=table, start=0, accepting=np.zeros(2, dtype=bool), emit=emit)
+        # both states behave identically (same successors by class, same emits)
+        m = minimize_dfa(dfa)
+        assert m.num_states == 1
+
+    def test_preserves_run_behaviour(self):
+        dfa = make_random_dfa(9, 3, seed=8)
+        m = minimize_dfa(dfa)
+        inp = random_input(3, 500, seed=2)
+        assert dfa.accepting[dfa.run(inp)] == m.accepting[m.run(inp)]

@@ -1,0 +1,82 @@
+"""Tests for repro.fsm.nfa."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.nfa import NFA
+
+
+def small_nfa() -> NFA:
+    """(0|01) over {0,1}: accepts '0' and '01'."""
+    nfa = NFA(num_inputs=2)
+    s, a, b, f = (nfa.add_state() for _ in range(4))
+    nfa.start = s
+    nfa.add_edge(s, 0, a)  # '0'
+    nfa.add_edge(a, None, f)  # accept '0'
+    nfa.add_edge(a, 1, b)  # '01'
+    nfa.add_edge(b, None, f)
+    nfa.accepting = {f}
+    return nfa
+
+
+class TestConstruction:
+    def test_add_state_ids(self):
+        nfa = NFA(num_inputs=2)
+        assert [nfa.add_state() for _ in range(3)] == [0, 1, 2]
+
+    def test_bad_num_inputs(self):
+        with pytest.raises(ValueError):
+            NFA(num_inputs=0)
+
+    def test_add_edge_validates_states(self):
+        nfa = NFA(num_inputs=2)
+        nfa.add_state()
+        with pytest.raises(ValueError, match="out of range"):
+            nfa.add_edge(0, 0, 5)
+
+    def test_add_edge_validates_symbol(self):
+        nfa = NFA(num_inputs=2)
+        nfa.add_state()
+        with pytest.raises(ValueError, match="symbol"):
+            nfa.add_edge(0, 3, 0)
+
+    def test_add_edges_multiple(self):
+        nfa = NFA(num_inputs=3)
+        nfa.add_state(); nfa.add_state()
+        nfa.add_edges(0, [0, 2], 1)
+        assert nfa.transitions[0] == {0: {1}, 2: {1}}
+
+
+class TestSemantics:
+    def test_epsilon_closure_transitive(self):
+        nfa = NFA(num_inputs=1)
+        a, b, c = (nfa.add_state() for _ in range(3))
+        nfa.add_edge(a, None, b)
+        nfa.add_edge(b, None, c)
+        assert nfa.epsilon_closure({a}) == {a, b, c}
+
+    def test_epsilon_closure_no_edges(self):
+        nfa = NFA(num_inputs=1)
+        a = nfa.add_state()
+        assert nfa.epsilon_closure({a}) == {a}
+
+    def test_move(self):
+        nfa = small_nfa()
+        assert nfa.move(nfa.epsilon_closure({nfa.start}), 0) == {1}
+
+    def test_accepts_zero(self):
+        nfa = small_nfa()
+        assert nfa.accepts(np.array([0]))
+
+    def test_accepts_zero_one(self):
+        assert small_nfa().accepts(np.array([0, 1]))
+
+    def test_rejects_one(self):
+        assert not small_nfa().accepts(np.array([1]))
+
+    def test_rejects_empty(self):
+        assert not small_nfa().accepts(np.zeros(0, dtype=int))
+
+    def test_dead_after_no_transition(self):
+        nfa = small_nfa()
+        assert nfa.run(np.array([1, 0, 1])) == frozenset()

@@ -1,0 +1,99 @@
+"""Tests for the product construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm.product import product_dfa
+from repro.fsm.run import run_reference, run_reference_trace
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestProduct:
+    def test_single_machine_identity_behaviour(self):
+        dfa = make_random_dfa(5, 2, seed=0)
+        prod = product_dfa([dfa])
+        inp = random_input(2, 200, seed=1)
+        assert bool(prod.dfa.accepting[run_reference(prod.dfa, inp)]) == bool(
+            dfa.accepting[run_reference(dfa, inp)]
+        )
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError, match="num_inputs"):
+            product_dfa([make_random_dfa(3, 2, seed=0), make_random_dfa(3, 3, seed=1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            product_dfa([])
+
+    def test_reachable_only(self):
+        a = make_random_dfa(4, 2, seed=2)
+        b = make_random_dfa(5, 2, seed=3)
+        prod = product_dfa([a, b])
+        assert prod.dfa.num_states <= 20
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 300), n=st.integers(0, 60))
+    def test_components_tracked_exactly(self, seed, n):
+        a = make_random_dfa(4, 2, seed=seed)
+        b = make_random_dfa(3, 2, seed=seed + 1)
+        prod = product_dfa([a, b])
+        inp = random_input(2, n, seed=seed + 2)
+        ps = run_reference(prod.dfa, inp)
+        assert prod.component_accepting(0, np.array([ps]))[0] == bool(
+            a.accepting[run_reference(a, inp)]
+        )
+        assert prod.component_accepting(1, np.array([ps]))[0] == bool(
+            b.accepting[run_reference(b, inp)]
+        )
+
+    def test_union_acceptance(self):
+        a = make_random_dfa(4, 2, seed=8, accepting_fraction=0.5)
+        b = make_random_dfa(4, 2, seed=9, accepting_fraction=0.5)
+        prod = product_dfa([a, b])
+        inp = random_input(2, 100, seed=10)
+        want = bool(a.accepting[run_reference(a, inp)]) or bool(
+            b.accepting[run_reference(b, inp)]
+        )
+        assert bool(prod.dfa.accepting[run_reference(prod.dfa, inp)]) == want
+
+    def test_multi_pattern_match_positions(self):
+        # one speculative pass finds both patterns' match positions
+        import repro
+        from repro.fsm.alphabet import Alphabet
+        from repro.regex import compile_search
+
+        ab = Alphabet.from_symbols("abc")
+        m1 = compile_search("ab", ab, name="ab")
+        m2 = compile_search("ca", ab, name="ca")
+        prod = product_dfa([m1, m2])
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 3, size=5000).astype(np.int32)
+        trace = run_reference_trace(prod.dfa, ids)
+        for i, single in enumerate((m1, m2)):
+            strace = run_reference_trace(single, ids)
+            want = np.flatnonzero(single.accepting[strace])
+            got = np.flatnonzero(prod.component_accepting(i, trace))
+            np.testing.assert_array_equal(got, want)
+
+    def test_product_through_engine(self):
+        import repro
+        from repro.fsm.alphabet import Alphabet
+        from repro.regex import compile_search
+
+        ab = Alphabet.from_symbols("abc")
+        prod = product_dfa(
+            [compile_search("ab", ab), compile_search("bc?a", ab)]
+        )
+        rng = np.random.default_rng(1)
+        ids = rng.integers(0, 3, size=20_000).astype(np.int32)
+        r = repro.run_speculative(prod.dfa, ids, k=4, num_blocks=2,
+                                  threads_per_block=32, price=False)
+        assert r.final_state == run_reference(prod.dfa, ids)
+
+    def test_component_names(self):
+        a = make_random_dfa(3, 2, seed=0).with_name("alpha")
+        b = make_random_dfa(3, 2, seed=1).with_name("")
+        prod = product_dfa([a, b])
+        assert prod.component_names == ("alpha", "component_1")
+        assert prod.num_components == 2

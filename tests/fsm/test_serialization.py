@@ -1,0 +1,83 @@
+"""Tests for DFA save/load."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.serialization import load_dfa, save_dfa
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestRoundTrip:
+    def test_plain_dfa(self, tmp_path):
+        dfa = make_random_dfa(7, 3, seed=0)
+        path = tmp_path / "machine.npz"
+        save_dfa(dfa, path)
+        loaded = load_dfa(path)
+        np.testing.assert_array_equal(loaded.table, dfa.table)
+        np.testing.assert_array_equal(loaded.accepting, dfa.accepting)
+        assert loaded.start == dfa.start
+        assert loaded.name == dfa.name
+
+    def test_behaviour_preserved(self, tmp_path):
+        dfa = make_random_dfa(9, 2, seed=3)
+        path = tmp_path / "m.npz"
+        save_dfa(dfa, path)
+        loaded = load_dfa(path)
+        inp = random_input(2, 500, seed=1)
+        assert loaded.run(inp) == dfa.run(inp)
+
+    def test_transducer(self, tmp_path):
+        from repro.apps.huffman import HuffmanCode
+
+        code = HuffmanCode.from_frequencies(np.array([5, 3, 2, 1]))
+        dfa = code.decoder_dfa()
+        path = tmp_path / "huff.npz"
+        save_dfa(dfa, path)
+        loaded = load_dfa(path)
+        assert loaded.is_transducer
+        np.testing.assert_array_equal(loaded.emit, dfa.emit)
+
+    def test_alphabet_preserved(self, tmp_path):
+        from repro.apps.div import div7_dfa
+
+        dfa = div7_dfa()
+        path = tmp_path / "div.npz"
+        save_dfa(dfa, path)
+        loaded = load_dfa(path)
+        assert loaded.alphabet is not None
+        assert loaded.alphabet.id_of(1) == 1
+
+    def test_state_names_preserved(self, tmp_path):
+        from repro.apps.html_tok import build_html_tokenizer
+
+        dfa = build_html_tokenizer()
+        path = tmp_path / "html.npz"
+        save_dfa(dfa, path)
+        loaded = load_dfa(path)
+        assert loaded.state_names == dfa.state_names
+
+    def test_char_alphabet_roundtrip(self, tmp_path):
+        from repro.fsm.alphabet import Alphabet
+        from repro.regex.compile import compile_search
+
+        dfa = compile_search("ab", Alphabet.from_symbols("abc"))
+        path = tmp_path / "re.npz"
+        save_dfa(dfa, path)
+        loaded = load_dfa(path)
+        assert loaded.encode("abc").tolist() == [0, 1, 2]
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json
+
+        dfa = make_random_dfa(3, 2, seed=0)
+        path = tmp_path / "m.npz"
+        save_dfa(dfa, path)
+        # tamper with the version
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            meta["format_version"] = 99
+            arrays = {k: data[k] for k in data.files}
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_dfa(path)

@@ -1,0 +1,70 @@
+"""Tests for subset construction: NFA/DFA language equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.nfa import NFA
+from repro.fsm.subset import subset_construction
+
+
+def random_nfa(seed: int, num_states: int = 6, num_inputs: int = 2) -> NFA:
+    rng = np.random.default_rng(seed)
+    nfa = NFA(num_inputs=num_inputs)
+    for _ in range(num_states):
+        nfa.add_state()
+    n_edges = int(rng.integers(num_states, 3 * num_states))
+    for _ in range(n_edges):
+        src = int(rng.integers(0, num_states))
+        dst = int(rng.integers(0, num_states))
+        sym = None if rng.random() < 0.2 else int(rng.integers(0, num_inputs))
+        nfa.add_edge(src, sym, dst)
+    nfa.accepting = {int(s) for s in rng.choice(num_states, size=2, replace=False)}
+    return nfa
+
+
+class TestSubsetConstruction:
+    def test_start_is_zero(self):
+        dfa = subset_construction(random_nfa(0))
+        assert dfa.start == 0
+
+    def test_complete_table(self):
+        dfa = subset_construction(random_nfa(1))
+        assert dfa.table.min() >= 0
+        assert dfa.table.max() < dfa.num_states
+
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="alphabet size"):
+            subset_construction(random_nfa(0), alphabet=Alphabet.from_symbols("abc"))
+
+    def test_alphabet_attached(self):
+        ab = Alphabet.from_symbols("01")
+        dfa = subset_construction(random_nfa(0), alphabet=ab)
+        assert dfa.alphabet is ab
+
+    def test_dead_state_when_nfa_dies(self):
+        nfa = NFA(num_inputs=2)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_edge(a, 0, b)
+        nfa.accepting = {b}
+        dfa = subset_construction(nfa)
+        # symbol 1 from start must go to an explicit dead state
+        dead = dfa.table[1, dfa.start]
+        assert dfa.table[0, dead] == dead
+        assert dfa.table[1, dead] == dead
+        assert not dfa.accepting[dead]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 1000), data=st.data())
+    def test_language_equivalence(self, seed, data):
+        nfa = random_nfa(seed)
+        dfa = subset_construction(nfa)
+        word = data.draw(st.lists(st.integers(0, 1), max_size=16))
+        arr = np.array(word, dtype=np.int64)
+        assert dfa.accepts(arr) == nfa.accepts(arr)
+
+    def test_state_names_record_subsets(self):
+        dfa = subset_construction(random_nfa(3))
+        assert len(dfa.state_names) == dfa.num_states
+        assert all(name.startswith("{") for name in dfa.state_names)

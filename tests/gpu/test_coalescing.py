@@ -1,0 +1,60 @@
+"""Transaction counting validates the memory model's coalescing factor."""
+
+import pytest
+
+from repro.gpu import calibration as cal
+from repro.gpu.coalescing import count_input_transactions
+from repro.workloads.chunking import plan_chunks
+
+
+class TestTransactionCounts:
+    def test_large_chunks_full_divergence(self):
+        # chunks far apart: every lane of a warp touches its own segment
+        plan = plan_chunks(1_000_000, 1024)  # ~977-item chunks
+        tc = count_input_transactions(plan)
+        assert tc.coalescing_factor == pytest.approx(32, rel=0.05)
+
+    def test_transformed_is_fully_coalesced(self):
+        # 32 steps (within the sample window): each of the 32 warps reads
+        # 32 consecutive bytes per step -> exactly one transaction per warp
+        plan = plan_chunks(32 * 1024, 1024)
+        tc = count_input_transactions(plan, max_steps=None)
+        assert tc.transformed == 32 * (1024 // 32)
+
+    def test_tiny_chunks_partially_coalesce_naturally(self):
+        # chunks of ~4 items: a warp's lanes span only ~128 bytes, so even
+        # the natural layout coalesces into one segment per warp
+        plan = plan_chunks(4096, 1024)
+        tc = count_input_transactions(plan)
+        assert tc.coalescing_factor < 4
+
+    def test_item_width_matters(self):
+        plan = plan_chunks(200_000, 512)
+        narrow = count_input_transactions(plan, item_bytes=1)
+        wide = count_input_transactions(plan, item_bytes=8)
+        # 8-byte items make a warp span two 128B segments per step
+        assert wide.transformed == pytest.approx(2 * narrow.transformed, rel=0.01)
+        # ...while 4-byte items still fit one segment per warp exactly
+        four = count_input_transactions(plan, item_bytes=4)
+        assert four.transformed == narrow.transformed
+
+    def test_full_count_matches_sampled(self):
+        plan = plan_chunks(8192, 256)  # 32 steps: sample == full
+        a = count_input_transactions(plan, max_steps=None)
+        b = count_input_transactions(plan, max_steps=64)
+        assert (a.natural, a.transformed) == (b.natural, b.transformed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_input_transactions(plan_chunks(100, 4), item_bytes=0)
+
+    def test_model_constant_within_counted_range(self):
+        # the calibrated uncoalesced/coalesced ratio must not exceed the
+        # hardware's worst case (32 lanes -> 32 segments)
+        ratio = cal.GMEM_UNCOALESCED_NS / cal.GMEM_COALESCED_NS
+        plan = plan_chunks(2_000_000, 2048)
+        counted = count_input_transactions(plan).coalescing_factor
+        # the model charges extra latency beyond pure transaction count
+        # (each divergent access also serializes); bound it loosely
+        assert counted <= 32.0 + 1e-9
+        assert ratio <= 32 * counted

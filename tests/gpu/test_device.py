@@ -1,0 +1,47 @@
+"""Tests for device specs and launch geometry."""
+
+import pytest
+
+from repro.gpu.device import GTX_1080TI, TESLA_V100, launch_geometry
+
+
+class TestDeviceSpec:
+    def test_v100_table2_values(self):
+        d = TESLA_V100
+        assert d.num_sms == 80
+        assert d.cuda_cores == 5120
+        assert d.max_threads_per_block == 1024
+        assert d.shared_mem_per_sm_bytes == 96 * 1024
+        assert d.registers_per_thread_max == 255
+        assert d.mem_bus_bits == 4096
+
+    def test_max_resident_blocks(self):
+        assert TESLA_V100.max_resident_blocks == 80
+        assert GTX_1080TI.max_resident_blocks == 28
+
+    def test_validate_block(self):
+        TESLA_V100.validate_block(256)
+        with pytest.raises(ValueError):
+            TESLA_V100.validate_block(0)
+        with pytest.raises(ValueError):
+            TESLA_V100.validate_block(2048)
+        with pytest.raises(ValueError, match="warp"):
+            TESLA_V100.validate_block(100)
+
+
+class TestLaunchGeometry:
+    def test_basic(self):
+        geo = launch_geometry(TESLA_V100, 40, 256)
+        assert geo.total_threads == 40 * 256
+        assert geo.warps_per_block == 8
+        assert geo.resident_blocks == 40
+        assert not geo.oversubscribed
+
+    def test_oversubscription(self):
+        geo = launch_geometry(TESLA_V100, 200, 256)
+        assert geo.resident_blocks == 80
+        assert geo.oversubscribed
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            launch_geometry(TESLA_V100, 0, 256)

@@ -1,0 +1,60 @@
+"""Tests for the memory model."""
+
+import pytest
+
+from repro.gpu import calibration as cal
+from repro.gpu.device import TESLA_V100
+from repro.gpu.memory import MemoryModel
+
+
+@pytest.fixture
+def mem():
+    return MemoryModel(TESLA_V100)
+
+
+class TestInputReads:
+    def test_coalesced_cheaper(self, mem):
+        assert mem.input_read_ns(True) < mem.input_read_ns(False)
+
+    def test_coalescing_factor_substantial(self, mem):
+        # the layout transformation must be worth several x (Fig. 14)
+        assert mem.input_read_ns(False) / mem.input_read_ns(True) > 10
+
+
+class TestTableSteps:
+    def test_small_table_served_by_l2(self, mem):
+        assert mem.table_step_ns(1024) == cal.TABLE_STEP_L2_NS
+
+    def test_huge_table_dram(self, mem):
+        assert mem.table_step_ns(TESLA_V100.l2_bytes + 1) == cal.TABLE_STEP_DRAM_NS
+
+    def test_cache_hit_cheaper_than_uncached(self, mem):
+        cached = mem.table_step_ns(4096, cache_enabled=True, cache_hit_rate=1.0)
+        uncached = mem.table_step_ns(4096)
+        assert cached < uncached
+
+    def test_cache_all_miss_worse_than_uncached(self, mem):
+        # pure misses still pay the hash check: strictly worse than no cache
+        missy = mem.table_step_ns(4096, cache_enabled=True, cache_hit_rate=0.0)
+        assert missy > mem.table_step_ns(4096)
+
+    def test_hit_rate_interpolates(self, mem):
+        lo = mem.table_step_ns(4096, cache_enabled=True, cache_hit_rate=0.0)
+        hi = mem.table_step_ns(4096, cache_enabled=True, cache_hit_rate=1.0)
+        mid = mem.table_step_ns(4096, cache_enabled=True, cache_hit_rate=0.5)
+        assert hi < mid < lo
+
+    def test_hit_rate_clamped(self, mem):
+        a = mem.table_step_ns(4096, cache_enabled=True, cache_hit_rate=2.0)
+        b = mem.table_step_ns(4096, cache_enabled=True, cache_hit_rate=1.0)
+        assert a == b
+
+
+class TestMergeTraffic:
+    def test_hierarchy_ordering(self, mem):
+        # shuffle < shared exchange < dependent global
+        assert mem.shuffle_ns() < mem.shared_exchange_ns() < mem.dependent_global_ns()
+
+    def test_bandwidth_floor(self, mem):
+        one_gb = mem.bandwidth_floor_s(10**9)
+        assert one_gb == pytest.approx(1.0 / TESLA_V100.mem_bandwidth_gbs)

@@ -1,0 +1,58 @@
+"""Tests for the occupancy and register-spill model."""
+
+import pytest
+
+from repro.gpu import calibration as cal
+from repro.gpu.device import TESLA_V100
+from repro.gpu.occupancy import occupancy_report, spill_factor
+
+
+class TestSpill:
+    def test_no_spill_small_k(self):
+        assert spill_factor(1) == 1.0
+        assert spill_factor(cal.SPILL_THRESHOLD_STATES) == 1.0
+
+    def test_spill_past_threshold(self):
+        assert spill_factor(cal.SPILL_THRESHOLD_STATES + 1) == cal.SPILL_FACTOR
+
+    def test_spec_n_huffman_spills(self):
+        # the paper's 205-state machine under spec-N must spill
+        assert spill_factor(205) > 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            spill_factor(0)
+
+
+class TestOccupancy:
+    def test_more_k_fewer_blocks(self):
+        low = occupancy_report(TESLA_V100, 256, k=1)
+        high = occupancy_report(TESLA_V100, 256, k=24)
+        assert high.registers_per_thread > low.registers_per_thread
+        assert high.max_blocks_registers <= low.max_blocks_registers
+
+    def test_register_cap(self):
+        r = occupancy_report(TESLA_V100, 256, k=500)
+        assert r.registers_per_thread <= TESLA_V100.registers_per_thread_max
+
+    def test_shared_memory_limits_blocks(self):
+        r = occupancy_report(TESLA_V100, 256, k=4,
+                             shared_bytes_per_block=48 * 1024)
+        assert r.max_blocks_shared == 2
+
+    def test_oversized_shared_rejected(self):
+        with pytest.raises(ValueError, match="shared memory"):
+            occupancy_report(TESLA_V100, 256, k=4,
+                             shared_bytes_per_block=97 * 1024)
+
+    def test_thread_limit(self):
+        r = occupancy_report(TESLA_V100, 1024, k=4)
+        assert r.max_blocks_threads == 2
+
+    def test_resident_warps(self):
+        r = occupancy_report(TESLA_V100, 256, k=4)
+        assert r.resident_warps_per_sm == r.resident_blocks_per_sm * 8
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            occupancy_report(TESLA_V100, 256, k=0)

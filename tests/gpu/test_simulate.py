@@ -1,0 +1,89 @@
+"""Tests for the lane-level merge simulator vs the vectorized tree merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.local import process_chunks
+from repro.core.lookback import speculate
+from repro.core.merge_par import merge_parallel
+from repro.core.types import ChunkResults
+from repro.gpu.simulate import simulate_hierarchical_merge
+from repro.workloads.chunking import plan_chunks
+from tests.conftest import make_random_dfa, random_input
+
+
+def build_results(seed: int, n_items: int, chunks: int, k: int):
+    dfa = make_random_dfa(8, 2, seed=seed)
+    inp = random_input(2, n_items, seed=seed + 1)
+    plan = plan_chunks(n_items, chunks)
+    spec = speculate(dfa, inp, plan, k, lookback=3)
+    end, _ = process_chunks(dfa, inp, plan, spec)
+    results = ChunkResults(spec=spec, end=end, valid=np.ones_like(spec, dtype=bool))
+    return dfa, inp, plan, results
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 300), k=st.integers(1, 4),
+           blocks=st.integers(1, 3))
+    def test_matches_tree_merge_root(self, seed, k, blocks):
+        # Same composition algebra: the simulated final map must equal the
+        # vectorized tree merge's root (delayed strategy, before fix-up).
+        chunks = blocks * 64
+        dfa, inp, plan, results = build_results(seed, 2000, chunks, k)
+        sim = simulate_hierarchical_merge(results, threads_per_block=64)
+        _, tree = merge_parallel(
+            dfa, inp, plan, results, reexec="delayed",
+            threads_per_block=64, stats=None,
+        )
+        root = tree.root
+        np.testing.assert_array_equal(sim.final_spec, root.spec[0])
+        np.testing.assert_array_equal(sim.final_valid, root.valid[0])
+        # ends only meaningful where valid
+        np.testing.assert_array_equal(
+            sim.final_end[sim.final_valid], root.end[0][root.valid[0]]
+        )
+
+    def test_lookup_final_state(self):
+        dfa, inp, plan, results = build_results(7, 4096, 128, 2)
+        sim = simulate_hierarchical_merge(results, threads_per_block=64)
+        looked = sim.lookup(dfa.start)
+        if looked is not None:
+            from repro.fsm.run import run_reference
+
+            assert looked == run_reference(dfa, inp)
+
+
+class TestCounters:
+    def test_shuffle_counts(self):
+        # one block of 64 threads, k=2: two warps of 5 rounds each plus one
+        # block-stage round over 2 warp results
+        _, _, _, results = build_results(1, 1000, 64, 2)
+        sim = simulate_hierarchical_merge(results, threads_per_block=64)
+        c = sim.counters
+        # warp stage: per warp, 31 pair combinations x 2k shuffled values
+        assert c.shuffle_ops == (31 * 2 + 1) * 2 * 2
+        assert c.barriers == 2
+        assert c.global_loads == 0  # single block: no grid stage reads
+
+    def test_grid_stage_reads(self):
+        _, _, _, results = build_results(2, 4000, 4 * 32, 2)
+        sim = simulate_hierarchical_merge(results, threads_per_block=32)
+        assert sim.counters.global_loads == 3 * 2 * 2  # 3 folds x 2k values
+        assert sim.counters.global_stores == 4 * 2 * 2
+
+    def test_divergence_grows_with_rounds(self):
+        _, _, _, results = build_results(3, 2000, 64, 1)
+        sim = simulate_hierarchical_merge(results, threads_per_block=64)
+        # later shuffle rounds have fewer active lanes
+        actives = [a for a, _ in sim.counters.active_lane_rounds]
+        assert actives[0] > actives[4 - 1]
+        assert 0 <= sim.counters.divergence_ratio <= 1
+
+    def test_validation_errors(self):
+        _, _, _, results = build_results(4, 1000, 64, 2)
+        with pytest.raises(ValueError, match="multiple"):
+            simulate_hierarchical_merge(results, threads_per_block=48)
+        with pytest.raises(ValueError, match="num_chunks"):
+            simulate_hierarchical_merge(results, threads_per_block=128)

@@ -1,0 +1,96 @@
+"""Tests for regex compilation and input-class compression."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.alphabet import Alphabet
+from repro.regex.compile import compile_regex, compile_search, compress_inputs
+
+AB = Alphabet.from_symbols("abc")
+
+
+class TestCompileRegex:
+    def test_anchored_match(self):
+        dfa = compile_regex("ab*c", AB)
+        assert dfa.accepts(AB.encode("abbbc"))
+        assert not dfa.accepts(AB.encode("abb"))
+
+    def test_minimize_flag(self):
+        big = compile_regex("(a|a|a)b", AB, minimize=False)
+        small = compile_regex("(a|a|a)b", AB, minimize=True)
+        assert small.num_states <= big.num_states
+
+    def test_name_attached(self):
+        assert compile_regex("a", AB, name="x").name == "x"
+
+    def test_alphabet_attached(self):
+        assert compile_regex("a", AB).alphabet is AB
+
+
+class TestCompileSearch:
+    def test_accepting_when_match_ends_at_cursor(self):
+        dfa = compile_search("ab", AB)
+        assert dfa.accepts(AB.encode("ccab"))
+        assert not dfa.accepts(AB.encode("abc"))
+
+    def test_streaming_positions(self):
+        from repro.fsm.run import run_reference_trace
+
+        dfa = compile_search("ab", AB)
+        trace = run_reference_trace(dfa, AB.encode("ababc"))
+        hits = np.flatnonzero(dfa.accepting[trace])
+        np.testing.assert_array_equal(hits, [1, 3])  # matches end at 1, 3
+
+
+class TestCompressInputs:
+    def test_compresses_identical_columns(self):
+        # 'ab' searcher over abc: b and c behave differently from a, but do
+        # b and c collapse? For pattern 'a', yes: everything except 'a' is
+        # equivalent.
+        dfa = compile_search("a", AB)
+        comp = compress_inputs(dfa)
+        assert comp.num_classes == 2
+
+    def test_class_map_shape(self):
+        dfa = compile_search("a", AB)
+        comp = compress_inputs(dfa)
+        assert comp.class_of.shape == (3,)
+
+    def test_equivalent_behaviour(self):
+        dfa = compile_search("ab", AB)
+        comp = compress_inputs(dfa)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            raw = rng.integers(0, 3, size=rng.integers(0, 20))
+            assert dfa.run(raw) == comp.dfa.run(comp.encode_inputs(raw))
+
+    def test_no_compression_when_all_distinct(self):
+        # Pattern that distinguishes all three letters.
+        dfa = compile_search("abc|bca|cab", AB)
+        comp = compress_inputs(dfa)
+        assert comp.num_classes == 3
+
+    def test_first_appearance_numbering(self):
+        dfa = compile_search("b", AB)
+        comp = compress_inputs(dfa)
+        # symbol 0 ('a') gets class 0 by first-appearance convention
+        assert comp.class_of[0] == 0
+
+    def test_transducer_columns_respected(self):
+        from repro.fsm.dfa import DFA
+
+        table = np.array([[0, 1], [0, 1], [1, 0]], dtype=np.int32)
+        emit = np.array([[5, -1], [-1, -1], [5, -1]], dtype=np.int32)
+        dfa = DFA(table=table, start=0, accepting=np.zeros(2, dtype=bool), emit=emit)
+        comp = compress_inputs(dfa)
+        # symbols 0 and 1 share a table row but differ in emission
+        assert comp.num_classes == 3
+
+    def test_paper_class_counts(self):
+        from repro.apps.paper_regexes import build_regex1, build_regex2
+
+        r1, class1 = build_regex1()
+        assert r1.num_inputs == 7  # {a,e,i,k,l,p} + other
+        assert class1 is not None
+        r2, _ = build_regex2()
+        assert r2.num_inputs == 3  # {',', '.', other}

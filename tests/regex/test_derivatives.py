@@ -1,0 +1,85 @@
+"""Cross-validation: derivative DFAs vs the Thompson/subset pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm.alphabet import Alphabet
+from repro.fsm.minimize import minimize_dfa
+from repro.regex.compile import compile_regex, compile_search
+from repro.regex.derivatives import (
+    compile_regex_derivatives,
+    compile_search_derivatives,
+)
+
+AB = Alphabet.from_symbols("abc")
+
+PATTERNS = [
+    "a", "abc", "a*", "a+b", "(ab)*c?", "a|bc|cab", "(a|b)*c",
+    "[ab]+c{2}", "[^a]b?", "a{2,4}b", "(ab|ba){1,3}", ".a.", "(.+a){2}",
+    "",
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @settings(max_examples=40, deadline=None)
+    @given(text=st.text(alphabet="abc", max_size=10))
+    def test_anchored_agreement(self, pattern, text):
+        d1 = compile_regex(pattern, AB)
+        d2 = compile_regex_derivatives(pattern, AB)
+        ids = AB.encode(text)
+        assert d1.accepts(ids) == d2.accepts(ids), (pattern, text)
+
+    @pytest.mark.parametrize("pattern", ["ab", "a{2}", "(a|b)c"])
+    @settings(max_examples=25, deadline=None)
+    @given(text=st.text(alphabet="abc", min_size=1, max_size=10))
+    def test_search_agreement(self, pattern, text):
+        from repro.fsm.run import run_reference_trace
+
+        d1 = compile_search(pattern, AB)
+        d2 = compile_search_derivatives(pattern, AB)
+        ids = AB.encode(text)
+        t1 = d1.accepting[run_reference_trace(d1, ids)]
+        t2 = d2.accepting[run_reference_trace(d2, ids)]
+        np.testing.assert_array_equal(t1, t2)
+
+
+class TestSizes:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_minimal_sizes_equal(self, pattern):
+        # both pipelines must minimize to the same canonical machine size
+        d1 = minimize_dfa(compile_regex(pattern, AB))
+        d2 = minimize_dfa(compile_regex_derivatives(pattern, AB))
+        assert d1.num_states == d2.num_states, pattern
+
+    def test_derivatives_near_minimal(self):
+        # derivative machines are close to minimal without a Hopcroft pass
+        for pattern in PATTERNS:
+            d = compile_regex_derivatives(pattern, AB)
+            m = minimize_dfa(d)
+            assert d.num_states <= 3 * max(1, m.num_states), pattern
+
+    def test_paper_regex1_size(self):
+        # a second datapoint for Table 5's construction-dependent count
+        ab = Alphabet.lowercase()
+        d = compile_search_derivatives("(.*l.*i.*k.*e)|(.*a.*p.*p.*l.*e)", ab)
+        m = minimize_dfa(d)
+        assert m.num_states == 14  # canonical minimal size
+
+
+class TestGuards:
+    def test_max_states_guard(self):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            compile_regex_derivatives("(a|b){1,12}", AB, max_states=4)
+
+    def test_literal_outside_alphabet(self):
+        with pytest.raises(ValueError, match="alphabet"):
+            compile_regex_derivatives("z", AB)
+
+    def test_empty_class_rejected_consistently(self):
+        # SymbolClass matching nothing lowers to the null language, which
+        # derivatives handle gracefully (never matches) rather than raising
+        d = compile_regex_derivatives("[^abc]", AB)
+        assert not d.accepts(AB.encode("a"))
+        assert not d.accepts(AB.encode(""))

@@ -1,0 +1,143 @@
+"""Tests for the regex parser."""
+
+import pytest
+
+from repro.regex.ast import Alternation, Concat, Empty, Literal, Repeat, SymbolClass
+from repro.regex.parser import RegexSyntaxError, parse
+
+
+class TestAtoms:
+    def test_literal(self):
+        assert parse("a") == Literal("a")
+
+    def test_dot(self):
+        node = parse(".")
+        assert isinstance(node, SymbolClass) and node.negated and not node.chars
+
+    def test_escaped_dot(self):
+        assert parse("\\.") == Literal(".")
+
+    def test_escaped_backslash(self):
+        assert parse("\\\\") == Literal("\\")
+
+    def test_escape_newline(self):
+        assert parse("\\n") == Literal("\n")
+
+    def test_unknown_escape(self):
+        with pytest.raises(RegexSyntaxError, match="unknown escape"):
+            parse("\\q")
+
+    def test_group(self):
+        assert parse("(a)") == Literal("a")
+
+    def test_empty_pattern(self):
+        assert parse("") == Empty()
+
+    def test_empty_group(self):
+        assert parse("()") == Empty()
+
+
+class TestRepetition:
+    def test_star(self):
+        assert parse("a*") == Repeat(Literal("a"), 0, None)
+
+    def test_plus(self):
+        assert parse("a+") == Repeat(Literal("a"), 1, None)
+
+    def test_question(self):
+        assert parse("a?") == Repeat(Literal("a"), 0, 1)
+
+    def test_exact_count(self):
+        assert parse("a{4}") == Repeat(Literal("a"), 4, 4)
+
+    def test_range(self):
+        assert parse("a{2,5}") == Repeat(Literal("a"), 2, 5)
+
+    def test_open_range(self):
+        assert parse("a{3,}") == Repeat(Literal("a"), 3, None)
+
+    def test_inverted_bounds(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{5,2}")
+
+    def test_double_star(self):
+        assert parse("a**") == Repeat(Repeat(Literal("a"), 0, None), 0, None)
+
+    def test_nothing_to_repeat(self):
+        with pytest.raises(RegexSyntaxError, match="nothing to repeat"):
+            parse("*a")
+
+    def test_bounds_need_number(self):
+        with pytest.raises(RegexSyntaxError, match="number"):
+            parse("a{x}")
+
+
+class TestStructure:
+    def test_concat(self):
+        assert parse("ab") == Concat((Literal("a"), Literal("b")))
+
+    def test_alternation(self):
+        assert parse("a|b") == Alternation((Literal("a"), Literal("b")))
+
+    def test_precedence_alt_lowest(self):
+        node = parse("ab|c")
+        assert isinstance(node, Alternation)
+        assert node.options[0] == Concat((Literal("a"), Literal("b")))
+
+    def test_precedence_repeat_highest(self):
+        assert parse("ab*") == Concat((Literal("a"), Repeat(Literal("b"), 0, None)))
+
+    def test_group_overrides(self):
+        assert parse("(ab)*") == Repeat(Concat((Literal("a"), Literal("b"))), 0, None)
+
+    def test_empty_alternative(self):
+        node = parse("a|")
+        assert node == Alternation((Literal("a"), Empty()))
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(a")
+
+    def test_stray_close_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a)")
+
+
+class TestCharClass:
+    def test_simple(self):
+        assert parse("[ab]") == SymbolClass(frozenset("ab"))
+
+    def test_range(self):
+        assert parse("[a-d]") == SymbolClass(frozenset("abcd"))
+
+    def test_negated(self):
+        assert parse("[^ab]") == SymbolClass(frozenset("ab"), negated=True)
+
+    def test_literal_dash_at_end(self):
+        assert parse("[a-]") == SymbolClass(frozenset("a-"))
+
+    def test_escaped_in_class(self):
+        assert parse("[\\]]") == SymbolClass(frozenset("]"))
+
+    def test_inverted_range(self):
+        with pytest.raises(RegexSyntaxError, match="inverted range"):
+            parse("[z-a]")
+
+    def test_unterminated(self):
+        with pytest.raises(RegexSyntaxError, match="unterminated"):
+            parse("[ab")
+
+    def test_first_bracket_literal(self):
+        # ']' right after '[' is a literal member, per POSIX convention
+        assert parse("[]a]") == SymbolClass(frozenset("]a"))
+
+
+class TestPaperPatterns:
+    def test_regex1_parses(self):
+        node = parse("(.*l.*i.*k.*e)|(.*a.*p.*p.*l.*e)")
+        assert isinstance(node, Alternation)
+
+    def test_regex2_parses(self):
+        node = parse("(.+,.+\\.){4}|(.+,){4}|(.+\\.){4}")
+        assert isinstance(node, Alternation)
+        assert all(isinstance(o, Repeat) and o.lo == o.hi == 4 for o in node.options)

@@ -1,0 +1,70 @@
+"""Tests for \\d \\w \\s class shorthands (differential vs Python re)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm.alphabet import Alphabet
+from repro.regex.ast import SymbolClass
+from repro.regex.compile import compile_regex
+from repro.regex.parser import RegexSyntaxError, parse
+
+AB = Alphabet.ascii(128)
+
+
+class TestParsing:
+    def test_digit_shorthand(self):
+        node = parse("\\d")
+        assert isinstance(node, SymbolClass)
+        assert "5" in node.chars and not node.negated
+
+    def test_negated_digit(self):
+        node = parse("\\D")
+        assert node.negated and "5" in node.chars
+
+    def test_word_and_space(self):
+        assert "_" in parse("\\w").chars
+        assert "\t" in parse("\\s").chars
+
+    def test_inside_class_unions(self):
+        node = parse("[\\dab]")
+        assert {"a", "b", "0", "9"} <= node.chars
+
+    def test_negated_class_with_shorthand(self):
+        node = parse("[^\\s]")
+        assert node.negated and " " in node.chars
+
+    def test_negated_shorthand_inside_class_rejected(self):
+        with pytest.raises(RegexSyntaxError, match="negated shorthand"):
+            parse("[\\D]")
+
+    def test_plain_escapes_still_work(self):
+        from repro.regex.ast import Literal
+
+        assert parse("\\.") == Literal(".")
+
+
+PATTERNS = [
+    "\\d+",
+    "\\w+@\\w+",
+    "\\s*\\d{2,4}\\s*",
+    "[\\dab]+",
+    "\\D\\d",
+    "(\\w|-)+",
+    "\\S+\\s\\S+",
+]
+
+texts = st.text(
+    alphabet=st.sampled_from(list("ab zQ19_.-\t")), max_size=10
+)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+@settings(max_examples=60, deadline=None)
+@given(text=texts)
+def test_fullmatch_agrees_with_re(pattern, text):
+    dfa = compile_regex(pattern, AB)
+    mine = dfa.accepts(AB.encode_text(text))
+    theirs = re.fullmatch(pattern, text, flags=re.ASCII) is not None
+    assert mine == theirs, (pattern, text)

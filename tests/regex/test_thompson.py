@@ -1,0 +1,100 @@
+"""Tests for Thompson construction (NFA semantics per node type)."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.alphabet import Alphabet
+from repro.regex.parser import parse
+from repro.regex.thompson import to_nfa
+
+AB = Alphabet.from_symbols("abc")
+
+
+def accepts(pattern: str, text: str) -> bool:
+    nfa = to_nfa(parse(pattern), AB)
+    return nfa.accepts(AB.encode(text))
+
+
+class TestBasics:
+    def test_literal(self):
+        assert accepts("a", "a")
+        assert not accepts("a", "b")
+        assert not accepts("a", "aa")
+
+    def test_empty(self):
+        assert accepts("", "")
+        assert not accepts("", "a")
+
+    def test_concat(self):
+        assert accepts("ab", "ab")
+        assert not accepts("ab", "a")
+
+    def test_alternation(self):
+        assert accepts("a|b", "a")
+        assert accepts("a|b", "b")
+        assert not accepts("a|b", "c")
+
+    def test_dot(self):
+        assert accepts(".", "c")
+        assert not accepts(".", "")
+
+    def test_class(self):
+        assert accepts("[ab]", "b")
+        assert not accepts("[ab]", "c")
+
+    def test_negated_class(self):
+        assert accepts("[^ab]", "c")
+        assert not accepts("[^ab]", "a")
+
+    def test_literal_not_in_alphabet(self):
+        with pytest.raises(ValueError, match="not in the target alphabet"):
+            to_nfa(parse("z"), AB)
+
+    def test_class_matching_nothing(self):
+        with pytest.raises(ValueError, match="matches nothing"):
+            to_nfa(parse("[^abc]"), AB)
+
+
+class TestRepetition:
+    def test_star(self):
+        for text, want in [("", True), ("a", True), ("aaaa", True), ("ab", False)]:
+            assert accepts("a*", text) is want
+
+    def test_plus(self):
+        assert not accepts("a+", "")
+        assert accepts("a+", "aaa")
+
+    def test_question(self):
+        assert accepts("a?", "")
+        assert accepts("a?", "a")
+        assert not accepts("a?", "aa")
+
+    def test_exact(self):
+        assert accepts("a{3}", "aaa")
+        assert not accepts("a{3}", "aa")
+        assert not accepts("a{3}", "aaaa")
+
+    def test_range(self):
+        for n, want in [(1, False), (2, True), (3, True), (4, True), (5, False)]:
+            assert accepts("a{2,4}", "a" * n) is want
+
+    def test_open_range(self):
+        assert not accepts("a{2,}", "a")
+        assert accepts("a{2,}", "a" * 7)
+
+    def test_zero_zero(self):
+        assert accepts("a{0,0}", "")
+        assert not accepts("a{0,0}", "a")
+
+    def test_zero_lo_bounded(self):
+        assert accepts("a{0,2}", "")
+        assert accepts("a{0,2}", "aa")
+        assert not accepts("a{0,2}", "aaa")
+
+    def test_repeat_of_group(self):
+        assert accepts("(ab){2}", "abab")
+        assert not accepts("(ab){2}", "ab")
+
+    def test_repeat_of_alternation(self):
+        assert accepts("(a|b){3}", "aba")
+        assert not accepts("(a|b){3}", "ab")

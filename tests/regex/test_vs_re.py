@@ -1,0 +1,63 @@
+"""Differential tests: our regex engine vs Python's ``re`` module."""
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm.alphabet import Alphabet
+from repro.regex.compile import compile_regex
+
+AB = Alphabet.from_symbols("abc")
+
+# Patterns valid in both engines (no backrefs, no lazy ops).
+PATTERNS = [
+    "a",
+    "abc",
+    "a*",
+    "a+b",
+    "(ab)*c?",
+    "a|bc|cab",
+    "(a|b)*c",
+    "[ab]+c{2}",
+    "[^a]b?",
+    "a{2,4}b",
+    "(ab|ba){1,3}",
+    "(a*b){2,}",
+    ".a.",
+    "(.+a){2}",
+]
+
+texts = st.text(alphabet="abc", max_size=12)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+@settings(max_examples=60, deadline=None)
+@given(text=texts)
+def test_fullmatch_agrees_with_re(pattern, text):
+    dfa = compile_regex(pattern, AB)
+    mine = dfa.accepts(AB.encode(text))
+    theirs = re.fullmatch(pattern, text) is not None
+    assert mine == theirs, f"{pattern!r} on {text!r}: dfa={mine} re={theirs}"
+
+
+@pytest.mark.parametrize("pattern", ["a", "ab", "a+b", "(ab){2}"])
+@settings(max_examples=40, deadline=None)
+@given(text=texts)
+def test_search_endpoint_agrees_with_re(pattern, text):
+    from repro.fsm.run import run_reference_trace
+    from repro.regex.compile import compile_search
+
+    dfa = compile_search(pattern, AB)
+    if not text:
+        return
+    trace = run_reference_trace(dfa, AB.encode(text))
+    mine = set(np.flatnonzero(dfa.accepting[trace]).tolist())
+    theirs = {
+        m.end() - 1
+        for i in range(len(text))
+        for m in [re.compile(pattern).match(text, i)]
+        if m is not None and m.end() > 0
+    }
+    assert mine == theirs

@@ -1,0 +1,100 @@
+"""Tests for repro.util.bitstream."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitstream import BitReader, BitWriter, bits_from_bytes, bits_to_bytes
+
+
+class TestPacking:
+    def test_roundtrip_simple(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1], dtype=np.uint8)
+        payload, n = bits_to_bytes(bits)
+        assert n == 9
+        out = bits_from_bytes(payload, n)
+        np.testing.assert_array_equal(out, bits)
+
+    def test_empty(self):
+        payload, n = bits_to_bytes(np.zeros(0, dtype=np.uint8))
+        assert n == 0
+        assert bits_from_bytes(payload, 0).size == 0
+
+    def test_exact_byte_boundary(self):
+        bits = np.array([1] * 16, dtype=np.uint8)
+        payload, n = bits_to_bytes(bits)
+        assert len(payload) == 2
+        np.testing.assert_array_equal(bits_from_bytes(payload, n), bits)
+
+    def test_msb_first(self):
+        payload, _ = bits_to_bytes(np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=np.uint8))
+        assert payload == b"\x80"
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="only 0 and 1"):
+            bits_to_bytes(np.array([0, 2], dtype=np.uint8))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            bits_to_bytes(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_rejects_negative_nbits(self):
+        with pytest.raises(ValueError):
+            bits_from_bytes(b"\x00", -1)
+
+    def test_rejects_oversized_nbits(self):
+        with pytest.raises(ValueError, match="exceeds payload"):
+            bits_from_bytes(b"\x00", 9)
+
+    @given(st.lists(st.integers(0, 1), max_size=200))
+    def test_roundtrip_property(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        payload, n = bits_to_bytes(arr)
+        np.testing.assert_array_equal(bits_from_bytes(payload, n), arr)
+
+
+class TestWriterReader:
+    def test_writer_accumulates(self):
+        w = BitWriter()
+        w.write(np.array([1, 0], dtype=np.uint8))
+        w.write_bit(1)
+        assert len(w) == 3
+        np.testing.assert_array_equal(w.getvalue(), [1, 0, 1])
+
+    def test_writer_empty(self):
+        assert BitWriter().getvalue().size == 0
+
+    def test_writer_packed(self):
+        w = BitWriter()
+        w.write(np.array([1, 1, 1, 1], dtype=np.uint8))
+        payload, n = w.packed()
+        assert (payload, n) == (b"\xf0", 4)
+
+    def test_writer_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_reader_sequential(self):
+        r = BitReader(np.array([1, 0, 1], dtype=np.uint8))
+        assert r.read_bit() == 1
+        assert r.read_bit() == 0
+        assert r.remaining == 1
+
+    def test_reader_bulk(self):
+        r = BitReader(np.array([1, 0, 1, 1], dtype=np.uint8))
+        np.testing.assert_array_equal(r.read(3), [1, 0, 1])
+        assert r.remaining == 1
+
+    def test_reader_eof(self):
+        r = BitReader(np.array([1], dtype=np.uint8))
+        r.read_bit()
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_reader_overread(self):
+        with pytest.raises(EOFError):
+            BitReader(np.array([1], dtype=np.uint8)).read(2)
+
+    def test_reader_negative(self):
+        with pytest.raises(ValueError):
+            BitReader(np.array([1], dtype=np.uint8)).read(-1)

@@ -1,0 +1,68 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import cdf_by_frequency, describe, geometric_mean
+
+
+class TestCdf:
+    def test_simple(self):
+        cdf = cdf_by_frequency(np.array([1, 3, 4, 2]))
+        np.testing.assert_allclose(cdf, [0.4, 0.7, 0.9, 1.0])
+
+    def test_sorted_descending_input_equivalent(self):
+        a = cdf_by_frequency(np.array([5, 1, 3]))
+        b = cdf_by_frequency(np.array([1, 3, 5]))
+        np.testing.assert_allclose(a, b)
+
+    def test_all_zero(self):
+        np.testing.assert_array_equal(cdf_by_frequency(np.zeros(3)), np.zeros(3))
+
+    def test_empty(self):
+        assert cdf_by_frequency(np.zeros(0)).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cdf_by_frequency(np.array([1, -1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            cdf_by_frequency(np.ones((2, 2)))
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    def test_monotone_and_bounded(self, counts):
+        cdf = cdf_by_frequency(np.array(counts, dtype=float))
+        assert np.all(np.diff(cdf) >= -1e-12)
+        if sum(counts):
+            assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean(np.array([3.0])) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.zeros(0))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([1.0, 0.0]))
+
+
+class TestDescribe:
+    def test_fields(self):
+        s = describe(np.array([1.0, 2.0, 3.0]))
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.median == pytest.approx(2.0)
+        assert (s.min, s.max) == (1.0, 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            describe(np.zeros(0))

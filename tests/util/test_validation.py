@@ -1,0 +1,58 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_dtype_integer,
+    check_in_set,
+    check_positive,
+    check_range,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_nonstrict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckRange:
+    def test_inside(self):
+        check_range("x", 5, 0, 10)
+
+    def test_boundaries_inclusive(self):
+        check_range("x", 0, 0, 10)
+        check_range("x", 10, 0, 10)
+
+    def test_outside(self):
+        with pytest.raises(ValueError, match="must be in"):
+            check_range("x", 11, 0, 10)
+
+
+class TestCheckInSet:
+    def test_member(self):
+        check_in_set("mode", "a", ("a", "b"))
+
+    def test_nonmember_lists_choices(self):
+        with pytest.raises(ValueError, match="one of"):
+            check_in_set("mode", "c", ("a", "b"))
+
+
+class TestCheckDtype:
+    def test_integer_ok(self):
+        check_dtype_integer("a", np.zeros(3, dtype=np.int32))
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_dtype_integer("a", np.zeros(3, dtype=np.float64))

@@ -1,0 +1,98 @@
+"""Tests for chunk planning and the layout transformation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.chunking import plan_chunks, transform_layout
+
+
+class TestPlanChunks:
+    def test_even_split(self):
+        plan = plan_chunks(12, 4)
+        np.testing.assert_array_equal(plan.lengths, [3, 3, 3, 3])
+        np.testing.assert_array_equal(plan.starts, [0, 3, 6, 9])
+
+    def test_ragged_split(self):
+        plan = plan_chunks(10, 4)
+        np.testing.assert_array_equal(plan.lengths, [3, 3, 2, 2])
+        assert plan.min_len == 2 and plan.max_len == 3 and plan.num_long == 2
+
+    def test_more_chunks_than_items(self):
+        plan = plan_chunks(3, 5)
+        np.testing.assert_array_equal(plan.lengths, [1, 1, 1, 0, 0])
+
+    def test_empty_input(self):
+        plan = plan_chunks(0, 4)
+        assert plan.min_len == 0 and plan.max_len == 0
+
+    def test_boundaries(self):
+        plan = plan_chunks(10, 3)
+        np.testing.assert_array_equal(plan.boundaries, [0, 4, 7, 10])
+
+    def test_chunk_slice(self):
+        plan = plan_chunks(10, 3)
+        data = np.arange(10)
+        parts = [data[plan.chunk_slice(c)] for c in range(3)]
+        np.testing.assert_array_equal(np.concatenate(parts), data)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            plan_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            plan_chunks(10, 0)
+
+    @given(n=st.integers(0, 500), c=st.integers(1, 40))
+    def test_partition_property(self, n, c):
+        plan = plan_chunks(n, c)
+        assert plan.lengths.sum() == n
+        assert plan.lengths.max() - plan.lengths.min() <= 1
+        # longer chunks first
+        diffs = np.diff(plan.lengths)
+        assert np.all(diffs <= 0)
+
+
+class TestTransformLayout:
+    def test_interleave_values(self):
+        data = np.arange(8, dtype=np.int32)
+        plan = plan_chunks(8, 2)  # chunks [0..3], [4..7]
+        t = transform_layout(data, plan)
+        np.testing.assert_array_equal(t.main[:, 0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(t.main[:, 1], [4, 5, 6, 7])
+        assert t.tail.size == 0
+
+    def test_ragged_tail(self):
+        data = np.arange(7, dtype=np.int32)
+        plan = plan_chunks(7, 3)  # lengths 3,2,2
+        t = transform_layout(data, plan)
+        assert t.main.shape == (2, 3)
+        np.testing.assert_array_equal(t.tail, [2])  # third item of chunk 0
+
+    def test_contiguous_rows(self):
+        data = np.arange(100, dtype=np.int32)
+        t = transform_layout(data, plan_chunks(100, 10))
+        assert t.main.flags.c_contiguous
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            transform_layout(np.arange(5), plan_chunks(6, 2))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            transform_layout(np.ones((2, 3)), plan_chunks(6, 2))
+
+    @given(n=st.integers(0, 300), c=st.integers(1, 20))
+    def test_is_permutation(self, n, c):
+        data = np.arange(n, dtype=np.int64)
+        plan = plan_chunks(n, c)
+        t = transform_layout(data, plan)
+        recovered = np.concatenate([t.main.T.ravel(), t.tail])
+        assert sorted(recovered.tolist()) == data.tolist()
+
+    def test_step_rows_match_natural_gather(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 100, size=53).astype(np.int32)
+        plan = plan_chunks(53, 7)
+        t = transform_layout(data, plan)
+        for j in range(plan.min_len):
+            np.testing.assert_array_equal(t.main[j], data[plan.starts + j])

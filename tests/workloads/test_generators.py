@@ -1,0 +1,113 @@
+"""Tests for workload generators (text, HTML, binary)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.binary import random_bits, random_symbols
+from repro.workloads.html import synthetic_page, synthetic_pages
+from repro.workloads.text import random_lowercase, synthetic_book, synthetic_library
+
+
+class TestBinary:
+    def test_bits_range(self):
+        bits = random_bits(1000, rng=0)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_bits_bias(self):
+        bits = random_bits(20000, p_one=0.9, rng=0)
+        assert 0.85 < bits.mean() < 0.95
+
+    def test_bits_deterministic(self):
+        np.testing.assert_array_equal(random_bits(100, rng=5), random_bits(100, rng=5))
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            random_bits(-1)
+        with pytest.raises(ValueError):
+            random_bits(10, p_one=1.5)
+
+    def test_symbols_uniform(self):
+        s = random_symbols(1000, 5, rng=0)
+        assert s.min() >= 0 and s.max() < 5
+
+    def test_symbols_probs(self):
+        s = random_symbols(10000, 3, probs=np.array([0.0, 0.0, 1.0]), rng=0)
+        assert (s == 2).all()
+
+    def test_symbols_probs_validation(self):
+        with pytest.raises(ValueError):
+            random_symbols(10, 3, probs=np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            random_symbols(10, 2, probs=np.array([-1.0, 2.0]))
+
+
+class TestText:
+    def test_book_length_and_range(self):
+        book = synthetic_book(5000, rng=0)
+        assert book.shape == (5000,)
+        assert book.min() >= 0 and book.max() < 256
+
+    def test_book_skewed(self):
+        book = synthetic_book(50_000, rng=0)
+        counts = np.bincount(book, minlength=256)
+        # space is the most frequent character in English-like text
+        assert counts.argmax() == ord(" ")
+
+    def test_book_distinct_symbols_in_huffman_range(self):
+        book = synthetic_book(500_000, rng=0)
+        distinct = np.unique(book).size
+        assert 150 <= distinct <= 230  # Table 4 ballpark
+
+    def test_book_deterministic(self):
+        np.testing.assert_array_equal(
+            synthetic_book(1000, rng=3), synthetic_book(1000, rng=3)
+        )
+
+    def test_library_variety(self):
+        books = synthetic_library(4, 30_000, rng=0)
+        sizes = [np.unique(b).size for b in books]
+        assert len(set(sizes)) > 1  # books differ in symbol counts
+
+    def test_lowercase(self):
+        text = random_lowercase(1000, rng=0)
+        assert text.min() >= 0 and text.max() < 26
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_book(-1)
+        with pytest.raises(ValueError):
+            random_lowercase(-1)
+
+
+class TestHtml:
+    def test_page_structure(self):
+        page = synthetic_page(3000, rng=0)
+        assert page.startswith("<!DOCTYPE")
+        assert page.endswith("</body></html>")
+        assert len(page) >= 3000
+
+    def test_page_tags_balanced(self):
+        # Every tag the generator opens it eventually closes, so start-tag
+        # and end-tag token counts must be equal (self-closing counted apart).
+        from repro.apps.html_tok import TOK_END_TAG, TOK_START_TAG, reference_tokenize
+
+        page = synthetic_page(5000, rng=1)
+        tokens = [t for _, t in reference_tokenize(page)]
+        assert tokens.count(TOK_START_TAG) == tokens.count(TOK_END_TAG)
+
+    def test_page_ascii_only(self):
+        page = synthetic_page(4000, rng=2)
+        assert all(ord(c) < 128 for c in page)
+
+    def test_pages_total(self):
+        text = synthetic_pages(10_000, page_chars=2000, rng=0)
+        assert len(text) >= 10_000
+
+    def test_pages_deterministic(self):
+        assert synthetic_pages(5000, rng=4) == synthetic_pages(5000, rng=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_page(-1)
+        with pytest.raises(ValueError):
+            synthetic_pages(-1)

@@ -1,0 +1,84 @@
+"""Statistical validation of the workload generators (scipy-based).
+
+The substitution argument in DESIGN.md rests on the synthetic inputs having
+the right *statistics* (frequency skew, uniformity); these tests check the
+distributions directly instead of spot values.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.apps.div import div7_dfa
+from repro.fsm.analysis import dynamic_state_frequency, stationary_distribution
+from repro.workloads.binary import random_bits
+from repro.workloads.text import ENGLISH_CHAR_WEIGHTS, synthetic_book
+
+
+class TestTextStatistics:
+    def test_head_frequencies_track_weights(self):
+        book = synthetic_book(200_000, rng=0)
+        counts = np.bincount(book, minlength=256).astype(float)
+        # Spearman correlation between configured weights and observed
+        # counts over the head characters must be strong.
+        head = [ord(c) for c in ENGLISH_CHAR_WEIGHTS]
+        weights = np.array(list(ENGLISH_CHAR_WEIGHTS.values()))
+        rho, _ = stats.spearmanr(weights, counts[head])
+        assert rho > 0.95
+
+    def test_head_chi_square_consistent(self):
+        # the empirical head distribution is consistent with the configured
+        # one (chi-square over the 20 most probable characters)
+        book = synthetic_book(300_000, rng=1)
+        counts = np.bincount(book, minlength=256).astype(float)
+        items = sorted(ENGLISH_CHAR_WEIGHTS.items(), key=lambda kv: -kv[1])[:20]
+        obs = np.array([counts[ord(c)] for c, _ in items])
+        probs = np.array([w for _, w in items])
+        exp = probs / probs.sum() * obs.sum()
+        chi2 = ((obs - exp) ** 2 / exp).sum()
+        # dof=19; 99.9th percentile ~ 43.8. Allow generous slack for the
+        # tail mass the head shares with rare symbols.
+        assert chi2 < 80
+
+    def test_tail_is_long_and_thin(self):
+        book = synthetic_book(400_000, rng=2)
+        counts = np.bincount(book, minlength=256)
+        head = {ord(c) for c in ENGLISH_CHAR_WEIGHTS}
+        tail_counts = np.array(
+            [c for v, c in enumerate(counts) if v not in head and c > 0]
+        )
+        assert tail_counts.size > 60  # many distinct rare symbols...
+        assert tail_counts.sum() / counts.sum() < 0.02  # ...tiny total mass
+
+
+class TestBinaryStatistics:
+    def test_unbiased_bits(self):
+        bits = random_bits(100_000, rng=3)
+        # two-sided binomial test at p=0.5
+        res = stats.binomtest(int(bits.sum()), bits.size, 0.5)
+        assert res.pvalue > 1e-4
+
+    def test_no_serial_correlation(self):
+        bits = random_bits(100_000, rng=4).astype(float)
+        r = np.corrcoef(bits[:-1], bits[1:])[0, 1]
+        assert abs(r) < 0.02
+
+
+class TestStationaryAgreement:
+    def test_div7_occupancy_uniform(self):
+        dfa = div7_dfa()
+        freq = dynamic_state_frequency(dfa, random_bits(70_000, rng=5))
+        chi2, p = stats.chisquare(freq)
+        assert p > 1e-4  # consistent with the uniform stationary law
+
+    def test_random_dfa_occupancy_matches_power_iteration(self):
+        from tests.conftest import make_random_dfa, random_input
+
+        dfa = make_random_dfa(8, 2, seed=6)
+        inp = random_input(2, 120_000, seed=7)
+        measured = dynamic_state_frequency(dfa, inp).astype(float)
+        measured /= measured.sum()
+        predicted = stationary_distribution(dfa)
+        # total-variation distance small for an ergodic chain
+        tv = 0.5 * np.abs(measured - predicted).sum()
+        assert tv < 0.02
