@@ -79,3 +79,51 @@ def test_match_pairs_kernel(benchmark):
     sr = rng.integers(0, 64, size=(m, k)).astype(np.int32)
     v = np.ones((m, k), dtype=bool)
     benchmark(match_pairs, el, v, sr, v)
+
+
+# --------------------------------------------------------------------------- #
+# CPU scale-out: persistent pool vs per-call spawn
+# --------------------------------------------------------------------------- #
+#
+# The persistent pool's whole point is amortization: the DFA table and the
+# input buffer are published to shared memory once, worker processes stay
+# alive, and a dispatch pickles ~1 KB of segment names and boundary rows.
+# `test_scaleout_per_call_spawn` pays process spawn plus full-table/input
+# pickling on every call; `test_scaleout_persistent_pool` pays it once at
+# setup, outside the timed region.
+
+POOL_ITEMS = 200_000
+POOL_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def pool_case():
+    from repro.core.mp_executor import ScaleoutPool
+
+    dfa = DFA.random(32, 4, rng=0)
+    inputs = np.random.default_rng(2).integers(0, 4, size=POOL_ITEMS).astype(np.int32)
+    with ScaleoutPool(
+        dfa, num_workers=POOL_WORKERS, k=4, sub_chunks_per_worker=16
+    ) as pool:
+        pool.run(inputs)  # warm up workers and size the input buffer
+        yield dfa, inputs, pool
+
+
+def test_scaleout_persistent_pool(benchmark, pool_case):
+    dfa, inputs, pool = pool_case
+    result = benchmark(pool.run, inputs)
+    assert result.stats.pool_task_bytes < 8_192
+
+
+def test_scaleout_per_call_spawn(benchmark, pool_case):
+    from repro.core.mp_executor import run_multiprocess
+
+    dfa, inputs, _ = pool_case
+    benchmark(
+        run_multiprocess,
+        dfa,
+        inputs,
+        num_workers=POOL_WORKERS,
+        k=4,
+        sub_chunks_per_worker=16,
+    )

@@ -18,10 +18,9 @@ Run:  python examples/cpu_scaleout.py
 
 import time
 
-import numpy as np
 
 from repro.apps import div7_dfa
-from repro.core.mp_executor import run_multiprocess
+from repro.core.mp_executor import ScaleoutPool, run_multiprocess
 from repro.fsm.run import run_reference
 from repro.workloads import random_bits
 
@@ -47,6 +46,21 @@ def main() -> None:
         note = f"{t_seq / dt:5.1f}x vs reference" if dt > 0 else ""
         print(f"{workers} worker(s): {dt:6.2f}s   {note}   "
               f"re-executed segments: {res.segment_reexecs}")
+
+    # Amortization: a persistent pool publishes the table and input buffer
+    # to shared memory once and keeps workers alive, so repeated runs pay
+    # only a ~1 KB dispatch. Compare against the per-call spawn above.
+    print("\npersistent pool, 4 workers, 5 repeated runs:")
+    with ScaleoutPool(dfa, num_workers=4, sub_chunks_per_worker=256) as pool:
+        pool.run(bits)  # warm-up: spawn workers, create segments
+        t0 = time.perf_counter()
+        for _ in range(5):
+            res = pool.run(bits)
+        dt = (time.perf_counter() - t0) / 5
+        assert res.final_state == expected
+        print(f"  {dt:6.2f}s per run   "
+              f"dispatch: {res.stats.pool_task_bytes:,} B pickled, "
+              f"{res.stats.pool_shm_bytes:,} B resident in shared memory")
 
     print("\nworkers use exact spec-N segment maps (no re-execution ever); "
           "the win comes from\nlock-step vectorization plus process "

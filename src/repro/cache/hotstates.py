@@ -106,8 +106,14 @@ def plan_hot_states(
     slot_freq = np.full(num_slots, -1.0)
     resident = np.zeros(n, dtype=bool)
     if target_rows > 0 and num_slots > 0:
-        order = np.argsort(-freq, kind="stable")[:target_rows]
-        for q in order:
+        # Insert candidate rows in state-id order, the order a build kernel
+        # hashes them in, and resolve each collision with the paper's
+        # keep-the-hotter-state rule: a strictly hotter arrival evicts the
+        # occupant (which loses residency), an equally-or-less hot arrival
+        # is rejected. Iterating hottest-first instead would make the
+        # eviction branch unreachable; the final placement is identical.
+        candidates = np.sort(np.argsort(-freq, kind="stable")[:target_rows])
+        for q in candidates:
             h = (int(q) * scale) % num_slots
             if freq[q] > slot_freq[h]:
                 if slot_state[h] >= 0:

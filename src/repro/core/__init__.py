@@ -21,6 +21,7 @@ GPU cost model (:mod:`repro.gpu.cost`) prices into modeled V100 time.
 
 from repro.core.autotune import KChoice, choose_k
 from repro.core.engine import EngineConfig, SpecExecutionResult, run_speculative
+from repro.core.mp_executor import MultiprocessResult, ScaleoutPool, run_multiprocess
 from repro.core.streaming import StreamingExecutor
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 
@@ -29,9 +30,12 @@ __all__ = [
     "EngineConfig",
     "ExecStats",
     "KChoice",
+    "MultiprocessResult",
+    "ScaleoutPool",
     "SegmentMaps",
     "SpecExecutionResult",
     "StreamingExecutor",
     "choose_k",
+    "run_multiprocess",
     "run_speculative",
 ]

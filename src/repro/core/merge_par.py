@@ -29,7 +29,7 @@ results (Section 4.1's three sub-stages).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,19 +39,51 @@ from repro.fsm.dfa import DFA
 from repro.fsm.run import run_segment
 from repro.workloads.chunking import ChunkPlan
 
-__all__ = ["merge_parallel", "MergeTree"]
+__all__ = ["merge_parallel", "compose_maps", "MergeTree"]
 
 
 @dataclass
 class MergeTree:
-    """All levels of the merge tree, leaves first (kept for fix-up)."""
+    """All levels of the merge tree, leaves first (kept for fix-up).
+
+    ``reexecuted`` lists the leaf chunk ids the fix-up descent had to
+    re-execute, in resolution order — empty when the root probe hit (or
+    the eager strategy resolved everything during the reduction).
+    """
 
     levels: list[SegmentMaps]
+    reexecuted: list[int] = field(default_factory=list)
 
     @property
     def root(self) -> SegmentMaps:
         """The final single-segment level."""
         return self.levels[-1]
+
+
+def compose_maps(
+    end_left: np.ndarray,
+    valid_left: np.ndarray,
+    spec_right: np.ndarray,
+    end_right: np.ndarray,
+    valid_right: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized semi-join composition of adjacent speculation maps.
+
+    All arrays are ``(num_pairs, k)``. Entry ``j`` of pair ``p`` composes the
+    left map's ending state against the right map's speculated states
+    (Section 3.2): on a hit the composed ending state is the right map's, on
+    a miss the left ending state is kept and the entry is marked invalid
+    (the delayed strategy's marking — callers decide whether to re-execute
+    eagerly, delay to a fix-up descent, or resolve locally as the scale-out
+    workers do). Returns ``(end, valid, match_idx)``; ``match_idx`` is the
+    first matching right column (undefined where ``valid`` is False), which
+    the merge levels reuse for runtime-check cost accounting.
+    """
+    match_idx, found = match_pairs(end_left, valid_left, spec_right, valid_right)
+    end = np.where(
+        found, np.take_along_axis(end_right, match_idx, axis=1), end_left
+    ).astype(np.int32)
+    return end, found, match_idx
 
 
 def merge_parallel(
@@ -138,7 +170,7 @@ def _merge_level(
     er = maps.end[1 : 2 * npairs : 2]
     vr = maps.valid[1 : 2 * npairs : 2]
 
-    match_idx, found = match_pairs(el, vl, sr, vr)
+    new_end, found, match_idx = compose_maps(el, vl, sr, er, vr)
     if stats is not None:
         stats.merge_pair_ops += npairs
         if impl == "nested":
@@ -146,7 +178,6 @@ def _merge_level(
         else:
             count_hash(el, vl, sr, vr, match_idx, found, stats)
 
-    new_end = np.where(found, np.take_along_axis(er, match_idx, axis=1), el)
     new_valid = found.copy()
 
     had_reexec = False
@@ -180,7 +211,7 @@ def _merge_level(
 
     out = SegmentMaps(
         spec=sl.copy(),
-        end=new_end.astype(np.int32),
+        end=new_end,
         valid=new_valid,
         chunk_lo=maps.chunk_lo[0 : 2 * npairs : 2].copy(),
         chunk_hi=maps.chunk_hi[1 : 2 * npairs : 2].copy(),
@@ -254,7 +285,7 @@ def _fixup(
     chunks are dispatched to their owner threads concurrently.
     """
     top = len(tree.levels) - 1
-    reexecuted: list[int] = []
+    reexecuted = tree.reexecuted
     out = _fixup_node(dfa, inputs, plan, tree, state, top, 0, stats, reexecuted)
     if stats is not None and reexecuted:
         chain = best = 1
@@ -316,5 +347,8 @@ def _attribute_levels(
     stats.merge_levels_warp += min(total_levels, warp_levels)
     remaining = max(0, total_levels - warp_levels)
     stats.merge_levels_block += min(remaining, block_levels)
-    num_blocks = max(1, num_chunks // max(1, threads_per_block))
+    # Ceil division: a partial block still produces a block result that the
+    # sequential global stage must walk (300 chunks at 256 threads/block is
+    # 2 blocks, not 1).
+    num_blocks = max(1, -(-num_chunks // max(1, threads_per_block)))
     stats.merge_global_steps += num_blocks if num_blocks > 1 else 0

@@ -1,37 +1,53 @@
 """Multiprocessing backend: real scale-out on CPU cores.
 
 The GPU in this reproduction is simulated, but the *algorithm* scales out on
-real hardware too: this backend splits the input into one segment per
-worker process, each worker runs the lock-step engine over its segment with
-**enumerative** speculation (spec-N: its segment map is exact for every
-possible incoming state, so no cross-process re-execution is ever needed),
-and the parent composes the per-segment maps — a two-level version of the
-paper's merge.
+real hardware too. This backend splits the input into one segment per
+worker process; each worker runs the lock-step engine over its segment and
+returns its segment's ``speculated -> ending`` map, and the parent composes
+the per-segment maps with the same binary tree merge (delayed invalidation
+plus fix-up descent) the simulated GPU uses — so the parent-side combine
+step is O(log workers) probes instead of the O(workers) left fold the
+paper's Figure 4a identifies as the scaling bottleneck.
 
-Workers receive the DFA as plain arrays (cheap to pickle); inputs are
-sliced before dispatch so each worker only receives its own segment.
+Two worker flavours, selected by ``k``:
 
-For FSMs whose state count is large, spec-N per worker is wasteful — pass a
-``k`` to run speculative workers instead; the parent-side composition then
-re-executes a worker's segment on a speculation miss (counted, and
-exercised in tests via adversarial machines like Div7 with small ``k``).
+* ``k=None`` (spec-N): each worker's map is exact for every possible
+  incoming state, so no cross-process re-execution is ever needed;
+* a finite ``k`` runs speculative workers. The parent speculates each
+  *segment boundary* by look-back over the global input (workers cannot see
+  their left neighbour's tail) and ships each worker its boundary row;
+  worker 0's row always carries the true start state pinned into it, so
+  segment 0 never re-executes. On a genuine boundary miss the tree merge
+  marks the composition invalid and the fix-up descent re-executes only the
+  segments actually needed.
+
+:class:`ScaleoutPool` is the persistent form of the backend: the DFA table,
+the state prior, and the input buffer live in ``multiprocessing.shared_memory``
+segments created once per pool (the input buffer grows geometrically when a
+larger input arrives), and the worker processes stay alive across ``run``
+calls — a dispatch pickles only segment names and a ``k``-entry boundary
+row, not the table or the input. :func:`run_multiprocess` keeps the
+one-shot API by wrapping a temporary pool.
 """
 
 from __future__ import annotations
 
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.core.local import process_chunks
-from repro.core.lookback import speculate
-from repro.core.types import ExecStats
+from repro.core.lookback import speculate, state_prior
+from repro.core.merge_par import compose_maps, merge_parallel
+from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.dfa import DFA
 from repro.fsm.run import run_segment
 from repro.workloads.chunking import plan_chunks
 
-__all__ = ["run_multiprocess", "MultiprocessResult"]
+__all__ = ["ScaleoutPool", "run_multiprocess", "MultiprocessResult"]
 
 
 @dataclass
@@ -42,51 +58,393 @@ class MultiprocessResult:
     num_workers: int
     segment_reexecs: int
     stats: ExecStats
+    reexec_segments: tuple[int, ...] = ()
 
 
-def _worker_segment_map(
-    table: np.ndarray,
-    start: int,
-    accepting: np.ndarray,
-    segment: np.ndarray,
-    k: int | None,
-    sub_chunks: int,
-    lookback: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Run one segment; return ``(spec_row, end_row)`` — its speculation map.
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
 
-    Executed inside a worker process. Rebuilds a lightweight DFA from the
-    shipped arrays, runs the lock-step kernel over ``sub_chunks`` chunks and
-    folds the per-chunk maps left to right (all arrays are exact under
-    spec-N; under spec-k a missing entry invalidates that speculation).
+# Shared-memory attachments live for the worker process's whole life; a task
+# carries segment *names* only. Keyed by name; segments whose names are not in
+# the current task are stale (the parent grew the input buffer) and are closed.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+_TRACKER_INHERITED: bool | None = None
+
+
+def _tracker_inherited() -> bool:
+    """Whether this process shares the pool parent's resource tracker.
+
+    Forked workers inherit the parent's tracker: their attach-registrations
+    deduplicate against the parent's and the parent's ``unlink`` clears
+    them, so nothing extra is needed. A *spawned* worker starts its own
+    tracker, which would unlink the pool's live segments when the worker
+    exits — those registrations must be withdrawn after each attach.
+    Snapshot before the first attach (attaching starts a tracker itself).
     """
-    dfa = DFA(table=table, start=start, accepting=accepting)
-    n_states = dfa.num_states
-    plan = plan_chunks(segment.size, sub_chunks)
-    if k is None or k >= n_states:
-        spec = np.tile(np.arange(n_states, dtype=np.int32), (sub_chunks, 1))
-    else:
-        spec = speculate(dfa, segment, plan, k, lookback=lookback)
-        # Worker chunk 0 must cover *all* speculated incoming states of the
-        # segment, not just the machine start: use the same speculation row
-        # as the segment boundary would produce. (The parent handles misses.)
-    end, _ = process_chunks(dfa, segment, plan, spec, stats=None)
+    global _TRACKER_INHERITED
+    if _TRACKER_INHERITED is None:
+        try:
+            from multiprocessing.resource_tracker import _resource_tracker
 
-    # Fold chunk maps into one segment map over chunk 0's speculation row.
-    # On a speculation miss the worker re-executes its own sub-chunk (it
-    # holds the data locally), so the returned map is always complete.
-    cur_spec = spec[0].copy()
-    cur_end = end[0].copy()
+            _TRACKER_INHERITED = _resource_tracker._fd is not None
+        except Exception:  # pragma: no cover - stdlib internals moved
+            _TRACKER_INHERITED = False
+    return _TRACKER_INHERITED
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment; cleanup stays with the creating process."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        shm = shared_memory.SharedMemory(name=name)
+        if not _tracker_inherited():
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(
+                    getattr(shm, "_name", name), "shared_memory"
+                )
+            except Exception:  # pragma: no cover - best effort
+                pass
+        return shm
+
+
+def _attached_array(name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        shm = _ATTACHED[name] = _attach_shm(name)
+    return np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+def _evict_stale(keep: frozenset) -> None:
+    for name in [n for n in _ATTACHED if n not in keep]:
+        try:
+            _ATTACHED.pop(name).close()
+        except BufferError:  # a view from the previous task is still alive
+            pass
+
+
+def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Run one segment; return ``(spec_row, end_row, reexec_chunks, reexec_items)``.
+
+    Executed inside a worker process. Attaches the pool's shared segments
+    (cached across calls), runs the lock-step kernel over ``sub_chunks``
+    chunks of its input slice, and folds the per-chunk maps left to right
+    with the vectorized semi-join composition — on a speculation miss the
+    worker re-executes its own sub-chunk locally, so the returned map is
+    always complete over ``spec_row``.
+    """
+    (
+        table_name,
+        num_inputs,
+        num_states,
+        acc_name,
+        prior_name,
+        input_name,
+        input_len,
+        input_dtype,
+        lo,
+        hi,
+        start,
+        k,
+        sub_chunks,
+        lookback,
+        boundary_row,
+    ) = task
+    _tracker_inherited()  # snapshot before the first attach registers anything
+    _evict_stale(frozenset((table_name, acc_name, prior_name, input_name)))
+    table = _attached_array(table_name, (num_inputs, num_states), np.int32)
+    accepting = _attached_array(acc_name, (num_states,), np.bool_)
+    prior = _attached_array(prior_name, (num_states,), np.float64)
+    inputs = _attached_array(input_name, (input_len,), np.dtype(input_dtype))
+    segment = inputs[lo:hi]
+
+    dfa = DFA(table=table, start=start, accepting=accepting)
+    plan = plan_chunks(segment.size, sub_chunks)
+    if k is None or k >= num_states:
+        spec = np.tile(np.arange(num_states, dtype=np.int32), (sub_chunks, 1))
+    else:
+        spec = speculate(dfa, segment, plan, k, lookback=lookback, prior=prior)
+        # Chunk 0's incoming states are the *segment boundary's*, which only
+        # the parent can see (they depend on the left neighbour's tail); use
+        # the boundary row it shipped.
+        spec[0] = boundary_row
+    end, _ = process_chunks(dfa, segment, plan, spec)
+
+    # Fold chunk maps into one segment map over chunk 0's speculation row:
+    # repeated semi-join composition, vectorized over the k entries.
+    spec_row = spec[0].copy()
+    cur_end = end[0][None, :].copy()
+    all_valid = np.ones((1, spec.shape[1]), dtype=bool)
+    reexec_chunks = 0
+    reexec_items = 0
     for c in range(1, sub_chunks):
-        nxt = np.empty_like(cur_end)
-        for j in range(cur_end.size):
-            hits = np.flatnonzero(spec[c] == cur_end[j])
-            if hits.size:
-                nxt[j] = end[c, hits[0]]
-            else:
-                nxt[j] = run_segment(dfa, segment[plan.chunk_slice(c)], int(cur_end[j]))
+        nxt, found, _ = compose_maps(
+            cur_end, all_valid, spec[c][None, :], end[c][None, :], all_valid
+        )
+        misses = np.flatnonzero(~found[0])
+        if misses.size:
+            sub = segment[plan.chunk_slice(c)]
+            for j in misses:
+                nxt[0, j] = run_segment(dfa, sub, int(cur_end[0, j]))
+            reexec_chunks += 1
+            reexec_items += int(sub.size) * int(misses.size)
         cur_end = nxt
-    return cur_spec, cur_end
+    return spec_row, cur_end[0], reexec_chunks, reexec_items
+
+
+# --------------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------------- #
+
+
+class ScaleoutPool:
+    """A persistent shared-memory worker pool for CPU scale-out.
+
+    Created once per machine: the DFA table, accepting mask, and state prior
+    are published to shared memory at construction, the input buffer on the
+    first :meth:`run` (grown geometrically afterwards), and worker processes
+    persist across calls — so repeated runs (streaming blocks, many inputs
+    against one machine) pay no per-call pickling of tables or input and no
+    process spawn after warm-up.
+
+    Use as a context manager, or call :meth:`close` when done — the pool
+    owns operating-system resources (processes and shared-memory segments).
+
+    Parameters
+    ----------
+    dfa:
+        The machine all runs execute.
+    num_workers:
+        Worker process count (one input segment each).
+    k:
+        ``None`` for spec-N workers (exact maps, no re-execution — right
+        choice for small machines); a finite width for speculative workers
+        (right choice when ``num_states`` is large enough that enumerating
+        every state costs more than the occasional boundary miss).
+    sub_chunks_per_worker:
+        Lock-step chunks inside each worker (its internal parallelism).
+    lookback:
+        Look-back window for boundary and worker-internal speculation.
+    """
+
+    def __init__(
+        self,
+        dfa: DFA,
+        *,
+        num_workers: int = 4,
+        k: int | None = None,
+        sub_chunks_per_worker: int = 64,
+        lookback: int = 8,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if k is not None and k < 1:
+            raise ValueError(f"k must be >= 1 or None, got {k}")
+        self.dfa = dfa
+        self.num_workers = int(num_workers)
+        self.k = None if (k is None or k >= dfa.num_states) else int(k)
+        self.k_eff = dfa.num_states if self.k is None else self.k
+        self.sub_chunks_per_worker = int(sub_chunks_per_worker)
+        self.lookback = int(lookback)
+        self.calls = 0
+        self._closed = False
+        self._input_dtype = np.dtype(np.int32)
+
+        # Segments that outlive every call: table, accepting mask, prior.
+        self._prior = state_prior(dfa)
+        self._table_shm = self._publish(dfa.table)
+        self._acc_shm = self._publish(dfa.accepting)
+        self._prior_shm = self._publish(self._prior)
+        self._input_shm: shared_memory.SharedMemory | None = None
+        self._input_capacity = 0
+        self._exec = ProcessPoolExecutor(max_workers=self.num_workers)
+
+    # ------------------------------------------------------------------ #
+    # shared-memory plumbing
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _publish(array: np.ndarray) -> shared_memory.SharedMemory:
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)[...] = array
+        return shm
+
+    def _ensure_input_capacity(self, n: int) -> None:
+        if n <= self._input_capacity and self._input_shm is not None:
+            return
+        capacity = max(n, 2 * self._input_capacity, 1)
+        old = self._input_shm
+        self._input_shm = shared_memory.SharedMemory(
+            create=True, size=capacity * self._input_dtype.itemsize
+        )
+        self._input_capacity = capacity
+        if old is not None:
+            old.close()
+            old.unlink()
+
+    @property
+    def shm_bytes(self) -> int:
+        """Bytes currently held in shared-memory segments."""
+        total = self._table_shm.size + self._acc_shm.size + self._prior_shm.size
+        if self._input_shm is not None:
+            total += self._input_shm.size
+        return total
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, inputs: np.ndarray, *, start: int | None = None) -> MultiprocessResult:
+        """Compute the final state of ``inputs``, starting from ``start``.
+
+        ``start`` defaults to the machine's initial state; streaming callers
+        pass the carried state instead. The result is bit-identical to the
+        sequential reference (property tests assert this over machines ×
+        inputs × worker counts × k).
+        """
+        if self._closed:
+            raise RuntimeError("ScaleoutPool is closed")
+        dfa = self.dfa
+        start = dfa.start if start is None else int(start)
+        if not 0 <= start < dfa.num_states:
+            raise ValueError(f"start state {start} out of range [0, {dfa.num_states})")
+        inputs = np.ascontiguousarray(np.asarray(inputs, dtype=self._input_dtype))
+        if inputs.ndim != 1:
+            raise ValueError(f"inputs must be 1-D, got shape {inputs.shape}")
+        n = int(inputs.size)
+        w = self.num_workers
+        self.calls += 1
+
+        stats = ExecStats(
+            num_items=n,
+            num_chunks=w,
+            k=self.k_eff,
+            num_states=dfa.num_states,
+            num_inputs=dfa.num_inputs,
+        )
+        stats.pool_calls += 1
+        if n == 0:
+            return MultiprocessResult(start, w, 0, stats)
+        if w == 1:
+            final = run_segment(dfa, inputs, start)
+            stats.pool_shm_bytes = self.shm_bytes
+            return MultiprocessResult(final, 1, 0, stats)
+
+        self._ensure_input_capacity(n)
+        shm = self._input_shm
+        assert shm is not None
+        buf = np.ndarray((n,), dtype=self._input_dtype, buffer=shm.buf)
+        buf[:] = inputs
+        stats.pool_shm_bytes = self.shm_bytes
+
+        seg_plan = plan_chunks(n, w)
+        run_dfa = dfa if start == dfa.start else dfa.with_start(start)
+
+        # Segment-boundary speculation rows, from look-back over the global
+        # input (one vectorized call covering every boundary). Worker 0's
+        # row must contain the true start state — `speculate` pins it first,
+        # and the explicit guard keeps that invariant under any ranking.
+        boundary = None
+        if self.k is not None:
+            boundary = speculate(
+                run_dfa,
+                inputs,
+                seg_plan,
+                self.k,
+                lookback=self.lookback,
+                prior=self._prior,
+                stats=stats,
+            )
+            if not (boundary[0] == start).any():
+                boundary[0, 0] = start
+
+        tasks = [
+            (
+                self._table_shm.name,
+                dfa.num_inputs,
+                dfa.num_states,
+                self._acc_shm.name,
+                self._prior_shm.name,
+                shm.name,
+                n,
+                self._input_dtype.str,
+                int(seg_plan.starts[i]),
+                int(seg_plan.starts[i] + seg_plan.lengths[i]),
+                start,
+                self.k,
+                self.sub_chunks_per_worker,
+                self.lookback,
+                None if boundary is None else boundary[i],
+            )
+            for i in range(w)
+        ]
+        stats.pool_task_bytes += sum(len(pickle.dumps(t)) for t in tasks)
+        futures = [self._exec.submit(_worker_run, t) for t in tasks]
+        maps = [f.result() for f in futures]
+
+        spec_rows = np.stack([m[0] for m in maps])
+        end_rows = np.stack([m[1] for m in maps])
+        for m in maps:
+            stats.reexec_chunks_seq += m[2]
+            stats.reexec_items_seq += m[3]
+
+        # Parent-side combine: the same binary tree merge as the simulated
+        # GPU — delayed invalidation, then a fix-up descent that re-executes
+        # only the segments whose boundary speculation genuinely missed.
+        results = ChunkResults(
+            spec=spec_rows, end=end_rows, valid=np.ones_like(spec_rows, dtype=bool)
+        )
+        final, tree = merge_parallel(
+            run_dfa, inputs, seg_plan, results, reexec="delayed", stats=stats
+        )
+        reexec_segments = tuple(tree.reexecuted)
+        stats.success_total += w - 1
+        stats.success_hits += (w - 1) - sum(1 for c in reexec_segments if c > 0)
+        return MultiprocessResult(
+            int(final), w, len(reexec_segments), stats, reexec_segments
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the pool's resources."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut down workers and release every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._exec.shutdown(wait=True)
+        for shm in (self._table_shm, self._acc_shm, self._prior_shm, self._input_shm):
+            if shm is None:
+                continue
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ScaleoutPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def run_multiprocess(
@@ -97,59 +455,25 @@ def run_multiprocess(
     k: int | None = None,
     sub_chunks_per_worker: int = 64,
     lookback: int = 8,
+    pool: ScaleoutPool | None = None,
 ) -> MultiprocessResult:
     """Compute the final state using a pool of worker processes.
 
     ``k=None`` (spec-N workers) guarantees zero re-execution; a finite ``k``
-    runs speculative workers and the parent re-executes a segment serially
-    when its map misses the needed state.
+    runs speculative workers and the parent's tree merge re-executes a
+    segment only when its boundary speculation missed. Pass a
+    :class:`ScaleoutPool` to reuse live workers and shared-memory segments
+    across calls (the other keyword arguments are then taken from the
+    pool); without one, a temporary pool is created and torn down around
+    the single call.
     """
-    if num_workers < 1:
-        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-    inputs = np.ascontiguousarray(np.asarray(inputs))
-    stats = ExecStats(
-        num_items=int(inputs.size),
-        num_chunks=num_workers,
-        k=dfa.num_states if (k is None or k >= dfa.num_states) else int(k),
-        num_states=dfa.num_states,
-        num_inputs=dfa.num_inputs,
-    )
-    seg_plan = plan_chunks(inputs.size, num_workers)
-    segments = [inputs[seg_plan.chunk_slice(w)] for w in range(num_workers)]
-
-    if num_workers == 1:
-        final = run_segment(dfa, segments[0], dfa.start)
-        return MultiprocessResult(final, 1, 0, stats)
-
-    with ProcessPoolExecutor(max_workers=num_workers) as pool:
-        futures = [
-            pool.submit(
-                _worker_segment_map,
-                dfa.table,
-                dfa.start,
-                dfa.accepting,
-                seg,
-                k,
-                sub_chunks_per_worker,
-                lookback,
-            )
-            for seg in segments
-        ]
-        maps = [f.result() for f in futures]
-
-    cur = dfa.start
-    reexecs = 0
-    for w, (spec_row, end_row) in enumerate(maps):
-        hits = np.flatnonzero((spec_row == cur) & (end_row >= 0))
-        if hits.size:
-            cur = int(end_row[hits[0]])
-            if w > 0:
-                stats.success_hits += 1
-        else:
-            cur = run_segment(dfa, segments[w], cur)
-            reexecs += 1
-            stats.reexec_items_seq += int(segments[w].size)
-            stats.reexec_chunks_seq += 1
-        if w > 0:
-            stats.success_total += 1
-    return MultiprocessResult(int(cur), num_workers, reexecs, stats)
+    if pool is not None:
+        return pool.run(inputs)
+    with ScaleoutPool(
+        dfa,
+        num_workers=num_workers,
+        k=k,
+        sub_chunks_per_worker=sub_chunks_per_worker,
+        lookback=lookback,
+    ) as temp:
+        return temp.run(inputs)

@@ -6,6 +6,17 @@ and runs each block through the speculative engine — the block's chunk 0
 starts from the carried state (never a guess), so results are exact and
 block boundaries cost nothing.
 
+Two backends:
+
+* ``backend="simulate"`` (default) — the functional GPU simulation via
+  :func:`repro.core.engine.run_speculative`, with full event counting and
+  optional match-position collection;
+* ``backend="pool"`` — real CPU scale-out through a persistent
+  :class:`repro.core.mp_executor.ScaleoutPool`. The pool (worker processes
+  and shared-memory segments) is created once and reused across ``feed``
+  calls, so per-block dispatch cost is a few hundred pickled bytes; call
+  :meth:`close` (or use the executor as a context manager) when done.
+
 The executor accumulates :class:`repro.core.types.ExecStats` across blocks
 so a whole session can be priced with the cost model, and can optionally
 collect match positions (offset-adjusted to the global stream).
@@ -18,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engine import run_speculative
+from repro.core.mp_executor import ScaleoutPool
 from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.device import DeviceSpec, TESLA_V100
@@ -31,6 +43,9 @@ class StreamingExecutor:
 
     Parameters mirror :func:`repro.core.engine.run_speculative`; the
     executor pins ``measure_success`` on so per-block hit rates accumulate.
+    With ``backend="pool"``, ``pool_workers`` processes execute each block
+    and ``num_blocks``/``threads_per_block``/``merge``/``device`` are
+    ignored (they describe the simulated GPU, not the CPU pool).
     """
 
     dfa: DFA
@@ -41,17 +56,46 @@ class StreamingExecutor:
     lookback: int = 8
     device: DeviceSpec = TESLA_V100
     collect_matches: bool = False
+    backend: str = "simulate"
+    pool_workers: int = 4
+    sub_chunks_per_worker: int = 64
 
     state: int = field(init=False)
     items_consumed: int = field(init=False, default=0)
     blocks_consumed: int = field(init=False, default=0)
     stats: ExecStats = field(init=False)
     _matches: list = field(init=False, default_factory=list)
+    _pool: ScaleoutPool | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if self.backend not in ("simulate", "pool"):
+            raise ValueError(
+                f"backend must be 'simulate' or 'pool', got {self.backend!r}"
+            )
+        if self.backend == "pool":
+            if self.collect_matches:
+                raise ValueError(
+                    "backend='pool' computes final states only; match-position "
+                    "collection needs the simulated backend"
+                )
+            self._pool = ScaleoutPool(
+                self.dfa,
+                num_workers=self.pool_workers,
+                k=self.k,
+                sub_chunks_per_worker=self.sub_chunks_per_worker,
+                lookback=self.lookback,
+            )
         self.state = self.dfa.start
-        self.stats = ExecStats(
-            num_chunks=self.num_blocks * self.threads_per_block,
+        self.stats = self._fresh_stats()
+
+    def _fresh_stats(self) -> ExecStats:
+        num_chunks = (
+            self.pool_workers
+            if self.backend == "pool"
+            else self.num_blocks * self.threads_per_block
+        )
+        return ExecStats(
+            num_chunks=num_chunks,
             k=self.k if isinstance(self.k, int) else self.dfa.num_states,
             num_states=self.dfa.num_states,
             num_inputs=self.dfa.num_inputs,
@@ -62,25 +106,32 @@ class StreamingExecutor:
         block = np.asarray(block)
         if block.size == 0:
             return self.state
-        result = run_speculative(
-            self.dfa.with_start(self.state),
-            block,
-            k=self.k,
-            num_blocks=self.num_blocks,
-            threads_per_block=self.threads_per_block,
-            merge=self.merge,
-            lookback=self.lookback,
-            device=self.device,
-            collect=("match_positions",) if self.collect_matches else (),
-            price=False,
-        )
-        if self.collect_matches:
-            self._matches.append(result.match_positions + self.items_consumed)
-        self.stats = self.stats.merged_with(result.stats)
+        if self._pool is not None:
+            result = self._pool.run(block, start=self.state)
+            self.stats = self.stats.merged_with(result.stats)
+            self.stats.pool_shm_bytes = result.stats.pool_shm_bytes
+            final_state = result.final_state
+        else:
+            sim = run_speculative(
+                self.dfa.with_start(self.state),
+                block,
+                k=self.k,
+                num_blocks=self.num_blocks,
+                threads_per_block=self.threads_per_block,
+                merge=self.merge,
+                lookback=self.lookback,
+                device=self.device,
+                collect=("match_positions",) if self.collect_matches else (),
+                price=False,
+            )
+            if self.collect_matches:
+                self._matches.append(sim.match_positions + self.items_consumed)
+            self.stats = self.stats.merged_with(sim.stats)
+            final_state = sim.final_state
         self.stats.num_items += int(block.size)
         self.items_consumed += int(block.size)
         self.blocks_consumed += 1
-        self.state = result.final_state
+        self.state = final_state
         return self.state
 
     @property
@@ -96,14 +147,24 @@ class StreamingExecutor:
         return bool(self.dfa.accepting[self.state])
 
     def reset(self) -> None:
-        """Return to the initial state and clear accumulated results."""
+        """Return to the initial state and clear accumulated results.
+
+        A pool backend keeps its workers and shared segments alive — reset
+        clears session state, not the pool.
+        """
         self.state = self.dfa.start
         self.items_consumed = 0
         self.blocks_consumed = 0
         self._matches.clear()
-        self.stats = ExecStats(
-            num_chunks=self.num_blocks * self.threads_per_block,
-            k=self.stats.k,
-            num_states=self.dfa.num_states,
-            num_inputs=self.dfa.num_inputs,
-        )
+        self.stats = self._fresh_stats()
+
+    def close(self) -> None:
+        """Release the pool backend's processes and shared memory (if any)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "StreamingExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -160,6 +160,11 @@ class ExecStats:
     cache_misses: int = 0
     cache_rows_resident: int = 0
 
+    # --- CPU scale-out pool (filled by repro.core.mp_executor) -----------------
+    pool_calls: int = 0  # dispatches through a ScaleoutPool
+    pool_task_bytes: int = 0  # bytes pickled per dispatch (names + boundary rows)
+    pool_shm_bytes: int = 0  # shared segments resident (gauge, not summed)
+
     # --- derived ----------------------------------------------------------- #
     @property
     def success_rate(self) -> float:
@@ -183,7 +188,14 @@ class ExecStats:
         """Sum all counters (config echoes keep ``self``'s values)."""
         out = replace(self)
         for f in fields(ExecStats):
-            if f.name in ("num_items", "num_chunks", "k", "num_states", "num_inputs"):
+            if f.name in (
+                "num_items",
+                "num_chunks",
+                "k",
+                "num_states",
+                "num_inputs",
+                "pool_shm_bytes",
+            ):
                 continue
             setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
         return out

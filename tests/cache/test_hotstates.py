@@ -65,6 +65,43 @@ class TestPlanning:
         slots = cache.slot_state[cache.slot_state >= 0]
         assert len(set(slots.tolist())) == len(slots)
 
+    def test_forced_collision_evicts_colder_resident(self):
+        # scale == num_slots sends every state to slot 0: the colder hot
+        # state (2) is placed first in id order, then genuinely evicted by
+        # the hotter one (10) — the eviction branch must run, and the loser
+        # must not be reported resident.
+        dfa = make_random_dfa(32, 2, seed=4)  # 8-byte rows
+        freq = np.arange(32, dtype=float) * 0.01
+        freq[2] = 5.0
+        freq[10] = 9.0
+        cache = plan_hot_states(
+            dfa, shared_budget_bytes=1024, frequency=freq, scale=32
+        )
+        assert cache.num_slots == 32
+        assert cache.slot_state[0] == 10
+        assert cache.resident[10]
+        assert not cache.resident[2]
+        assert cache.rows_resident == 1
+
+    def test_collision_winner_is_hottest_regardless_of_order(self):
+        # Property: each occupied slot holds the hottest candidate hashing
+        # there, no matter where that candidate sits in insertion order.
+        rng = np.random.default_rng(6)
+        dfa = make_random_dfa(40, 2, seed=6)
+        for trial in range(5):
+            freq = rng.permutation(40).astype(float) + 1.0
+            cache = plan_hot_states(
+                dfa, shared_budget_bytes=2048, frequency=freq, scale=3
+            )
+            # budget admits all 40 rows, so every state is a candidate
+            best: dict[int, int] = {}
+            for q in np.argsort(-freq, kind="stable"):
+                h = (int(q) * cache.scale) % cache.num_slots
+                best.setdefault(h, int(q))  # hottest-first: first wins
+            for slot, q in enumerate(cache.slot_state):
+                if q >= 0:
+                    assert best[slot] == int(q), trial
+
     def test_is_hit_vectorized(self):
         dfa = make_random_dfa(10, 4, seed=0)
         cache = plan_hot_states(dfa, shared_budget_bytes=48 * 1024)

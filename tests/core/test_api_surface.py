@@ -7,7 +7,6 @@ import repro
 from repro.bench.runner import ExperimentResult
 from repro.core.codegen.select import plan_kernel
 from repro.core.lookback import state_ranking
-from repro.fsm.dfa import DFA
 from repro.regex.ast import Alternation, Concat, Literal
 from tests.conftest import make_random_dfa, random_input
 

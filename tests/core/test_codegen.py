@@ -8,7 +8,6 @@ import repro
 from repro.core.codegen.cuda_src import generate_cuda_kernel
 from repro.core.codegen.pykernel import compile_local_kernel, generate_local_source
 from repro.core.codegen.select import plan_kernel
-from repro.fsm.dfa import DFA
 from repro.fsm.run import run_reference
 from tests.conftest import make_random_dfa, random_input
 

@@ -6,7 +6,6 @@ ragged chunking extremes, and degenerate machines.
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro.core.local import process_chunks

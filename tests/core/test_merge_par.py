@@ -204,3 +204,93 @@ class TestStructure:
         stats = ExecStats()
         merge_parallel(dfa, inp, plan, results, stats=stats)
         assert stats.merge_pair_ops == 15  # 8+4+2+1
+
+
+class TestComposeMaps:
+    def test_matches_scalar_compose(self):
+        from repro.core.merge_par import compose_maps
+        from repro.gpu.simulate import SimCounters, _compose
+
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            k = int(rng.integers(1, 6))
+            spec_l = rng.integers(0, 8, size=k).astype(np.int32)
+            end_l = rng.integers(0, 8, size=k).astype(np.int32)
+            valid_l = rng.random(k) < 0.8
+            spec_r = rng.integers(0, 8, size=k).astype(np.int32)
+            end_r = rng.integers(0, 8, size=k).astype(np.int32)
+            valid_r = rng.random(k) < 0.8
+            _, want_end, want_valid = _compose(
+                spec_l, end_l, valid_l, spec_r, end_r, valid_r, SimCounters()
+            )
+            got_end, got_valid, _ = compose_maps(
+                end_l[None], valid_l[None], spec_r[None], end_r[None], valid_r[None]
+            )
+            np.testing.assert_array_equal(got_valid[0], want_valid)
+            np.testing.assert_array_equal(got_end[0][got_valid[0]],
+                                          want_end[want_valid])
+
+    def test_miss_keeps_left_end_invalid(self):
+        from repro.core.merge_par import compose_maps
+
+        end_l = np.array([[3]], dtype=np.int32)
+        valid = np.ones((1, 1), dtype=bool)
+        end, ok, _ = compose_maps(
+            end_l, valid, np.array([[5]], dtype=np.int32),
+            np.array([[6]], dtype=np.int32), valid,
+        )
+        assert not ok[0, 0]
+        assert end[0, 0] == 3  # left ending state carried for re-execution
+
+
+class TestLevelAttributionCeil:
+    def test_partial_block_counts_as_global_step(self):
+        # Regression: 300 chunks at 256 threads/block occupy 2 blocks, so
+        # the across-block sequential stage walks 2 results; floor division
+        # used to report num_blocks=1 and zero global steps.
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 1500, seed=3)
+        spec = perfect_spec(dfa, inp, 300)
+        plan, results = build_results(dfa, inp, 300, spec)
+        stats = ExecStats()
+        merge_parallel(
+            dfa, inp, plan, results, threads_per_block=256, warp_size=32,
+            stats=stats,
+        )
+        assert stats.merge_levels_warp == 5
+        assert stats.merge_levels_block == 3
+        assert stats.merge_global_steps == 2
+
+    def test_exact_multiple_unchanged(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        inp = random_input(2, 1280, seed=3)
+        spec = perfect_spec(dfa, inp, 256)
+        plan, results = build_results(dfa, inp, 256, spec)
+        stats = ExecStats()
+        merge_parallel(
+            dfa, inp, plan, results, threads_per_block=256, warp_size=32,
+            stats=stats,
+        )
+        assert stats.merge_global_steps == 0  # one full block: no global walk
+
+
+class TestFixupObservability:
+    def test_tree_records_reexecuted_chunks(self):
+        dfa = make_random_dfa(7, 2, seed=3)
+        inp = random_input(2, 210, seed=4)
+        spec = np.full((6, 1), 5, dtype=np.int32)
+        spec[0, 0] = dfa.start
+        plan, results = build_results(dfa, inp, 6, spec)
+        stats = ExecStats()
+        final, tree = merge_parallel(dfa, inp, plan, results, stats=stats)
+        assert final == run_reference(dfa, inp)
+        assert len(tree.reexecuted) == stats.fixup_chunks
+        assert 0 not in tree.reexecuted  # chunk 0 speculated the true start
+
+    def test_clean_merge_records_nothing(self):
+        dfa = make_random_dfa(6, 2, seed=1)
+        inp = random_input(2, 240, seed=2)
+        spec = perfect_spec(dfa, inp, 8, k=2)
+        plan, results = build_results(dfa, inp, 8, spec)
+        _, tree = merge_parallel(dfa, inp, plan, results, stats=None)
+        assert tree.reexecuted == []

@@ -1,7 +1,6 @@
 """Tests for the sequential merge."""
 
 import numpy as np
-import pytest
 
 from repro.core.local import process_chunks
 from repro.core.merge_seq import merge_sequential

@@ -77,6 +77,54 @@ class TestStreaming:
         assert ex.match_positions.size == 0
         assert ex.stats.num_items == 0
 
+    def test_match_positions_across_many_feeds_multiblock(self):
+        # Offsets must stay global when blocks are irregular and the
+        # simulated grid spans several blocks of threads.
+        dfa = make_random_dfa(6, 2, seed=10, accepting_fraction=0.3)
+        stream = random_input(2, 9_000, seed=11)
+        ex = StreamingExecutor(
+            dfa, k=2, num_blocks=4, threads_per_block=32, collect_matches=True
+        )
+        offsets = [0, 3, 1_000, 1_001, 4_096, 9_000]
+        for lo, hi in zip(offsets, offsets[1:]):
+            ex.feed(stream[lo:hi])
+        trace = run_reference_trace(dfa, stream)
+        want = np.flatnonzero(dfa.accepting[trace])
+        np.testing.assert_array_equal(ex.match_positions, want)
+        # feeding more keeps extending with global offsets, not restarting
+        tail = random_input(2, 500, seed=12)
+        ex.feed(tail)
+        full = np.concatenate([stream, tail])
+        trace = run_reference_trace(dfa, full)
+        np.testing.assert_array_equal(
+            ex.match_positions, np.flatnonzero(dfa.accepting[trace])
+        )
+
+    def test_reset_restores_fresh_session(self):
+        # After reset, a refeed must behave exactly like a new executor:
+        # same states, same matches, same counters.
+        dfa = make_random_dfa(6, 2, seed=13, accepting_fraction=0.3)
+        stream = random_input(2, 4_000, seed=14)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=32,
+                               collect_matches=True)
+        for block in np.array_split(stream, 3):
+            ex.feed(block)
+        first_matches = ex.match_positions.copy()
+        first_state = ex.state
+        first_transitions = ex.stats.local_transitions
+        ex.reset()
+        assert ex.state == dfa.start
+        assert ex.items_consumed == 0
+        assert ex.blocks_consumed == 0
+        assert ex.match_positions.size == 0
+        assert ex.stats.num_items == 0
+        assert ex.stats.local_transitions == 0
+        for block in np.array_split(stream, 3):
+            ex.feed(block)
+        np.testing.assert_array_equal(ex.match_positions, first_matches)
+        assert ex.state == first_state
+        assert ex.stats.local_transitions == first_transitions
+
     def test_utf8_streaming_session(self):
         # realistic: validate a UTF-8 stream arriving in blocks that split
         # multi-byte sequences
@@ -90,3 +138,42 @@ class TestStreaming:
             ex.feed(block)
         assert ex.accepted
         assert ex.state == run_reference(dfa, stream)
+
+
+class TestPoolBackend:
+    def test_blocks_equal_one_shot(self):
+        dfa = make_random_dfa(6, 3, seed=0)
+        stream = random_input(3, 20_000, seed=1)
+        with StreamingExecutor(dfa, k=2, backend="pool", pool_workers=2,
+                               sub_chunks_per_worker=8) as ex:
+            for block in np.array_split(stream, 5):
+                ex.feed(block)
+            assert ex.state == run_reference(dfa, stream)
+            assert ex.blocks_consumed == 5
+            assert ex.stats.pool_calls == 5
+            assert ex.stats.num_items == 20_000
+            assert ex.stats.pool_shm_bytes > 0
+
+    def test_pool_persists_across_feeds_and_reset(self):
+        dfa = make_random_dfa(5, 2, seed=2)
+        stream = random_input(2, 6_000, seed=3)
+        with StreamingExecutor(dfa, k=None, backend="pool", pool_workers=2,
+                               sub_chunks_per_worker=8) as ex:
+            pool = ex._pool
+            ex.feed(stream)
+            ex.reset()
+            assert ex._pool is pool and not pool.closed
+            assert ex.stats.num_items == 0
+            ex.feed(stream)
+            assert ex.state == run_reference(dfa, stream)
+        assert pool.closed
+
+    def test_pool_rejects_collect_matches(self):
+        dfa = make_random_dfa(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            StreamingExecutor(dfa, backend="pool", collect_matches=True)
+
+    def test_bad_backend_name(self):
+        dfa = make_random_dfa(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            StreamingExecutor(dfa, backend="cuda")

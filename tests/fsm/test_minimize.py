@@ -1,7 +1,6 @@
 """Tests for Hopcroft minimization."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fsm.dfa import DFA

@@ -1,7 +1,6 @@
 """Tests for regex compilation and input-class compression."""
 
 import numpy as np
-import pytest
 
 from repro.fsm.alphabet import Alphabet
 from repro.regex.compile import compile_regex, compile_search, compress_inputs

@@ -1,6 +1,5 @@
 """Tests for Thompson construction (NFA semantics per node type)."""
 
-import numpy as np
 import pytest
 
 from repro.fsm.alphabet import Alphabet

@@ -6,7 +6,6 @@ distributions directly instead of spot values.
 """
 
 import numpy as np
-import pytest
 from scipy import stats
 
 from repro.apps.div import div7_dfa
