@@ -14,7 +14,10 @@ Speculative Execution of Finite-State Machines with Parallel Merge*
 * a V100-shaped cost model that prices the counted execution events into
   modeled GPU time (:mod:`repro.gpu`), plus the hot-state transition-table
   cache (:mod:`repro.cache`);
-* the per-figure experiment harness (:mod:`repro.bench`).
+* the per-figure experiment harness (:mod:`repro.bench`);
+* unified observability — per-stage wall-clock tracing, speculation
+  metrics, JSON/Chrome-trace export (:mod:`repro.obs`; see
+  ``python -m repro.bench --profile``).
 
 Quick start::
 
@@ -34,8 +37,9 @@ from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.cost import CostModel, TimeBreakdown
 from repro.gpu.device import DeviceSpec, TESLA_V100
+from repro.obs.trace import RunTrace, trace_span
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CostModel",
@@ -43,9 +47,11 @@ __all__ = [
     "DeviceSpec",
     "EngineConfig",
     "ExecStats",
+    "RunTrace",
     "SpecExecutionResult",
     "TESLA_V100",
     "TimeBreakdown",
     "__version__",
     "run_speculative",
+    "trace_span",
 ]

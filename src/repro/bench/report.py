@@ -91,10 +91,17 @@ def build_report(num_items: int = 400_000, *, progress=None) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point (``python -m repro.bench``)."""
+    """CLI entry point (``python -m repro.bench``).
+
+    Two modes: the default regenerates the full markdown report;
+    ``--profile [APP]`` instead runs one application with observability
+    on and prints the wall-clock stage breakdown (writing the RunTrace
+    JSON and a Chrome trace next to it).
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate every table and figure of the paper.",
+        description="Regenerate every table and figure of the paper, or "
+        "profile one application's stage breakdown (--profile).",
     )
     parser.add_argument(
         "--items", type=int, default=400_000,
@@ -104,7 +111,34 @@ def main(argv: list[str] | None = None) -> int:
         "--out", type=Path, default=Path("reproduction_report.md"),
         help="output markdown path (default ./reproduction_report.md)",
     )
+    parser.add_argument(
+        "--profile", nargs="?", const="huffman", default=None, metavar="APP",
+        help="profile one application (default huffman) with per-stage "
+        "wall-clock tracing instead of building the report",
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=Path("."),
+        help="directory for runtrace/chrome JSON artifacts (default .)",
+    )
+    parser.add_argument(
+        "--profile-merge", choices=("parallel", "sequential"),
+        default="parallel", help="merge strategy for --profile runs",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile is not None:
+        from repro.bench.profile import run_profile
+
+        text, wall_s, json_path, chrome_path = run_profile(
+            args.profile,
+            num_items=args.items,
+            merge=args.profile_merge,
+            out_dir=args.profile_out,
+        )
+        print(text)
+        print()
+        print(f"wrote {json_path} and {chrome_path}")
+        return 0
 
     def progress(label: str) -> None:
         print(f"[bench] {label}", file=sys.stderr, flush=True)

@@ -21,7 +21,13 @@ GPU cost model (:mod:`repro.gpu.cost`) prices into modeled V100 time.
 
 from repro.core.autotune import KChoice, choose_k
 from repro.core.engine import EngineConfig, SpecExecutionResult, run_speculative
-from repro.core.mp_executor import MultiprocessResult, ScaleoutPool, run_multiprocess
+from repro.core.mp_executor import (
+    MultiprocessResult,
+    PoolRunTiming,
+    ScaleoutPool,
+    WorkerTiming,
+    run_multiprocess,
+)
 from repro.core.streaming import StreamingExecutor
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 
@@ -31,10 +37,12 @@ __all__ = [
     "ExecStats",
     "KChoice",
     "MultiprocessResult",
+    "PoolRunTiming",
     "ScaleoutPool",
     "SegmentMaps",
     "SpecExecutionResult",
     "StreamingExecutor",
+    "WorkerTiming",
     "choose_k",
     "run_multiprocess",
     "run_speculative",

@@ -26,6 +26,7 @@ from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.cost import CostModel, TimeBreakdown
 from repro.gpu.device import DeviceSpec, TESLA_V100, launch_geometry
+from repro.obs.trace import RunTrace, current_trace, trace_span
 from repro.util.validation import check_in_set
 from repro.workloads.chunking import plan_chunks, transform_layout
 
@@ -34,7 +35,34 @@ __all__ = ["EngineConfig", "SpecExecutionResult", "run_speculative"]
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Resolved configuration of one speculative execution."""
+    """Resolved configuration of one speculative execution.
+
+    Attributes
+    ----------
+    k:
+        Effective speculation width after clamping (states per chunk).
+    enumerative:
+        True when ``k`` covers every state (spec-N): speculation cannot
+        miss and no re-execution ever occurs.
+    num_blocks, threads_per_block:
+        Simulated launch geometry; ``num_blocks * threads_per_block`` is
+        the chunk count (one chunk per simulated thread).
+    merge:
+        ``"sequential"`` or ``"parallel"`` (the paper's tree merge).
+    check:
+        Runtime-check implementation actually requested: ``"nested"``,
+        ``"hash"``, or ``"auto"`` (hash iff k > 12).
+    reexec:
+        ``"delayed"`` or ``"eager"`` re-execution (parallel merge only).
+    layout:
+        Input layout: ``"transformed"`` (coalesced) or ``"natural"``.
+    lookback:
+        Look-back window length in symbols used for speculation.
+    cache_table:
+        Whether the hot-state shared-memory cache was enabled.
+    device:
+        The modeled GPU (pricing and launch-geometry limits).
+    """
 
     k: int
     enumerative: bool
@@ -56,7 +84,45 @@ class EngineConfig:
 
 @dataclass
 class SpecExecutionResult:
-    """Everything produced by one :func:`run_speculative` call."""
+    """Everything produced by one :func:`run_speculative` call.
+
+    Attributes
+    ----------
+    final_state:
+        The machine's state after the whole input — always identical to
+        the sequential reference run.
+    stats:
+        Counted algorithmic events (:class:`repro.core.types.ExecStats`).
+    config:
+        The resolved :class:`EngineConfig` the run executed under.
+    accepted:
+        Whether ``final_state`` is accepting.
+    true_starts:
+        Exact per-chunk starting states, ``(num_chunks,)`` int32 — present
+        when truth recovery ran (sequential merge, ``measure_success``, or
+        output collection).
+    accept_counts:
+        Per-chunk counts of accepting-state visits (``collect``
+        ``"accept_count"`` only).
+    match_positions:
+        Global input offsets where the machine sat in an accepting state
+        (``collect`` ``"match_positions"`` only).
+    emissions:
+        ``(positions, symbols)`` arrays from the machine's emission table
+        (``collect`` ``"emissions"`` only).
+    timing:
+        Modeled V100 :class:`repro.gpu.cost.TimeBreakdown` in seconds
+        (``price=True`` only). Modeled time, not wall clock — wall clock
+        lives in ``trace``.
+    cache:
+        The hot-state cache plan when ``cache_table`` was enabled.
+    merge_tree:
+        The full parallel-merge reduction history
+        (``keep_merge_tree=True`` only).
+    trace:
+        The :class:`repro.obs.RunTrace` that observed this run (None when
+        observability was disabled).
+    """
 
     final_state: int
     stats: ExecStats
@@ -69,10 +135,11 @@ class SpecExecutionResult:
     timing: TimeBreakdown | None = None
     cache: HotStateCache | None = None
     merge_tree: MergeTree | None = field(default=None, repr=False)
+    trace: RunTrace | None = field(default=None, repr=False)
 
     @property
     def success_rate(self) -> float:
-        """Speculation success rate over chunk boundaries."""
+        """Speculation success rate over chunk boundaries (0.0–1.0)."""
         return self.stats.success_rate
 
 
@@ -98,14 +165,20 @@ def run_speculative(
     cpu_transition_ns: float | None = None,
     keep_merge_tree: bool = False,
     backend: str = "vectorized",
+    trace: RunTrace | None = None,
 ) -> SpecExecutionResult:
     """Execute ``dfa`` over ``inputs`` with spec-k speculation.
 
     Parameters
     ----------
+    dfa:
+        The machine to run (``table`` shape ``(num_inputs, num_states)``).
+    inputs:
+        1-D array of dense symbol ids in ``range(dfa.num_inputs)``.
     k:
-        Speculation width. ``None`` selects spec-N (enumerative execution);
-        values are clamped to ``dfa.num_states``.
+        Speculation width (states speculated per chunk). ``None`` selects
+        spec-N (enumerative execution); values are clamped to
+        ``dfa.num_states``.
     num_blocks, threads_per_block:
         Simulated launch geometry; one chunk per thread.
     merge:
@@ -136,12 +209,29 @@ def run_speculative(
         :mod:`repro.core.codegen.pykernel` — the paper's code-generation
         path). Functionally identical; codegen does not support
         ``cache_table`` or ``accept_count``.
+    trace:
+        A :class:`repro.obs.RunTrace` to record per-stage wall-clock spans
+        and speculation metrics into. When omitted, the ambient trace (if
+        one was activated via ``RunTrace.activate()``) is used; with
+        neither, observability is off and adds no measurable overhead.
 
     Returns
     -------
     SpecExecutionResult
-        Final state, statistics, optional outputs, optional modeled timing.
+        Final state, statistics, optional outputs, optional modeled timing,
+        and the observing trace (if any).
     """
+    if trace is not None:
+        with trace.activate():
+            return run_speculative(
+                dfa, inputs, k=k, num_blocks=num_blocks,
+                threads_per_block=threads_per_block, merge=merge, check=check,
+                reexec=reexec, layout=layout, lookback=lookback,
+                cache_table=cache_table, cache_budget_bytes=cache_budget_bytes,
+                device=device, ranking=ranking, measure_success=measure_success,
+                collect=collect, price=price, cpu_transition_ns=cpu_transition_ns,
+                keep_merge_tree=keep_merge_tree, backend=backend,
+            )
     check_in_set("merge", merge, ("sequential", "parallel"))
     check_in_set("check", check, ("auto", "nested", "hash"))
     check_in_set("reexec", reexec, ("delayed", "eager"))
@@ -185,28 +275,29 @@ def run_speculative(
     plan = plan_chunks(inputs.size, n)
 
     # --- speculation ------------------------------------------------------ #
-    if enumerative:
-        spec = enumerative_spec(dfa, n)
-    else:
-        prior = None
-        if ranking is None and inputs.size:
-            # Weight states by measured occupancy over an input-prefix
-            # sample — the offline-profiling analog of principled
-            # speculation. This is preprocessing (like the paper's
-            # look-back tables), not counted execution work.
-            from repro.core.lookback import state_prior
+    with trace_span("engine.speculate", chunks=n, k=k_eff, lookback=lookback):
+        if enumerative:
+            spec = enumerative_spec(dfa, n)
+        else:
+            prior = None
+            if ranking is None and inputs.size:
+                # Weight states by measured occupancy over an input-prefix
+                # sample — the offline-profiling analog of principled
+                # speculation. This is preprocessing (like the paper's
+                # look-back tables), not counted execution work.
+                from repro.core.lookback import state_prior
 
-            prior = state_prior(dfa, sample=inputs[: 1 << 14])
-        spec = speculate(
-            dfa,
-            inputs,
-            plan,
-            k_eff,
-            lookback=lookback,
-            prior=prior,
-            ranking=ranking,
-            stats=stats,
-        )
+                prior = state_prior(dfa, sample=inputs[: 1 << 14])
+            spec = speculate(
+                dfa,
+                inputs,
+                plan,
+                k_eff,
+                lookback=lookback,
+                prior=prior,
+                ranking=ranking,
+                stats=stats,
+            )
 
     # --- hot-state cache plan ---------------------------------------------- #
     cache = None
@@ -222,40 +313,44 @@ def run_speculative(
         stats.cache_rows_resident = cache.rows_resident
 
     # --- local processing ---------------------------------------------------- #
-    transformed = transform_layout(inputs, plan) if layout == "transformed" else None
-    if backend == "codegen":
-        if cache_mask is not None or "accept_count" in collect:
-            raise ValueError(
-                "backend='codegen' does not support cache_table or accept_count; "
-                "use the default vectorized backend"
-            )
-        from repro.core.codegen.pykernel import compile_local_kernel
+    with trace_span("engine.layout", layout=layout):
+        transformed = (
+            transform_layout(inputs, plan) if layout == "transformed" else None
+        )
+    with trace_span("engine.local_exec", backend=backend, chunks=n, k=k_eff):
+        if backend == "codegen":
+            if cache_mask is not None or "accept_count" in collect:
+                raise ValueError(
+                    "backend='codegen' does not support cache_table or accept_count; "
+                    "use the default vectorized backend"
+                )
+            from repro.core.codegen.pykernel import compile_local_kernel
 
-        kernel = compile_local_kernel(k_eff)
-        end = kernel(
-            dfa.table,
-            spec,
-            plan.starts,
-            plan.lengths,
-            inputs,
-            transformed.main if transformed is not None else None,
-            transformed.tail if transformed is not None else None,
-        )
-        acc = None
-        stats.local_steps += plan.max_len
-        stats.local_transitions += int(plan.lengths.sum()) * k_eff
-        stats.local_input_reads += int(plan.lengths.sum())
-    else:
-        end, acc = process_chunks(
-            dfa,
-            inputs,
-            plan,
-            spec,
-            transformed=transformed,
-            stats=stats,
-            cache_mask=cache_mask,
-            count_accepting="accept_count" in collect,
-        )
+            kernel = compile_local_kernel(k_eff)
+            end = kernel(
+                dfa.table,
+                spec,
+                plan.starts,
+                plan.lengths,
+                inputs,
+                transformed.main if transformed is not None else None,
+                transformed.tail if transformed is not None else None,
+            )
+            acc = None
+            stats.local_steps += plan.max_len
+            stats.local_transitions += int(plan.lengths.sum()) * k_eff
+            stats.local_input_reads += int(plan.lengths.sum())
+        else:
+            end, acc = process_chunks(
+                dfa,
+                inputs,
+                plan,
+                spec,
+                transformed=transformed,
+                stats=stats,
+                cache_mask=cache_mask,
+                count_accepting="accept_count" in collect,
+            )
     results = ChunkResults(
         spec=spec, end=end, valid=np.ones_like(spec, dtype=bool)
     )
@@ -263,66 +358,82 @@ def run_speculative(
     # --- merge ------------------------------------------------------------------
     tree = None
     true_starts: np.ndarray | None = None
-    if merge == "sequential":
-        final_state, true_starts = merge_sequential(
-            dfa, inputs, plan, results, check=check, stats=stats
-        )
-    else:
-        final_state, tree = merge_parallel(
-            dfa,
-            inputs,
-            plan,
-            results,
-            check=check,
-            reexec=reexec,
-            threads_per_block=threads_per_block,
-            warp_size=device.warp_size,
-            stats=stats,
-        )
+    with trace_span("engine.merge", strategy=merge, check=check, reexec=reexec):
+        if merge == "sequential":
+            final_state, true_starts = merge_sequential(
+                dfa, inputs, plan, results, check=check, stats=stats
+            )
+        else:
+            final_state, tree = merge_parallel(
+                dfa,
+                inputs,
+                plan,
+                results,
+                check=check,
+                reexec=reexec,
+                threads_per_block=threads_per_block,
+                warp_size=device.warp_size,
+                stats=stats,
+            )
 
     # --- truth recovery (instrumentation; uncounted) --------------------------- #
     need_truth = (
         true_starts is None
         and (measure_success or "match_positions" in collect or "emissions" in collect)
     )
-    if need_truth:
-        from repro.core.merge_seq import true_boundary_walk
+    with trace_span("engine.truth_recovery", ran=need_truth):
+        if need_truth:
+            from repro.core.merge_seq import true_boundary_walk
 
-        _, true_starts = true_boundary_walk(dfa, inputs, plan, results)
-    if merge == "parallel" and measure_success and true_starts is not None and n > 1:
-        hits = int(
-            ((spec[1:] == true_starts[1:, None]).any(axis=1)).sum()
-        )
-        stats.success_hits += hits
-        stats.success_total += n - 1
+            _, true_starts = true_boundary_walk(dfa, inputs, plan, results)
+        if (
+            merge == "parallel"
+            and measure_success
+            and true_starts is not None
+            and n > 1
+        ):
+            hits = int(
+                ((spec[1:] == true_starts[1:, None]).any(axis=1)).sum()
+            )
+            stats.success_hits += hits
+            stats.success_total += n - 1
 
     # --- output recovery ----------------------------------------------------------
     match_positions = None
     emissions = None
-    if "match_positions" in collect:
-        match_positions = recover_accepts(dfa, inputs, plan, true_starts)
-    if "emissions" in collect:
-        emissions = recover_emissions(dfa, inputs, plan, true_starts)
+    if collect:
+        with trace_span("engine.output_recovery", collect=list(collect)):
+            if "match_positions" in collect:
+                match_positions = recover_accepts(dfa, inputs, plan, true_starts)
+            if "emissions" in collect:
+                emissions = recover_emissions(dfa, inputs, plan, true_starts)
 
     # --- modeled timing --------------------------------------------------------------
     timing = None
     if price:
-        model = CostModel(
-            device=device,
-            **(
-                {"cpu_transition_ns": cpu_transition_ns}
-                if cpu_transition_ns is not None
-                else {}
-            ),
-        )
-        timing = model.price(
-            stats,
-            num_blocks=num_blocks,
-            threads_per_block=threads_per_block,
-            merge=merge,
-            layout_transformed=(layout == "transformed"),
-            cache_enabled=cache_table,
-        )
+        with trace_span("engine.price"):
+            model = CostModel(
+                device=device,
+                **(
+                    {"cpu_transition_ns": cpu_transition_ns}
+                    if cpu_transition_ns is not None
+                    else {}
+                ),
+            )
+            timing = model.price(
+                stats,
+                num_blocks=num_blocks,
+                threads_per_block=threads_per_block,
+                merge=merge,
+                layout_transformed=(layout == "transformed"),
+                cache_enabled=cache_table,
+            )
+    run_trace = current_trace()
+    if run_trace is not None:
+        run_trace.count("engine.runs", 1)
+        if stats.success_total:
+            run_trace.count("speculation.boundary_hits", stats.success_hits)
+            run_trace.count("speculation.boundary_total", stats.success_total)
 
     return SpecExecutionResult(
         final_state=final_state,
@@ -336,4 +447,5 @@ def run_speculative(
         timing=timing,
         cache=cache,
         merge_tree=tree if keep_merge_tree else None,
+        trace=run_trace,
     )

@@ -29,6 +29,7 @@ results (Section 4.1's three sub-stages).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.core.checks import count_hash, count_nested, match_pairs, select_chec
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 from repro.fsm.dfa import DFA
 from repro.fsm.run import run_segment
+from repro.obs.trace import current_trace, trace_span
 from repro.workloads.chunking import ChunkPlan
 
 __all__ = ["merge_parallel", "compose_maps", "MergeTree"]
@@ -69,15 +71,29 @@ def compose_maps(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized semi-join composition of adjacent speculation maps.
 
-    All arrays are ``(num_pairs, k)``. Entry ``j`` of pair ``p`` composes the
-    left map's ending state against the right map's speculated states
-    (Section 3.2): on a hit the composed ending state is the right map's, on
-    a miss the left ending state is kept and the entry is marked invalid
-    (the delayed strategy's marking — callers decide whether to re-execute
-    eagerly, delay to a fix-up descent, or resolve locally as the scale-out
-    workers do). Returns ``(end, valid, match_idx)``; ``match_idx`` is the
-    first matching right column (undefined where ``valid`` is False), which
-    the merge levels reuse for runtime-check cost accounting.
+    Entry ``j`` of pair ``p`` composes the left map's ending state against
+    the right map's speculated states (Section 3.2): on a hit the composed
+    ending state is the right map's, on a miss the left ending state is
+    kept and the entry is marked invalid (the delayed strategy's marking —
+    callers decide whether to re-execute eagerly, delay to a fix-up
+    descent, or resolve locally as the scale-out workers do).
+
+    Parameters
+    ----------
+    end_left, valid_left:
+        Left maps' ending states and validity, both ``(num_pairs, k)``
+        (int32 states / bool).
+    spec_right, end_right, valid_right:
+        Right maps' speculated states, ending states, and validity,
+        all ``(num_pairs, k)``.
+
+    Returns
+    -------
+    (end, valid, match_idx):
+        Composed ending states ``(num_pairs, k)`` int32; validity of each
+        composed entry; and the first matching right column per entry
+        (undefined where ``valid`` is False), which the merge levels reuse
+        for runtime-check cost accounting.
     """
     match_idx, found = match_pairs(end_left, valid_left, spec_right, valid_right)
     end = np.where(
@@ -115,11 +131,19 @@ def merge_parallel(
     level_index = 0
     eager_chain = 0
 
+    obs = current_trace()
     while maps.num_segments > 1:
-        maps, had_reexec = _merge_level(
-            dfa, inputs, plan, results, maps,
-            impl=impl, reexec=reexec, stats=stats,
-        )
+        with trace_span(
+            "merge.level", level=level_index, segments=maps.num_segments
+        ) as span:
+            level_t0 = time.perf_counter() if obs is not None else 0.0
+            maps, had_reexec = _merge_level(
+                dfa, inputs, plan, results, maps,
+                impl=impl, reexec=reexec, stats=stats,
+            )
+            if obs is not None:
+                obs.observe("merge.level_s", time.perf_counter() - level_t0)
+                span.set(reexec=had_reexec)
         levels.append(maps)
         level_index += 1
         if had_reexec:
@@ -138,7 +162,8 @@ def merge_parallel(
 
     # Root entry for the true initial state is invalid (possible only with
     # the delayed strategy, or when chunk 0's spec row was corrupted).
-    final = _fixup(dfa, inputs, plan, tree, dfa.start, stats)
+    with trace_span("merge.fixup"):
+        final = _fixup(dfa, inputs, plan, tree, dfa.start, stats)
     return final, tree
 
 
@@ -170,6 +195,8 @@ def _merge_level(
     er = maps.end[1 : 2 * npairs : 2]
     vr = maps.valid[1 : 2 * npairs : 2]
 
+    obs = current_trace()
+    check_t0 = time.perf_counter() if obs is not None else 0.0
     new_end, found, match_idx = compose_maps(el, vl, sr, er, vr)
     if stats is not None:
         stats.merge_pair_ops += npairs
@@ -177,6 +204,11 @@ def _merge_level(
             count_nested(match_idx, found, vl, k, stats)
         else:
             count_hash(el, vl, sr, vr, match_idx, found, stats)
+    if obs is not None:
+        obs.observe("merge.check_s", time.perf_counter() - check_t0)
+        matched = int((vl & found).sum())
+        obs.count("merge.semijoin.match", matched)
+        obs.count("merge.semijoin.miss", int(vl.sum()) - matched)
 
     new_valid = found.copy()
 
@@ -245,7 +277,10 @@ def _resolve_segment(
     re-executing the chunk's input on a miss — the re-execution work a GPU
     thread would perform, charged to ``bucket`` ('eager' or 'fixup').
     """
+    obs = current_trace()
+    t0 = time.perf_counter() if obs is not None else 0.0
     cur = int(state)
+    items = 0
     for c in range(lo, hi):
         hit = results.lookup(c, cur)
         if hit is not None:
@@ -253,6 +288,7 @@ def _resolve_segment(
             continue
         seg = inputs[plan.chunk_slice(c)]
         cur = run_segment(dfa, seg, cur)
+        items += int(seg.size)
         if stats is not None:
             if bucket == "eager":
                 stats.reexec_chunks_eager += 1
@@ -260,6 +296,9 @@ def _resolve_segment(
             else:
                 stats.fixup_chunks += 1
                 stats.fixup_items += int(seg.size)
+    if obs is not None and items:
+        obs.observe(f"reexec.{bucket}_s", time.perf_counter() - t0)
+        obs.count(f"reexec.{bucket}.items", items)
     return cur
 
 
@@ -314,12 +353,17 @@ def _fixup_node(
     if hits.size:
         return int(maps.end[idx, hits[0]])
     if level == 0:
+        obs = current_trace()
+        t0 = time.perf_counter() if obs is not None else 0.0
         seg = inputs[plan.chunk_slice(idx)]
         out = run_segment(dfa, seg, int(state))
         reexecuted.append(idx)
         if stats is not None:
             stats.fixup_chunks += 1
             stats.fixup_items += int(seg.size)
+        if obs is not None:
+            obs.observe("reexec.fixup_s", time.perf_counter() - t0)
+            obs.count("reexec.fixup.items", int(seg.size))
         return out
     prev_m = tree.levels[level - 1].num_segments
     left = 2 * idx

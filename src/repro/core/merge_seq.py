@@ -12,12 +12,15 @@ engine reuses for speculation-success measurement and output recovery.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.checks import count_hash, count_nested, select_check
 from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.dfa import DFA
 from repro.fsm.run import run_segment
+from repro.obs.trace import current_trace, trace_span
 from repro.workloads.chunking import ChunkPlan
 
 __all__ = ["merge_sequential", "true_boundary_walk"]
@@ -92,7 +95,53 @@ def merge_sequential(
     if counted:
         stats.seq_merge_steps += n
 
+    # Observability accumulators — kept as locals in the walk's hot loop and
+    # published once at the end (one counter update per run, not per chunk).
+    obs = current_trace()
+    semijoin_match = 0
+    reexec_time = 0.0
+    reexec_items_obs = 0
+
     reexec_runs = 0
+    with trace_span("merge.sequential_walk", chunks=n):
+        cur, reexec_runs, semijoin_match, reexec_time, reexec_items_obs = _walk(
+            dfa, inputs, plan, spec, end, valid, true_starts, cur,
+            n=n, k=k, impl=impl, stats=stats, counted=counted, obs=obs,
+        )
+    if counted and reexec_runs:
+        # In the sequential walk, every re-execution is on the critical path.
+        stats.reexec_max_chain = max(stats.reexec_max_chain, reexec_runs)
+    if obs is not None:
+        obs.count("merge.semijoin.match", semijoin_match)
+        obs.count("merge.semijoin.miss", n - semijoin_match)
+        if reexec_runs:
+            obs.observe("reexec.seq_s", reexec_time)
+            obs.count("reexec.seq.items", reexec_items_obs)
+    return int(cur), true_starts
+
+
+def _walk(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    spec: np.ndarray,
+    end: np.ndarray,
+    valid: np.ndarray,
+    true_starts: np.ndarray,
+    cur: np.int32,
+    *,
+    n: int,
+    k: int,
+    impl: str,
+    stats: ExecStats | None,
+    counted: bool,
+    obs,
+) -> tuple[np.int32, int, int, float, int]:
+    """The sequential walk body; returns the carried state and accumulators."""
+    semijoin_match = 0
+    reexec_runs = 0
+    reexec_time = 0.0
+    reexec_items_obs = 0
     for c in range(n):
         true_starts[c] = cur
         row_valid = valid[c]
@@ -117,14 +166,16 @@ def merge_sequential(
                 stats.success_hits += 1
         if found:
             cur = end[c, idx]
+            semijoin_match += 1
         else:
+            t0 = time.perf_counter() if obs is not None else 0.0
             seg = inputs[plan.chunk_slice(c)]
             cur = np.int32(run_segment(dfa, seg, int(cur)))
             reexec_runs += 1
             if counted:
                 stats.reexec_chunks_seq += 1
                 stats.reexec_items_seq += int(seg.size)
-    if counted and reexec_runs:
-        # In the sequential walk, every re-execution is on the critical path.
-        stats.reexec_max_chain = max(stats.reexec_max_chain, reexec_runs)
-    return int(cur), true_starts
+            if obs is not None:
+                reexec_time += time.perf_counter() - t0
+                reexec_items_obs += int(seg.size)
+    return cur, reexec_runs, semijoin_match, reexec_time, reexec_items_obs

@@ -33,8 +33,9 @@ one-shot API by wrapping a temporary pool.
 from __future__ import annotations
 
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -45,20 +46,80 @@ from repro.core.merge_par import compose_maps, merge_parallel
 from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.dfa import DFA
 from repro.fsm.run import run_segment
+from repro.obs.trace import current_trace, trace_span
 from repro.workloads.chunking import plan_chunks
 
-__all__ = ["ScaleoutPool", "run_multiprocess", "MultiprocessResult"]
+__all__ = [
+    "ScaleoutPool",
+    "run_multiprocess",
+    "MultiprocessResult",
+    "PoolRunTiming",
+    "WorkerTiming",
+]
+
+
+@dataclass(frozen=True)
+class WorkerTiming:
+    """Wall-clock breakdown of one worker's task (seconds, worker's clock).
+
+    ``attach_s`` covers shared-memory segment attach/eviction, ``exec_s``
+    the speculation plus lock-step local processing, ``fold_s`` the
+    semi-join fold of sub-chunk maps (including any local re-execution).
+    ``total_s`` is measured independently around the whole task, so
+    ``attach_s + exec_s + fold_s <= total_s`` up to clock resolution.
+    """
+
+    attach_s: float
+    exec_s: float
+    fold_s: float
+    total_s: float
+
+
+@dataclass(frozen=True)
+class PoolRunTiming:
+    """Parent-side wall-clock breakdown of one :meth:`ScaleoutPool.run`.
+
+    All fields are seconds on the parent's clock. ``dispatch_s`` is task
+    serialization + submission; ``wait_s`` the wait for worker results
+    (covers the workers' own execution); ``merge_s`` the parent's binary
+    tree merge including any fix-up re-execution. ``total_s`` is measured
+    independently around the whole call — the stage test asserts the
+    components sum to within tolerance of it.
+    """
+
+    speculate_s: float
+    publish_s: float
+    dispatch_s: float
+    wait_s: float
+    merge_s: float
+    total_s: float
+
+    @property
+    def stages_s(self) -> float:
+        """Sum of the attributed stage components (seconds)."""
+        return (
+            self.speculate_s + self.publish_s + self.dispatch_s
+            + self.wait_s + self.merge_s
+        )
 
 
 @dataclass
 class MultiprocessResult:
-    """Outcome of a multiprocess run."""
+    """Outcome of a multiprocess run.
+
+    ``timing`` and ``worker_timings`` are always populated by
+    :meth:`ScaleoutPool.run` (they cost a handful of ``perf_counter``
+    reads); ``worker_timings`` is empty for degenerate runs that never
+    dispatched (empty input, single worker).
+    """
 
     final_state: int
     num_workers: int
     segment_reexecs: int
     stats: ExecStats
     reexec_segments: tuple[int, ...] = ()
+    timing: PoolRunTiming | None = None
+    worker_timings: tuple[WorkerTiming, ...] = field(default=())
 
 
 # --------------------------------------------------------------------------- #
@@ -128,8 +189,14 @@ def _evict_stale(keep: frozenset) -> None:
             pass
 
 
-def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int]:
-    """Run one segment; return ``(spec_row, end_row, reexec_chunks, reexec_items)``.
+def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
+    """Run one segment; return its map plus per-worker timings.
+
+    Return shape: ``(spec_row, end_row, reexec_chunks, reexec_items,
+    (attach_s, exec_s, fold_s, total_s, new_attaches))`` — the timing tuple
+    rides the existing result path because worker processes cannot see the
+    parent's ambient :class:`repro.obs.RunTrace`; the parent folds it into
+    :class:`WorkerTiming` and its trace.
 
     Executed inside a worker process. Attaches the pool's shared segments
     (cached across calls), runs the lock-step kernel over ``sub_chunks``
@@ -155,13 +222,17 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int]:
         lookback,
         boundary_row,
     ) = task
+    t_task = time.perf_counter()
     _tracker_inherited()  # snapshot before the first attach registers anything
     _evict_stale(frozenset((table_name, acc_name, prior_name, input_name)))
+    attached_before = len(_ATTACHED)
     table = _attached_array(table_name, (num_inputs, num_states), np.int32)
     accepting = _attached_array(acc_name, (num_states,), np.bool_)
     prior = _attached_array(prior_name, (num_states,), np.float64)
     inputs = _attached_array(input_name, (input_len,), np.dtype(input_dtype))
     segment = inputs[lo:hi]
+    new_attaches = len(_ATTACHED) - attached_before
+    t_attach = time.perf_counter()
 
     dfa = DFA(table=table, start=start, accepting=accepting)
     plan = plan_chunks(segment.size, sub_chunks)
@@ -174,6 +245,7 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int]:
         # the boundary row it shipped.
         spec[0] = boundary_row
     end, _ = process_chunks(dfa, segment, plan, spec)
+    t_exec = time.perf_counter()
 
     # Fold chunk maps into one segment map over chunk 0's speculation row:
     # repeated semi-join composition, vectorized over the k entries.
@@ -194,7 +266,15 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int]:
             reexec_chunks += 1
             reexec_items += int(sub.size) * int(misses.size)
         cur_end = nxt
-    return spec_row, cur_end[0], reexec_chunks, reexec_items
+    t_done = time.perf_counter()
+    timings = (
+        t_attach - t_task,  # attach_s
+        t_exec - t_attach,  # exec_s
+        t_done - t_exec,  # fold_s
+        t_done - t_task,  # total_s
+        new_attaches,
+    )
+    return spec_row, cur_end[0], reexec_chunks, reexec_items, timings
 
 
 # --------------------------------------------------------------------------- #
@@ -310,6 +390,8 @@ class ScaleoutPool:
         """
         if self._closed:
             raise RuntimeError("ScaleoutPool is closed")
+        t_run = time.perf_counter()
+        obs = current_trace()
         dfa = self.dfa
         start = dfa.start if start is None else int(start)
         if not 0 <= start < dfa.num_states:
@@ -336,12 +418,16 @@ class ScaleoutPool:
             stats.pool_shm_bytes = self.shm_bytes
             return MultiprocessResult(final, 1, 0, stats)
 
-        self._ensure_input_capacity(n)
-        shm = self._input_shm
-        assert shm is not None
-        buf = np.ndarray((n,), dtype=self._input_dtype, buffer=shm.buf)
-        buf[:] = inputs
+        with trace_span("pool.publish_input", bytes=int(inputs.nbytes)):
+            self._ensure_input_capacity(n)
+            shm = self._input_shm
+            assert shm is not None
+            buf = np.ndarray((n,), dtype=self._input_dtype, buffer=shm.buf)
+            buf[:] = inputs
+        t_publish = time.perf_counter()
         stats.pool_shm_bytes = self.shm_bytes
+        if obs is not None:
+            obs.count("pool.shm.input_bytes", int(inputs.nbytes))
 
         seg_plan = plan_chunks(n, w)
         run_dfa = dfa if start == dfa.start else dfa.with_start(start)
@@ -351,63 +437,103 @@ class ScaleoutPool:
         # row must contain the true start state — `speculate` pins it first,
         # and the explicit guard keeps that invariant under any ranking.
         boundary = None
-        if self.k is not None:
-            boundary = speculate(
-                run_dfa,
-                inputs,
-                seg_plan,
-                self.k,
-                lookback=self.lookback,
-                prior=self._prior,
-                stats=stats,
-            )
-            if not (boundary[0] == start).any():
-                boundary[0, 0] = start
+        with trace_span("pool.speculate", workers=w, k=self.k_eff):
+            if self.k is not None:
+                boundary = speculate(
+                    run_dfa,
+                    inputs,
+                    seg_plan,
+                    self.k,
+                    lookback=self.lookback,
+                    prior=self._prior,
+                    stats=stats,
+                )
+                if not (boundary[0] == start).any():
+                    boundary[0, 0] = start
+        t_spec = time.perf_counter()
 
-        tasks = [
-            (
-                self._table_shm.name,
-                dfa.num_inputs,
-                dfa.num_states,
-                self._acc_shm.name,
-                self._prior_shm.name,
-                shm.name,
-                n,
-                self._input_dtype.str,
-                int(seg_plan.starts[i]),
-                int(seg_plan.starts[i] + seg_plan.lengths[i]),
-                start,
-                self.k,
-                self.sub_chunks_per_worker,
-                self.lookback,
-                None if boundary is None else boundary[i],
-            )
-            for i in range(w)
-        ]
-        stats.pool_task_bytes += sum(len(pickle.dumps(t)) for t in tasks)
-        futures = [self._exec.submit(_worker_run, t) for t in tasks]
-        maps = [f.result() for f in futures]
+        with trace_span("pool.dispatch", workers=w) as dispatch_span:
+            tasks = [
+                (
+                    self._table_shm.name,
+                    dfa.num_inputs,
+                    dfa.num_states,
+                    self._acc_shm.name,
+                    self._prior_shm.name,
+                    shm.name,
+                    n,
+                    self._input_dtype.str,
+                    int(seg_plan.starts[i]),
+                    int(seg_plan.starts[i] + seg_plan.lengths[i]),
+                    start,
+                    self.k,
+                    self.sub_chunks_per_worker,
+                    self.lookback,
+                    None if boundary is None else boundary[i],
+                )
+                for i in range(w)
+            ]
+            task_bytes = sum(len(pickle.dumps(t)) for t in tasks)
+            stats.pool_task_bytes += task_bytes
+            dispatch_span.set(task_bytes=task_bytes)
+            futures = [self._exec.submit(_worker_run, t) for t in tasks]
+        t_dispatch = time.perf_counter()
+        with trace_span("pool.wait", workers=w):
+            maps = [f.result() for f in futures]
+        t_wait = time.perf_counter()
 
         spec_rows = np.stack([m[0] for m in maps])
         end_rows = np.stack([m[1] for m in maps])
-        for m in maps:
+        worker_timings = []
+        for i, m in enumerate(maps):
             stats.reexec_chunks_seq += m[2]
             stats.reexec_items_seq += m[3]
+            attach_s, exec_s, fold_s, total_s, new_attaches = m[4]
+            worker_timings.append(
+                WorkerTiming(
+                    attach_s=attach_s, exec_s=exec_s, fold_s=fold_s, total_s=total_s
+                )
+            )
+            if obs is not None:
+                # Workers run on their own clocks; draw each one inside the
+                # parent's wait window (start-aligned) on its own trace row.
+                wait_t0 = obs.to_trace_time(t_dispatch)
+                sp = obs.add_span(
+                    "pool.worker", wait_t0, wait_t0 + total_s,
+                    tid=i + 1, worker=i,
+                    attach_s=attach_s, exec_s=exec_s, fold_s=fold_s,
+                )
+                sp.set(reexec_chunks=m[2], reexec_items=m[3])
+                obs.count("pool.shm.attaches", new_attaches)
+                obs.observe("pool.worker_exec_s", exec_s)
+                obs.observe("pool.worker_fold_s", fold_s)
 
         # Parent-side combine: the same binary tree merge as the simulated
         # GPU — delayed invalidation, then a fix-up descent that re-executes
         # only the segments whose boundary speculation genuinely missed.
-        results = ChunkResults(
-            spec=spec_rows, end=end_rows, valid=np.ones_like(spec_rows, dtype=bool)
-        )
-        final, tree = merge_parallel(
-            run_dfa, inputs, seg_plan, results, reexec="delayed", stats=stats
-        )
+        with trace_span("pool.merge", workers=w):
+            results = ChunkResults(
+                spec=spec_rows, end=end_rows,
+                valid=np.ones_like(spec_rows, dtype=bool),
+            )
+            final, tree = merge_parallel(
+                run_dfa, inputs, seg_plan, results, reexec="delayed", stats=stats
+            )
+        t_merge = time.perf_counter()
         reexec_segments = tuple(tree.reexecuted)
         stats.success_total += w - 1
         stats.success_hits += (w - 1) - sum(1 for c in reexec_segments if c > 0)
+        timing = PoolRunTiming(
+            speculate_s=t_spec - t_publish,
+            publish_s=t_publish - t_run,
+            dispatch_s=t_dispatch - t_spec,
+            wait_s=t_wait - t_dispatch,
+            merge_s=t_merge - t_wait,
+            total_s=t_merge - t_run,
+        )
         return MultiprocessResult(
-            int(final), w, len(reexec_segments), stats, reexec_segments
+            int(final), w, len(reexec_segments), stats, reexec_segments,
+            timing=timing, worker_timings=tuple(worker_timings),
         )
 
     # ------------------------------------------------------------------ #

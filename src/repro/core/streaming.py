@@ -33,6 +33,7 @@ from repro.core.mp_executor import ScaleoutPool
 from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.device import DeviceSpec, TESLA_V100
+from repro.obs.trace import trace_span
 
 __all__ = ["StreamingExecutor"]
 
@@ -46,6 +47,12 @@ class StreamingExecutor:
     With ``backend="pool"``, ``pool_workers`` processes execute each block
     and ``num_blocks``/``threads_per_block``/``merge``/``device`` are
     ignored (they describe the simulated GPU, not the CPU pool).
+
+    Three stats surfaces, all :class:`repro.core.types.ExecStats`:
+
+    * :attr:`stats` — the current session (cleared by :meth:`reset`);
+    * :attr:`last_feed_stats` — the most recent :meth:`feed` in isolation;
+    * :attr:`lifetime_stats` — every block ever fed, surviving resets.
     """
 
     dfa: DFA
@@ -66,6 +73,10 @@ class StreamingExecutor:
     stats: ExecStats = field(init=False)
     _matches: list = field(init=False, default_factory=list)
     _pool: ScaleoutPool | None = field(init=False, default=None, repr=False)
+    _lifetime_base: ExecStats = field(init=False, repr=False)
+    _lifetime_items: int = field(init=False, default=0)
+    _lifetime_blocks: int = field(init=False, default=0)
+    _last_feed_stats: ExecStats | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend not in ("simulate", "pool"):
@@ -87,8 +98,10 @@ class StreamingExecutor:
             )
         self.state = self.dfa.start
         self.stats = self._fresh_stats()
+        self._lifetime_base = self._fresh_stats()
 
     def _fresh_stats(self) -> ExecStats:
+        """A zeroed per-session stats object carrying the config echoes."""
         num_chunks = (
             self.pool_workers
             if self.backend == "pool"
@@ -102,37 +115,84 @@ class StreamingExecutor:
         )
 
     def feed(self, block: np.ndarray) -> int:
-        """Consume one block; returns the machine state after it."""
+        """Consume one block; returns the machine state after it.
+
+        The block's own event counts are kept as :attr:`last_feed_stats`
+        and folded into both :attr:`stats` (session) and
+        :attr:`lifetime_stats` (run-level, reset-proof).
+        """
         block = np.asarray(block)
         if block.size == 0:
             return self.state
-        if self._pool is not None:
-            result = self._pool.run(block, start=self.state)
-            self.stats = self.stats.merged_with(result.stats)
-            self.stats.pool_shm_bytes = result.stats.pool_shm_bytes
-            final_state = result.final_state
-        else:
-            sim = run_speculative(
-                self.dfa.with_start(self.state),
-                block,
-                k=self.k,
-                num_blocks=self.num_blocks,
-                threads_per_block=self.threads_per_block,
-                merge=self.merge,
-                lookback=self.lookback,
-                device=self.device,
-                collect=("match_positions",) if self.collect_matches else (),
-                price=False,
-            )
-            if self.collect_matches:
-                self._matches.append(sim.match_positions + self.items_consumed)
-            self.stats = self.stats.merged_with(sim.stats)
-            final_state = sim.final_state
+        with trace_span(
+            "stream.feed", block=self.blocks_consumed, items=int(block.size),
+            backend=self.backend,
+        ):
+            if self._pool is not None:
+                result = self._pool.run(block, start=self.state)
+                feed_stats = result.stats
+                self.stats = self.stats.merged_with(feed_stats)
+                self.stats.pool_shm_bytes = feed_stats.pool_shm_bytes
+                final_state = result.final_state
+            else:
+                sim = run_speculative(
+                    self.dfa.with_start(self.state),
+                    block,
+                    k=self.k,
+                    num_blocks=self.num_blocks,
+                    threads_per_block=self.threads_per_block,
+                    merge=self.merge,
+                    lookback=self.lookback,
+                    device=self.device,
+                    collect=("match_positions",) if self.collect_matches else (),
+                    price=False,
+                )
+                if self.collect_matches:
+                    self._matches.append(sim.match_positions + self.items_consumed)
+                feed_stats = sim.stats
+                self.stats = self.stats.merged_with(feed_stats)
+                final_state = sim.final_state
+        feed_stats.num_items = int(block.size)
+        self._last_feed_stats = feed_stats
         self.stats.num_items += int(block.size)
         self.items_consumed += int(block.size)
         self.blocks_consumed += 1
         self.state = final_state
         return self.state
+
+    @property
+    def last_feed_stats(self) -> ExecStats | None:
+        """Event counts of the most recent :meth:`feed` call in isolation.
+
+        None before the first non-empty feed. Unlike :attr:`stats` this is
+        not cumulative — it is the per-block carry the cost model needs to
+        price a single block.
+        """
+        return self._last_feed_stats
+
+    @property
+    def lifetime_stats(self) -> ExecStats:
+        """Accumulated stats over every block ever fed, surviving resets.
+
+        :meth:`reset` clears the per-session :attr:`stats` but folds them
+        in here first, so a long-lived executor (e.g. a NIDS session that
+        resets per connection) can still be priced as one run.
+        """
+        combined = self._lifetime_base.merged_with(self.stats)
+        combined.num_items = self._lifetime_items + self.stats.num_items
+        if self.stats.pool_shm_bytes:
+            combined.pool_shm_bytes = self.stats.pool_shm_bytes
+        return combined
+
+    @property
+    def lifetime_items_consumed(self) -> int:
+        """Items fed since construction (survives :meth:`reset`)."""
+        return self._lifetime_items + self.items_consumed
+
+    @property
+    def lifetime_blocks_consumed(self) -> int:
+        """Blocks fed since construction (survives :meth:`reset`)."""
+        return self._lifetime_blocks + self.blocks_consumed
 
     @property
     def match_positions(self) -> np.ndarray:
@@ -147,11 +207,19 @@ class StreamingExecutor:
         return bool(self.dfa.accepting[self.state])
 
     def reset(self) -> None:
-        """Return to the initial state and clear accumulated results.
+        """Return to the initial state and clear the session's results.
 
-        A pool backend keeps its workers and shared segments alive — reset
-        clears session state, not the pool.
+        Session counters (:attr:`stats`, :attr:`items_consumed`,
+        :attr:`blocks_consumed`, collected matches) are cleared, but the
+        session's event counts are folded into :attr:`lifetime_stats`
+        first — nothing is dropped. A pool backend keeps its workers and
+        shared segments alive — reset clears session state, not the pool.
         """
+        base = self._lifetime_base.merged_with(self.stats)
+        base.num_items = self._lifetime_items + self.stats.num_items
+        self._lifetime_base = base
+        self._lifetime_items += self.items_consumed
+        self._lifetime_blocks += self.blocks_consumed
         self.state = self.dfa.start
         self.items_consumed = 0
         self.blocks_consumed = 0

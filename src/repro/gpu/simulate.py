@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.types import ChunkResults
 from repro.gpu.device import DeviceSpec, TESLA_V100
+from repro.obs.trace import current_trace, trace_span
 
 __all__ = ["SimCounters", "SimulatedMerge", "simulate_hierarchical_merge"]
 
@@ -133,7 +134,38 @@ def simulate_hierarchical_merge(
     ``results.num_chunks`` must equal ``blocks * threads_per_block`` for
     some integer block count (one chunk per thread, as the engine lays
     them out).
+
+    When a :class:`repro.obs.RunTrace` is active, the whole simulation is
+    recorded as a ``gpu.simulate_merge`` span and the operation counters
+    are published under ``gpu.sim.*`` — the same namespace Chrome-trace
+    exports use — so modeled and simulated merges are directly comparable.
     """
+    with trace_span(
+        "gpu.simulate_merge",
+        chunks=results.num_chunks,
+        threads_per_block=threads_per_block,
+    ):
+        sim = _simulate(results, threads_per_block=threads_per_block, device=device)
+    obs = current_trace()
+    if obs is not None:
+        c = sim.counters
+        obs.count("gpu.sim.shuffle_ops", c.shuffle_ops)
+        obs.count("gpu.sim.shared_stores", c.shared_stores)
+        obs.count("gpu.sim.shared_loads", c.shared_loads)
+        obs.count("gpu.sim.barriers", c.barriers)
+        obs.count("gpu.sim.global_stores", c.global_stores)
+        obs.count("gpu.sim.global_loads", c.global_loads)
+        obs.count("gpu.sim.compare_ops", c.compare_ops)
+        obs.observe("gpu.sim.divergence_ratio", c.divergence_ratio)
+    return sim
+
+
+def _simulate(
+    results: ChunkResults,
+    *,
+    threads_per_block: int,
+    device: DeviceSpec,
+) -> SimulatedMerge:
     warp = device.warp_size
     n = results.num_chunks
     if threads_per_block % warp:

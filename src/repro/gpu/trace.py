@@ -5,6 +5,13 @@ execution the way a profiler would show it: local processing across the
 simulated SMs, then the warp/block/global merge stages, re-execution, and
 fix-up on the timeline. Purely a visualization of the cost model — spans
 come from :class:`repro.gpu.cost.TimeBreakdown`, not from wall clock.
+
+Since the observability layer landed, this module is a thin adapter: the
+modeled breakdown is first laid out as a :class:`repro.obs.RunTrace`
+(:func:`modeled_run_trace`) — the same span format every backend emits —
+and :mod:`repro.obs.export` does the Chrome encoding. Wall-clock traces
+from a profiled run and modeled traces from the cost model therefore open
+side by side in the same viewer with the same structure.
 """
 
 from __future__ import annotations
@@ -14,54 +21,43 @@ from pathlib import Path
 
 from repro.core.engine import SpecExecutionResult
 from repro.gpu.cost import TimeBreakdown, price_at_scale
+from repro.obs.export import chrome_trace_events
+from repro.obs.trace import RunTrace
 
-__all__ = ["trace_events", "write_trace"]
+__all__ = ["modeled_run_trace", "trace_events", "write_trace"]
 
 
-def trace_events(
+def modeled_run_trace(
     result: SpecExecutionResult,
     *,
     timing: TimeBreakdown | None = None,
     sm_lanes: int = 8,
-) -> list[dict]:
-    """Chrome trace events for one execution.
+) -> RunTrace:
+    """Lay the modeled time breakdown out as a :class:`RunTrace`.
 
-    ``sm_lanes`` controls how many representative SM rows the local stage
-    is drawn across (purely cosmetic — all SMs run the same schedule).
+    Spans carry a ``tid`` attribute so the Chrome exporter draws the local
+    stage across ``sm_lanes`` representative SM rows (purely cosmetic —
+    all SMs run the same schedule) and the merge/re-exec/fix-up chain on
+    row 0. All timestamps are modeled seconds, not wall clock.
     """
     tb = timing if timing is not None else result.timing
     if tb is None:
         raise ValueError("result carries no timing; run with price=True or pass timing=")
     cfg = result.config
-    us = 1e6  # chrome traces are in microseconds
-    events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "args": {"name": f"{cfg.device.name} (modeled)"},
-        }
-    ]
-    # local processing: one span per representative SM lane
+    trace = RunTrace(f"{cfg.device.name} (modeled)")
     lanes = max(1, min(sm_lanes, cfg.device.num_sms))
+    local_name = (
+        f"local spec-{'N' if cfg.enumerative else cfg.k} ({cfg.layout})"
+    )
     for lane in range(lanes):
-        events.append(
-            {
-                "name": f"local spec-{'N' if cfg.enumerative else cfg.k} "
-                f"({cfg.layout})",
-                "ph": "X",
-                "pid": 0,
-                "tid": lane + 1,
-                "ts": 0.0,
-                "dur": tb.local_s * us,
-                "args": {
-                    "chunks": result.stats.num_chunks,
-                    "transitions": result.stats.local_transitions,
-                },
-            }
+        trace.add_span(
+            local_name, 0.0, tb.local_s,
+            tid=lane + 1,
+            chunks=result.stats.num_chunks,
+            transitions=result.stats.local_transitions,
         )
-    cursor = tb.local_s * us
-    for name, dur_s, args in (
+    cursor = tb.local_s
+    for name, dur_s, attrs in (
         (
             f"{cfg.merge} merge ({cfg.check} checks)",
             tb.merge_s,
@@ -87,18 +83,32 @@ def trace_events(
         ),
     ):
         if dur_s > 0:
-            events.append(
-                {
-                    "name": name,
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": 0,
-                    "ts": cursor,
-                    "dur": dur_s * us,
-                    "args": args,
-                }
-            )
-            cursor += dur_s * us
+            trace.add_span(name, cursor, cursor + dur_s, tid=0, **attrs)
+            cursor += dur_s
+    return trace
+
+
+def trace_events(
+    result: SpecExecutionResult,
+    *,
+    timing: TimeBreakdown | None = None,
+    sm_lanes: int = 8,
+) -> list[dict]:
+    """Chrome trace events for one execution.
+
+    ``sm_lanes`` controls how many representative SM rows the local stage
+    is drawn across (purely cosmetic — all SMs run the same schedule).
+    The GPU-side spans come from :func:`modeled_run_trace` through the
+    shared Chrome emitter; the single-core CPU baseline is appended as a
+    second process for visual comparison.
+    """
+    tb = timing if timing is not None else result.timing
+    if tb is None:
+        raise ValueError("result carries no timing; run with price=True or pass timing=")
+    us = 1e6  # chrome traces are in microseconds
+    events = chrome_trace_events(
+        modeled_run_trace(result, timing=tb, sm_lanes=sm_lanes), pid=0
+    )
     # CPU baseline reference track
     events.append(
         {

@@ -1,0 +1,51 @@
+"""Unified observability: per-stage tracing, speculation metrics, profiling.
+
+One vocabulary for *where time goes* across every execution backend — the
+simulated GPU engine, the CPU :class:`~repro.core.mp_executor.ScaleoutPool`,
+and the :class:`~repro.core.streaming.StreamingExecutor`:
+
+* :func:`trace_span` / :class:`RunTrace` — wall-clock stage spans
+  (near-zero cost when no trace is active);
+* :class:`Counter` / :class:`Histogram` — speculation and merge metrics
+  (semi-join match/miss, per-level merge timings, SHM traffic);
+* :mod:`repro.obs.export` — structured JSON (one file per run), Chrome
+  trace-event JSON for ``chrome://tracing``, and the ``--profile`` text
+  table.
+
+The metric catalog — every span and counter name with its unit — lives in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_profile,
+    load_run_trace,
+    write_chrome_trace,
+    write_run_trace,
+)
+from repro.obs.trace import (
+    Counter,
+    Histogram,
+    RunTrace,
+    Span,
+    add_count,
+    current_trace,
+    observe,
+    trace_span,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "RunTrace",
+    "Span",
+    "add_count",
+    "chrome_trace_events",
+    "current_trace",
+    "format_profile",
+    "load_run_trace",
+    "observe",
+    "trace_span",
+    "write_chrome_trace",
+    "write_run_trace",
+]

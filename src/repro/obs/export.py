@@ -1,0 +1,156 @@
+"""Exporters for :class:`repro.obs.RunTrace`: JSON, Chrome trace, text.
+
+Three consumers, three formats:
+
+* :func:`write_run_trace` / :func:`load_run_trace` — the structured JSON
+  record (one file per run) that ``bench`` archives and CI uploads as an
+  artifact; round-trips losslessly through :meth:`RunTrace.from_dict`;
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — Chrome
+  trace-event JSON for ``chrome://tracing`` / Perfetto: nested stage spans
+  render as a flame chart, so the merge tree's per-level timing is visible
+  at a glance. The same emitter serves wall-clock traces (this module) and
+  modeled-time traces (:mod:`repro.gpu.trace` builds a ``RunTrace`` from a
+  cost-model breakdown and feeds it here);
+* :func:`format_profile` — the human-readable stage table behind
+  ``python -m repro.bench --profile``.
+
+All span timestamps in a ``RunTrace`` are seconds; Chrome events are
+microseconds (the format's convention).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import RunTrace
+
+__all__ = [
+    "chrome_trace_events",
+    "format_profile",
+    "load_run_trace",
+    "write_chrome_trace",
+    "write_run_trace",
+]
+
+_US = 1e6  # chrome trace timestamps are microseconds
+
+
+def write_run_trace(trace: RunTrace, path: str | Path) -> Path:
+    """Write the structured JSON record for one run; returns the path."""
+    path = Path(path)
+    path.write_text(trace.to_json())
+    return path
+
+
+def load_run_trace(path: str | Path) -> RunTrace:
+    """Load a structured JSON record written by :func:`write_run_trace`."""
+    return RunTrace.from_json(Path(path).read_text())
+
+
+def chrome_trace_events(trace: RunTrace, *, pid: int = 0) -> list[dict]:
+    """Convert a trace to Chrome trace-event dicts (``ph: "X"`` spans).
+
+    Spans keep their nesting through timestamp containment (the viewer
+    stacks contained events), and a span may route itself to a different
+    row via a ``tid`` attribute — the pool backend uses that to draw each
+    worker on its own line. Counters and histogram summaries ride along in
+    a final metadata event so nothing in the trace is dropped.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": trace.name},
+        }
+    ]
+    for sp in trace.spans:
+        args = {k: v for k, v in sp.attrs.items() if k != "tid"}
+        events.append(
+            {
+                "name": sp.name,
+                "ph": "X",
+                "pid": pid,
+                "tid": int(sp.attrs.get("tid", 0)),
+                "ts": sp.t0 * _US,
+                "dur": sp.duration_s * _US,
+                "args": args,
+            }
+        )
+    if trace.counters or trace.histograms:
+        events.append(
+            {
+                "name": "run metrics",
+                "ph": "M",
+                "pid": pid,
+                "args": {
+                    "counters": {c.name: c.value for c in trace.counters.values()},
+                    "histograms": {
+                        h.name: h.as_dict() for h in trace.histograms.values()
+                    },
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(trace: RunTrace, path: str | Path) -> Path:
+    """Write ``{"traceEvents": [...]}`` JSON for chrome://tracing."""
+    path = Path(path)
+    path.write_text(json.dumps({"traceEvents": chrome_trace_events(trace)}, indent=1))
+    return path
+
+
+def format_profile(trace: RunTrace, *, wall_s: float | None = None) -> str:
+    """Render the stage table printed by ``python -m repro.bench --profile``.
+
+    Top-level spans become stages; ``merge.level`` children are expanded
+    one row per tree level. ``wall_s`` (seconds) sets the 100% reference —
+    defaults to the span extent of the trace.
+    """
+    roots = trace.roots()
+    if wall_s is None:
+        wall_s = max((s.t1 for s in trace.spans), default=0.0)
+    lines = [f"profile: {trace.name}"]
+    for key, value in trace.meta.items():
+        lines.append(f"  {key}: {value}")
+    lines.append(f"  wall time: {wall_s * 1e3:.2f} ms")
+    lines.append("")
+    lines.append(f"{'stage':<34}{'time (ms)':>12}{'% wall':>9}")
+    lines.append("-" * 55)
+
+    covered = 0.0
+    for sp in roots:
+        covered += sp.duration_s
+        lines.append(_row(sp.name, sp.duration_s, wall_s))
+        for child in trace.children(sp):
+            label = child.name
+            if "level" in child.attrs:
+                label = f"{child.name}[{child.attrs['level']}]"
+            lines.append(_row("  " + label, child.duration_s, wall_s))
+    lines.append("-" * 55)
+    lines.append(_row("stages total", covered, wall_s))
+    pct = 100.0 * covered / wall_s if wall_s > 0 else 0.0
+    lines.append(f"(stage spans cover {pct:.1f}% of measured wall time)")
+
+    if trace.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(trace.counters):
+            lines.append(f"  {name:<40}{trace.counters[name].value:>14,}")
+    if trace.histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / max):")
+        for name in sorted(trace.histograms):
+            h = trace.histograms[name]
+            lines.append(
+                f"  {name:<40}{h.count:>6}  {h.mean * 1e3:9.3f} ms"
+                f"  {(h.max if h.count else 0.0) * 1e3:9.3f} ms"
+            )
+    return "\n".join(lines)
+
+
+def _row(label: str, dur_s: float, wall_s: float) -> str:
+    pct = 100.0 * dur_s / wall_s if wall_s > 0 else 0.0
+    return f"{label:<34}{dur_s * 1e3:>12.3f}{pct:>8.1f}%"

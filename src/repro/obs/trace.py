@@ -1,0 +1,434 @@
+"""Span/metric primitives: the engine's unified observability core.
+
+The paper's whole argument is about *where time goes* — sequential merge
+dominating at scale (Figure 3), speculation success rates deciding
+re-execution cost (Figure 6). This module gives every execution backend one
+vocabulary for that accounting:
+
+* :func:`trace_span` — a context manager timing one pipeline stage
+  (``engine.local``, ``merge.level``, ``pool.dispatch`` …) with wall-clock
+  ``perf_counter`` timestamps and arbitrary attributes;
+* :class:`Counter` — a monotone event count (semi-join matches, re-executed
+  items);
+* :class:`Histogram` — a summary distribution (count/total/min/max) for
+  repeated measurements such as per-level merge times;
+* :class:`RunTrace` — the per-run container that owns all of the above and
+  serializes to JSON (:mod:`repro.obs.export` adds Chrome-trace emission).
+
+Observability is **off by default** and costs nearly nothing when off: with
+no active trace, :func:`trace_span` returns a pre-allocated no-op singleton
+(no allocation, no clock read) and :func:`add_count` / :func:`observe` are a
+module-global load and a branch. Hot loops therefore instrument at *stage*
+granularity (per run, per merge level, per feed), never per item; the
+tier-1 perf smoke test pins the disabled-mode cost.
+
+Enable tracing by activating a trace around any engine call::
+
+    from repro.obs import RunTrace
+
+    trace = RunTrace("huffman-run")
+    with trace.activate():
+        result = repro.run_speculative(dfa, bits, k=8)
+    print(trace.stage_breakdown())
+
+The active trace is ambient (module-global, like a logging root): nested
+library layers pick it up without parameter threading. One trace belongs to
+one run on one thread — worker *processes* cannot see it, which is why
+:mod:`repro.core.mp_executor` returns per-worker timings through its result
+tuples instead and folds them into the parent's trace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "RunTrace",
+    "Span",
+    "add_count",
+    "current_trace",
+    "observe",
+    "trace_span",
+]
+
+SCHEMA_VERSION = 1
+
+# The ambient trace. A module global (not a contextvar): one engine run owns
+# the process's Python thread, and a global read is the cheapest possible
+# disabled-path check.
+_current: "RunTrace | None" = None
+
+
+class _NullSpan:
+    """No-op span returned when tracing is disabled (a process-wide singleton).
+
+    Supports the same surface as :class:`Span` inside a ``with`` block so
+    instrumentation sites never branch on enablement themselves.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Ignore attributes (disabled mode)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class Span:
+    """One timed stage: ``[t0, t1]`` seconds on the trace's clock.
+
+    ``parent`` is the index of the enclosing span in ``RunTrace.spans``
+    (-1 for roots); ``attrs`` carries stage-specific facts (counts, level
+    numbers, byte sizes). ``t1 < 0`` marks a still-open span.
+    """
+
+    name: str
+    t0: float
+    t1: float = -1.0
+    parent: int = -1
+    index: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+    _trace: "RunTrace | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return max(0.0, self.t1 - self.t0) if self.t1 >= 0 else 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._trace is not None:
+            self._trace._close_span(self)
+        return False
+
+
+@dataclass
+class Counter:
+    """A monotone event counter (unit in the name, e.g. ``*.items``)."""
+
+    name: str
+    value: int = 0
+
+    def add(self, n: int = 1) -> None:
+        """Increment by ``n`` (must be >= 0)."""
+        self.value += n
+
+
+@dataclass
+class Histogram:
+    """Summary distribution of repeated observations (no per-sample storage).
+
+    Tracks ``count``/``total``/``min``/``max``; units are whatever the
+    caller observes (the metric catalog in docs/OBSERVABILITY.md names the
+    unit of every emitted histogram — seconds unless stated otherwise).
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready summary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class RunTrace:
+    """All spans, counters, and histograms of one engine run.
+
+    Parameters
+    ----------
+    name:
+        Run label (appears in exports; e.g. the application name).
+    meta:
+        Free-form run metadata recorded verbatim into exports (input size,
+        k, backend, …).
+
+    The trace clock is ``time.perf_counter`` re-based so the trace starts
+    at 0.0; all span timestamps and durations are **seconds**.
+    """
+
+    def __init__(self, name: str = "run", **meta: Any) -> None:
+        self.name = name
+        self.meta: dict[str, Any] = dict(meta)
+        self.spans: list[Span] = []
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._stack: list[int] = []
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+
+    def now(self) -> float:
+        """Seconds since this trace was created."""
+        return time.perf_counter() - self._epoch
+
+    def to_trace_time(self, perf_counter_ts: float) -> float:
+        """Convert a raw ``time.perf_counter()`` reading to trace time."""
+        return perf_counter_ts - self._epoch
+
+    # ------------------------------------------------------------------ #
+    # spans
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span; close it by exiting the ``with`` block."""
+        parent = self._stack[-1] if self._stack else -1
+        sp = Span(
+            name=name,
+            t0=self.now(),
+            parent=parent,
+            index=len(self.spans),
+            attrs=dict(attrs),
+            _trace=self,
+        )
+        self.spans.append(sp)
+        self._stack.append(sp.index)
+        return sp
+
+    def _close_span(self, sp: Span) -> None:
+        sp.t1 = self.now()
+        # Pop through any unclosed children (defensive; exceptions unwind
+        # outer spans before inner ones have exited cleanly).
+        while self._stack and self._stack[-1] != sp.index:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    def add_span(
+        self, name: str, t0: float, t1: float, *, parent: int = -1, **attrs: Any
+    ) -> Span:
+        """Record a pre-timed span with explicit timestamps (seconds).
+
+        Used by exporters of *modeled* time (:mod:`repro.gpu.trace`) and by
+        the pool parent folding worker-measured intervals into its trace.
+        """
+        sp = Span(
+            name=name,
+            t0=float(t0),
+            t1=float(t1),
+            parent=parent,
+            index=len(self.spans),
+            attrs=dict(attrs),
+            _trace=self,
+        )
+        self.spans.append(sp)
+        return sp
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the named counter."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the named counter by ``n``."""
+        self.counter(name).add(n)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the named histogram."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------ #
+    # activation
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def activate(self) -> Iterator["RunTrace"]:
+        """Install as the ambient trace for the enclosed block.
+
+        Re-entrant in the nesting sense: the previous ambient trace (if
+        any) is restored on exit.
+        """
+        global _current
+        prev = _current
+        _current = self
+        try:
+            yield self
+        finally:
+            _current = prev
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+
+    def roots(self) -> list[Span]:
+        """Top-level spans in start order."""
+        return [s for s in self.spans if s.parent == -1]
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span`` in start order."""
+        return [s for s in self.spans if s.parent == span.index]
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_s(self, name: str) -> float:
+        """Summed duration of every span with this name (seconds)."""
+        return sum(s.duration_s for s in self.spans if s.name == name)
+
+    def stage_breakdown(self) -> dict[str, float]:
+        """Seconds per top-level span name (summed over repeats)."""
+        out: dict[str, float] = {}
+        for s in self.roots():
+            out[s.name] = out.get(s.name, 0.0) + s.duration_s
+        return out
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (see docs/OBSERVABILITY.md)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "meta": self.meta,
+            "spans": [
+                {
+                    "name": s.name,
+                    "t0_s": s.t0,
+                    "t1_s": max(s.t1, s.t0),
+                    "parent": s.parent,
+                    "attrs": s.attrs,
+                }
+                for s in self.spans
+            ],
+            "counters": {c.name: c.value for c in self.counters.values()},
+            "histograms": {
+                h.name: h.as_dict() for h in self.histograms.values()
+            },
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, default=_jsonify)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunTrace":
+        """Rebuild a trace from :meth:`to_dict` output (round-trip safe)."""
+        trace = cls(data.get("name", "run"), **data.get("meta", {}))
+        for i, s in enumerate(data.get("spans", ())):
+            trace.add_span(
+                s["name"], s["t0_s"], s["t1_s"], parent=s.get("parent", -1),
+                **s.get("attrs", {}),
+            )
+            trace.spans[i].index = i
+        for name, value in data.get("counters", {}).items():
+            trace.counter(name).value = int(value)
+        for name, summ in data.get("histograms", {}).items():
+            h = trace.histogram(name)
+            h.count = int(summ["count"])
+            h.total = float(summ["total"])
+            if h.count:
+                h.min = float(summ["min"])
+                h.max = float(summ["max"])
+        return trace
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTrace":
+        """Rebuild a trace from a JSON string."""
+        return cls.from_dict(json.loads(text))
+
+
+def _jsonify(obj: Any) -> Any:
+    """Fallback encoder: numpy scalars and anything with item()/tolist()."""
+    for attr in ("item", "tolist"):
+        fn = getattr(obj, attr, None)
+        if callable(fn):
+            return fn()
+    return str(obj)
+
+
+# --------------------------------------------------------------------------- #
+# module-level instrumentation entry points (the engine calls only these)
+# --------------------------------------------------------------------------- #
+
+
+def current_trace() -> RunTrace | None:
+    """The ambient trace, or None when observability is disabled."""
+    return _current
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a span on the ambient trace; no-op singleton when disabled.
+
+    Disabled mode allocates nothing when called without attributes — the
+    identical ``_NullSpan`` object is returned every time.
+    """
+    t = _current
+    if t is None:
+        return _NULL_SPAN
+    return t.span(name, **attrs)
+
+
+def add_count(name: str, n: int = 1) -> None:
+    """Increment a counter on the ambient trace (no-op when disabled)."""
+    t = _current
+    if t is not None:
+        t.count(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the ambient trace (no-op when disabled)."""
+    t = _current
+    if t is not None:
+        t.observe(name, value)

@@ -80,3 +80,40 @@ class TestReport:
         assert report.startswith("# Reproduction report")
         assert report.count("## ") >= 18
         assert "fig7" in report and "table3" in report
+
+
+class TestProfileMode:
+    def test_run_profile_artifacts_and_coverage(self, tmp_path):
+        from repro.bench.profile import run_profile
+        from repro.obs.export import load_run_trace
+
+        text, wall_s, json_path, chrome_path = run_profile(
+            "div7", num_items=30_000, num_blocks=2, threads_per_block=64,
+            out_dir=tmp_path,
+        )
+        assert json_path.exists() and chrome_path.exists()
+        assert "engine.speculate" in text
+        assert "stages total" in text
+        # Acceptance criterion: stage spans cover >= 90% of measured wall.
+        line = next(ln for ln in text.splitlines() if "% of measured wall time" in ln)
+        pct = float(line.split("cover ")[1].split("%")[0])
+        assert pct >= 90.0
+        # The persisted RunTrace round-trips and carries the run metadata.
+        loaded = load_run_trace(json_path)
+        assert loaded.meta["app"] == "div7"
+        assert loaded.find("engine.merge")
+        # The Chrome trace is valid JSON with only non-negative X events.
+        import json as _json
+        events = _json.loads(chrome_path.read_text())["traceEvents"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0
+                   for e in events if e["ph"] == "X")
+
+    def test_cli_profile_flag(self, tmp_path, capsys):
+        from repro.bench.report import main
+
+        rc = main(["--profile", "div7", "--items", "20000",
+                   "--profile-out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine.speculate" in out
+        assert "wrote" in out

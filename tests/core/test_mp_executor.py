@@ -189,3 +189,57 @@ class TestBitIdentical:
                 res = run_multiprocess(dfa, inp, num_workers=workers, k=k,
                                        sub_chunks_per_worker=4)
                 assert res.final_state == want, (workers, k)
+
+
+class TestTimings:
+    def test_pool_run_timing_components_sum_to_total(self):
+        dfa = make_random_dfa(6, 2, seed=11)
+        inp = random_input(2, 20_000, seed=12)
+        with ScaleoutPool(dfa, num_workers=2, k=2,
+                          sub_chunks_per_worker=8) as pool:
+            res = pool.run(inp)
+        t = res.timing
+        assert t is not None
+        # The stage timestamps are contiguous, so the components tile the
+        # total exactly (up to float rounding).
+        assert t.stages_s == pytest.approx(t.total_s, rel=1e-6, abs=1e-9)
+        for v in (t.speculate_s, t.publish_s, t.dispatch_s,
+                  t.wait_s, t.merge_s):
+            assert v >= 0.0
+
+    def test_worker_timings_within_wall_time(self):
+        dfa = make_random_dfa(7, 2, seed=13)
+        inp = random_input(2, 40_000, seed=14)
+        with ScaleoutPool(dfa, num_workers=3, k=2,
+                          sub_chunks_per_worker=8) as pool:
+            res = pool.run(inp)
+        assert len(res.worker_timings) == 3
+        for wt in res.worker_timings:
+            # Each worker's internal phases sum to at most its own total...
+            assert wt.attach_s + wt.exec_s + wt.fold_s <= wt.total_s + 1e-6
+            # ...and no worker can run longer than the wait window the
+            # parent measured around the whole fan-out (generous tolerance:
+            # includes dispatch overlap and scheduler noise).
+            assert wt.total_s <= res.timing.dispatch_s + res.timing.wait_s + 0.25
+
+    def test_pool_run_emits_obs_spans(self):
+        from repro.obs.trace import RunTrace
+
+        dfa = make_random_dfa(5, 2, seed=15)
+        inp = random_input(2, 10_000, seed=16)
+        t = RunTrace("pool")
+        with ScaleoutPool(dfa, num_workers=2, k=2,
+                          sub_chunks_per_worker=8) as pool:
+            with t.activate():
+                pool.run(inp)
+        names = {s.name for s in t.spans}
+        assert {"pool.publish_input", "pool.speculate", "pool.dispatch",
+                "pool.wait", "pool.merge"} <= names
+        workers = t.find("pool.worker")
+        assert len(workers) == 2
+        wait = t.find("pool.wait")[0]
+        for w in workers:
+            # Worker spans are drawn inside the parent's dispatch+wait
+            # window (start-aligned to dispatch).
+            assert w.t1 <= wait.t1 + 0.25
+        assert t.counters["pool.shm.input_bytes"].value == inp.nbytes

@@ -177,3 +177,48 @@ class TestPoolBackend:
         dfa = make_random_dfa(4, 2, seed=0)
         with pytest.raises(ValueError):
             StreamingExecutor(dfa, backend="cuda")
+
+
+class TestLifetimeStats:
+    def test_lifetime_survives_reset(self):
+        dfa = make_random_dfa(6, 2, seed=20)
+        stream = random_input(2, 12_000, seed=21)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=64)
+        for block in np.array_split(stream, 3):
+            ex.feed(block)
+        session_items = ex.stats.num_items
+        assert session_items == 12_000
+        ex.reset()
+        # Session counters clear, lifetime counters do not.
+        assert ex.stats.num_items == 0
+        assert ex.lifetime_stats.num_items == session_items
+        assert ex.lifetime_items_consumed == 12_000
+        assert ex.lifetime_blocks_consumed == 3
+
+    def test_lifetime_accumulates_across_sessions(self):
+        dfa = make_random_dfa(5, 2, seed=22)
+        a = random_input(2, 4_000, seed=23)
+        b = random_input(2, 6_000, seed=24)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=64)
+        ex.feed(a)
+        ex.reset()
+        ex.feed(b)
+        # Mid-session: lifetime = folded past sessions + live session.
+        assert ex.lifetime_items_consumed == 10_000
+        assert ex.lifetime_stats.num_items == 10_000
+        assert ex.lifetime_blocks_consumed == 2
+        assert ex.stats.num_items == 6_000
+
+    def test_last_feed_stats_per_block(self):
+        dfa = make_random_dfa(6, 2, seed=25)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=64)
+        assert ex.last_feed_stats is None
+        ex.feed(random_input(2, 3_000, seed=26))
+        first = ex.last_feed_stats
+        assert first is not None
+        assert first.num_items == 3_000
+        ex.feed(random_input(2, 5_000, seed=27))
+        second = ex.last_feed_stats
+        assert second.num_items == 5_000
+        # Session stats keep the running total; last_feed is per-block.
+        assert ex.stats.num_items == 8_000

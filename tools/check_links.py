@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Offline link checker for the repo's markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` (plus any paths given on the command
+line) for markdown links and inline code references to repo files, and
+verifies that every relative target exists. External ``http(s)``/``mailto``
+links are reported but not fetched — CI must stay offline-deterministic.
+
+Usage::
+
+    python tools/check_links.py            # default file set
+    python tools/check_links.py docs/*.md  # explicit files
+
+Exit status is non-zero if any relative link target is missing. No
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excludes images' leading "!" only for counting purposes;
+# image targets are checked the same way.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `docs/FOO.md` / `src/repro/...py` style inline-code file references.
+CODE_REF = re.compile(
+    r"`((?:docs|src|tests|tools|examples|benchmarks)/[A-Za-z0-9_./-]+"
+    r"\.(?:md|py|json|yml|toml))(?::[A-Za-z0-9_.]+)?`"
+)
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def default_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def iter_targets(path: Path):
+    """Yield (line_number, raw_target) for every link-ish reference."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for m in MD_LINK.finditer(line):
+            yield lineno, m.group(1)
+        for m in CODE_REF.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path) -> tuple[int, list[str]]:
+    """Return (links_seen, error_messages) for one markdown file."""
+    errors: list[str] = []
+    seen = 0
+    for lineno, target in iter_targets(path):
+        seen += 1
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue  # external / intra-page anchor: not checked offline
+        plain = target.split("#", 1)[0]  # drop section anchors
+        if not plain:
+            continue
+        base = path.parent if not plain.startswith("/") else REPO
+        candidate = (base / plain.lstrip("/")).resolve()
+        in_repo_fallback = (REPO / plain.lstrip("/")).resolve()
+        if not candidate.exists() and not in_repo_fallback.exists():
+            try:
+                shown = path.relative_to(REPO)
+            except ValueError:
+                shown = path
+            errors.append(f"{shown}:{lineno}: broken link -> {target}")
+    return seen, errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    total_links = 0
+    all_errors: list[str] = []
+    for f in files:
+        seen, errors = check_file(f)
+        total_links += seen
+        all_errors += errors
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    print(
+        f"checked {len(files)} files, {total_links} links, "
+        f"{len(all_errors)} broken"
+    )
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
