@@ -1,0 +1,194 @@
+"""Compare stepping kernels per application and write ``BENCH_kernels.json``.
+
+For every paper application this script measures the steady-state local
+processing time of each registered stepping kernel (lockstep through the
+incumbent :func:`repro.core.local.process_chunks`; stride kernels through
+the composed-table path in :mod:`repro.core.kernels`) and reports the
+measured speedup over lockstep, the autotuner's choice, table build costs,
+and table footprints.
+
+Run standalone (it is an argparse script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --items 400000
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick --check
+
+``--check`` exits non-zero if the autotuner selected a kernel more than
+10% slower than lockstep on any app — the CI guard against a cost model
+or measurement regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.apps.registry import APPLICATIONS, get_application
+from repro.core.autotune import choose_kernel
+from repro.core.kernels import (
+    DEFAULT_TABLE_BUDGET_BYTES,
+    KERNELS,
+    stride_table_bytes,
+)
+from repro.fsm.alphabet import compact_alphabet
+
+CHECK_SLACK = 1.10  # selected kernel may be at most 10% slower than lockstep
+
+
+def bench_app(
+    name: str,
+    *,
+    num_items: int,
+    num_chunks: int,
+    k: int | None,
+    repeats: int,
+    include_scalar: bool,
+    seed: int = 1,
+) -> dict:
+    """Measure every kernel on one application; return a JSON-ready row."""
+    app = get_application(name)
+    dfa, inputs = app.build_instance(num_items, seed=seed)
+    comp = compact_alphabet(dfa.table)
+    k_eff = app.best_k if k is None else k
+    if k_eff is None:
+        k_eff = dfa.num_states
+    candidates = ["lockstep", "stride2", "stride4"]
+    if include_scalar:
+        candidates.append("scalar")
+    choice = choose_kernel(
+        dfa,
+        inputs,
+        num_chunks=num_chunks,
+        k=k_eff,
+        lookback=app.default_lookback,
+        probe_items=inputs.size,
+        repeats=repeats,
+        candidates=tuple(candidates),
+    )
+    base = choice.measured_s.get("lockstep")
+    row = {
+        "application": name,
+        "num_items": int(inputs.size),
+        "num_states": dfa.num_states,
+        "num_inputs": dfa.num_inputs,
+        "num_classes": comp.num_classes,
+        "compression": round(comp.compression, 2),
+        "num_chunks": num_chunks,
+        "k": k_eff,
+        "selected": choice.kernel,
+        "kernels": {},
+    }
+    for kname, t in sorted(choice.measured_s.items()):
+        entry = {
+            "measured_s": t,
+            "throughput_items_per_s": inputs.size / t if t else None,
+            "speedup_vs_lockstep": (base / t) if base and t else None,
+            "modeled_s": choice.modeled_s.get(kname),
+        }
+        if kname in choice.build_s:
+            entry["table_build_s"] = choice.build_s[kname]
+        m = KERNELS[kname].stride
+        if m > 1:
+            entry["table_bytes"] = stride_table_bytes(
+                comp.num_classes, dfa.num_states, m
+            )
+        row["kernels"][kname] = entry
+    return row
+
+
+def check_rows(rows: list[dict]) -> list[str]:
+    """Return violations of the selection guarantee (empty = all good)."""
+    problems = []
+    for row in rows:
+        kernels = row["kernels"]
+        base = kernels.get("lockstep", {}).get("measured_s")
+        sel = kernels.get(row["selected"], {}).get("measured_s")
+        if base is None or sel is None:
+            continue
+        if sel > base * CHECK_SLACK:
+            problems.append(
+                f"{row['application']}: selected {row['selected']} "
+                f"({sel * 1e3:.2f} ms) is {sel / base:.2f}x lockstep "
+                f"({base * 1e3:.2f} ms), above the {CHECK_SLACK:.2f}x bound"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--apps", nargs="*", default=sorted(APPLICATIONS),
+        choices=sorted(APPLICATIONS), help="applications to bench (default all)",
+    )
+    ap.add_argument("--items", type=int, default=400_000, help="input symbols")
+    ap.add_argument("--chunks", type=int, default=2048, help="chunk count")
+    ap.add_argument(
+        "--k", type=int, default=None,
+        help="speculation width (default: each app's paper-best k)",
+    )
+    ap.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small CI-sized run (64k items, 256 chunks, 2 repeats)",
+    )
+    ap.add_argument(
+        "--scalar", action="store_true",
+        help="also measure the scalar kernel (slow on large inputs)",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any selected kernel is >10%% slower than lockstep",
+    )
+    ap.add_argument("--out", default="BENCH_kernels.json", help="output path")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.items = min(args.items, 64_000)
+        args.chunks = min(args.chunks, 256)
+        args.repeats = min(args.repeats, 2)
+
+    rows = []
+    for name in args.apps:
+        t0 = time.perf_counter()
+        row = bench_app(
+            name,
+            num_items=args.items,
+            num_chunks=args.chunks,
+            k=args.k,
+            repeats=args.repeats,
+            include_scalar=args.scalar,
+        )
+        row["bench_wall_s"] = round(time.perf_counter() - t0, 3)
+        rows.append(row)
+        s4 = row["kernels"].get("stride4", {}).get("speedup_vs_lockstep")
+        print(
+            f"{name:8s} C={row['num_classes']:<4d} selected={row['selected']:9s}"
+            f" stride4 speedup={s4:.2f}x" if s4 else
+            f"{name:8s} C={row['num_classes']:<4d} selected={row['selected']}"
+        )
+
+    report = {
+        "benchmark": "kernels",
+        "items": args.items,
+        "chunks": args.chunks,
+        "table_budget_bytes": DEFAULT_TABLE_BUDGET_BYTES,
+        "check_slack": CHECK_SLACK,
+        "rows": rows,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.out}")
+
+    if args.check:
+        problems = check_rows(rows)
+        for p in problems:
+            print(f"CHECK FAILED: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check passed: every selected kernel within 10% of lockstep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

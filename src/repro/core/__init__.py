@@ -7,7 +7,9 @@ Pipeline (one call to :func:`repro.core.engine.run_speculative`):
 2. speculate ``k`` starting states per chunk by look-back
    (:mod:`repro.core.lookback`);
 3. process all chunks in lock-step, vectorized across threads and
-   speculated states (:mod:`repro.core.local`);
+   speculated states (:mod:`repro.core.local`), or — when the kernel layer
+   (:mod:`repro.core.kernels`) selects a stride kernel — ``m`` symbols per
+   gather over alphabet-compacted, precomposed tables;
 4. merge the per-chunk ``speculated -> ending`` maps — sequentially
    (:mod:`repro.core.merge_seq`, the baseline whose cost grows linearly in
    thread count) or with the paper's hierarchical parallel merge
@@ -19,8 +21,17 @@ Every step increments :class:`repro.core.types.ExecStats` counters that the
 GPU cost model (:mod:`repro.gpu.cost`) prices into modeled V100 time.
 """
 
-from repro.core.autotune import KChoice, choose_k
+from repro.core.autotune import KChoice, KernelChoice, choose_k, choose_kernel
 from repro.core.engine import EngineConfig, SpecExecutionResult, run_speculative
+from repro.core.kernels import (
+    KERNELS,
+    KernelPlan,
+    KernelSpec,
+    StrideTables,
+    build_stride_tables,
+    plan_kernel,
+    select_kernel,
+)
 from repro.core.mp_executor import (
     MultiprocessResult,
     PoolRunTiming,
@@ -36,14 +47,23 @@ __all__ = [
     "EngineConfig",
     "ExecStats",
     "KChoice",
+    "KERNELS",
+    "KernelChoice",
+    "KernelPlan",
+    "KernelSpec",
     "MultiprocessResult",
     "PoolRunTiming",
     "ScaleoutPool",
     "SegmentMaps",
     "SpecExecutionResult",
     "StreamingExecutor",
+    "StrideTables",
     "WorkerTiming",
+    "build_stride_tables",
     "choose_k",
+    "choose_kernel",
+    "plan_kernel",
     "run_multiprocess",
     "run_speculative",
+    "select_kernel",
 ]

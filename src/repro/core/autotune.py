@@ -1,4 +1,4 @@
-"""Cost-model-driven selection of the speculation width k.
+"""Cost-model-driven selection of the speculation width k and the kernel.
 
 The paper's stated future work: "we will develop a cost model, which
 considers the properties of the FSMs, the architecture of GPUs and
@@ -15,10 +15,18 @@ Because success rates depend on the FSM and the look-back (not on input
 length), the probe's rates transfer to the full input, which is what makes
 the probe sound. Property tests check that the tuner's choice is never
 more than a small factor worse than exhaustively measuring every k.
+
+:func:`choose_kernel` applies the same probe-then-pick discipline to the
+stepping-kernel axis (:mod:`repro.core.kernels`): the static
+:func:`repro.core.kernels.select_kernel` cost model is cheap but
+machine-agnostic, so the tuner *measures* each eligible kernel on a probe
+slice of the real input and picks the fastest — table build time is
+reported separately because it amortizes across runs.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,7 +36,13 @@ from repro.fsm.dfa import DFA
 from repro.gpu.cost import CostModel
 from repro.gpu.device import DeviceSpec, TESLA_V100
 
-__all__ = ["KChoice", "choose_k", "candidate_ks"]
+__all__ = [
+    "KChoice",
+    "KernelChoice",
+    "choose_k",
+    "choose_kernel",
+    "candidate_ks",
+]
 
 
 @dataclass(frozen=True)
@@ -123,3 +137,141 @@ def choose_k(
         if timing.speedup > best[1]:
             best = (k, timing.speedup)
     return KChoice(k=best[0], modeled_speedup=best[1], per_k=per_k)
+
+
+@dataclass(frozen=True)
+class KernelChoice:
+    """Outcome of the stepping-kernel auto-tuner.
+
+    ``measured_s`` maps each candidate kernel to its best measured
+    execution time on the probe (table build excluded — it is one-time and
+    amortizes); ``build_s`` maps stride kernels to their table build cost.
+    ``modeled_s`` carries the static cost model's predictions for the same
+    candidates so benchmarks can report model-vs-measurement drift.
+    """
+
+    kernel: str
+    measured_s: dict
+    build_s: dict
+    modeled_s: dict
+    probe_items: int
+
+    @property
+    def speedup_vs_lockstep(self) -> float:
+        """Measured probe speedup of the chosen kernel over lockstep."""
+        base = self.measured_s.get("lockstep")
+        if not base:
+            return 1.0
+        return base / self.measured_s[self.kernel]
+
+
+def choose_kernel(
+    dfa: DFA,
+    inputs: np.ndarray,
+    *,
+    num_chunks: int = 4096,
+    k: int = 4,
+    lookback: int = 8,
+    probe_items: int = 1 << 16,
+    repeats: int = 3,
+    candidates: tuple[str, ...] = ("lockstep", "stride2", "stride4"),
+    table_budget_bytes: int | None = None,
+) -> KernelChoice:
+    """Measure every eligible kernel on a probe and pick the fastest.
+
+    Each candidate executes the same speculated chunk plan over a prefix
+    of ``inputs``; the reported time is the best of ``repeats`` runs of
+    the steady-state stepping loop only (compaction, packing, and stride
+    tables are built outside the timed region — they are either one-time
+    or already amortized by the caller's layout transform). The lockstep
+    candidate is timed through the incumbent
+    :func:`repro.core.local.process_chunks` so the comparison is against
+    the real production path, not a reimplementation.
+
+    Kernel throughput is input-distribution-dependent only through memory
+    effects (gather locality), so a prefix probe transfers to the full
+    input the same way the k-tuner's success rates do.
+    """
+    from repro.core.kernels import (
+        DEFAULT_TABLE_BUDGET_BYTES,
+        KERNELS,
+        _predict_costs,
+        advance_matrix,
+        pack_stride,
+        plan_kernel,
+    )
+    from repro.core.local import process_chunks
+    from repro.core.lookback import speculate
+    from repro.workloads.chunking import plan_chunks, transform_layout
+
+    if table_budget_bytes is None:
+        table_budget_bytes = DEFAULT_TABLE_BUDGET_BYTES
+    inputs = np.asarray(inputs)
+    if inputs.size == 0:
+        raise ValueError("cannot tune the kernel on an empty input")
+    probe = np.ascontiguousarray(inputs[: min(probe_items, inputs.size)])
+    plan = plan_chunks(probe.size, num_chunks)
+    k_eff = min(int(k), dfa.num_states)
+    spec = (
+        speculate(dfa, probe, plan, k_eff, lookback=lookback)
+        if k_eff < dfa.num_states
+        else np.tile(np.arange(dfa.num_states, dtype=np.int32), (num_chunks, 1))
+    )
+    transformed = transform_layout(probe, plan)
+
+    measured: dict = {}
+    build: dict = {}
+    for name in candidates:
+        if name not in KERNELS:
+            raise ValueError(f"unknown kernel candidate {name!r}")
+        if name == "lockstep":
+            def runner():
+                return process_chunks(dfa, probe, plan, spec, transformed=transformed)
+        elif name == "scalar":
+            kplan = plan_kernel(
+                dfa, chunk_len=plan.max_len, num_chunks=num_chunks, k=k_eff,
+                kernel="scalar", table_budget_bytes=table_budget_bytes,
+            )
+            build[name] = kplan.build_s
+
+            def runner(kp=kplan):
+                from repro.core.kernels import process_chunks_kernel
+
+                return process_chunks_kernel(dfa, probe, plan, spec, kp)
+        else:
+            m = KERNELS[name].stride
+            try:
+                kplan = plan_kernel(
+                    dfa, chunk_len=plan.max_len, num_chunks=num_chunks,
+                    k=k_eff, kernel=name, table_budget_bytes=table_budget_bytes,
+                )
+            except ValueError:
+                continue  # stride table over budget: ineligible
+            build[name] = kplan.build_s
+            cls = kplan.compaction.remap(probe)
+            packed = pack_stride(cls, plan, m, kplan.compaction.num_classes)
+
+            def runner(kp=kplan, pk=packed):
+                return advance_matrix(kp, pk, spec)
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            runner()
+            best = min(best, time.perf_counter() - t0)
+        measured[name] = best
+
+    from repro.fsm.alphabet import compact_alphabet
+
+    comp = compact_alphabet(dfa.table)
+    modeled = _predict_costs(
+        comp.num_classes, dfa.num_states, plan.max_len, num_chunks, k_eff,
+        table_budget_bytes=table_budget_bytes,
+    )
+    chosen = min(measured, key=measured.get)  # type: ignore[arg-type]
+    return KernelChoice(
+        kernel=chosen,
+        measured_s=measured,
+        build_s=build,
+        modeled_s={n: modeled[n] for n in measured if n in modeled},
+        probe_items=int(probe.size),
+    )

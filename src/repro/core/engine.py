@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.hotstates import HotStateCache, plan_hot_states
+from repro.core.kernels import KERNELS, plan_kernel, process_chunks_kernel
 from repro.core.local import process_chunks, recover_accepts, recover_emissions
 from repro.core.lookback import enumerative_spec, speculate
 from repro.core.merge_par import MergeTree, merge_parallel
@@ -62,6 +63,10 @@ class EngineConfig:
         Whether the hot-state shared-memory cache was enabled.
     device:
         The modeled GPU (pricing and launch-geometry limits).
+    kernel:
+        The stepping kernel local processing actually ran
+        (``"lockstep"``, ``"stride2"``, ``"stride4"``, or ``"scalar"`` —
+        the resolved choice when ``"auto"`` was requested).
     """
 
     k: int
@@ -75,6 +80,7 @@ class EngineConfig:
     lookback: int
     cache_table: bool
     device: DeviceSpec
+    kernel: str = "lockstep"
 
     @property
     def num_threads(self) -> int:
@@ -165,6 +171,7 @@ def run_speculative(
     cpu_transition_ns: float | None = None,
     keep_merge_tree: bool = False,
     backend: str = "vectorized",
+    kernel: str = "lockstep",
     trace: RunTrace | None = None,
 ) -> SpecExecutionResult:
     """Execute ``dfa`` over ``inputs`` with spec-k speculation.
@@ -209,6 +216,16 @@ def run_speculative(
         :mod:`repro.core.codegen.pykernel` — the paper's code-generation
         path). Functionally identical; codegen does not support
         ``cache_table`` or ``accept_count``.
+    kernel:
+        Local-processing stepping kernel: ``"lockstep"`` (default — the
+        paper's one-symbol-per-gather Algorithm 3, which is what the
+        modeled GPU simulates), ``"stride2"``/``"stride4"`` (multi-symbol
+        stepping over composed tables, :mod:`repro.core.kernels`),
+        ``"scalar"``, or ``"auto"`` (cost-model selection). Every kernel
+        is functionally identical and fills the same algorithmic event
+        counters; stride kernels change real wall clock, not modeled
+        time. ``cache_table`` and ``accept_count`` need per-symbol
+        stepping and force ``lockstep`` under ``"auto"``.
     trace:
         A :class:`repro.obs.RunTrace` to record per-stage wall-clock spans
         and speculation metrics into. When omitted, the ambient trace (if
@@ -230,13 +247,14 @@ def run_speculative(
                 cache_table=cache_table, cache_budget_bytes=cache_budget_bytes,
                 device=device, ranking=ranking, measure_success=measure_success,
                 collect=collect, price=price, cpu_transition_ns=cpu_transition_ns,
-                keep_merge_tree=keep_merge_tree, backend=backend,
+                keep_merge_tree=keep_merge_tree, backend=backend, kernel=kernel,
             )
     check_in_set("merge", merge, ("sequential", "parallel"))
     check_in_set("check", check, ("auto", "nested", "hash"))
     check_in_set("reexec", reexec, ("delayed", "eager"))
     check_in_set("layout", layout, ("transformed", "natural"))
     check_in_set("backend", backend, ("vectorized", "codegen"))
+    check_in_set("kernel", kernel, ("auto",) + tuple(sorted(KERNELS)))
     for item in collect:
         check_in_set("collect item", item, ("accept_count", "match_positions", "emissions"))
 
@@ -251,6 +269,33 @@ def run_speculative(
     if k_eff < 1:
         raise ValueError(f"k must be >= 1, got {k}")
 
+    plan = plan_chunks(inputs.size, n)
+
+    # --- kernel resolution ------------------------------------------------ #
+    # Per-symbol features (hot-state cache accounting, accepting-visit
+    # counts) are incompatible with multi-symbol stepping; "auto" quietly
+    # keeps lockstep there, an explicit stride request is an error.
+    needs_per_symbol = cache_table or ("accept_count" in collect)
+    kplan = None
+    kernel_resolved = "lockstep"
+    if kernel not in ("lockstep",):
+        if backend == "codegen" or needs_per_symbol:
+            if kernel != "auto":
+                raise ValueError(
+                    f"kernel={kernel!r} requires per-symbol-free local "
+                    "processing; cache_table, accept_count, and "
+                    "backend='codegen' support only kernel='lockstep'"
+                )
+        else:
+            kplan = plan_kernel(
+                dfa, chunk_len=plan.max_len, num_chunks=n, k=k_eff,
+                kernel=kernel,
+            )
+            if kplan.kernel == "lockstep":
+                kplan = None  # incumbent path is the tuned lockstep kernel
+            else:
+                kernel_resolved = kplan.kernel
+
     config = EngineConfig(
         k=k_eff,
         enumerative=enumerative,
@@ -263,6 +308,7 @@ def run_speculative(
         lookback=lookback,
         cache_table=cache_table,
         device=device,
+        kernel=kernel_resolved,
     )
     stats = ExecStats(
         num_items=int(inputs.size),
@@ -271,8 +317,6 @@ def run_speculative(
         num_states=dfa.num_states,
         num_inputs=dfa.num_inputs,
     )
-
-    plan = plan_chunks(inputs.size, n)
 
     # --- speculation ------------------------------------------------------ #
     with trace_span("engine.speculate", chunks=n, k=k_eff, lookback=lookback):
@@ -317,7 +361,10 @@ def run_speculative(
         transformed = (
             transform_layout(inputs, plan) if layout == "transformed" else None
         )
-    with trace_span("engine.local_exec", backend=backend, chunks=n, k=k_eff):
+    with trace_span(
+        "engine.local_exec", backend=backend, chunks=n, k=k_eff,
+        kernel=kernel_resolved,
+    ):
         if backend == "codegen":
             if cache_mask is not None or "accept_count" in collect:
                 raise ValueError(
@@ -340,6 +387,12 @@ def run_speculative(
             stats.local_steps += plan.max_len
             stats.local_transitions += int(plan.lengths.sum()) * k_eff
             stats.local_input_reads += int(plan.lengths.sum())
+        elif kplan is not None:
+            end = process_chunks_kernel(
+                dfa, inputs, plan, spec, kplan,
+                transformed=transformed, stats=stats,
+            )
+            acc = None
         else:
             end, acc = process_chunks(
                 dfa,

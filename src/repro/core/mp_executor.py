@@ -26,8 +26,12 @@ the state prior, and the input buffer live in ``multiprocessing.shared_memory``
 segments created once per pool (the input buffer grows geometrically when a
 larger input arrives), and the worker processes stay alive across ``run``
 calls — a dispatch pickles only segment names and a ``k``-entry boundary
-row, not the table or the input. :func:`run_multiprocess` keeps the
-one-shot API by wrapping a temporary pool.
+row, not the table or the input. The pool also resolves a stepping kernel
+(:mod:`repro.core.kernels`) at construction and publishes the compacted
+class map plus any composed stride table to shared memory, so workers step
+the input ``m`` symbols per gather with zero per-dispatch table rebuild.
+:func:`run_multiprocess` keeps the one-shot API by wrapping a temporary
+pool.
 """
 
 from __future__ import annotations
@@ -40,12 +44,21 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.core.kernels import (
+    DEFAULT_TABLE_BUDGET_BYTES,
+    KERNELS,
+    KernelPlan,
+    StrideTables,
+    plan_kernel,
+    process_chunks_kernel,
+    run_segment_kernel,
+)
 from repro.core.local import process_chunks
 from repro.core.lookback import speculate, state_prior
 from repro.core.merge_par import compose_maps, merge_parallel
 from repro.core.types import ChunkResults, ExecStats
+from repro.fsm.alphabet import AlphabetCompaction
 from repro.fsm.dfa import DFA
-from repro.fsm.run import run_segment
 from repro.obs.trace import current_trace, trace_span
 from repro.workloads.chunking import plan_chunks
 
@@ -221,15 +234,47 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
         sub_chunks,
         lookback,
         boundary_row,
+        kernel_name,
+        num_classes,
+        stride_m,
+        class_of_name,
+        class_table_name,
+        stride_name,
     ) = task
     t_task = time.perf_counter()
     _tracker_inherited()  # snapshot before the first attach registers anything
-    _evict_stale(frozenset((table_name, acc_name, prior_name, input_name)))
+    keep = {table_name, acc_name, prior_name, input_name,
+            class_of_name, class_table_name}
+    if stride_name is not None:
+        keep.add(stride_name)
+    _evict_stale(frozenset(keep))
     attached_before = len(_ATTACHED)
     table = _attached_array(table_name, (num_inputs, num_states), np.int32)
     accepting = _attached_array(acc_name, (num_states,), np.bool_)
     prior = _attached_array(prior_name, (num_states,), np.float64)
     inputs = _attached_array(input_name, (input_len,), np.dtype(input_dtype))
+    class_of = _attached_array(class_of_name, (num_inputs,), np.int32)
+    class_table = _attached_array(
+        class_table_name, (num_classes, num_states), np.int32
+    )
+    tables = None
+    if stride_name is not None:
+        table_m = _attached_array(
+            stride_name, (num_classes ** stride_m, num_states), np.int32
+        )
+        tables = StrideTables(m=stride_m, table_m=table_m, build_s=0.0)
+    # The kernel plan is rebuilt as *views* on the pool's shared segments:
+    # the parent paid compaction and table composition once at publish
+    # time, workers pay one attach.
+    kplan = KernelPlan(
+        kernel=kernel_name,
+        compaction=AlphabetCompaction(
+            class_of=class_of, table=class_table, num_symbols=num_inputs
+        ),
+        tables=tables,
+        build_s=0.0,
+        predicted_cost_s={},
+    )
     segment = inputs[lo:hi]
     new_attaches = len(_ATTACHED) - attached_before
     t_attach = time.perf_counter()
@@ -244,7 +289,10 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
         # the parent can see (they depend on the left neighbour's tail); use
         # the boundary row it shipped.
         spec[0] = boundary_row
-    end, _ = process_chunks(dfa, segment, plan, spec)
+    if kernel_name == "lockstep":
+        end, _ = process_chunks(dfa, segment, plan, spec)
+    else:
+        end = process_chunks_kernel(dfa, segment, plan, spec, kplan)
     t_exec = time.perf_counter()
 
     # Fold chunk maps into one segment map over chunk 0's speculation row:
@@ -260,9 +308,11 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
         )
         misses = np.flatnonzero(~found[0])
         if misses.size:
+            # Kernel-dispatched re-execution: class-mapped, stride-packed
+            # scalar stepping — ceil(L/m) lookups instead of L per miss.
             sub = segment[plan.chunk_slice(c)]
             for j in misses:
-                nxt[0, j] = run_segment(dfa, sub, int(cur_end[0, j]))
+                nxt[0, j] = run_segment_kernel(kplan, sub, int(cur_end[0, j]))
             reexec_chunks += 1
             reexec_items += int(sub.size) * int(misses.size)
         cur_end = nxt
@@ -310,6 +360,16 @@ class ScaleoutPool:
         Lock-step chunks inside each worker (its internal parallelism).
     lookback:
         Look-back window for boundary and worker-internal speculation.
+    kernel:
+        Stepping kernel for worker-side local processing
+        (:mod:`repro.core.kernels`): ``"auto"`` (default, cost-model
+        choice), ``"lockstep"``, ``"stride2"``, or ``"stride4"``. The
+        compacted class map and any stride table are built **once at
+        construction** and published to shared memory alongside the raw
+        table, so workers pay zero rebuild cost per dispatch.
+    table_budget_bytes:
+        Memory cap for the composed stride table (``"auto"`` never picks
+        a kernel whose table exceeds it).
     """
 
     def __init__(
@@ -320,11 +380,17 @@ class ScaleoutPool:
         k: int | None = None,
         sub_chunks_per_worker: int = 64,
         lookback: int = 8,
+        kernel: str = "auto",
+        table_budget_bytes: int = DEFAULT_TABLE_BUDGET_BYTES,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if k is not None and k < 1:
             raise ValueError(f"k must be >= 1 or None, got {k}")
+        if kernel != "auto" and kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; available: {sorted(KERNELS)} or 'auto'"
+            )
         self.dfa = dfa
         self.num_workers = int(num_workers)
         self.k = None if (k is None or k >= dfa.num_states) else int(k)
@@ -335,11 +401,36 @@ class ScaleoutPool:
         self._closed = False
         self._input_dtype = np.dtype(np.int32)
 
-        # Segments that outlive every call: table, accepting mask, prior.
+        # Resolve the stepping kernel once, for the pool's whole life. The
+        # chunk length is unknown until inputs arrive, so selection assumes
+        # pool-scale segments (the pool exists for large inputs) and
+        # amortizes the one-time table build over the expected call volume.
+        if kernel == "scalar":
+            kernel = "lockstep"  # vectorized workers; scalar is re-exec only
+        self._kplan = plan_kernel(
+            dfa,
+            chunk_len=1 << 14,
+            num_chunks=self.num_workers * self.sub_chunks_per_worker,
+            k=self.k_eff,
+            kernel=kernel,
+            table_budget_bytes=table_budget_bytes,
+            amortize_builds=16,
+        )
+        self.kernel = self._kplan.kernel
+
+        # Segments that outlive every call: table, accepting mask, prior,
+        # and the kernel layer's class map / class table / stride table.
         self._prior = state_prior(dfa)
         self._table_shm = self._publish(dfa.table)
         self._acc_shm = self._publish(dfa.accepting)
         self._prior_shm = self._publish(self._prior)
+        self._class_of_shm = self._publish(self._kplan.compaction.class_of)
+        self._class_table_shm = self._publish(self._kplan.compaction.table)
+        self._stride_shm = (
+            self._publish(self._kplan.tables.table_m)
+            if self._kplan.tables is not None
+            else None
+        )
         self._input_shm: shared_memory.SharedMemory | None = None
         self._input_capacity = 0
         self._exec = ProcessPoolExecutor(max_workers=self.num_workers)
@@ -372,6 +463,9 @@ class ScaleoutPool:
     def shm_bytes(self) -> int:
         """Bytes currently held in shared-memory segments."""
         total = self._table_shm.size + self._acc_shm.size + self._prior_shm.size
+        total += self._class_of_shm.size + self._class_table_shm.size
+        if self._stride_shm is not None:
+            total += self._stride_shm.size
         if self._input_shm is not None:
             total += self._input_shm.size
         return total
@@ -414,7 +508,10 @@ class ScaleoutPool:
         if n == 0:
             return MultiprocessResult(start, w, 0, stats)
         if w == 1:
-            final = run_segment(dfa, inputs, start)
+            # Single-worker degenerate case: no dispatch, run in-process —
+            # through the kernel layer, so even this path gets stride
+            # stepping from the tables built at construction.
+            final = run_segment_kernel(self._kplan, inputs, start)
             stats.pool_shm_bytes = self.shm_bytes
             return MultiprocessResult(final, 1, 0, stats)
 
@@ -470,6 +567,12 @@ class ScaleoutPool:
                     self.sub_chunks_per_worker,
                     self.lookback,
                     None if boundary is None else boundary[i],
+                    self.kernel,
+                    self._kplan.compaction.num_classes,
+                    self._kplan.m,
+                    self._class_of_shm.name,
+                    self._class_table_shm.name,
+                    None if self._stride_shm is None else self._stride_shm.name,
                 )
                 for i in range(w)
             ]
@@ -551,7 +654,11 @@ class ScaleoutPool:
             return
         self._closed = True
         self._exec.shutdown(wait=True)
-        for shm in (self._table_shm, self._acc_shm, self._prior_shm, self._input_shm):
+        for shm in (
+            self._table_shm, self._acc_shm, self._prior_shm,
+            self._class_of_shm, self._class_table_shm, self._stride_shm,
+            self._input_shm,
+        ):
             if shm is None:
                 continue
             try:
@@ -581,6 +688,7 @@ def run_multiprocess(
     k: int | None = None,
     sub_chunks_per_worker: int = 64,
     lookback: int = 8,
+    kernel: str = "auto",
     pool: ScaleoutPool | None = None,
 ) -> MultiprocessResult:
     """Compute the final state using a pool of worker processes.
@@ -601,5 +709,6 @@ def run_multiprocess(
         k=k,
         sub_chunks_per_worker=sub_chunks_per_worker,
         lookback=lookback,
+        kernel=kernel,
     ) as temp:
         return temp.run(inputs)

@@ -89,12 +89,19 @@ def run_prefix_scan(
     num_chunks: int = 4096,
     layout: str = "transformed",
     stats: ExecStats | None = None,
+    kernel: str = "auto",
 ) -> PrefixScanResult:
     """Execute ``dfa`` over ``inputs`` by parallel function composition.
 
     Exact for every input and machine; never re-executes. Work is
     ``num_items * num_states`` transitions plus ``log2(num_chunks)``
     composition gathers of ``num_states`` entries per chunk pair.
+
+    ``kernel`` selects the local stepping kernel (``"auto"`` by default —
+    the prefix scan is a real-wall-clock baseline, so it takes multi-symbol
+    stepping whenever the cost model approves; pass ``"lockstep"`` for the
+    one-symbol-per-gather original). Results and event counters are
+    kernel-independent.
     """
     inputs = np.ascontiguousarray(np.asarray(inputs))
     if inputs.ndim != 1:
@@ -111,9 +118,32 @@ def run_prefix_scan(
             num_inputs=dfa.num_inputs,
         )
     transformed = transform_layout(inputs, plan) if layout == "transformed" else None
-    F = chunk_transition_functions(
-        dfa, inputs, plan, transformed=transformed, stats=stats
-    )
+
+    kplan = None
+    if kernel != "lockstep":
+        from repro.core.kernels import plan_kernel
+
+        kplan = plan_kernel(
+            dfa, chunk_len=plan.max_len, num_chunks=num_chunks,
+            k=dfa.num_states, kernel=kernel,
+        )
+        if kplan.kernel in ("lockstep", "scalar"):
+            kplan = None  # enumerative width makes the scalar loop absurd
+
+    if kplan is not None:
+        from repro.core.kernels import process_chunks_kernel
+
+        spec_all = np.tile(
+            np.arange(dfa.num_states, dtype=np.int32), (num_chunks, 1)
+        )
+        F = process_chunks_kernel(
+            dfa, inputs, plan, spec_all, kplan,
+            transformed=transformed, stats=stats,
+        )
+    else:
+        F = chunk_transition_functions(
+            dfa, inputs, plan, transformed=transformed, stats=stats
+        )
 
     # Tree reduction by composition; odd counts carry the trailing chunk.
     while F.shape[0] > 1:

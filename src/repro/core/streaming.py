@@ -48,6 +48,13 @@ class StreamingExecutor:
     and ``num_blocks``/``threads_per_block``/``merge``/``device`` are
     ignored (they describe the simulated GPU, not the CPU pool).
 
+    ``kernel`` selects the local stepping kernel
+    (:mod:`repro.core.kernels`); the default ``"auto"`` lets the cost
+    model pick multi-symbol stepping per block — streaming is a real
+    deployment surface, so wall clock (not modeled GPU fidelity) is the
+    default objective. The pool backend resolves the kernel once at pool
+    construction and reuses its stride tables for every block.
+
     Three stats surfaces, all :class:`repro.core.types.ExecStats`:
 
     * :attr:`stats` — the current session (cleared by :meth:`reset`);
@@ -66,6 +73,7 @@ class StreamingExecutor:
     backend: str = "simulate"
     pool_workers: int = 4
     sub_chunks_per_worker: int = 64
+    kernel: str = "auto"
 
     state: int = field(init=False)
     items_consumed: int = field(init=False, default=0)
@@ -95,6 +103,7 @@ class StreamingExecutor:
                 k=self.k,
                 sub_chunks_per_worker=self.sub_chunks_per_worker,
                 lookback=self.lookback,
+                kernel=self.kernel,
             )
         self.state = self.dfa.start
         self.stats = self._fresh_stats()
@@ -146,6 +155,7 @@ class StreamingExecutor:
                     device=self.device,
                     collect=("match_positions",) if self.collect_matches else (),
                     price=False,
+                    kernel=self.kernel,
                 )
                 if self.collect_matches:
                     self._matches.append(sim.match_positions + self.items_consumed)

@@ -13,7 +13,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Alphabet"]
+__all__ = ["Alphabet", "AlphabetCompaction", "compact_alphabet"]
 
 
 @dataclass(frozen=True)
@@ -124,3 +124,79 @@ class Alphabet:
             isinstance(s, str) and len(s) == 1 and ord(s) == i
             for i, s in enumerate(self.symbols)
         )
+
+
+@dataclass(frozen=True)
+class AlphabetCompaction:
+    """Equivalence-class compaction of a transition table's symbol axis.
+
+    Two symbols are equivalent when their transition rows are identical —
+    they move every state to the same successor, so the machine cannot
+    distinguish them. Real tokenizer alphabets collapse dramatically (the
+    128-symbol HTML tokenizer has ~a dozen distinct rows; a byte-oriented
+    regex DFA collapses 256 columns to the handful of character classes the
+    pattern mentions), which shrinks the table the kernels gather from and
+    makes m-symbol table powers (:mod:`repro.core.kernels`) affordable.
+
+    Attributes
+    ----------
+    class_of:
+        ``(num_symbols,)`` int32 — dense class id of each raw symbol id.
+    table:
+        ``(num_classes, num_states)`` int32 — the compacted transition
+        table; ``table[class_of[a]] == original_table[a]`` for every
+        symbol ``a``.
+    num_symbols:
+        Size of the original symbol axis.
+    """
+
+    class_of: np.ndarray
+    table: np.ndarray
+    num_symbols: int
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct transition rows (``C`` in the kernel layer)."""
+        return int(self.table.shape[0])
+
+    @property
+    def num_states(self) -> int:
+        """State count of the underlying machine."""
+        return int(self.table.shape[1])
+
+    @property
+    def compression(self) -> float:
+        """``num_symbols / num_classes`` — how much the alphabet collapsed."""
+        return self.num_symbols / max(1, self.num_classes)
+
+    def remap(self, symbols: np.ndarray) -> np.ndarray:
+        """Map a dense symbol-id array to class ids (one vectorized gather)."""
+        return self.class_of[np.asarray(symbols)]
+
+
+def compact_alphabet(table: np.ndarray) -> AlphabetCompaction:
+    """Collapse identical transition rows of ``table`` into symbol classes.
+
+    ``table`` follows the paper's orientation ``(num_symbols, num_states)``.
+    The mapping is deterministic: classes are numbered in order of first
+    appearance along the symbol axis, so ``class_of`` is stable across runs
+    and across processes (the scale-out pool ships it through shared
+    memory and workers must agree on ids).
+    """
+    table = np.ascontiguousarray(np.asarray(table, dtype=np.int32))
+    if table.ndim != 2:
+        raise ValueError(f"table must be 2-D (num_symbols, num_states), got {table.shape}")
+    num_symbols = table.shape[0]
+    _, first_idx, inverse = np.unique(
+        table, axis=0, return_index=True, return_inverse=True
+    )
+    # np.unique orders classes by row content; renumber by first appearance
+    # so the mapping does not depend on the lexicographic order of rows.
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size)
+    class_of = rank[inverse].astype(np.int32).ravel()
+    class_table = np.ascontiguousarray(table[np.sort(first_idx)])
+    return AlphabetCompaction(
+        class_of=class_of, table=class_table, num_symbols=int(num_symbols)
+    )

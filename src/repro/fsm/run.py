@@ -18,10 +18,28 @@ __all__ = ["run_reference", "run_reference_trace", "run_segment", "run_all_start
 
 
 def run_reference(dfa: DFA, symbols: np.ndarray, start: int | None = None) -> int:
-    """Final state of the serial run — the ground truth for all tests."""
+    """Final state of the serial run — the ground truth for all tests.
+
+    The loop iterates over ``symbols.tolist()``: converting once up front
+    yields plain Python ints, avoiding the per-step NumPy scalar boxing
+    that dominated the naive ``for a in array`` form. When the transition
+    table is small relative to the input it is likewise converted to
+    nested lists so every step is pure-Python indexing — several times
+    faster, and this function is the correctness oracle inside every test
+    and benchmark, so its speed bounds the whole suite.
+    """
     state = dfa.start if start is None else int(start)
+    syms = np.asarray(symbols)
+    if syms.size == 0:
+        return int(state)
+    sym_list = syms.tolist()
     table = dfa.table
-    for a in np.asarray(symbols):
+    if table.size <= syms.size << 3:
+        rows = table.tolist()
+        for a in sym_list:
+            state = rows[a][state]
+        return state
+    for a in sym_list:
         state = table[a, state]
     return int(state)
 
@@ -34,7 +52,7 @@ def run_reference_trace(
     out = np.empty(symbols.size, dtype=np.int32)
     state = dfa.start if start is None else int(start)
     table = dfa.table
-    for i, a in enumerate(symbols):
+    for i, a in enumerate(symbols.tolist()):
         state = table[a, state]
         out[i] = state
     return out
