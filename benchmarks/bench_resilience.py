@@ -1,0 +1,204 @@
+"""Measure supervision overhead and recovery latency; write ``BENCH_resilience.json``.
+
+Two questions, answered against the same :class:`repro.core.mp_executor.ScaleoutPool`:
+
+1. **Fault-free overhead** — what does the supervision loop (custom worker
+   pool, per-task deadlines, result validation, liveness sweeps) cost when
+   nothing fails? Measured as supervised throughput vs the same pool with
+   ``resilience=None`` (the pre-resilience collection semantics). The
+   acceptance bound is <3%.
+2. **Recovery latency** — how much wall clock does one killed worker add?
+   Measured as the run-time delta between a clean supervised run and a run
+   with a deterministic :func:`repro.core.faultinject.kill_worker` drill,
+   alongside the recovery actions taken.
+
+Run standalone (argparse script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --items 2000000
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick --check
+
+``--check`` exits non-zero if fault-free supervision overhead exceeds the
+bound or a recovery run degrades/returns a wrong state — the CI guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.apps.registry import APPLICATIONS, get_application
+from repro.core import faultinject as fi
+from repro.core.mp_executor import ScaleoutPool
+from repro.fsm.run import run_reference
+
+OVERHEAD_BOUND_PCT = 3.0  # acceptance: fault-free supervision cost < 3%
+
+
+def build_workload(app_name: str, num_items: int, seed: int):
+    """One paper application's machine plus a pool-scale input."""
+    app = get_application(app_name)
+    return app.build_instance(num_items, seed=seed)
+
+
+def timed_runs(pool: ScaleoutPool, inputs, repeats: int) -> list[float]:
+    """Per-run wall-clock seconds (first call excluded: spawn + publish warm-up)."""
+    pool.run(inputs)  # warm-up: spawn workers, publish input
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        pool.run(inputs)
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def bench_overhead(dfa, inputs, *, num_workers: int, k: int | None,
+                   repeats: int) -> dict:
+    """Supervised vs unsupervised throughput on identical fault-free runs."""
+    with ScaleoutPool(dfa, num_workers=num_workers, k=k,
+                      resilience=None, fault_plan=fi.FaultPlan()) as pool:
+        base = timed_runs(pool, inputs, repeats)
+    with ScaleoutPool(dfa, num_workers=num_workers, k=k,
+                      fault_plan=fi.FaultPlan()) as pool:
+        sup = timed_runs(pool, inputs, repeats)
+    base_s = statistics.median(base)
+    sup_s = statistics.median(sup)
+    return {
+        "baseline_median_s": base_s,
+        "supervised_median_s": sup_s,
+        "baseline_throughput_items_per_s": inputs.size / base_s,
+        "supervised_throughput_items_per_s": inputs.size / sup_s,
+        "overhead_pct": (sup_s / base_s - 1.0) * 100.0,
+        "repeats": repeats,
+    }
+
+
+def bench_recovery(dfa, inputs, *, num_workers: int, k: int | None,
+                   repeats: int) -> dict:
+    """Wall-clock cost of recovering one killed worker mid-run."""
+    ref = run_reference(dfa, inputs)
+    clean_s: list[float] = []
+    faulted_s: list[float] = []
+    recovered = []
+    with ScaleoutPool(dfa, num_workers=num_workers, k=k,
+                      fault_plan=fi.FaultPlan()) as pool:
+        clean_s = timed_runs(pool, inputs, repeats)
+    for i in range(repeats):
+        plan = fi.FaultPlan([fi.kill_worker(i % num_workers, at_task=1)])
+        with ScaleoutPool(dfa, num_workers=num_workers, k=k,
+                          fault_plan=plan) as pool:
+            pool.run(inputs)  # warm-up; the kill is armed for task seq 1
+            t0 = time.perf_counter()
+            res = pool.run(inputs)
+            faulted_s.append(time.perf_counter() - t0)
+        recovered.append({
+            "correct": bool(res.final_state == ref),
+            "degraded": bool(res.degraded),
+            "worker_deaths": res.recovery.worker_deaths if res.recovery else 0,
+            "respawns": res.recovery.respawns if res.recovery else 0,
+            "retries": res.recovery.retries if res.recovery else 0,
+        })
+    clean = statistics.median(clean_s)
+    faulted = statistics.median(faulted_s)
+    return {
+        "clean_median_s": clean,
+        "killed_worker_median_s": faulted,
+        "recovery_latency_s": max(0.0, faulted - clean),
+        "runs": recovered,
+    }
+
+
+def check_report(report: dict) -> list[str]:
+    """Return acceptance violations (empty = all good)."""
+    problems = []
+    pct = report["overhead"]["overhead_pct"]
+    if pct >= OVERHEAD_BOUND_PCT:
+        problems.append(
+            f"fault-free supervision overhead {pct:.2f}% exceeds the "
+            f"{OVERHEAD_BOUND_PCT:.1f}% bound"
+        )
+    for i, run in enumerate(report["recovery"]["runs"]):
+        if not run["correct"]:
+            problems.append(f"recovery run {i} returned a wrong final state")
+        if run["degraded"]:
+            problems.append(
+                f"recovery run {i} degraded instead of recovering in place"
+            )
+        if run["worker_deaths"] != 1:
+            problems.append(
+                f"recovery run {i} saw {run['worker_deaths']} deaths, expected 1"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--items", type=int, default=2_000_000, help="input symbols")
+    ap.add_argument(
+        "--app", default="huffman", choices=sorted(APPLICATIONS),
+        help="paper application supplying the machine and input",
+    )
+    ap.add_argument("--workers", type=int, default=4, help="pool workers")
+    ap.add_argument("--k", type=int, default=None,
+                    help="speculation width (default spec-N)")
+    ap.add_argument("--repeats", type=int, default=5, help="timed runs per config")
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized run (200k items, 3 repeats)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on overhead/recovery acceptance violations")
+    ap.add_argument("--out", default="BENCH_resilience.json", help="output path")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.items = min(args.items, 200_000)
+        args.repeats = min(args.repeats, 3)
+
+    dfa, inputs = build_workload(args.app, args.items, seed=7)
+    overhead = bench_overhead(dfa, inputs, num_workers=args.workers,
+                              k=args.k, repeats=args.repeats)
+    print(
+        f"fault-free: baseline {overhead['baseline_median_s'] * 1e3:.1f} ms, "
+        f"supervised {overhead['supervised_median_s'] * 1e3:.1f} ms, "
+        f"overhead {overhead['overhead_pct']:+.2f}%"
+    )
+    recovery = bench_recovery(dfa, inputs, num_workers=args.workers,
+                              k=args.k, repeats=args.repeats)
+    print(
+        f"recovery:   clean {recovery['clean_median_s'] * 1e3:.1f} ms, "
+        f"one kill {recovery['killed_worker_median_s'] * 1e3:.1f} ms, "
+        f"latency {recovery['recovery_latency_s'] * 1e3:.1f} ms"
+    )
+
+    report = {
+        "benchmark": "resilience",
+        "application": args.app,
+        "items": int(inputs.size),
+        "states": dfa.num_states,
+        "alphabet": dfa.num_inputs,
+        "workers": args.workers,
+        "k": args.k,
+        "overhead_bound_pct": OVERHEAD_BOUND_PCT,
+        "overhead": overhead,
+        "recovery": recovery,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.out}")
+
+    if args.check:
+        problems = check_report(report)
+        for p in problems:
+            print(f"CHECK FAILED: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"check passed: overhead {overhead['overhead_pct']:.2f}% < "
+            f"{OVERHEAD_BOUND_PCT:.1f}%, all recoveries exact"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,21 @@ GPU cost model (:mod:`repro.gpu.cost`) prices into modeled V100 time.
 """
 
 from repro.core.autotune import KChoice, KernelChoice, choose_k, choose_kernel
-from repro.core.engine import EngineConfig, SpecExecutionResult, run_speculative
+from repro.core.engine import (
+    EngineConfig,
+    SpecExecutionResult,
+    run_inprocess_fallback,
+    run_speculative,
+)
+from repro.core.faultinject import (
+    FaultPlan,
+    FaultSpec,
+    chaos_plan_from_env,
+    corrupt_result_map,
+    delay_task,
+    kill_worker,
+    shm_unlink_race,
+)
 from repro.core.kernels import (
     KERNELS,
     KernelPlan,
@@ -39,31 +53,56 @@ from repro.core.mp_executor import (
     WorkerTiming,
     run_multiprocess,
 )
-from repro.core.streaming import StreamingExecutor
+from repro.core.resilience import (
+    DEFAULT_RESILIENCE,
+    DeadlineModel,
+    DegradedExecution,
+    PoolClosedError,
+    ResilienceConfig,
+    RetryPolicy,
+    SupervisionReport,
+)
+from repro.core.streaming import FeedCursor, StreamingExecutor
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 
 __all__ = [
     "ChunkResults",
+    "DEFAULT_RESILIENCE",
+    "DeadlineModel",
+    "DegradedExecution",
     "EngineConfig",
     "ExecStats",
+    "FaultPlan",
+    "FaultSpec",
+    "FeedCursor",
     "KChoice",
     "KERNELS",
     "KernelChoice",
     "KernelPlan",
     "KernelSpec",
     "MultiprocessResult",
+    "PoolClosedError",
     "PoolRunTiming",
+    "ResilienceConfig",
+    "RetryPolicy",
     "ScaleoutPool",
     "SegmentMaps",
     "SpecExecutionResult",
     "StreamingExecutor",
     "StrideTables",
+    "SupervisionReport",
     "WorkerTiming",
     "build_stride_tables",
+    "chaos_plan_from_env",
     "choose_k",
     "choose_kernel",
+    "corrupt_result_map",
+    "delay_task",
+    "kill_worker",
     "plan_kernel",
+    "run_inprocess_fallback",
     "run_multiprocess",
     "run_speculative",
     "select_kernel",
+    "shm_unlink_race",
 ]

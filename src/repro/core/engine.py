@@ -31,7 +31,12 @@ from repro.obs.trace import RunTrace, current_trace, trace_span
 from repro.util.validation import check_in_set
 from repro.workloads.chunking import plan_chunks, transform_layout
 
-__all__ = ["EngineConfig", "SpecExecutionResult", "run_speculative"]
+__all__ = [
+    "EngineConfig",
+    "SpecExecutionResult",
+    "run_inprocess_fallback",
+    "run_speculative",
+]
 
 
 @dataclass(frozen=True)
@@ -501,4 +506,34 @@ def run_speculative(
         cache=cache,
         merge_tree=tree if keep_merge_tree else None,
         trace=run_trace,
+    )
+
+
+def run_inprocess_fallback(
+    dfa: DFA,
+    inputs: np.ndarray,
+    *,
+    start: int | None = None,
+    k: int | None = 4,
+    kernel: str = "lockstep",
+) -> SpecExecutionResult:
+    """Degraded-mode execution: one process, no pool, guaranteed to finish.
+
+    The resilience layer (:mod:`repro.core.resilience`) calls this when a
+    :class:`repro.core.mp_executor.ScaleoutPool` run cannot be recovered —
+    retries exhausted or the pool below quorum. It is a thin wrapper over
+    :func:`run_speculative` with pricing and success measurement switched
+    off (a degraded run wants an answer, not instrumentation), honouring a
+    carried ``start`` state for streaming callers.
+    """
+    run_dfa = dfa if start is None or start == dfa.start else dfa.with_start(start)
+    return run_speculative(
+        run_dfa,
+        inputs,
+        k=k,
+        num_blocks=1,
+        threads_per_block=64,
+        price=False,
+        measure_success=False,
+        kernel=kernel,
     )

@@ -1,0 +1,304 @@
+"""Deterministic fault injection for the CPU scale-out resilience layer.
+
+The resilience machinery in :mod:`repro.core.resilience` recovers from
+process-level failure — killed workers, stragglers, corrupted result maps,
+shared-memory segments unlinked from under a live pool. Those failures are
+rare and non-deterministic in the wild, so this module makes them *cheap and
+reproducible*: a :class:`FaultPlan` is a list of :class:`FaultSpec` entries,
+each naming one failure class and one precise site (``worker N`` at its
+``M``-th task, or pool ``run`` call ``M`` for parent-side faults), and every
+spec fires **exactly once** at that site — never again, not even after the
+worker that hosted it is respawned.
+
+Four fault classes (the spec constructors below):
+
+* :func:`kill_worker` — the worker process ``os._exit``\\ s mid-task,
+  simulating an OOM kill / node loss (no result, no cleanup);
+* :func:`delay_task` — the worker sleeps before executing, simulating a
+  straggler that the deadline machinery must hedge against;
+* :func:`corrupt_result_map` — the worker's ``speculated -> ending`` map is
+  overwritten with :data:`CORRUPT_SENTINEL`, simulating bit-rot that the
+  parent's result validation must catch;
+* :func:`shm_unlink_race` — the parent's input segment is unlinked between
+  publish and dispatch, simulating an external ``/dev/shm`` cleaner racing a
+  live pool.
+
+Worker-side specs travel to worker processes as plain tuples
+(:meth:`FaultPlan.worker_wire`) so they survive both ``fork`` and ``spawn``
+start methods; parent-side bookkeeping (which spec has fired) stays in the
+parent and is excluded from the wire payload a respawned worker receives.
+
+Chaos mode: :func:`chaos_plan_from_env` turns the ``REPRO_CHAOS`` environment
+variable into a seeded one-kill-per-pool plan, which is how the CI ``chaos``
+job runs the whole tier-1 suite under randomized-but-reproducible worker
+loss.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CORRUPT_SENTINEL",
+    "KILLED_EXIT_CODE",
+    "FaultPlan",
+    "FaultSpec",
+    "chaos_plan_from_env",
+    "corrupt_result_map",
+    "delay_task",
+    "kill_worker",
+    "shm_unlink_race",
+]
+
+#: Exit code used by the kill fault, distinguishable from normal exits.
+KILLED_EXIT_CODE = 173
+
+#: Value the corrupt fault writes into result maps — far outside any valid
+#: state id, so parent-side range validation always detects it.
+CORRUPT_SENTINEL = -999
+
+#: Fault kinds applied inside worker processes.
+WORKER_KINDS = ("kill", "delay", "corrupt")
+
+#: Fault kinds applied by the pool parent.
+PARENT_KINDS = ("shm_unlink",)
+
+_SPEC_IDS = itertools.count()
+_CHAOS_SEQ = itertools.count()
+
+
+@dataclass
+class FaultSpec:
+    """One fault: a failure class bound to a single injection site.
+
+    ``worker``/``at_task`` locate worker-side faults (``at_task`` counts the
+    tasks one worker *incarnation* has executed, 0-based); ``at_call``
+    locates parent-side faults on the pool's 1-based ``run`` call counter.
+    ``fired`` is parent-side bookkeeping — a fired spec is never shipped to
+    a respawned worker and never re-applied by the parent.
+    """
+
+    fault_id: str
+    kind: str
+    worker: int | None = None
+    at_task: int | None = None
+    at_call: int | None = None
+    delay_s: float = 0.0
+    fired: bool = False
+
+    def matches_site(self, worker_id: int, task_seq: int) -> bool:
+        """Whether this (worker-side) spec fires for this worker/task."""
+        return self.worker == worker_id and self.at_task == task_seq
+
+    def to_wire(self) -> tuple:
+        """Serialize to a plain tuple for shipment into a worker process."""
+        return (
+            self.fault_id, self.kind, self.worker, self.at_task,
+            self.at_call, self.delay_s,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_wire` output."""
+        fault_id, kind, worker, at_task, at_call, delay_s = wire
+        return cls(
+            fault_id=fault_id, kind=kind, worker=worker, at_task=at_task,
+            at_call=at_call, delay_s=delay_s,
+        )
+
+
+def kill_worker(worker: int, at_task: int = 0) -> FaultSpec:
+    """Worker ``worker`` hard-exits (``os._exit``) on its ``at_task``-th task."""
+    return FaultSpec(
+        fault_id=f"kill:w{worker}@t{at_task}#{next(_SPEC_IDS)}",
+        kind="kill", worker=worker, at_task=at_task,
+    )
+
+
+def delay_task(worker: int, at_task: int = 0, seconds: float = 0.25) -> FaultSpec:
+    """Worker ``worker`` sleeps ``seconds`` before its ``at_task``-th task."""
+    return FaultSpec(
+        fault_id=f"delay:w{worker}@t{at_task}#{next(_SPEC_IDS)}",
+        kind="delay", worker=worker, at_task=at_task, delay_s=float(seconds),
+    )
+
+
+def corrupt_result_map(worker: int, at_task: int = 0) -> FaultSpec:
+    """Worker ``worker`` returns a sentinel-poisoned map on task ``at_task``."""
+    return FaultSpec(
+        fault_id=f"corrupt:w{worker}@t{at_task}#{next(_SPEC_IDS)}",
+        kind="corrupt", worker=worker, at_task=at_task,
+    )
+
+
+def shm_unlink_race(at_call: int = 1) -> FaultSpec:
+    """The parent unlinks the input segment during ``run`` call ``at_call``."""
+    return FaultSpec(
+        fault_id=f"shm_unlink:c{at_call}#{next(_SPEC_IDS)}",
+        kind="shm_unlink", at_call=at_call,
+    )
+
+
+class FaultPlan:
+    """An ordered set of faults plus fired-state bookkeeping.
+
+    The plan object lives in the pool parent; worker processes receive
+    tuple copies of the *unfired worker-side* specs at (re)spawn time. The
+    parent marks specs fired when workers report them (delay/corrupt ride
+    the result tuple), when a matching worker death is detected (kill), or
+    when it applies a parent-side fault itself (shm_unlink).
+    """
+
+    def __init__(self, faults: tuple | list = ()) -> None:
+        self.specs: list[FaultSpec] = list(faults)
+        for spec in self.specs:
+            if spec.kind not in WORKER_KINDS + PARENT_KINDS:
+                raise ValueError(f"unknown fault kind {spec.kind!r}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (the production default)."""
+        return not self.specs
+
+    @property
+    def fired_ids(self) -> set[str]:
+        """Ids of specs that have already fired."""
+        return {s.fault_id for s in self.specs if s.fired}
+
+    def spec(self, fault_id: str) -> FaultSpec | None:
+        """Look up a spec by id (None when unknown)."""
+        for s in self.specs:
+            if s.fault_id == fault_id:
+                return s
+        return None
+
+    def mark_fired(self, fault_id: str) -> bool:
+        """Mark a spec fired; returns True if it was previously unfired."""
+        s = self.spec(fault_id)
+        if s is None or s.fired:
+            return False
+        s.fired = True
+        return True
+
+    def is_fired(self, fault_id: str) -> bool:
+        """Whether the named spec has fired."""
+        s = self.spec(fault_id)
+        return s is not None and s.fired
+
+    def worker_wire(self) -> tuple:
+        """Unfired worker-side specs as wire tuples (for worker spawn)."""
+        return tuple(
+            s.to_wire()
+            for s in self.specs
+            if s.kind in WORKER_KINDS and not s.fired
+        )
+
+    def parent_faults(self, call: int) -> list[FaultSpec]:
+        """Unfired parent-side specs scheduled for pool ``run`` call ``call``."""
+        return [
+            s for s in self.specs
+            if s.kind in PARENT_KINDS and not s.fired and s.at_call == call
+        ]
+
+    def match_worker_kind(self, worker_id: int, kind: str) -> list[FaultSpec]:
+        """Unfired specs of ``kind`` bound to ``worker_id`` (any task site)."""
+        return [
+            s for s in self.specs
+            if s.kind == kind and not s.fired and s.worker == worker_id
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# worker-side application
+# --------------------------------------------------------------------------- #
+
+
+def specs_from_wire(wire_specs: tuple) -> list[FaultSpec]:
+    """Rebuild the worker's private spec copies from wire tuples."""
+    return [FaultSpec.from_wire(w) for w in wire_specs]
+
+
+def apply_pre_faults(
+    specs: list[FaultSpec], worker_id: int, task_seq: int, fired: list[str]
+) -> None:
+    """Apply kill/delay faults due at this site, before the task runs.
+
+    Appends the ids of observably-fired faults to ``fired`` (the worker
+    ships them back on its result tuple); a kill fault never returns.
+    """
+    for spec in specs:
+        if spec.fired or not spec.matches_site(worker_id, task_seq):
+            continue
+        if spec.kind == "delay":
+            spec.fired = True
+            time.sleep(spec.delay_s)
+            fired.append(spec.fault_id)
+        elif spec.kind == "kill":
+            # Simulate SIGKILL/OOM: no result, no flush, no cleanup.
+            os._exit(KILLED_EXIT_CODE)
+
+
+def apply_post_faults(
+    specs: list[FaultSpec],
+    worker_id: int,
+    task_seq: int,
+    result: tuple,
+    fired: list[str],
+) -> tuple:
+    """Apply corrupt faults due at this site to the task's result."""
+    for spec in specs:
+        if spec.fired or spec.kind != "corrupt":
+            continue
+        if spec.matches_site(worker_id, task_seq):
+            spec.fired = True
+            result = corrupt_worker_result(result)
+            fired.append(spec.fault_id)
+    return result
+
+
+def corrupt_worker_result(result: tuple) -> tuple:
+    """Poison a scale-out worker result's ending-state row with the sentinel.
+
+    Targets the ``(spec_row, end_row, ...)`` tuple shape returned by
+    :func:`repro.core.mp_executor._worker_run`; anything else is returned
+    unchanged (the harness is specific to the pool worker protocol).
+    """
+    if (
+        isinstance(result, tuple)
+        and len(result) >= 2
+        and isinstance(result[1], np.ndarray)
+    ):
+        poisoned = np.full_like(result[1], CORRUPT_SENTINEL)
+        return (result[0], poisoned) + tuple(result[2:])
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# chaos mode
+# --------------------------------------------------------------------------- #
+
+
+def chaos_plan_from_env(num_workers: int, env=None) -> FaultPlan | None:
+    """A seeded one-kill plan when ``REPRO_CHAOS`` is set, else None.
+
+    Each call draws a fresh (but deterministic, given the env token and the
+    process-wide call sequence) victim worker, so a test suite run under
+    ``REPRO_CHAOS=<seed>`` kills one worker per pool in a reproducible
+    pattern. Pools too small to lose a worker (``num_workers < 2``) get no
+    plan.
+    """
+    env = os.environ if env is None else env
+    token = env.get("REPRO_CHAOS", "")
+    if not token or num_workers < 2:
+        return None
+    rng = random.Random(f"{token}:{next(_CHAOS_SEQ)}")
+    return FaultPlan([kill_worker(rng.randrange(num_workers), at_task=0)])

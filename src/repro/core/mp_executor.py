@@ -32,18 +32,29 @@ class map plus any composed stride table to shared memory, so workers step
 the input ``m`` symbols per gather with zero per-dispatch table rebuild.
 :func:`run_multiprocess` keeps the one-shot API by wrapping a temporary
 pool.
+
+Worker processes run under the supervision layer in
+:mod:`repro.core.resilience`: per-task deadlines, bounded retry with
+backoff, dead-worker respawn with shared-memory re-attach, and — when the
+pool drops below quorum or retries exhaust — graceful degradation to the
+in-process engine, so :meth:`ScaleoutPool.run` returns a correct
+:class:`MultiprocessResult` (flagged ``degraded=True``) instead of raising.
+Deterministic failure drills come from :mod:`repro.core.faultinject`.
 """
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.core.engine import run_inprocess_fallback
+from repro.core.faultinject import FaultPlan, FaultSpec, chaos_plan_from_env
 from repro.core.kernels import (
     DEFAULT_TABLE_BUDGET_BYTES,
     KERNELS,
@@ -56,16 +67,25 @@ from repro.core.kernels import (
 from repro.core.local import process_chunks
 from repro.core.lookback import speculate, state_prior
 from repro.core.merge_par import compose_maps, merge_parallel
+from repro.core.resilience import (
+    DEFAULT_RESILIENCE,
+    DegradedExecution,
+    PoolClosedError,
+    ResilienceConfig,
+    SupervisedWorkerPool,
+    SupervisionReport,
+)
 from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.alphabet import AlphabetCompaction
 from repro.fsm.dfa import DFA
-from repro.obs.trace import current_trace, trace_span
+from repro.obs.trace import add_count, current_trace, trace_span
 from repro.workloads.chunking import plan_chunks
 
 __all__ = [
     "ScaleoutPool",
     "run_multiprocess",
     "MultiprocessResult",
+    "PoolClosedError",
     "PoolRunTiming",
     "WorkerTiming",
 ]
@@ -124,6 +144,12 @@ class MultiprocessResult:
     :meth:`ScaleoutPool.run` (they cost a handful of ``perf_counter``
     reads); ``worker_timings`` is empty for degenerate runs that never
     dispatched (empty input, single worker).
+
+    ``degraded`` is True when supervision gave up on the pool and the
+    result came from the in-process fallback — still correct, just not
+    scaled out. ``recovery`` carries the run's
+    :class:`repro.core.resilience.SupervisionReport` whenever any recovery
+    action fired (always on degraded runs; None on clean runs).
     """
 
     final_state: int
@@ -133,6 +159,8 @@ class MultiprocessResult:
     reexec_segments: tuple[int, ...] = ()
     timing: PoolRunTiming | None = None
     worker_timings: tuple[WorkerTiming, ...] = field(default=())
+    degraded: bool = False
+    recovery: SupervisionReport | None = None
 
 
 # --------------------------------------------------------------------------- #
@@ -331,6 +359,24 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
 # parent side
 # --------------------------------------------------------------------------- #
 
+# Pools still open at interpreter exit: abnormal teardown (an exception that
+# skips `close`, a test harness that drops the reference) must not leak
+# /dev/shm segments, so one atexit hook closes whatever remains. The WeakSet
+# never keeps a pool alive — __del__ stays the ordinary cleanup path.
+_LIVE_POOLS: weakref.WeakSet = weakref.WeakSet()
+
+
+def _close_live_pools() -> None:
+    """Close any pool still registered at interpreter shutdown."""
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - best effort at shutdown
+            pass
+
+
+atexit.register(_close_live_pools)
+
 
 class ScaleoutPool:
     """A persistent shared-memory worker pool for CPU scale-out.
@@ -370,6 +416,18 @@ class ScaleoutPool:
     table_budget_bytes:
         Memory cap for the composed stride table (``"auto"`` never picks
         a kernel whose table exceeds it).
+    resilience:
+        :class:`repro.core.resilience.ResilienceConfig` governing worker
+        supervision (deadlines, retry, respawn, quorum). The default keeps
+        supervision on with conservative policies; pass ``None`` to run
+        unsupervised (worker failure raises — the pre-resilience
+        semantics, kept for overhead baselines).
+    fault_plan:
+        Deterministic fault injection
+        (:class:`repro.core.faultinject.FaultPlan`) for drills and tests.
+        When omitted *and* supervision is on, the ``REPRO_CHAOS``
+        environment variable arms a seeded one-kill-per-pool plan (the CI
+        chaos job); otherwise no faults are injected.
     """
 
     def __init__(
@@ -382,58 +440,89 @@ class ScaleoutPool:
         lookback: int = 8,
         kernel: str = "auto",
         table_budget_bytes: int = DEFAULT_TABLE_BUDGET_BYTES,
+        resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
-        if num_workers < 1:
-            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-        if k is not None and k < 1:
-            raise ValueError(f"k must be >= 1 or None, got {k}")
-        if kernel != "auto" and kernel not in KERNELS:
-            raise ValueError(
-                f"unknown kernel {kernel!r}; available: {sorted(KERNELS)} or 'auto'"
-            )
-        self.dfa = dfa
-        self.num_workers = int(num_workers)
-        self.k = None if (k is None or k >= dfa.num_states) else int(k)
-        self.k_eff = dfa.num_states if self.k is None else self.k
-        self.sub_chunks_per_worker = int(sub_chunks_per_worker)
-        self.lookback = int(lookback)
-        self.calls = 0
+        # Everything `close` touches exists before anything can fail, so
+        # teardown after a failed construction (from the except below,
+        # `__del__`, or the atexit hook) never trips an AttributeError and
+        # never leaks a published segment.
         self._closed = False
-        self._input_dtype = np.dtype(np.int32)
-
-        # Resolve the stepping kernel once, for the pool's whole life. The
-        # chunk length is unknown until inputs arrive, so selection assumes
-        # pool-scale segments (the pool exists for large inputs) and
-        # amortizes the one-time table build over the expected call volume.
-        if kernel == "scalar":
-            kernel = "lockstep"  # vectorized workers; scalar is re-exec only
-        self._kplan = plan_kernel(
-            dfa,
-            chunk_len=1 << 14,
-            num_chunks=self.num_workers * self.sub_chunks_per_worker,
-            k=self.k_eff,
-            kernel=kernel,
-            table_budget_bytes=table_budget_bytes,
-            amortize_builds=16,
-        )
-        self.kernel = self._kplan.kernel
-
-        # Segments that outlive every call: table, accepting mask, prior,
-        # and the kernel layer's class map / class table / stride table.
-        self._prior = state_prior(dfa)
-        self._table_shm = self._publish(dfa.table)
-        self._acc_shm = self._publish(dfa.accepting)
-        self._prior_shm = self._publish(self._prior)
-        self._class_of_shm = self._publish(self._kplan.compaction.class_of)
-        self._class_table_shm = self._publish(self._kplan.compaction.table)
-        self._stride_shm = (
-            self._publish(self._kplan.tables.table_m)
-            if self._kplan.tables is not None
-            else None
-        )
+        self._sup: SupervisedWorkerPool | None = None
+        self._table_shm = None
+        self._acc_shm = None
+        self._prior_shm = None
+        self._class_of_shm = None
+        self._class_table_shm = None
+        self._stride_shm = None
         self._input_shm: shared_memory.SharedMemory | None = None
         self._input_capacity = 0
-        self._exec = ProcessPoolExecutor(max_workers=self.num_workers)
+        try:
+            if num_workers < 1:
+                raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+            if k is not None and k < 1:
+                raise ValueError(f"k must be >= 1 or None, got {k}")
+            if kernel != "auto" and kernel not in KERNELS:
+                raise ValueError(
+                    f"unknown kernel {kernel!r}; available: "
+                    f"{sorted(KERNELS)} or 'auto'"
+                )
+            self.dfa = dfa
+            self.num_workers = int(num_workers)
+            self.k = None if (k is None or k >= dfa.num_states) else int(k)
+            self.k_eff = dfa.num_states if self.k is None else self.k
+            self.sub_chunks_per_worker = int(sub_chunks_per_worker)
+            self.lookback = int(lookback)
+            self.calls = 0
+            self._input_dtype = np.dtype(np.int32)
+            self.resilience = resilience
+            if fault_plan is None and resilience is not None:
+                fault_plan = chaos_plan_from_env(self.num_workers)
+            self._fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+            self._bps_ewma: float | None = None
+
+            # Resolve the stepping kernel once, for the pool's whole life.
+            # The chunk length is unknown until inputs arrive, so selection
+            # assumes pool-scale segments (the pool exists for large
+            # inputs) and amortizes the one-time table build over the
+            # expected call volume.
+            if kernel == "scalar":
+                kernel = "lockstep"  # vectorized workers; scalar is re-exec only
+            self._kplan = plan_kernel(
+                dfa,
+                chunk_len=1 << 14,
+                num_chunks=self.num_workers * self.sub_chunks_per_worker,
+                k=self.k_eff,
+                kernel=kernel,
+                table_budget_bytes=table_budget_bytes,
+                amortize_builds=16,
+            )
+            self.kernel = self._kplan.kernel
+
+            # Segments that outlive every call: table, accepting mask,
+            # prior, and the kernel layer's class map / class table /
+            # stride table.
+            self._prior = state_prior(dfa)
+            self._table_shm = self._publish(dfa.table)
+            self._acc_shm = self._publish(dfa.accepting)
+            self._prior_shm = self._publish(self._prior)
+            self._class_of_shm = self._publish(self._kplan.compaction.class_of)
+            self._class_table_shm = self._publish(self._kplan.compaction.table)
+            self._stride_shm = (
+                self._publish(self._kplan.tables.table_m)
+                if self._kplan.tables is not None
+                else None
+            )
+            self._sup = SupervisedWorkerPool(
+                _worker_run,
+                self.num_workers,
+                config=resilience,
+                fault_plan=self._fault_plan,
+            )
+        except BaseException:
+            self.close()
+            raise
+        _LIVE_POOLS.add(self)
 
     # ------------------------------------------------------------------ #
     # shared-memory plumbing
@@ -457,7 +546,10 @@ class ScaleoutPool:
         self._input_capacity = capacity
         if old is not None:
             old.close()
-            old.unlink()
+            try:
+                old.unlink()
+            except FileNotFoundError:  # an injected unlink race got there first
+                pass
 
     @property
     def shm_bytes(self) -> int:
@@ -471,6 +563,70 @@ class ScaleoutPool:
         return total
 
     # ------------------------------------------------------------------ #
+    # resilience plumbing
+    # ------------------------------------------------------------------ #
+
+    def _apply_parent_fault(self, spec: FaultSpec, report: SupervisionReport) -> None:
+        """Inject one parent-side fault (the SHM unlink race)."""
+        if spec.kind != "shm_unlink" or self._input_shm is None:
+            return
+        try:
+            self._input_shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double injection
+            pass
+        if self._fault_plan.mark_fired(spec.fault_id):
+            report.faults_fired += 1
+            add_count("fault.injected")
+            report.record("fault_fired", detail=spec.fault_id)
+
+    def _input_segment_missing(self) -> bool:
+        """Whether the input segment's name has vanished from /dev/shm."""
+        if self._input_shm is None:
+            return True
+        try:
+            probe = _attach_shm(self._input_shm.name)
+        except FileNotFoundError:
+            return True
+        probe.close()
+        return False
+
+    def _republish_input(self, inputs: np.ndarray) -> None:
+        """Publish the input under a fresh segment name (after an unlink).
+
+        Retried tasks are rebuilt via :meth:`_make_task`, which reads the
+        live segment name, so workers re-attach the new segment on their
+        next attempt.
+        """
+        old = self._input_shm
+        n = int(inputs.size)
+        capacity = max(self._input_capacity, n, 1)
+        self._input_shm = shared_memory.SharedMemory(
+            create=True, size=capacity * self._input_dtype.itemsize
+        )
+        self._input_capacity = capacity
+        np.ndarray((n,), dtype=self._input_dtype, buffer=self._input_shm.buf)[
+            :
+        ] = inputs
+        if old is not None:
+            old.close()
+            try:
+                old.unlink()
+            except FileNotFoundError:  # the injected race already removed it
+                pass
+
+    def _valid_worker_map(self, payload: tuple) -> bool:
+        """Reject corrupted worker results (states outside the machine)."""
+        if not (isinstance(payload, tuple) and len(payload) == 5):
+            return False
+        num_states = self.dfa.num_states
+        for row in (payload[0], payload[1]):
+            if not isinstance(row, np.ndarray):
+                return False
+            if row.size and not bool(((row >= 0) & (row < num_states)).all()):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
 
@@ -481,9 +637,15 @@ class ScaleoutPool:
         pass the carried state instead. The result is bit-identical to the
         sequential reference (property tests assert this over machines ×
         inputs × worker counts × k).
+
+        With supervision on (the default), worker failure is recovered —
+        killed workers are respawned, stragglers and errors retried, and
+        an unrecoverable pool degrades to the in-process engine — so this
+        method raises only :class:`PoolClosedError` (used after
+        :meth:`close`) and input-validation errors, never worker errors.
         """
         if self._closed:
-            raise RuntimeError("ScaleoutPool is closed")
+            raise PoolClosedError("ScaleoutPool is closed")
         t_run = time.perf_counter()
         obs = current_trace()
         dfa = self.dfa
@@ -526,6 +688,10 @@ class ScaleoutPool:
         if obs is not None:
             obs.count("pool.shm.input_bytes", int(inputs.nbytes))
 
+        report = SupervisionReport()
+        for fault in self._fault_plan.parent_faults(self.calls):
+            self._apply_parent_fault(fault, report)
+
         seg_plan = plan_chunks(n, w)
         run_dfa = dfa if start == dfa.start else dfa.with_start(start)
 
@@ -549,40 +715,70 @@ class ScaleoutPool:
                     boundary[0, 0] = start
         t_spec = time.perf_counter()
 
+        def make_task(i: int) -> tuple:
+            # Reads the *live* input segment name: a task rebuilt for retry
+            # after a republish points workers at the fresh segment.
+            return (
+                self._table_shm.name,
+                dfa.num_inputs,
+                dfa.num_states,
+                self._acc_shm.name,
+                self._prior_shm.name,
+                self._input_shm.name,
+                n,
+                self._input_dtype.str,
+                int(seg_plan.starts[i]),
+                int(seg_plan.starts[i] + seg_plan.lengths[i]),
+                start,
+                self.k,
+                self.sub_chunks_per_worker,
+                self.lookback,
+                None if boundary is None else boundary[i],
+                self.kernel,
+                self._kplan.compaction.num_classes,
+                self._kplan.m,
+                self._class_of_shm.name,
+                self._class_table_shm.name,
+                None if self._stride_shm is None else self._stride_shm.name,
+            )
+
+        def on_error(
+            tid: int, exc_type: str, exc_repr: str, rep: SupervisionReport
+        ) -> None:
+            # A worker that cannot find the input segment hit an unlink
+            # race: republish under a fresh name before the retry fires.
+            if exc_type == "FileNotFoundError" and self._input_segment_missing():
+                self._republish_input(inputs)
+                rep.shm_republishes += 1
+                add_count("fault.shm_republished")
+                rep.record("shm_republish", task=tid, detail=exc_repr)
+
         with trace_span("pool.dispatch", workers=w) as dispatch_span:
-            tasks = [
-                (
-                    self._table_shm.name,
-                    dfa.num_inputs,
-                    dfa.num_states,
-                    self._acc_shm.name,
-                    self._prior_shm.name,
-                    shm.name,
-                    n,
-                    self._input_dtype.str,
-                    int(seg_plan.starts[i]),
-                    int(seg_plan.starts[i] + seg_plan.lengths[i]),
-                    start,
-                    self.k,
-                    self.sub_chunks_per_worker,
-                    self.lookback,
-                    None if boundary is None else boundary[i],
-                    self.kernel,
-                    self._kplan.compaction.num_classes,
-                    self._kplan.m,
-                    self._class_of_shm.name,
-                    self._class_table_shm.name,
-                    None if self._stride_shm is None else self._stride_shm.name,
-                )
-                for i in range(w)
-            ]
+            tasks = [make_task(i) for i in range(w)]
             task_bytes = sum(len(pickle.dumps(t)) for t in tasks)
             stats.pool_task_bytes += task_bytes
             dispatch_span.set(task_bytes=task_bytes)
-            futures = [self._exec.submit(_worker_run, t) for t in tasks]
+        seg_nbytes = [
+            int(seg_plan.lengths[i]) * self._input_dtype.itemsize for i in range(w)
+        ]
         t_dispatch = time.perf_counter()
-        with trace_span("pool.wait", workers=w):
-            maps = [f.result() for f in futures]
+        try:
+            with trace_span("pool.wait", workers=w):
+                maps = self._sup.run_tasks(
+                    tasks,
+                    task_nbytes=seg_nbytes,
+                    bytes_per_sec=self._bps_ewma,
+                    rebuild=make_task,
+                    validate=lambda _tid, payload: self._valid_worker_map(payload),
+                    on_error=on_error,
+                    report=report,
+                )
+        except DegradedExecution:
+            return self._degraded_result(
+                inputs, start, stats, report,
+                t_run=t_run, t_publish=t_publish, t_spec=t_spec,
+                t_dispatch=t_dispatch,
+            )
         t_wait = time.perf_counter()
 
         spec_rows = np.stack([m[0] for m in maps])
@@ -611,6 +807,17 @@ class ScaleoutPool:
                 obs.observe("pool.worker_exec_s", exec_s)
                 obs.observe("pool.worker_fold_s", fold_s)
 
+        # Refresh the measured throughput the deadline model feeds on (EWMA
+        # across workers and calls, newest observation weighted 0.3).
+        for nbytes_i, wt in zip(seg_nbytes, worker_timings):
+            if wt.total_s > 1e-9:
+                bps = nbytes_i / wt.total_s
+                self._bps_ewma = (
+                    bps
+                    if self._bps_ewma is None
+                    else 0.7 * self._bps_ewma + 0.3 * bps
+                )
+
         # Parent-side combine: the same binary tree merge as the simulated
         # GPU — delayed invalidation, then a fix-up descent that re-executes
         # only the segments whose boundary speculation genuinely missed.
@@ -637,6 +844,49 @@ class ScaleoutPool:
         return MultiprocessResult(
             int(final), w, len(reexec_segments), stats, reexec_segments,
             timing=timing, worker_timings=tuple(worker_timings),
+            recovery=report if report.events else None,
+        )
+
+    def _degraded_result(
+        self,
+        inputs: np.ndarray,
+        start: int,
+        stats: ExecStats,
+        report: SupervisionReport,
+        *,
+        t_run: float,
+        t_publish: float,
+        t_spec: float,
+        t_dispatch: float,
+    ) -> MultiprocessResult:
+        """Finish an unrecoverable run on the in-process engine.
+
+        The bottom of the degradation ladder: correctness is preserved (the
+        fallback is the reference speculative engine), scale-out is not.
+        The returned result is flagged ``degraded=True`` and carries the
+        full :class:`SupervisionReport` of everything tried first.
+        """
+        with trace_span(
+            "fault.degrade", reason=report.degrade_reason,
+            workers=self.num_workers,
+        ):
+            fallback = run_inprocess_fallback(
+                self.dfa, inputs, start=start, k=self.k, kernel="lockstep"
+            )
+        t_done = time.perf_counter()
+        stats = stats.merged_with(fallback.stats)
+        stats.pool_shm_bytes = self.shm_bytes
+        timing = PoolRunTiming(
+            speculate_s=t_spec - t_publish,
+            publish_s=t_publish - t_run,
+            dispatch_s=t_dispatch - t_spec,
+            wait_s=t_done - t_dispatch,
+            merge_s=0.0,
+            total_s=t_done - t_run,
+        )
+        return MultiprocessResult(
+            int(fallback.final_state), self.num_workers, 0, stats,
+            timing=timing, degraded=True, recovery=report,
         )
 
     # ------------------------------------------------------------------ #
@@ -649,11 +899,19 @@ class ScaleoutPool:
         return self._closed
 
     def close(self) -> None:
-        """Shut down workers and release every shared-memory segment."""
-        if self._closed:
+        """Shut down workers and release every shared-memory segment.
+
+        Idempotent, and safe from ``__del__`` even after a failed
+        ``__init__`` (every attribute it touches is pre-initialised).
+        Pools left open at interpreter exit are closed by an ``atexit``
+        hook, so abnormal teardown never leaks ``/dev/shm`` segments.
+        """
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        self._exec.shutdown(wait=True)
+        _LIVE_POOLS.discard(self)
+        if self._sup is not None:
+            self._sup.close()
         for shm in (
             self._table_shm, self._acc_shm, self._prior_shm,
             self._class_of_shm, self._class_table_shm, self._stride_shm,
@@ -689,6 +947,8 @@ def run_multiprocess(
     sub_chunks_per_worker: int = 64,
     lookback: int = 8,
     kernel: str = "auto",
+    resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
+    fault_plan: FaultPlan | None = None,
     pool: ScaleoutPool | None = None,
 ) -> MultiprocessResult:
     """Compute the final state using a pool of worker processes.
@@ -699,7 +959,9 @@ def run_multiprocess(
     :class:`ScaleoutPool` to reuse live workers and shared-memory segments
     across calls (the other keyword arguments are then taken from the
     pool); without one, a temporary pool is created and torn down around
-    the single call.
+    the single call. ``resilience``/``fault_plan`` configure worker
+    supervision and deterministic failure drills exactly as on
+    :class:`ScaleoutPool`.
     """
     if pool is not None:
         return pool.run(inputs)
@@ -710,5 +972,7 @@ def run_multiprocess(
         sub_chunks_per_worker=sub_chunks_per_worker,
         lookback=lookback,
         kernel=kernel,
+        resilience=resilience,
+        fault_plan=fault_plan,
     ) as temp:
         return temp.run(inputs)

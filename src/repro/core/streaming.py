@@ -20,6 +20,15 @@ Two backends:
 The executor accumulates :class:`repro.core.types.ExecStats` across blocks
 so a whole session can be priced with the cost model, and can optionally
 collect match positions (offset-adjusted to the global stream).
+
+:meth:`StreamingExecutor.feed` is **atomic**: the carried state, the
+consumption counters, and the collected matches are only committed after
+the block fully executes, so a feed that raises (a closed pool, bad input)
+leaves the executor exactly at its pre-feed :class:`FeedCursor` — re-feed
+the same block, nothing was consumed. Pool-backend feeds that came back
+from the degraded in-process fallback still commit (the state is correct);
+they are counted in :attr:`StreamingExecutor.degraded_feeds` and flagged
+on :attr:`StreamingExecutor.last_feed_degraded`.
 """
 
 from __future__ import annotations
@@ -29,13 +38,32 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engine import run_speculative
+from repro.core.faultinject import FaultPlan
 from repro.core.mp_executor import ScaleoutPool
+from repro.core.resilience import DEFAULT_RESILIENCE, ResilienceConfig
 from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.device import DeviceSpec, TESLA_V100
 from repro.obs.trace import trace_span
 
-__all__ = ["StreamingExecutor"]
+__all__ = ["FeedCursor", "StreamingExecutor"]
+
+
+@dataclass(frozen=True)
+class FeedCursor:
+    """An exact resume point in the stream.
+
+    Captures the carried machine state and the consumption counters — the
+    three values that define *where* the executor is in the input stream.
+    Take one with :meth:`StreamingExecutor.checkpoint` before risky work
+    and rewind with :meth:`StreamingExecutor.restore`; because
+    :meth:`StreamingExecutor.feed` is atomic, a failed feed leaves the
+    executor already at its pre-feed cursor without explicit bookkeeping.
+    """
+
+    state: int
+    items_consumed: int
+    blocks_consumed: int
 
 
 @dataclass
@@ -74,10 +102,14 @@ class StreamingExecutor:
     pool_workers: int = 4
     sub_chunks_per_worker: int = 64
     kernel: str = "auto"
+    resilience: ResilienceConfig | None = DEFAULT_RESILIENCE
+    fault_plan: FaultPlan | None = None
 
     state: int = field(init=False)
     items_consumed: int = field(init=False, default=0)
     blocks_consumed: int = field(init=False, default=0)
+    degraded_feeds: int = field(init=False, default=0)
+    last_feed_degraded: bool = field(init=False, default=False)
     stats: ExecStats = field(init=False)
     _matches: list = field(init=False, default_factory=list)
     _pool: ScaleoutPool | None = field(init=False, default=None, repr=False)
@@ -104,6 +136,8 @@ class StreamingExecutor:
                 sub_chunks_per_worker=self.sub_chunks_per_worker,
                 lookback=self.lookback,
                 kernel=self.kernel,
+                resilience=self.resilience,
+                fault_plan=self.fault_plan,
             )
         self.state = self.dfa.start
         self.stats = self._fresh_stats()
@@ -123,16 +157,43 @@ class StreamingExecutor:
             num_inputs=self.dfa.num_inputs,
         )
 
+    def checkpoint(self) -> FeedCursor:
+        """Snapshot the stream position (carried state + counters)."""
+        return FeedCursor(
+            state=self.state,
+            items_consumed=self.items_consumed,
+            blocks_consumed=self.blocks_consumed,
+        )
+
+    def restore(self, cursor: FeedCursor) -> None:
+        """Rewind to a :meth:`checkpoint`; the next feed resumes from it.
+
+        Only the stream *position* is rewound. Session stats are not —
+        they count work performed, including feeds later rewound past —
+        so pricing stays honest about what actually executed.
+        """
+        self.state = int(cursor.state)
+        self.items_consumed = int(cursor.items_consumed)
+        self.blocks_consumed = int(cursor.blocks_consumed)
+
     def feed(self, block: np.ndarray) -> int:
         """Consume one block; returns the machine state after it.
 
         The block's own event counts are kept as :attr:`last_feed_stats`
         and folded into both :attr:`stats` (session) and
         :attr:`lifetime_stats` (run-level, reset-proof).
+
+        Atomic: every executor field is committed only after the block
+        fully executes, so a feed that raises leaves the carried state,
+        counters, stats, and matches untouched — re-feed the same block.
+        A pool feed that recovered through the degraded fallback still
+        commits (its state is exact) and bumps :attr:`degraded_feeds`.
         """
         block = np.asarray(block)
         if block.size == 0:
             return self.state
+        degraded = False
+        new_matches = None
         with trace_span(
             "stream.feed", block=self.blocks_consumed, items=int(block.size),
             backend=self.backend,
@@ -140,9 +201,10 @@ class StreamingExecutor:
             if self._pool is not None:
                 result = self._pool.run(block, start=self.state)
                 feed_stats = result.stats
-                self.stats = self.stats.merged_with(feed_stats)
-                self.stats.pool_shm_bytes = feed_stats.pool_shm_bytes
+                new_stats = self.stats.merged_with(feed_stats)
+                new_stats.pool_shm_bytes = feed_stats.pool_shm_bytes
                 final_state = result.final_state
+                degraded = result.degraded
             else:
                 sim = run_speculative(
                     self.dfa.with_start(self.state),
@@ -158,16 +220,23 @@ class StreamingExecutor:
                     kernel=self.kernel,
                 )
                 if self.collect_matches:
-                    self._matches.append(sim.match_positions + self.items_consumed)
+                    new_matches = sim.match_positions + self.items_consumed
                 feed_stats = sim.stats
-                self.stats = self.stats.merged_with(feed_stats)
+                new_stats = self.stats.merged_with(feed_stats)
                 final_state = sim.final_state
+        # Commit point: nothing above mutated the executor.
+        if new_matches is not None:
+            self._matches.append(new_matches)
         feed_stats.num_items = int(block.size)
         self._last_feed_stats = feed_stats
+        self.stats = new_stats
         self.stats.num_items += int(block.size)
         self.items_consumed += int(block.size)
         self.blocks_consumed += 1
         self.state = final_state
+        self.last_feed_degraded = degraded
+        if degraded:
+            self.degraded_feeds += 1
         return self.state
 
     @property

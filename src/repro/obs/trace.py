@@ -275,6 +275,19 @@ class RunTrace:
         """Increment the named counter by ``n``."""
         self.counter(name).add(n)
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """Counter values whose names start with ``prefix`` (e.g. ``fault.``).
+
+        A convenience for namespaced catalogs — recovery assertions read
+        the whole ``fault.*`` family in one call instead of probing names
+        one by one. Counters that never fired are simply absent.
+        """
+        return {
+            c.name: c.value
+            for c in self.counters.values()
+            if c.name.startswith(prefix)
+        }
+
     def histogram(self, name: str) -> Histogram:
         """Get-or-create the named histogram."""
         h = self.histograms.get(name)

@@ -1,0 +1,152 @@
+"""Tests for the deterministic fault-injection harness itself.
+
+The harness is trusted infrastructure for every resilience test, so its own
+contract gets direct coverage: each fault class fires exactly once at its
+configured site (and never re-arms on respawn), and a pool with injection
+disabled produces results byte-identical to the seed behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import faultinject as fi
+from repro.core.mp_executor import ScaleoutPool
+from repro.fsm.run import run_reference
+from tests.conftest import make_random_dfa, random_input
+
+
+class TestSpecs:
+    def test_constructors_and_ids(self):
+        k = fi.kill_worker(1, at_task=2)
+        d = fi.delay_task(0, at_task=0, seconds=0.5)
+        c = fi.corrupt_result_map(3)
+        u = fi.shm_unlink_race(at_call=2)
+        assert (k.kind, k.worker, k.at_task) == ("kill", 1, 2)
+        assert (d.kind, d.delay_s) == ("delay", 0.5)
+        assert (c.kind, c.worker, c.at_task) == ("corrupt", 3, 0)
+        assert (u.kind, u.at_call) == ("shm_unlink", 2)
+        ids = {s.fault_id for s in (k, d, c, u)}
+        assert len(ids) == 4  # globally unique, even at identical sites
+
+    def test_wire_round_trip(self):
+        spec = fi.delay_task(2, at_task=1, seconds=0.125)
+        back = fi.FaultSpec.from_wire(spec.to_wire())
+        assert back.fault_id == spec.fault_id
+        assert back.matches_site(2, 1) and not back.matches_site(2, 0)
+        assert back.fired is False  # fired state never travels the wire
+
+    def test_unknown_kind_rejected(self):
+        bad = fi.FaultSpec(fault_id="x", kind="meteor")
+        with pytest.raises(ValueError):
+            fi.FaultPlan([bad])
+
+
+class TestFaultPlan:
+    def test_mark_fired_is_exactly_once(self):
+        spec = fi.kill_worker(0)
+        plan = fi.FaultPlan([spec])
+        assert plan.mark_fired(spec.fault_id) is True
+        assert plan.mark_fired(spec.fault_id) is False  # second firing refused
+        assert plan.fired_ids == {spec.fault_id}
+
+    def test_fired_specs_leave_the_wire(self):
+        kill = fi.kill_worker(0)
+        delay = fi.delay_task(1)
+        plan = fi.FaultPlan([kill, delay])
+        assert len(plan.worker_wire()) == 2
+        plan.mark_fired(kill.fault_id)
+        wire = plan.worker_wire()
+        assert [w[0] for w in wire] == [delay.fault_id]
+
+    def test_parent_faults_by_call(self):
+        u1 = fi.shm_unlink_race(at_call=1)
+        u3 = fi.shm_unlink_race(at_call=3)
+        plan = fi.FaultPlan([u1, u3, fi.kill_worker(0)])
+        assert plan.parent_faults(1) == [u1]
+        assert plan.parent_faults(2) == []
+        plan.mark_fired(u3.fault_id)
+        assert plan.parent_faults(3) == []
+
+    def test_corrupt_worker_result_poisons_end_row(self):
+        spec_row = np.arange(4, dtype=np.int32)
+        end_row = np.arange(4, dtype=np.int32)
+        out = fi.corrupt_worker_result((spec_row, end_row, 0, 0, ()))
+        assert (out[1] == fi.CORRUPT_SENTINEL).all()
+        assert (out[0] == spec_row).all()  # only the ending row is poisoned
+
+
+class TestExactlyOnceInPool:
+    def test_kill_fires_once_across_runs(self):
+        """A respawned worker must not re-trigger the already-fired kill."""
+        dfa = make_random_dfa(8, 3, seed=0)
+        inp = random_input(3, 12_000, seed=1)
+        ref = run_reference(dfa, inp)
+        plan = fi.FaultPlan([fi.kill_worker(1, at_task=0)])
+        with ScaleoutPool(dfa, num_workers=3, k=3,
+                          sub_chunks_per_worker=8, fault_plan=plan) as pool:
+            first = pool.run(inp)
+            second = pool.run(inp)
+        assert first.final_state == ref and second.final_state == ref
+        assert first.recovery is not None
+        assert first.recovery.worker_deaths == 1
+        assert first.recovery.faults_fired == 1
+        # Run 2 sees a quiet pool: the fault fired exactly once, in run 1.
+        assert second.recovery is None
+        assert plan.fired_ids == {plan.specs[0].fault_id}
+
+    def test_later_site_fires_on_later_run(self):
+        """at_task counts per-worker tasks, so at_task=1 fires on run 2."""
+        dfa = make_random_dfa(8, 3, seed=2)
+        inp = random_input(3, 12_000, seed=3)
+        ref = run_reference(dfa, inp)
+        plan = fi.FaultPlan([fi.corrupt_result_map(0, at_task=1)])
+        with ScaleoutPool(dfa, num_workers=2, k=3,
+                          sub_chunks_per_worker=8, fault_plan=plan) as pool:
+            first = pool.run(inp)
+            second = pool.run(inp)
+            third = pool.run(inp)
+        assert (first.final_state, second.final_state, third.final_state) == (
+            ref, ref, ref
+        )
+        assert first.recovery is None
+        assert second.recovery is not None
+        assert second.recovery.corrupt_results == 1
+        assert third.recovery is None
+
+    def test_disabled_injection_is_byte_identical(self, monkeypatch):
+        """No plan and no REPRO_CHAOS -> results identical to seed behaviour."""
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        dfa = make_random_dfa(6, 2, seed=4)
+        inp = random_input(2, 20_000, seed=5)
+        with ScaleoutPool(dfa, num_workers=2, k=2,
+                          sub_chunks_per_worker=8) as pool:
+            res = pool.run(inp)
+        # Seed behaviour: the same pool with supervision off entirely.
+        with ScaleoutPool(dfa, num_workers=2, k=2, sub_chunks_per_worker=8,
+                          resilience=None) as base_pool:
+            base = base_pool.run(inp)
+        assert pool._fault_plan.empty
+        assert res.final_state == run_reference(dfa, inp)
+        assert res.degraded is False
+        assert res.recovery is None
+        assert res.final_state == base.final_state
+        assert res.segment_reexecs == base.segment_reexecs
+        assert res.reexec_segments == base.reexec_segments
+        assert res.stats.success_hits == base.stats.success_hits
+        assert res.stats.success_total == base.stats.success_total
+
+
+class TestChaosPlan:
+    def test_env_unset_means_no_plan(self):
+        assert fi.chaos_plan_from_env(4, env={}) is None
+
+    def test_single_worker_pools_are_spared(self):
+        assert fi.chaos_plan_from_env(1, env={"REPRO_CHAOS": "7"}) is None
+
+    def test_plan_is_one_seeded_kill(self):
+        plan = fi.chaos_plan_from_env(4, env={"REPRO_CHAOS": "7"})
+        assert plan is not None and len(plan) == 1
+        spec = plan.specs[0]
+        assert spec.kind == "kill"
+        assert spec.at_task == 0
+        assert 0 <= spec.worker < 4

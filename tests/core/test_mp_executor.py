@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps.div import div7_dfa
-from repro.core.mp_executor import ScaleoutPool, run_multiprocess
+from repro.core.mp_executor import PoolClosedError, ScaleoutPool, run_multiprocess
 from repro.fsm.run import run_reference
 from tests.conftest import make_random_dfa, random_input
 
@@ -127,6 +127,27 @@ class TestScaleoutPool:
         with pytest.raises(RuntimeError):
             pool.run(random_input(2, 100, seed=0))
         pool.close()  # idempotent
+
+    def test_closed_pool_raises_typed_error(self):
+        """The rejection is a clear PoolClosedError, not a buffer error."""
+        dfa = make_random_dfa(4, 2, seed=0)
+        pool = ScaleoutPool(dfa, num_workers=2)
+        pool.close()
+        with pytest.raises(PoolClosedError, match="closed"):
+            pool.run(random_input(2, 100, seed=0))
+
+    def test_context_manager_double_close(self):
+        """Exiting the context then closing again (e.g. from __del__) is
+        safe, and the typed error still fires afterwards."""
+        dfa = make_random_dfa(4, 2, seed=1)
+        inp = random_input(2, 4_000, seed=2)
+        with ScaleoutPool(dfa, num_workers=2) as pool:
+            assert pool.run(inp).final_state == run_reference(dfa, inp)
+        assert pool.closed
+        pool.close()
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.run(inp)
 
     def test_run_multiprocess_reuses_given_pool(self):
         dfa = make_random_dfa(5, 2, seed=6)

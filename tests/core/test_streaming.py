@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.streaming import StreamingExecutor
+from repro.core.streaming import FeedCursor, StreamingExecutor
 from repro.fsm.run import run_reference, run_reference_trace
 from tests.conftest import make_random_dfa, random_input
 
@@ -222,3 +222,55 @@ class TestLifetimeStats:
         assert second.num_items == 5_000
         # Session stats keep the running total; last_feed is per-block.
         assert ex.stats.num_items == 8_000
+
+
+class TestFeedCursor:
+    def test_checkpoint_restore_round_trip(self):
+        dfa = make_random_dfa(6, 3, seed=30)
+        stream = random_input(3, 12_000, seed=31)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=64)
+        blocks = np.array_split(stream, 4)
+        ex.feed(blocks[0])
+        cur = ex.checkpoint()
+        assert cur == FeedCursor(state=ex.state, items_consumed=blocks[0].size,
+                                 blocks_consumed=1)
+        ex.feed(blocks[1])
+        ex.restore(cur)
+        assert (ex.state, ex.items_consumed, ex.blocks_consumed) == (
+            cur.state, cur.items_consumed, cur.blocks_consumed
+        )
+        # Resuming from the cursor replays the stream to the right answer.
+        for block in blocks[1:]:
+            ex.feed(block)
+        assert ex.state == run_reference(dfa, stream)
+
+    def test_failed_feed_leaves_cursor_untouched(self):
+        """A feed that raises consumes nothing: same state, counters, and
+        matches as before — the caller just re-feeds the block."""
+        dfa = make_random_dfa(6, 3, seed=32)
+        stream = random_input(3, 12_000, seed=33)
+        with StreamingExecutor(dfa, k=2, backend="pool", pool_workers=2,
+                               sub_chunks_per_worker=8) as ex:
+            blocks = np.array_split(stream, 3)
+            ex.feed(blocks[0])
+            before = ex.checkpoint()
+            before_items = ex.stats.num_items
+            ex._pool.close()  # force the next feed to fail mid-stream
+            with pytest.raises(Exception):
+                ex.feed(blocks[1])
+            assert ex.checkpoint() == before
+            assert ex.stats.num_items == before_items
+            assert ex.last_feed_degraded is False
+
+    def test_bad_block_does_not_consume(self):
+        dfa = make_random_dfa(6, 3, seed=34)
+        ex = StreamingExecutor(dfa, k=2, backend="pool", pool_workers=2,
+                               sub_chunks_per_worker=8)
+        try:
+            ex.feed(random_input(3, 4_000, seed=35))
+            before = ex.checkpoint()
+            with pytest.raises(ValueError):
+                ex.feed(np.zeros((2, 2), dtype=np.int32))  # not 1-D
+            assert ex.checkpoint() == before
+        finally:
+            ex.close()

@@ -238,6 +238,21 @@ class TestEngineIntegration:
         assert r.trace is None
 
 
+class TestCounterPrefix:
+    def test_counters_with_prefix_selects_namespace(self):
+        t = RunTrace("prefix")
+        t.count("fault.retries", 2)
+        t.count("fault.worker_deaths")
+        t.count("pool.shm.attaches", 5)
+        fault = t.counters_with_prefix("fault.")
+        assert fault == {"fault.retries": 2, "fault.worker_deaths": 1}
+
+    def test_counters_with_prefix_empty_when_none_fired(self):
+        t = RunTrace("prefix-empty")
+        t.count("pool.calls")
+        assert t.counters_with_prefix("fault.") == {}
+
+
 def test_module_state_clean():
     """The ambient trace must never leak between tests."""
     assert trace_mod._current is None
