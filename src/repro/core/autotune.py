@@ -39,8 +39,10 @@ from repro.gpu.device import DeviceSpec, TESLA_V100
 __all__ = [
     "KChoice",
     "KernelChoice",
+    "CollapseChoice",
     "choose_k",
     "choose_kernel",
+    "choose_collapse",
     "candidate_ks",
 ]
 
@@ -273,5 +275,99 @@ def choose_kernel(
         measured_s=measured,
         build_s=build,
         modeled_s={n: modeled[n] for n in measured if n in modeled},
+        probe_items=int(probe.size),
+    )
+
+
+@dataclass(frozen=True)
+class CollapseChoice:
+    """Outcome of the convergence-layer auto-tuner.
+
+    ``measured_s`` maps each candidate's label (``"off"``,
+    ``"on(W=32)"``, ...) to its best measured local-processing time on the
+    probe. ``probe_cadence`` carries what the cheap analytic probe
+    (:func:`repro.core.convergence.probe_cadence`) would have picked, so
+    benchmarks can report measured-vs-probe drift.
+    """
+
+    config: "object | None"  # CollapseConfig, or None for "off"
+    measured_s: dict
+    probe_cadence: int | None
+    probe_items: int
+
+    @property
+    def label(self) -> str:
+        """Human-readable form of the winning configuration."""
+        return "off" if self.config is None else self.config.label
+
+    @property
+    def speedup_vs_off(self) -> float:
+        """Measured probe speedup of the winner over collapse-off."""
+        base = self.measured_s.get("off")
+        if not base:
+            return 1.0
+        return base / self.measured_s[self.label]
+
+
+def choose_collapse(
+    dfa: DFA,
+    inputs: np.ndarray,
+    *,
+    num_chunks: int = 2048,
+    k: int = 8,
+    lookback: int = 16,
+    probe_items: int = 1 << 16,
+    repeats: int = 3,
+    cadences: tuple[int, ...] = (8, 32, 128),
+) -> CollapseChoice:
+    """Measure collapse-off against candidate scan cadences; pick the fastest.
+
+    The measured analog of :func:`repro.core.convergence.probe_cadence`,
+    following the :func:`choose_kernel` discipline: every candidate runs
+    the same speculated chunk plan over a prefix of ``inputs`` through
+    :func:`repro.core.local.process_chunks` (the production lock-step
+    path), timed as best-of-``repeats``. On never-converging machines the
+    geometric back-off keeps every "on" candidate within noise of "off",
+    so the tuner degrades gracefully; on high-convergence machines the
+    cadence choice trades scan overhead against how early lanes narrow.
+    """
+    from repro.core.convergence import CollapseConfig, probe_cadence
+    from repro.core.local import process_chunks
+    from repro.core.lookback import speculate
+    from repro.workloads.chunking import plan_chunks, transform_layout
+
+    inputs = np.asarray(inputs)
+    if inputs.size == 0:
+        raise ValueError("cannot tune collapse on an empty input")
+    probe = np.ascontiguousarray(inputs[: min(probe_items, inputs.size)])
+    plan = plan_chunks(probe.size, num_chunks)
+    k_eff = min(int(k), dfa.num_states)
+    spec = (
+        speculate(dfa, probe, plan, k_eff, lookback=lookback)
+        if k_eff < dfa.num_states
+        else np.tile(np.arange(dfa.num_states, dtype=np.int32), (num_chunks, 1))
+    )
+    transformed = transform_layout(probe, plan)
+
+    candidates: list = [None]
+    candidates += [CollapseConfig(cadence=w) for w in cadences]
+    measured: dict = {}
+    best: tuple = (None, float("inf"))
+    for cfg in candidates:
+        label = "off" if cfg is None else cfg.label
+        t_best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            process_chunks(
+                dfa, probe, plan, spec, transformed=transformed, collapse=cfg
+            )
+            t_best = min(t_best, time.perf_counter() - t0)
+        measured[label] = t_best
+        if t_best < best[1]:
+            best = (cfg, t_best)
+    return CollapseChoice(
+        config=best[0],
+        measured_s=measured,
+        probe_cadence=probe_cadence(dfa, probe, k=k_eff),
         probe_items=int(probe.size),
     )

@@ -31,6 +31,7 @@ __all__ = [
     "match_pairs",
     "count_nested",
     "count_hash",
+    "count_skipped",
     "nested_loop_check_reference",
     "hash_check_reference",
 ]
@@ -117,6 +118,20 @@ def count_hash(
     scanned_to_hit = (same_bucket & upto).sum(axis=2)
     steps = np.where(found, scanned_to_hit, bucket_sizes)
     stats.hash_probe_steps += int(steps[valid_left].sum())
+
+
+def count_skipped(num_probes: int, stats: ExecStats | None) -> None:
+    """Attribute semi-join probes elided by the convergence layer.
+
+    A merge against a *converged* segment (total-constant map over
+    achievable incoming states, :mod:`repro.core.convergence`) needs no
+    check at all — neither nested-loop comparisons nor hash build/probe
+    work is charged. The elided probes are recorded in
+    ``stats.checks_skipped`` so benchmarks can assert that converged
+    chunks contribute zero check cost.
+    """
+    if stats is not None and num_probes:
+        stats.checks_skipped += int(num_probes)
 
 
 # --------------------------------------------------------------------------- #

@@ -18,6 +18,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.hotstates import HotStateCache, plan_hot_states
+from repro.core.convergence import (
+    CollapseConfig,
+    converged_chunks,
+    resolve_collapse,
+)
 from repro.core.kernels import KERNELS, plan_kernel, process_chunks_kernel
 from repro.core.local import process_chunks, recover_accepts, recover_emissions
 from repro.core.lookback import enumerative_spec, speculate
@@ -72,6 +77,10 @@ class EngineConfig:
         The stepping kernel local processing actually ran
         (``"lockstep"``, ``"stride2"``, ``"stride4"``, or ``"scalar"`` —
         the resolved choice when ``"auto"`` was requested).
+    collapse:
+        Resolved convergence-layer setting: ``"on(W=<cadence>)"`` when
+        lane collapse ran, ``"off"`` otherwise (disabled, or ``"auto"``
+        probed the machine and found no convergence horizon).
     """
 
     k: int
@@ -86,6 +95,7 @@ class EngineConfig:
     cache_table: bool
     device: DeviceSpec
     kernel: str = "lockstep"
+    collapse: str = "off"
 
     @property
     def num_threads(self) -> int:
@@ -177,6 +187,7 @@ def run_speculative(
     keep_merge_tree: bool = False,
     backend: str = "vectorized",
     kernel: str = "lockstep",
+    collapse: str | CollapseConfig | None = "auto",
     trace: RunTrace | None = None,
 ) -> SpecExecutionResult:
     """Execute ``dfa`` over ``inputs`` with spec-k speculation.
@@ -231,6 +242,17 @@ def run_speculative(
         counters; stride kernels change real wall clock, not modeled
         time. ``cache_table`` and ``accept_count`` need per-symbol
         stepping and force ``lockstep`` under ``"auto"``.
+    collapse:
+        Convergence layer (:mod:`repro.core.convergence`): ``"auto"``
+        (default — probe the machine, enable lane collapse when a
+        convergence horizon exists), ``"on"``, ``"off"``, or an explicit
+        :class:`CollapseConfig`. When active, duplicate speculative lanes
+        are deduplicated mid-chunk (bit-identical results, fewer physical
+        gathers) and chunks whose covered speculation rows all converge
+        are flagged so the merges skip their semi-join checks entirely.
+        Functionally invisible — every mode produces identical results;
+        ``stats.local_transitions`` keeps the modeled lock-step count
+        either way.
     trace:
         A :class:`repro.obs.RunTrace` to record per-stage wall-clock spans
         and speculation metrics into. When omitted, the ambient trace (if
@@ -253,6 +275,7 @@ def run_speculative(
                 device=device, ranking=ranking, measure_success=measure_success,
                 collect=collect, price=price, cpu_transition_ns=cpu_transition_ns,
                 keep_merge_tree=keep_merge_tree, backend=backend, kernel=kernel,
+                collapse=collapse,
             )
     check_in_set("merge", merge, ("sequential", "parallel"))
     check_in_set("check", check, ("auto", "nested", "hash"))
@@ -260,6 +283,8 @@ def run_speculative(
     check_in_set("layout", layout, ("transformed", "natural"))
     check_in_set("backend", backend, ("vectorized", "codegen"))
     check_in_set("kernel", kernel, ("auto",) + tuple(sorted(KERNELS)))
+    if isinstance(collapse, str):
+        check_in_set("collapse", collapse, ("auto", "on", "off"))
     for item in collect:
         check_in_set("collect item", item, ("accept_count", "match_positions", "emissions"))
 
@@ -275,6 +300,25 @@ def run_speculative(
         raise ValueError(f"k must be >= 1, got {k}")
 
     plan = plan_chunks(inputs.size, n)
+
+    # --- convergence-layer resolution ------------------------------------- #
+    # collapse_requested gates the coverage/converged bookkeeping (cheap,
+    # and the merges exploit it even when the probe said lane collapse
+    # itself would not pay); collapse_cfg is the resolved scan config, or
+    # None when lane collapse stays off. The codegen backend's compiled
+    # kernel has no collapse hook; converged-chunk merge skipping still
+    # applies there.
+    collapse_requested = not (
+        collapse is None
+        or collapse == "off"
+        or (isinstance(collapse, CollapseConfig) and not collapse.enabled)
+    )
+    if collapse_requested:
+        with trace_span("engine.collapse_resolve", k=k_eff) as sp:
+            collapse_cfg = resolve_collapse(collapse, dfa, inputs, k=k_eff)
+            sp.set(resolved=collapse_cfg.label if collapse_cfg else "off")
+    else:
+        collapse_cfg = None
 
     # --- kernel resolution ------------------------------------------------ #
     # Per-symbol features (hot-state cache accounting, accepting-visit
@@ -314,6 +358,7 @@ def run_speculative(
         cache_table=cache_table,
         device=device,
         kernel=kernel_resolved,
+        collapse=collapse_cfg.label if collapse_cfg is not None else "off",
     )
     stats = ExecStats(
         num_items=int(inputs.size),
@@ -324,9 +369,14 @@ def run_speculative(
     )
 
     # --- speculation ------------------------------------------------------ #
+    covered: np.ndarray | None = None
     with trace_span("engine.speculate", chunks=n, k=k_eff, lookback=lookback):
         if enumerative:
             spec = enumerative_spec(dfa, n)
+            if collapse_requested:
+                # spec-N enumerates every state: the true boundary state
+                # is always among the speculated ones.
+                covered = np.ones(n, dtype=bool)
         else:
             prior = None
             if ranking is None and inputs.size:
@@ -337,7 +387,7 @@ def run_speculative(
                 from repro.core.lookback import state_prior
 
                 prior = state_prior(dfa, sample=inputs[: 1 << 14])
-            spec = speculate(
+            out = speculate(
                 dfa,
                 inputs,
                 plan,
@@ -346,7 +396,9 @@ def run_speculative(
                 prior=prior,
                 ranking=ranking,
                 stats=stats,
+                return_coverage=collapse_requested,
             )
+            spec, covered = out if collapse_requested else (out, None)
 
     # --- hot-state cache plan ---------------------------------------------- #
     cache = None
@@ -395,7 +447,7 @@ def run_speculative(
         elif kplan is not None:
             end = process_chunks_kernel(
                 dfa, inputs, plan, spec, kplan,
-                transformed=transformed, stats=stats,
+                transformed=transformed, stats=stats, collapse=collapse_cfg,
             )
             acc = None
         else:
@@ -408,9 +460,15 @@ def run_speculative(
                 stats=stats,
                 cache_mask=cache_mask,
                 count_accepting="accept_count" in collect,
+                collapse=collapse_cfg,
             )
+    converged = None
+    if collapse_requested:
+        converged = converged_chunks(end, covered)
+        stats.chunks_converged += int(converged.sum())
     results = ChunkResults(
-        spec=spec, end=end, valid=np.ones_like(spec, dtype=bool)
+        spec=spec, end=end, valid=np.ones_like(spec, dtype=bool),
+        converged=converged,
     )
 
     # --- merge ------------------------------------------------------------------
@@ -492,6 +550,14 @@ def run_speculative(
         if stats.success_total:
             run_trace.count("speculation.boundary_hits", stats.success_hits)
             run_trace.count("speculation.boundary_total", stats.success_total)
+        if stats.collapse_scans:
+            run_trace.count("spec.collapse_scans", stats.collapse_scans)
+        if stats.lanes_collapsed:
+            run_trace.count("spec.lanes_collapsed", stats.lanes_collapsed)
+        if stats.chunks_converged:
+            run_trace.count("spec.chunks_converged", stats.chunks_converged)
+        if stats.checks_skipped:
+            run_trace.count("spec.checks_skipped", stats.checks_skipped)
 
     return SpecExecutionResult(
         final_state=final_state,

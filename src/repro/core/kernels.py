@@ -41,6 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.convergence import CollapseConfig, LaneCollapser
 from repro.fsm.alphabet import AlphabetCompaction, compact_alphabet
 from repro.fsm.dfa import DFA
 from repro.obs.trace import add_count, current_trace, trace_span
@@ -395,6 +396,9 @@ def advance_matrix(
     kplan: KernelPlan,
     packed: PackedInput,
     S: np.ndarray,
+    *,
+    collapse: "CollapseConfig | None" = None,
+    stats=None,
 ) -> np.ndarray:
     """Advance a ``(num_chunks, w)`` state matrix through a packed input.
 
@@ -403,17 +407,58 @@ def advance_matrix(
     packed stride steps, then the leftover single-class rows, then the
     ragged tail (first ``tail.size`` chunks only) — the exact symbol order
     of the lock-step kernel.
+
+    ``collapse`` threads the convergence layer through the stride loop
+    (:mod:`repro.core.convergence`): duplicate lanes are deduplicated on
+    cadence (a stride-``m`` gather weighs ``m`` steps, keeping the
+    cadence calibrated in symbols) and the full matrix is reconstructed
+    before returning. ``stats`` (when given)
+    accumulates ``local_gathers`` / ``collapse_scans`` /
+    ``lanes_collapsed``.
     """
     Tc = kplan.compaction.table
     Tm = kplan.tables.table_m if kplan.tables is not None else Tc
     S = S.copy()
+    collapser = None
+    if collapse is not None and collapse.enabled and S.shape[1] > 1:
+        collapser = LaneCollapser(S.shape[1], collapse)
+    gathered = 0
+    m = kplan.m
+    consumed = 0
     for t in range(packed.packed.shape[0]):
-        S = Tm[packed.packed[t][:, None], S]
+        row = packed.packed[t]
+        if collapser is not None and collapser.rowmap is not None:
+            # Spill rows carry straggler lanes of specific chunks; route
+            # each storage row to its chunk's stride index.
+            row = row[collapser.rowmap]
+        S = Tm[row[:, None], S]
+        gathered += S.size
+        if collapser is not None:
+            consumed += m
+            if consumed >= collapser.next_scan:
+                S = collapser.scan(S, consumed)
     for row in packed.rem:
+        if collapser is not None and collapser.rowmap is not None:
+            row = row[collapser.rowmap]
         S = Tc[row[:, None], S]
+        gathered += S.size
+        if collapser is not None:
+            consumed += 1
+            if consumed >= collapser.next_scan:
+                S = collapser.scan(S, consumed)
+    # The ragged tail addresses chunks by row position — recover the full
+    # (num_chunks, w) layout first.
+    if collapser is not None:
+        S = collapser.expand(S)
     r = packed.tail.size
     if r:
         S[:r] = Tc[packed.tail[:, None], S[:r]]
+        gathered += r if S.ndim == 1 else S[:r].size
+    if stats is not None:
+        stats.local_gathers += gathered
+        if collapser is not None:
+            stats.collapse_scans += collapser.scans
+            stats.lanes_collapsed += collapser.lanes_collapsed
     return S
 
 
@@ -426,6 +471,7 @@ def process_chunks_kernel(
     *,
     transformed: TransformedInput | None = None,
     stats=None,
+    collapse: CollapseConfig | None = None,
 ) -> np.ndarray:
     """Kernel-dispatched equivalent of :func:`repro.core.local.process_chunks`.
 
@@ -433,8 +479,11 @@ def process_chunks_kernel(
     ``stats`` keep the lock-step semantics (transitions = symbols consumed
     x speculation width) so modeled-GPU pricing and projections are
     kernel-independent; the *physical* gather count is what the kernels
-    change, and it is visible through wall clock and the ``kernel.*``
-    observability counters.
+    change, and it is visible through wall clock, ``stats.local_gathers``,
+    and the ``kernel.*`` observability counters. ``collapse`` threads the
+    convergence layer (:mod:`repro.core.convergence`) through the stride
+    loop; the scalar kernel deduplicates each chunk's lanes up front
+    (its whole row is one collapse scan).
     """
     spec = np.asarray(spec, dtype=np.int32)
     if spec.ndim != 2 or spec.shape[0] != plan.num_chunks:
@@ -443,11 +492,32 @@ def process_chunks_kernel(
             f"{plan.num_chunks} chunks"
         )
     if KERNELS[kplan.kernel].name == "scalar":
+        # Class-map the input once (not once per lane) and advance each
+        # chunk's lanes as one batch: the per-step table lookup gathers all
+        # k lanes in a single fancy index instead of k separate Python
+        # loops over the same segment.
+        cls = kplan.compaction.remap(inputs)
+        dedupe = collapse is not None and collapse.enabled and spec.shape[1] > 1
         end = np.empty_like(spec)
+        gathered = 0
         for c in range(plan.num_chunks):
-            seg = inputs[plan.chunk_slice(c)]
-            for j in range(spec.shape[1]):
-                end[c, j] = run_segment_kernel(kplan, seg, int(spec[c, j]))
+            seg_cls = cls[plan.chunk_slice(c)]
+            row = spec[c]
+            if dedupe:
+                uniq, inv = np.unique(row, return_inverse=True)
+                out = _advance_states_packed(kplan, seg_cls, uniq.astype(np.int32))
+                end[c] = out[inv]
+                gathered += int(seg_cls.size) * int(uniq.size)
+                if stats is not None and uniq.size < row.size:
+                    stats.collapse_scans += 1
+                    stats.lanes_collapsed += int(row.size - uniq.size)
+            else:
+                end[c] = _advance_states_packed(
+                    kplan, seg_cls, row.astype(np.int32)
+                )
+                gathered += int(seg_cls.size) * int(row.size)
+        if stats is not None:
+            stats.local_gathers += gathered
     else:
         cls = kplan.compaction.remap(inputs)
         cls_transformed = None
@@ -460,13 +530,46 @@ def process_chunks_kernel(
             cls, plan, kplan.m, kplan.compaction.num_classes,
             transformed=cls_transformed,
         )
-        end = advance_matrix(kplan, packed, spec)
+        end = advance_matrix(kplan, packed, spec, collapse=collapse, stats=stats)
         add_count("kernel.gathers", packed.packed.shape[0] + packed.rem.shape[0])
     if stats is not None:
         stats.local_steps += plan.max_len
         stats.local_transitions += int(plan.lengths.sum()) * spec.shape[1]
         stats.local_input_reads += int(plan.lengths.sum())
     return end
+
+
+def _advance_states_packed(
+    kplan: KernelPlan, cls: np.ndarray, states: np.ndarray
+) -> np.ndarray:
+    """Advance a state *vector* through one class-mapped segment.
+
+    The batched core of the scalar kernel: the segment is radix-packed
+    once, then each packed step gathers all ``len(states)`` lanes with a
+    single fancy index — ``ceil(L/m)`` dispatches regardless of lane
+    count, where the old per-lane loop paid ``L`` per lane.
+    """
+    states = states.copy()
+    if cls.size == 0:
+        return states
+    m = kplan.m
+    rest = cls
+    if kplan.tables is not None and cls.size >= m:
+        C = kplan.compaction.num_classes
+        T = cls.size // m
+        blocks = cls[: T * m].astype(np.int64).reshape(T, m)
+        idx = np.zeros(T, dtype=np.int64)
+        for i in range(m):
+            idx *= C
+            idx += blocks[:, i]
+        table_m = kplan.tables.table_m
+        for a in idx.tolist():
+            states = table_m[a, states]
+        rest = cls[T * m:]
+    table_c = kplan.compaction.table
+    for a in rest.tolist():
+        states = table_c[a, states]
+    return states
 
 
 def run_segment_kernel(kplan: KernelPlan, symbols: np.ndarray, start: int) -> int:

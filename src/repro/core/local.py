@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.convergence import CollapseConfig, LaneCollapser
 from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.workloads.chunking import ChunkPlan, TransformedInput
@@ -39,6 +40,7 @@ def process_chunks(
     stats: ExecStats | None = None,
     cache_mask: np.ndarray | None = None,
     count_accepting: bool = False,
+    collapse: CollapseConfig | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Run every chunk from its ``k`` speculated states.
 
@@ -50,6 +52,16 @@ def process_chunks(
     rows resident in the simulated shared-memory cache; when provided, hits
     and misses are tallied into ``stats`` (the functional result does not
     change — caching is a performance feature).
+
+    ``collapse`` enables the convergence layer
+    (:mod:`repro.core.convergence`): every ``cadence`` steps duplicate
+    lanes are deduplicated per chunk and the loop continues on the
+    narrower matrix, reconstructing the full ``(num_chunks, k)`` ending
+    matrix at the end — bit-identical results, up to ``k×`` fewer
+    physically gathered elements. Per-symbol features (``cache_mask``,
+    ``count_accepting``) need full-width lanes and disable collapse.
+    ``stats.local_transitions`` keeps the lock-step modeled count either
+    way; ``stats.local_gathers`` reports the physical elements.
     """
     spec = np.asarray(spec, dtype=np.int32)
     if spec.ndim != 2 or spec.shape[0] != plan.num_chunks:
@@ -67,8 +79,20 @@ def process_chunks(
     q = plan.min_len
     inputs = np.asarray(inputs)
 
+    collapser = None
+    if (
+        collapse is not None
+        and collapse.enabled
+        and spec.shape[1] > 1
+        and acc is None
+        and cache_mask is None
+    ):
+        collapser = LaneCollapser(spec.shape[1], collapse)
+
     hits = 0
     total_accesses = 0
+    gathered = 0
+    consumed = 0
 
     for j in range(q):
         if transformed is not None:
@@ -78,9 +102,23 @@ def process_chunks(
         if cache_mask is not None:
             hits += int(cache_mask[S].sum())
             total_accesses += S.size
+        if collapser is not None and collapser.rowmap is not None:
+            # Spill rows carry straggler lanes of specific chunks; route
+            # each storage row to its chunk's symbol.
+            syms = syms[collapser.rowmap]
         S = table[syms[:, None], S]
+        gathered += S.size
         if acc is not None:
             acc += accepting[S]
+        if collapser is not None:
+            consumed += 1
+            if consumed >= collapser.next_scan:
+                S = collapser.scan(S, consumed)
+
+    # The ragged step below addresses chunks by row position, so recover
+    # the full (num_chunks, k) layout first.
+    if collapser is not None:
+        S = collapser.expand(S)
 
     # Ragged step: the first num_long chunks carry one extra symbol.
     r = plan.num_long
@@ -94,6 +132,7 @@ def process_chunks(
             hits += int(cache_mask[S[:r]].sum())
             total_accesses += S[:r].size
         S[:r] = table[syms_tail[:, None], S[:r]]
+        gathered += S[:r].size
         if acc is not None:
             acc[:r] += accepting[S[:r]]
 
@@ -101,6 +140,10 @@ def process_chunks(
         stats.local_steps += plan.max_len
         stats.local_transitions += int(plan.lengths.sum()) * spec.shape[1]
         stats.local_input_reads += int(plan.lengths.sum())
+        stats.local_gathers += gathered
+        if collapser is not None:
+            stats.collapse_scans += collapser.scans
+            stats.lanes_collapsed += collapser.lanes_collapsed
         if cache_mask is not None:
             stats.cache_hits += hits
             stats.cache_misses += total_accesses - hits

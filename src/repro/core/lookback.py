@@ -84,13 +84,23 @@ def speculate(
     prior: np.ndarray | None = None,
     ranking: np.ndarray | None = None,
     stats: ExecStats | None = None,
-) -> np.ndarray:
+    return_coverage: bool = False,
+):
     """Speculated starting states, shape ``(num_chunks, k)``.
 
     Chunk 0's first entry is the true initial state (it is never a guess).
     Within each row states are distinct, ordered by decreasing posterior.
     ``ranking`` only breaks ties and orders the zero-posterior padding; it
     defaults to the prior's ordering.
+
+    With ``return_coverage=True`` returns ``(spec, covered)`` where
+    ``covered[c]`` flags chunks whose speculation row contains the *whole*
+    image of the look-back window
+    (:func:`repro.core.convergence.coverage_mask`): the true boundary
+    state is then guaranteed to be among the speculated states, which is
+    what lets the merges treat converged chunks as guaranteed hits. Chunk
+    0 is always covered — its only achievable incoming state is
+    ``dfa.start``, which is always speculated.
     """
     n_states = dfa.num_states
     if not 1 <= k <= n_states:
@@ -152,4 +162,11 @@ def speculate(
         int(s) for s in np.argsort(ranking, kind="stable") if int(s) != dfa.start
     ]
     spec[0] = np.asarray(row0[:k], dtype=np.int32)
-    return spec
+    if not return_coverage:
+        return spec
+    from repro.core.convergence import coverage_mask
+
+    covered = coverage_mask(M, spec, n_states)
+    # Chunk 0's achievable incoming state is exactly dfa.start == spec[0, 0].
+    covered[0] = True
+    return spec, covered

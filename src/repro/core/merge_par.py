@@ -34,7 +34,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.checks import count_hash, count_nested, match_pairs, select_check
+from repro.core.checks import (
+    count_hash,
+    count_nested,
+    count_skipped,
+    match_pairs,
+    select_check,
+)
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 from repro.fsm.dfa import DFA
 from repro.fsm.run import run_segment
@@ -156,6 +162,11 @@ def merge_parallel(
 
     tree = MergeTree(levels=levels)
     root = tree.root
+    if root.converged is not None and root.converged[0]:
+        # The whole input reduced to a total-constant map: the answer for
+        # the (achievable) initial state is known without probing.
+        count_skipped(1, stats)
+        return int(root.end[0, 0]), tree
     hits = np.flatnonzero((root.spec[0] == dfa.start) & root.valid[0])
     if hits.size:
         return int(root.end[0, hits[0]]), tree
@@ -195,19 +206,51 @@ def _merge_level(
     er = maps.end[1 : 2 * npairs : 2]
     vr = maps.valid[1 : 2 * npairs : 2]
 
+    have_conv = maps.converged is not None
+    conv = maps.converged_mask()
+    conv_l = conv[0 : 2 * npairs : 2]
+    conv_r = conv[1 : 2 * npairs : 2]
+
     obs = current_trace()
     check_t0 = time.perf_counter() if obs is not None else 0.0
-    new_end, found, match_idx = compose_maps(el, vl, sr, er, vr)
+    # Pairs whose right side converged need no semi-join: the right map is
+    # a total constant over achievable incoming states, so every valid left
+    # entry composes to the same known ending state. The check (and the
+    # possibility of a miss — delayed invalidation or eager re-execution)
+    # is skipped for them entirely.
+    skip = conv_r if have_conv else np.zeros(npairs, dtype=bool)
+    if skip.any():
+        do = ~skip
+        new_end = np.repeat(er[:, :1], k, axis=1).astype(np.int32)
+        found = vl.copy()
+        if do.any():
+            ne, fo, match_idx = compose_maps(
+                el[do], vl[do], sr[do], er[do], vr[do]
+            )
+            new_end[do] = ne
+            found[do] = fo
+            if stats is not None:
+                if impl == "nested":
+                    count_nested(match_idx, fo, vl[do], k, stats)
+                else:
+                    count_hash(el[do], vl[do], sr[do], vr[do], match_idx, fo, stats)
+        count_skipped(int(vl[skip].sum()), stats)
+        if obs is not None:
+            obs.count("merge.semijoin.skipped", int(vl[skip].sum()))
+    else:
+        new_end, found, match_idx = compose_maps(el, vl, sr, er, vr)
+        if stats is not None:
+            if impl == "nested":
+                count_nested(match_idx, found, vl, k, stats)
+            else:
+                count_hash(el, vl, sr, vr, match_idx, found, stats)
     if stats is not None:
         stats.merge_pair_ops += npairs
-        if impl == "nested":
-            count_nested(match_idx, found, vl, k, stats)
-        else:
-            count_hash(el, vl, sr, vr, match_idx, found, stats)
     if obs is not None:
         obs.observe("merge.check_s", time.perf_counter() - check_t0)
         matched = int((vl & found).sum())
-        obs.count("merge.semijoin.match", matched)
+        skipped = int(vl[skip].sum()) if skip.any() else 0
+        obs.count("merge.semijoin.match", matched - skipped)
         obs.count("merge.semijoin.miss", int(vl.sum()) - matched)
 
     new_valid = found.copy()
@@ -241,12 +284,17 @@ def _merge_level(
         if stats is not None:
             stats.reexec_wall_items += level_max_items
 
+    # A composed segment is converged when both halves are: an achievable
+    # incoming state then hits the left's constant map, whose (achievable)
+    # answer hits the right's constant map — the composition stays a total
+    # constant. Converged-left with unconverged-right gives no guarantee.
     out = SegmentMaps(
         spec=sl.copy(),
         end=new_end,
         valid=new_valid,
         chunk_lo=maps.chunk_lo[0 : 2 * npairs : 2].copy(),
         chunk_hi=maps.chunk_hi[1 : 2 * npairs : 2].copy(),
+        converged=(conv_l & conv_r) if have_conv else None,
     )
     if carry:
         out = SegmentMaps(
@@ -255,6 +303,11 @@ def _merge_level(
             valid=np.vstack([out.valid, maps.valid[-1:]]),
             chunk_lo=np.concatenate([out.chunk_lo, maps.chunk_lo[-1:]]),
             chunk_hi=np.concatenate([out.chunk_hi, maps.chunk_hi[-1:]]),
+            converged=(
+                np.concatenate([out.converged, maps.converged[-1:]])
+                if have_conv
+                else None
+            ),
         )
     return out, had_reexec
 
@@ -347,6 +400,11 @@ def _fixup_node(
     reexecuted: list[int],
 ) -> int:
     maps = tree.levels[level]
+    if maps.converged is not None and maps.converged[idx]:
+        # The descent always carries an achievable state, for which a
+        # converged segment's map is a known constant — no probe needed.
+        count_skipped(1, stats)
+        return int(maps.end[idx, 0])
     if stats is not None:
         stats.fixup_probes += 1
     hits = np.flatnonzero((maps.spec[idx] == state) & maps.valid[idx])

@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from repro.core.checks import count_hash, count_nested, select_check
+from repro.core.checks import count_hash, count_nested, count_skipped, select_check
 from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.dfa import DFA
 from repro.fsm.run import run_segment
@@ -104,8 +104,12 @@ def merge_sequential(
 
     reexec_runs = 0
     with trace_span("merge.sequential_walk", chunks=n):
-        cur, reexec_runs, semijoin_match, reexec_time, reexec_items_obs = _walk(
-            dfa, inputs, plan, spec, end, valid, true_starts, cur,
+        (
+            cur, reexec_runs, semijoin_match, semijoin_skipped,
+            reexec_time, reexec_items_obs,
+        ) = _walk(
+            dfa, inputs, plan, spec, end, valid, results.converged,
+            true_starts, cur,
             n=n, k=k, impl=impl, stats=stats, counted=counted, obs=obs,
         )
     if counted and reexec_runs:
@@ -113,7 +117,9 @@ def merge_sequential(
         stats.reexec_max_chain = max(stats.reexec_max_chain, reexec_runs)
     if obs is not None:
         obs.count("merge.semijoin.match", semijoin_match)
-        obs.count("merge.semijoin.miss", n - semijoin_match)
+        obs.count("merge.semijoin.miss", n - semijoin_match - semijoin_skipped)
+        if semijoin_skipped:
+            obs.count("merge.semijoin.skipped", semijoin_skipped)
         if reexec_runs:
             obs.observe("reexec.seq_s", reexec_time)
             obs.count("reexec.seq.items", reexec_items_obs)
@@ -127,6 +133,7 @@ def _walk(
     spec: np.ndarray,
     end: np.ndarray,
     valid: np.ndarray,
+    converged: np.ndarray | None,
     true_starts: np.ndarray,
     cur: np.int32,
     *,
@@ -136,14 +143,27 @@ def _walk(
     stats: ExecStats | None,
     counted: bool,
     obs,
-) -> tuple[np.int32, int, int, float, int]:
+) -> tuple[np.int32, int, int, int, float, int]:
     """The sequential walk body; returns the carried state and accumulators."""
     semijoin_match = 0
+    semijoin_skipped = 0
     reexec_runs = 0
     reexec_time = 0.0
     reexec_items_obs = 0
     for c in range(n):
         true_starts[c] = cur
+        if converged is not None and converged[c]:
+            # Converged chunk: the map is a total constant over achievable
+            # incoming states, and ``cur`` (the true state) is achievable —
+            # a guaranteed hit with a known answer, no semi-join needed.
+            cur = end[c, 0]
+            semijoin_skipped += 1
+            if counted:
+                count_skipped(1, stats)
+                if c > 0:
+                    stats.success_total += 1
+                    stats.success_hits += 1
+            continue
         row_valid = valid[c]
         # Semi-join of the single true state against the chunk's spec set.
         hits = np.flatnonzero((spec[c] == cur) & row_valid)
@@ -178,4 +198,7 @@ def _walk(
             if obs is not None:
                 reexec_time += time.perf_counter() - t0
                 reexec_items_obs += int(seg.size)
-    return cur, reexec_runs, semijoin_match, reexec_time, reexec_items_obs
+    return (
+        cur, reexec_runs, semijoin_match, semijoin_skipped,
+        reexec_time, reexec_items_obs,
+    )

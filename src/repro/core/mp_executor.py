@@ -53,6 +53,11 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.core.convergence import (
+    CollapseConfig,
+    converged_chunks,
+    resolve_collapse,
+)
 from repro.core.engine import run_inprocess_fallback
 from repro.core.faultinject import FaultPlan, FaultSpec, chaos_plan_from_env
 from repro.core.kernels import (
@@ -230,21 +235,27 @@ def _evict_stale(keep: frozenset) -> None:
             pass
 
 
-def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
+def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple, tuple]:
     """Run one segment; return its map plus per-worker timings.
 
     Return shape: ``(spec_row, end_row, reexec_chunks, reexec_items,
-    (attach_s, exec_s, fold_s, total_s, new_attaches))`` — the timing tuple
-    rides the existing result path because worker processes cannot see the
-    parent's ambient :class:`repro.obs.RunTrace`; the parent folds it into
-    :class:`WorkerTiming` and its trace.
+    (attach_s, exec_s, fold_s, total_s, new_attaches),
+    (local_gathers, collapse_scans, lanes_collapsed, chunks_converged,
+    checks_skipped))`` — the timing and counter tuples ride the existing
+    result path because worker processes cannot see the parent's ambient
+    :class:`repro.obs.RunTrace`; the parent folds them into
+    :class:`WorkerTiming` / :class:`ExecStats` and its trace.
 
     Executed inside a worker process. Attaches the pool's shared segments
     (cached across calls), runs the lock-step kernel over ``sub_chunks``
     chunks of its input slice, and folds the per-chunk maps left to right
     with the vectorized semi-join composition — on a speculation miss the
     worker re-executes its own sub-chunk locally, so the returned map is
-    always complete over ``spec_row``.
+    always complete over ``spec_row``. When the parent shipped a collapse
+    cadence, duplicate lanes are collapsed mid-advancement and the fold
+    short-circuits converged sub-chunks (constant maps over achievable
+    incoming states) — the collapse state is rebuilt from the task alone,
+    so a retried or respawned worker reproduces it exactly.
     """
     (
         table_name,
@@ -268,6 +279,7 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
         class_of_name,
         class_table_name,
         stride_name,
+        collapse_spec,
     ) = task
     t_task = time.perf_counter()
     _tracker_inherited()  # snapshot before the first attach registers anything
@@ -309,18 +321,43 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
 
     dfa = DFA(table=table, start=start, accepting=accepting)
     plan = plan_chunks(segment.size, sub_chunks)
+    collapse_cfg = (
+        CollapseConfig(cadence=collapse_spec[0], backoff=collapse_spec[1])
+        if collapse_spec is not None
+        else None
+    )
+    covered = None
     if k is None or k >= num_states:
         spec = np.tile(np.arange(num_states, dtype=np.int32), (sub_chunks, 1))
-    else:
-        spec = speculate(dfa, segment, plan, k, lookback=lookback, prior=prior)
+        if collapse_cfg is not None:
+            covered = np.ones(sub_chunks, dtype=bool)
+    elif collapse_cfg is not None:
+        spec, covered = speculate(
+            dfa, segment, plan, k, lookback=lookback, prior=prior,
+            return_coverage=True,
+        )
         # Chunk 0's incoming states are the *segment boundary's*, which only
         # the parent can see (they depend on the left neighbour's tail); use
-        # the boundary row it shipped.
+        # the boundary row it shipped. Its coverage is unknown here — the
+        # parent assesses segment-boundary coverage itself.
         spec[0] = boundary_row
-    if kernel_name == "lockstep":
-        end, _ = process_chunks(dfa, segment, plan, spec)
+        covered[0] = False
     else:
-        end = process_chunks_kernel(dfa, segment, plan, spec, kplan)
+        spec = speculate(dfa, segment, plan, k, lookback=lookback, prior=prior)
+        spec[0] = boundary_row
+    wstats = ExecStats()
+    if kernel_name == "lockstep":
+        end, _ = process_chunks(
+            dfa, segment, plan, spec, stats=wstats, collapse=collapse_cfg
+        )
+    else:
+        end = process_chunks_kernel(
+            dfa, segment, plan, spec, kplan, stats=wstats, collapse=collapse_cfg
+        )
+    converged = (
+        converged_chunks(end, covered) if covered is not None else None
+    )
+    chunks_conv = int(converged.sum()) if converged is not None else 0
     t_exec = time.perf_counter()
 
     # Fold chunk maps into one segment map over chunk 0's speculation row:
@@ -330,7 +367,15 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
     all_valid = np.ones((1, spec.shape[1]), dtype=bool)
     reexec_chunks = 0
     reexec_items = 0
+    checks_skipped = 0
     for c in range(1, sub_chunks):
+        if converged is not None and converged[c]:
+            # Converged sub-chunk: constant map over achievable incoming
+            # states — every running entry composes to the same known
+            # ending state, no semi-join and no possible local miss.
+            cur_end = np.full_like(cur_end, end[c, 0])
+            checks_skipped += int(cur_end.shape[1])
+            continue
         nxt, found, _ = compose_maps(
             cur_end, all_valid, spec[c][None, :], end[c][None, :], all_valid
         )
@@ -352,7 +397,14 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple]:
         t_done - t_task,  # total_s
         new_attaches,
     )
-    return spec_row, cur_end[0], reexec_chunks, reexec_items, timings
+    counters = (
+        int(wstats.local_gathers),
+        int(wstats.collapse_scans),
+        int(wstats.lanes_collapsed),
+        chunks_conv,
+        checks_skipped,
+    )
+    return spec_row, cur_end[0], reexec_chunks, reexec_items, timings, counters
 
 
 # --------------------------------------------------------------------------- #
@@ -416,6 +468,14 @@ class ScaleoutPool:
     table_budget_bytes:
         Memory cap for the composed stride table (``"auto"`` never picks
         a kernel whose table exceeds it).
+    collapse:
+        Convergence layer (:mod:`repro.core.convergence`) for worker-side
+        local processing and the merge short-circuit: ``"auto"`` (default
+        — probe the machine on the first run, enable when a convergence
+        horizon exists), ``"on"``, ``"off"``, or an explicit
+        :class:`CollapseConfig`. The resolved cadence ships inside each
+        task tuple, so retried and respawned workers rebuild the same
+        collapse state deterministically.
     resilience:
         :class:`repro.core.resilience.ResilienceConfig` governing worker
         supervision (deadlines, retry, respawn, quorum). The default keeps
@@ -440,6 +500,7 @@ class ScaleoutPool:
         lookback: int = 8,
         kernel: str = "auto",
         table_budget_bytes: int = DEFAULT_TABLE_BUDGET_BYTES,
+        collapse: str | CollapseConfig | None = "auto",
         resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
         fault_plan: FaultPlan | None = None,
     ) -> None:
@@ -467,6 +528,21 @@ class ScaleoutPool:
                     f"unknown kernel {kernel!r}; available: "
                     f"{sorted(KERNELS)} or 'auto'"
                 )
+            if isinstance(collapse, str) and collapse not in ("auto", "on", "off"):
+                raise ValueError(
+                    f"collapse must be 'auto', 'on', 'off', or a "
+                    f"CollapseConfig, got {collapse!r}"
+                )
+            self._collapse_mode = collapse
+            self._collapse_requested = not (
+                collapse is None
+                or collapse == "off"
+                or (isinstance(collapse, CollapseConfig) and not collapse.enabled)
+            )
+            # "auto" needs an input sample to probe; resolved lazily on the
+            # first non-empty run and cached for the pool's life.
+            self._collapse_cfg: CollapseConfig | None = None
+            self._collapse_resolved = not self._collapse_requested
             self.dfa = dfa
             self.num_workers = int(num_workers)
             self.k = None if (k is None or k >= dfa.num_states) else int(k)
@@ -616,7 +692,7 @@ class ScaleoutPool:
 
     def _valid_worker_map(self, payload: tuple) -> bool:
         """Reject corrupted worker results (states outside the machine)."""
-        if not (isinstance(payload, tuple) and len(payload) == 5):
+        if not (isinstance(payload, tuple) and len(payload) == 6):
             return False
         num_states = self.dfa.num_states
         for row in (payload[0], payload[1]):
@@ -695,14 +771,26 @@ class ScaleoutPool:
         seg_plan = plan_chunks(n, w)
         run_dfa = dfa if start == dfa.start else dfa.with_start(start)
 
+        if not self._collapse_resolved:
+            self._collapse_cfg = resolve_collapse(
+                self._collapse_mode, dfa, inputs, k=self.k_eff
+            )
+            self._collapse_resolved = True
+        collapse_spec = (
+            (self._collapse_cfg.cadence, self._collapse_cfg.backoff)
+            if self._collapse_cfg is not None
+            else None
+        )
+
         # Segment-boundary speculation rows, from look-back over the global
         # input (one vectorized call covering every boundary). Worker 0's
         # row must contain the true start state — `speculate` pins it first,
         # and the explicit guard keeps that invariant under any ranking.
         boundary = None
+        seg_covered = None
         with trace_span("pool.speculate", workers=w, k=self.k_eff):
             if self.k is not None:
-                boundary = speculate(
+                out = speculate(
                     run_dfa,
                     inputs,
                     seg_plan,
@@ -710,9 +798,19 @@ class ScaleoutPool:
                     lookback=self.lookback,
                     prior=self._prior,
                     stats=stats,
+                    return_coverage=self._collapse_requested,
                 )
+                if self._collapse_requested:
+                    boundary, seg_covered = out
+                else:
+                    boundary = out
                 if not (boundary[0] == start).any():
                     boundary[0, 0] = start
+                    # Segment 0's only achievable incoming state is `start`,
+                    # which the guard just pinned — still covered.
+            elif self._collapse_requested:
+                # spec-N workers enumerate every state at each boundary.
+                seg_covered = np.ones(w, dtype=bool)
         t_spec = time.perf_counter()
 
         def make_task(i: int) -> tuple:
@@ -740,6 +838,7 @@ class ScaleoutPool:
                 self._class_of_shm.name,
                 self._class_table_shm.name,
                 None if self._stride_shm is None else self._stride_shm.name,
+                collapse_spec,
             )
 
         def on_error(
@@ -787,6 +886,12 @@ class ScaleoutPool:
         for i, m in enumerate(maps):
             stats.reexec_chunks_seq += m[2]
             stats.reexec_items_seq += m[3]
+            gathers, scans, lanes, conv, skipped = m[5]
+            stats.local_gathers += gathers
+            stats.collapse_scans += scans
+            stats.lanes_collapsed += lanes
+            stats.chunks_converged += conv
+            stats.checks_skipped += skipped
             attach_s, exec_s, fold_s, total_s, new_attaches = m[4]
             worker_timings.append(
                 WorkerTiming(
@@ -821,15 +926,31 @@ class ScaleoutPool:
         # Parent-side combine: the same binary tree merge as the simulated
         # GPU — delayed invalidation, then a fix-up descent that re-executes
         # only the segments whose boundary speculation genuinely missed.
+        # A segment whose boundary row covers its look-back image and whose
+        # returned map is constant is converged: the tree skips its checks.
+        seg_converged = None
+        if seg_covered is not None:
+            seg_converged = converged_chunks(end_rows, seg_covered)
+            stats.chunks_converged += int(seg_converged.sum())
         with trace_span("pool.merge", workers=w):
             results = ChunkResults(
                 spec=spec_rows, end=end_rows,
                 valid=np.ones_like(spec_rows, dtype=bool),
+                converged=seg_converged,
             )
             final, tree = merge_parallel(
                 run_dfa, inputs, seg_plan, results, reexec="delayed", stats=stats
             )
         t_merge = time.perf_counter()
+        if obs is not None:
+            if stats.collapse_scans:
+                obs.count("spec.collapse_scans", stats.collapse_scans)
+            if stats.lanes_collapsed:
+                obs.count("spec.lanes_collapsed", stats.lanes_collapsed)
+            if stats.chunks_converged:
+                obs.count("spec.chunks_converged", stats.chunks_converged)
+            if stats.checks_skipped:
+                obs.count("spec.checks_skipped", stats.checks_skipped)
         reexec_segments = tuple(tree.reexecuted)
         stats.success_total += w - 1
         stats.success_hits += (w - 1) - sum(1 for c in reexec_segments if c > 0)
@@ -947,6 +1068,7 @@ def run_multiprocess(
     sub_chunks_per_worker: int = 64,
     lookback: int = 8,
     kernel: str = "auto",
+    collapse: str | CollapseConfig | None = "auto",
     resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
     fault_plan: FaultPlan | None = None,
     pool: ScaleoutPool | None = None,
@@ -972,6 +1094,7 @@ def run_multiprocess(
         sub_chunks_per_worker=sub_chunks_per_worker,
         lookback=lookback,
         kernel=kernel,
+        collapse=collapse,
         resilience=resilience,
         fault_plan=fault_plan,
     ) as temp:

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.convergence import CollapseConfig
 from repro.core.engine import run_speculative
 from repro.core.faultinject import FaultPlan
 from repro.core.mp_executor import ScaleoutPool
@@ -82,6 +83,11 @@ class StreamingExecutor:
     deployment surface, so wall clock (not modeled GPU fidelity) is the
     default objective. The pool backend resolves the kernel once at pool
     construction and reuses its stride tables for every block.
+    ``collapse`` configures the convergence layer
+    (:mod:`repro.core.convergence`) the same way — ``"auto"`` probes the
+    machine once (per block for the simulated backend, on the first block
+    for the pool) and collapses duplicate speculative lanes mid-chunk
+    when the machine converges; results are bit-identical either way.
 
     Three stats surfaces, all :class:`repro.core.types.ExecStats`:
 
@@ -102,6 +108,7 @@ class StreamingExecutor:
     pool_workers: int = 4
     sub_chunks_per_worker: int = 64
     kernel: str = "auto"
+    collapse: str | CollapseConfig | None = "auto"
     resilience: ResilienceConfig | None = DEFAULT_RESILIENCE
     fault_plan: FaultPlan | None = None
 
@@ -136,6 +143,7 @@ class StreamingExecutor:
                 sub_chunks_per_worker=self.sub_chunks_per_worker,
                 lookback=self.lookback,
                 kernel=self.kernel,
+                collapse=self.collapse,
                 resilience=self.resilience,
                 fault_plan=self.fault_plan,
             )
@@ -218,6 +226,7 @@ class StreamingExecutor:
                     collect=("match_positions",) if self.collect_matches else (),
                     price=False,
                     kernel=self.kernel,
+                    collapse=self.collapse,
                 )
                 if self.collect_matches:
                     new_matches = sim.match_positions + self.items_consumed

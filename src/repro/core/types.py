@@ -28,11 +28,19 @@ class ChunkResults:
     ``spec[c, j] -> end[c, j]`` for chunk ``c``; entries are valid unless a
     delayed merge marked them invalid. Speculated states within a chunk are
     distinct by construction (the look-back planner deduplicates).
+
+    ``converged[c]`` (optional) flags chunks whose map is a *total
+    constant* over achievable incoming states: the speculation row covers
+    the chunk's look-back image and every lane ended in the same state
+    (:func:`repro.core.convergence.converged_chunks`). The merges
+    short-circuit the semi-join against such chunks — any achievable
+    incoming state is a guaranteed hit with a known answer.
     """
 
     spec: np.ndarray  # (num_chunks, k) int32
     end: np.ndarray  # (num_chunks, k) int32
     valid: np.ndarray  # (num_chunks, k) bool
+    converged: np.ndarray | None = None  # (num_chunks,) bool
 
     def __post_init__(self) -> None:
         if not (self.spec.shape == self.end.shape == self.valid.shape):
@@ -42,6 +50,13 @@ class ChunkResults:
             )
         if self.spec.ndim != 2:
             raise ValueError(f"chunk results must be 2-D, got {self.spec.shape}")
+        if self.converged is not None and self.converged.shape != (
+            self.spec.shape[0],
+        ):
+            raise ValueError(
+                f"converged must have shape ({self.spec.shape[0]},), got "
+                f"{self.converged.shape}"
+            )
 
     @property
     def num_chunks(self) -> int:
@@ -77,6 +92,7 @@ class SegmentMaps:
     valid: np.ndarray  # (m, k) bool
     chunk_lo: np.ndarray  # (m,) int64
     chunk_hi: np.ndarray  # (m,) int64
+    converged: np.ndarray | None = None  # (m,) bool
 
     @property
     def num_segments(self) -> int:
@@ -88,6 +104,12 @@ class SegmentMaps:
         """Speculation width."""
         return self.spec.shape[1]
 
+    def converged_mask(self) -> np.ndarray:
+        """The convergence flags, defaulting to all-False when absent."""
+        if self.converged is None:
+            return np.zeros(self.num_segments, dtype=bool)
+        return self.converged
+
     @classmethod
     def from_chunks(cls, results: ChunkResults) -> "SegmentMaps":
         """Level-0 segments: one per chunk."""
@@ -98,6 +120,9 @@ class SegmentMaps:
             valid=results.valid.copy(),
             chunk_lo=np.arange(n, dtype=np.int64),
             chunk_hi=np.arange(1, n + 1, dtype=np.int64),
+            converged=(
+                None if results.converged is None else results.converged.copy()
+            ),
         )
 
 
@@ -123,6 +148,17 @@ class ExecStats:
     local_steps: int = 0  # lock-step iterations (= max chunk length)
     local_transitions: int = 0  # table lookups in local processing
     local_input_reads: int = 0  # one per (chunk, step)
+
+    # --- convergence layer (repro.core.convergence) -----------------------
+    # ``local_transitions`` above keeps lock-step *modeled* semantics
+    # (symbols consumed x speculation width) so GPU pricing is
+    # collapse-independent; ``local_gathers`` counts the *physical*
+    # elements actually gathered, which lane collapse shrinks.
+    local_gathers: int = 0  # physical gathered elements in local processing
+    collapse_scans: int = 0  # duplicate scans performed
+    lanes_collapsed: int = 0  # lane slots eliminated by collapse scans
+    chunks_converged: int = 0  # chunks with a constant, covered spec->end map
+    checks_skipped: int = 0  # merge semi-join probes skipped via convergence
 
     # --- speculation ------------------------------------------------------
     lookback_symbols: int = 0  # symbols consumed by look-back
@@ -220,6 +256,7 @@ class ExecStats:
             local_steps=int(round(self.local_steps * factor)),
             local_transitions=int(round(self.local_transitions * factor)),
             local_input_reads=int(round(self.local_input_reads * factor)),
+            local_gathers=int(round(self.local_gathers * factor)),
             reexec_items_seq=int(round(self.reexec_items_seq * factor)),
             reexec_items_eager=int(round(self.reexec_items_eager * factor)),
             reexec_wall_items=int(round(self.reexec_wall_items * factor)),
