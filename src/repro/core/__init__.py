@@ -53,6 +53,7 @@ from repro.core.mp_executor import (
     WorkerTiming,
     run_multiprocess,
 )
+from repro.core.predictor import HistoryPredictor, dfa_fingerprint
 from repro.core.resilience import (
     DEFAULT_RESILIENCE,
     DeadlineModel,
@@ -62,11 +63,13 @@ from repro.core.resilience import (
     RetryPolicy,
     SupervisionReport,
 )
+from repro.core.scoreboard import ChunkScoreboard, run_chunks_active
 from repro.core.streaming import FeedCursor, StreamingExecutor
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 
 __all__ = [
     "ChunkResults",
+    "ChunkScoreboard",
     "DEFAULT_RESILIENCE",
     "DeadlineModel",
     "DegradedExecution",
@@ -75,6 +78,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FeedCursor",
+    "HistoryPredictor",
     "KChoice",
     "KERNELS",
     "KernelChoice",
@@ -98,8 +102,10 @@ __all__ = [
     "choose_kernel",
     "corrupt_result_map",
     "delay_task",
+    "dfa_fingerprint",
     "kill_worker",
     "plan_kernel",
+    "run_chunks_active",
     "run_inprocess_fallback",
     "run_multiprocess",
     "run_speculative",

@@ -24,17 +24,24 @@ from repro.core.convergence import (
     resolve_collapse,
 )
 from repro.core.kernels import KERNELS, plan_kernel, process_chunks_kernel
-from repro.core.local import process_chunks, recover_accepts, recover_emissions
+from repro.core.local import (
+    process_chunks,
+    process_chunks_ragged,
+    recover_accepts,
+    recover_emissions,
+)
 from repro.core.lookback import enumerative_spec, speculate
 from repro.core.merge_par import MergeTree, merge_parallel
 from repro.core.merge_seq import merge_sequential
+from repro.core.predictor import HistoryPredictor
+from repro.core.scoreboard import ChunkScoreboard, run_chunks_active
 from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.cost import CostModel, TimeBreakdown
 from repro.gpu.device import DeviceSpec, TESLA_V100, launch_geometry
 from repro.obs.trace import RunTrace, current_trace, trace_span
 from repro.util.validation import check_in_set
-from repro.workloads.chunking import plan_chunks, transform_layout
+from repro.workloads.chunking import ChunkPlan, plan_chunks, transform_layout
 
 __all__ = [
     "EngineConfig",
@@ -81,6 +88,9 @@ class EngineConfig:
         Resolved convergence-layer setting: ``"on(W=<cadence>)"`` when
         lane collapse ran, ``"off"`` otherwise (disabled, or ``"auto"``
         probed the machine and found no convergence horizon).
+    schedule:
+        ``"barrier"`` (lock-step stage pipeline) or ``"ooo"`` (chunk
+        scoreboard, :mod:`repro.core.scoreboard`).
     """
 
     k: int
@@ -96,6 +106,7 @@ class EngineConfig:
     device: DeviceSpec
     kernel: str = "lockstep"
     collapse: str = "off"
+    schedule: str = "barrier"
 
     @property
     def num_threads(self) -> int:
@@ -188,6 +199,9 @@ def run_speculative(
     backend: str = "vectorized",
     kernel: str = "lockstep",
     collapse: str | CollapseConfig | None = "auto",
+    schedule: str = "barrier",
+    plan: ChunkPlan | None = None,
+    history: HistoryPredictor | str | None = None,
     trace: RunTrace | None = None,
 ) -> SpecExecutionResult:
     """Execute ``dfa`` over ``inputs`` with spec-k speculation.
@@ -253,6 +267,29 @@ def run_speculative(
         Functionally invisible — every mode produces identical results;
         ``stats.local_transitions`` keeps the modeled lock-step count
         either way.
+    schedule:
+        ``"barrier"`` (default — the lock-step stage pipeline) or
+        ``"ooo"`` — the chunk scoreboard
+        (:mod:`repro.core.scoreboard`): the merge consumes chunk maps as
+        they complete, converged chunks retire immediately, and provable
+        speculation misses re-execute *before* the merge finishes.
+        Bit-identical results on every merge/kernel/backend/collapse
+        combination.
+    plan:
+        Explicit :class:`repro.workloads.chunking.ChunkPlan` overriding
+        the default near-equal partition (its chunk count then overrides
+        the launch geometry's). A *skewed* plan (lengths differing by more
+        than one — straggler modeling) runs in the natural layout with the
+        vectorized lockstep backend, no collapse/cache/collect: under
+        ``schedule="barrier"`` via divergent full-width stepping
+        (:func:`repro.core.local.process_chunks_ragged`), under
+        ``schedule="ooo"`` via the active-list driver that posts each
+        chunk to the scoreboard at its true completion time.
+    history:
+        A :class:`repro.core.predictor.HistoryPredictor` (or a path to its
+        JSON store) supplying learned start-state priors: past runs' true
+        chunk-boundary states bias this run's speculation ranking, and
+        this run's recovered truth is folded back in afterwards.
     trace:
         A :class:`repro.obs.RunTrace` to record per-stage wall-clock spans
         and speculation metrics into. When omitted, the ambient trace (if
@@ -275,7 +312,7 @@ def run_speculative(
                 device=device, ranking=ranking, measure_success=measure_success,
                 collect=collect, price=price, cpu_transition_ns=cpu_transition_ns,
                 keep_merge_tree=keep_merge_tree, backend=backend, kernel=kernel,
-                collapse=collapse,
+                collapse=collapse, schedule=schedule, plan=plan, history=history,
             )
     check_in_set("merge", merge, ("sequential", "parallel"))
     check_in_set("check", check, ("auto", "nested", "hash"))
@@ -283,6 +320,7 @@ def run_speculative(
     check_in_set("layout", layout, ("transformed", "natural"))
     check_in_set("backend", backend, ("vectorized", "codegen"))
     check_in_set("kernel", kernel, ("auto",) + tuple(sorted(KERNELS)))
+    check_in_set("schedule", schedule, ("barrier", "ooo"))
     if isinstance(collapse, str):
         check_in_set("collapse", collapse, ("auto", "on", "off"))
     for item in collect:
@@ -299,7 +337,38 @@ def run_speculative(
     if k_eff < 1:
         raise ValueError(f"k must be >= 1, got {k}")
 
-    plan = plan_chunks(inputs.size, n)
+    if plan is None:
+        plan = plan_chunks(inputs.size, n)
+    else:
+        if plan.num_items != inputs.size:
+            raise ValueError(
+                f"plan covers {plan.num_items} items but inputs has "
+                f"{inputs.size}"
+            )
+        n = plan.num_chunks
+    ragged = plan.max_len - plan.min_len > 1
+    if ragged:
+        # Skewed plans model stragglers; only the natural-layout vectorized
+        # lockstep paths understand them.
+        if backend != "vectorized":
+            raise ValueError("skewed plans require backend='vectorized'")
+        if kernel not in ("auto", "lockstep"):
+            raise ValueError(f"skewed plans require kernel='lockstep', got {kernel!r}")
+        kernel = "lockstep"
+        if cache_table or collect:
+            raise ValueError(
+                "skewed plans do not support cache_table or collect outputs"
+            )
+        layout = "natural"
+        collapse = "off"
+
+    predictor: HistoryPredictor | None = None
+    if history is not None:
+        predictor = (
+            history
+            if isinstance(history, HistoryPredictor)
+            else HistoryPredictor(history)
+        )
 
     # --- convergence-layer resolution ------------------------------------- #
     # collapse_requested gates the coverage/converged bookkeeping (cheap,
@@ -359,6 +428,7 @@ def run_speculative(
         device=device,
         kernel=kernel_resolved,
         collapse=collapse_cfg.label if collapse_cfg is not None else "off",
+        schedule=schedule,
     )
     stats = ExecStats(
         num_items=int(inputs.size),
@@ -387,6 +457,16 @@ def run_speculative(
                 from repro.core.lookback import state_prior
 
                 prior = state_prior(dfa, sample=inputs[: 1 << 14])
+            if ranking is None and predictor is not None:
+                # Learned boundary-state occupancy from past runs of this
+                # machine — the branch-predictor analog. Blended evenly
+                # with the sample prior (history measures exactly the
+                # boundary distribution speculation needs; the sample
+                # keeps a fresh input from being mis-ranked by stale
+                # history).
+                hist = predictor.prior(dfa)
+                if hist is not None:
+                    prior = hist if prior is None else 0.5 * (prior + hist)
             out = speculate(
                 dfa,
                 inputs,
@@ -420,9 +500,18 @@ def run_speculative(
         )
     with trace_span(
         "engine.local_exec", backend=backend, chunks=n, k=k_eff,
-        kernel=kernel_resolved,
+        kernel=kernel_resolved, schedule=schedule,
     ):
-        if backend == "codegen":
+        if ragged:
+            acc = None
+            if schedule == "ooo":
+                # Deferred: the active-list driver executes chunks and
+                # posts them to the scoreboard as they complete, inside
+                # the merge stage below.
+                end = None
+            else:
+                end = process_chunks_ragged(dfa, inputs, plan, spec, stats=stats)
+        elif backend == "codegen":
             if cache_mask is not None or "accept_count" in collect:
                 raise ValueError(
                     "backend='codegen' does not support cache_table or accept_count; "
@@ -466,31 +555,63 @@ def run_speculative(
     if collapse_requested:
         converged = converged_chunks(end, covered)
         stats.chunks_converged += int(converged.sum())
-    results = ChunkResults(
-        spec=spec, end=end, valid=np.ones_like(spec, dtype=bool),
-        converged=converged,
-    )
 
     # --- merge ------------------------------------------------------------------
     tree = None
     true_starts: np.ndarray | None = None
-    with trace_span("engine.merge", strategy=merge, check=check, reexec=reexec):
-        if merge == "sequential":
-            final_state, true_starts = merge_sequential(
-                dfa, inputs, plan, results, check=check, stats=stats
+    with trace_span(
+        "engine.merge", strategy=merge, check=check, reexec=reexec,
+        schedule=schedule,
+    ):
+        if schedule == "ooo":
+            board = ChunkScoreboard(
+                dfa, inputs, plan, k_eff, mode=merge, check=check, stats=stats,
+            )
+            if end is None:
+                # Ragged plan: the active-list driver executes the chunks
+                # and posts each one the step it finishes — short chunks
+                # merge (and provable misses re-execute) while stragglers
+                # are still stepping.
+                run_chunks_active(dfa, inputs, plan, spec, board, stats=stats)
+            else:
+                # Near-equal plan already executed by a barrier backend:
+                # chunks complete in (simulated) length order, so post
+                # shortest-first to exercise out-of-order arrival.
+                for c in np.argsort(plan.lengths, kind="stable"):
+                    board.post(
+                        int(c),
+                        spec[c],
+                        end[c],
+                        converged=(
+                            bool(converged[c]) if converged is not None else False
+                        ),
+                    )
+            final_state, true_starts = board.resolve()
+            results = ChunkResults(
+                spec=board.spec, end=board.end, valid=board.valid,
+                converged=converged,
             )
         else:
-            final_state, tree = merge_parallel(
-                dfa,
-                inputs,
-                plan,
-                results,
-                check=check,
-                reexec=reexec,
-                threads_per_block=threads_per_block,
-                warp_size=device.warp_size,
-                stats=stats,
+            results = ChunkResults(
+                spec=spec, end=end, valid=np.ones_like(spec, dtype=bool),
+                converged=converged,
             )
+            if merge == "sequential":
+                final_state, true_starts = merge_sequential(
+                    dfa, inputs, plan, results, check=check, stats=stats
+                )
+            else:
+                final_state, tree = merge_parallel(
+                    dfa,
+                    inputs,
+                    plan,
+                    results,
+                    check=check,
+                    reexec=reexec,
+                    threads_per_block=threads_per_block,
+                    warp_size=device.warp_size,
+                    stats=stats,
+                )
 
     # --- truth recovery (instrumentation; uncounted) --------------------------- #
     need_truth = (
@@ -504,6 +625,7 @@ def run_speculative(
             _, true_starts = true_boundary_walk(dfa, inputs, plan, results)
         if (
             merge == "parallel"
+            and schedule == "barrier"  # the scoreboard counts during resolution
             and measure_success
             and true_starts is not None
             and n > 1
@@ -513,6 +635,10 @@ def run_speculative(
             )
             stats.success_hits += hits
             stats.success_total += n - 1
+        if predictor is not None and true_starts is not None:
+            # Ground-truth boundary states feed the cross-run history — the
+            # branch-predictor update step.
+            predictor.observe(dfa, true_starts)
 
     # --- output recovery ----------------------------------------------------------
     match_positions = None

@@ -27,7 +27,12 @@ from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.workloads.chunking import ChunkPlan, TransformedInput
 
-__all__ = ["process_chunks", "recover_emissions", "recover_accepts"]
+__all__ = [
+    "process_chunks",
+    "process_chunks_ragged",
+    "recover_emissions",
+    "recover_accepts",
+]
 
 
 def process_chunks(
@@ -68,6 +73,12 @@ def process_chunks(
         raise ValueError(
             f"spec must have shape (num_chunks, k), got {spec.shape} for "
             f"{plan.num_chunks} chunks"
+        )
+    if plan.max_len - plan.min_len > 1:
+        raise ValueError(
+            "process_chunks requires a near-equal plan (lengths differ by "
+            "<= 1); skewed plans run through process_chunks_ragged or "
+            "repro.core.scoreboard.run_chunks_active"
         )
     table = dfa.table
     S = spec.copy()
@@ -150,6 +161,57 @@ def process_chunks(
     return S, acc
 
 
+def process_chunks_ragged(
+    dfa: DFA,
+    inputs: np.ndarray,
+    plan: ChunkPlan,
+    spec: np.ndarray,
+    *,
+    stats: ExecStats | None = None,
+) -> np.ndarray:
+    """Lock-step processing of an arbitrarily skewed plan (barrier semantics).
+
+    Models SIMT divergence faithfully: every step gathers the *full*
+    ``(num_chunks, k)`` width for ``max_len`` iterations, masking finished
+    chunks in place — a warp whose lanes hold chunks of different lengths
+    pays the longest lane's iteration count, which is exactly the straggler
+    cost the scoreboard's active-list driver
+    (:func:`repro.core.scoreboard.run_chunks_active`) avoids.
+    ``stats.local_gathers`` records the divergent physical cost
+    (``num_chunks * max_len * k``); the modeled counters keep the same
+    semantics as :func:`process_chunks`.
+    """
+    spec = np.asarray(spec, dtype=np.int32)
+    if spec.ndim != 2 or spec.shape[0] != plan.num_chunks:
+        raise ValueError(
+            f"spec must have shape (num_chunks, k), got {spec.shape} for "
+            f"{plan.num_chunks} chunks"
+        )
+    table = dfa.table
+    inputs = np.asarray(inputs)
+    S = spec.copy()
+    starts = plan.starts
+    lengths = plan.lengths
+    gathered = 0
+    # Safe symbol positions for finished lanes: clamp into the chunk (the
+    # gathered value is discarded by the mask, mirroring predicated-off
+    # lanes that still occupy their SIMT slot).
+    safe = np.maximum(lengths - 1, 0)
+    for j in range(plan.max_len):
+        running = lengths > j
+        pos = starts + np.where(running, j, safe)
+        syms = inputs[pos] if inputs.size else np.zeros(len(pos), dtype=np.int64)
+        stepped = table[syms[:, None], S]
+        gathered += S.size
+        S = np.where(running[:, None], stepped, S)
+    if stats is not None:
+        stats.local_steps += plan.max_len
+        stats.local_transitions += int(lengths.sum()) * spec.shape[1]
+        stats.local_input_reads += int(lengths.sum())
+        stats.local_gathers += gathered
+    return S
+
+
 def _true_state_pass(
     dfa: DFA,
     inputs: np.ndarray,
@@ -163,6 +225,10 @@ def _true_state_pass(
     if true_starts.shape != (plan.num_chunks,):
         raise ValueError(
             f"true_starts must have shape ({plan.num_chunks},), got {true_starts.shape}"
+        )
+    if plan.max_len - plan.min_len > 1:
+        raise ValueError(
+            "output recovery requires a near-equal plan (lengths differ by <= 1)"
         )
     table = dfa.table
     S = true_starts.copy()

@@ -60,9 +60,21 @@ def state_ranking(
     sample: np.ndarray | None = None,
     *,
     symbol_probs: np.ndarray | None = None,
+    prior: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Priority of each state (0 = most likely). Derived from the prior."""
-    prior = state_prior(dfa, sample, symbol_probs=symbol_probs)
+    """Priority of each state (0 = most likely). Derived from the prior.
+
+    An explicit ``prior`` (e.g. the learned occupancy from
+    :class:`repro.core.predictor.HistoryPredictor`) takes precedence over
+    the sample/stationary estimate.
+    """
+    if prior is None:
+        prior = state_prior(dfa, sample, symbol_probs=symbol_probs)
+    prior = np.asarray(prior, dtype=np.float64)
+    if prior.shape != (dfa.num_states,):
+        raise ValueError(
+            f"prior must have shape ({dfa.num_states},), got {prior.shape}"
+        )
     order = np.argsort(-prior, kind="stable")
     rank = np.empty(dfa.num_states, dtype=np.int64)
     rank[order] = np.arange(dfa.num_states)

@@ -69,9 +69,11 @@ from repro.core.kernels import (
     process_chunks_kernel,
     run_segment_kernel,
 )
-from repro.core.local import process_chunks
+from repro.core.local import process_chunks, recover_accepts
 from repro.core.lookback import speculate, state_prior
 from repro.core.merge_par import compose_maps, merge_parallel
+from repro.core.merge_seq import true_boundary_walk
+from repro.core.scoreboard import ChunkScoreboard
 from repro.core.resilience import (
     DEFAULT_RESILIENCE,
     DegradedExecution,
@@ -84,7 +86,7 @@ from repro.core.types import ChunkResults, ExecStats
 from repro.fsm.alphabet import AlphabetCompaction
 from repro.fsm.dfa import DFA
 from repro.obs.trace import add_count, current_trace, trace_span
-from repro.workloads.chunking import plan_chunks
+from repro.workloads.chunking import plan_chunks, plan_from_lengths
 
 __all__ = [
     "ScaleoutPool",
@@ -131,13 +133,14 @@ class PoolRunTiming:
     wait_s: float
     merge_s: float
     total_s: float
+    collect_s: float = 0.0
 
     @property
     def stages_s(self) -> float:
         """Sum of the attributed stage components (seconds)."""
         return (
             self.speculate_s + self.publish_s + self.dispatch_s
-            + self.wait_s + self.merge_s
+            + self.wait_s + self.merge_s + self.collect_s
         )
 
 
@@ -155,6 +158,11 @@ class MultiprocessResult:
     scaled out. ``recovery`` carries the run's
     :class:`repro.core.resilience.SupervisionReport` whenever any recovery
     action fired (always on degraded runs; None on clean runs).
+
+    ``match_positions`` (``collect_matches=True`` runs only) holds the
+    sorted global positions at which the machine sat in an accepting
+    state — identical to the in-process engine's
+    ``collect=("match_positions",)`` output.
     """
 
     final_state: int
@@ -166,6 +174,7 @@ class MultiprocessResult:
     worker_timings: tuple[WorkerTiming, ...] = field(default=())
     degraded: bool = False
     recovery: SupervisionReport | None = None
+    match_positions: np.ndarray | None = None
 
 
 # --------------------------------------------------------------------------- #
@@ -235,27 +244,82 @@ def _evict_stale(keep: frozenset) -> None:
             pass
 
 
-def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple, tuple]:
-    """Run one segment; return its map plus per-worker timings.
+def _segment_match_positions(
+    dfa: DFA,
+    segment: np.ndarray,
+    true_start: int,
+    *,
+    sub_chunks: int,
+    k: int | None,
+    lookback: int,
+    prior: np.ndarray | None = None,
+) -> np.ndarray:
+    """Accepting positions over one segment whose true start is known.
 
-    Return shape: ``(spec_row, end_row, reexec_chunks, reexec_items,
-    (attach_s, exec_s, fold_s, total_s, new_attaches),
-    (local_gathers, collapse_scans, lanes_collapsed, chunks_converged,
-    checks_skipped))`` — the timing and counter tuples ride the existing
+    The standard two-pass output recovery, self-contained per segment:
+    speculative chunk maps, an uncounted truth walk pinned at
+    ``true_start``, then :func:`repro.core.local.recover_accepts` from the
+    true per-chunk states. Positions are segment-relative (the caller adds
+    the segment's global offset). Runs identically in a worker process and
+    in the parent (single-worker and degraded paths).
+    """
+    segment = np.asarray(segment)
+    if segment.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    plan = plan_chunks(segment.size, sub_chunks)
+    n_states = dfa.num_states
+    if k is None or k >= n_states:
+        spec = np.tile(
+            np.arange(n_states, dtype=np.int32), (plan.num_chunks, 1)
+        )
+    else:
+        spec = speculate(dfa, segment, plan, k, lookback=lookback, prior=prior)
+        if not (spec[0] == true_start).any():
+            spec[0, 0] = true_start
+    end, _ = process_chunks(dfa, segment, plan, spec)
+    results = ChunkResults(
+        spec=spec, end=end, valid=np.ones_like(spec, dtype=bool)
+    )
+    dfa_seg = dfa if int(dfa.start) == int(true_start) else dfa.with_start(int(true_start))
+    _, tstarts = true_boundary_walk(dfa_seg, segment, plan, results)
+    return recover_accepts(dfa_seg, segment, plan, tstarts)
+
+
+def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple, tuple]:
+    """Run one segment task; return its result plus per-worker timings.
+
+    Three task modes, selected by the task's ``mode`` field:
+
+    * ``"fold"`` (the classic path): run ``sub_chunks`` speculative chunks
+      and fold their maps left to right; return shape ``(spec_row,
+      end_row, reexec_chunks, reexec_items, timings, counters)``.
+    * ``"maps"`` (scoreboard streaming): run the chunks but do **not**
+      fold — return the full per-chunk matrices ``(spec, end,
+      converged_mask_or_None, 0, timings, counters)`` so the parent's
+      :class:`repro.core.scoreboard.ChunkScoreboard` consumes each chunk
+      map individually as worker results arrive.
+    * ``"collect"`` (second pass): the parent ships the segment's *true*
+      starting state in ``aux_start``; return ``(global_positions,
+      empty, 0, 0, timings, counters)`` where ``global_positions`` are
+      the accepting positions inside the segment offset to global input
+      coordinates.
+
+    ``timings`` is ``(attach_s, exec_s, fold_s, total_s, new_attaches)``
+    and ``counters`` is ``(local_gathers, collapse_scans,
+    lanes_collapsed, chunks_converged, checks_skipped)`` — they ride the
     result path because worker processes cannot see the parent's ambient
     :class:`repro.obs.RunTrace`; the parent folds them into
     :class:`WorkerTiming` / :class:`ExecStats` and its trace.
 
     Executed inside a worker process. Attaches the pool's shared segments
     (cached across calls), runs the lock-step kernel over ``sub_chunks``
-    chunks of its input slice, and folds the per-chunk maps left to right
-    with the vectorized semi-join composition — on a speculation miss the
-    worker re-executes its own sub-chunk locally, so the returned map is
-    always complete over ``spec_row``. When the parent shipped a collapse
-    cadence, duplicate lanes are collapsed mid-advancement and the fold
-    short-circuits converged sub-chunks (constant maps over achievable
-    incoming states) — the collapse state is rebuilt from the task alone,
-    so a retried or respawned worker reproduces it exactly.
+    chunks of its input slice; in fold mode a speculation miss re-executes
+    the sub-chunk locally, so the returned map is always complete over
+    ``spec_row``. When the parent shipped a collapse cadence, duplicate
+    lanes are collapsed mid-advancement and the fold short-circuits
+    converged sub-chunks (constant maps over achievable incoming states) —
+    the collapse state is rebuilt from the task alone, so a retried or
+    respawned worker reproduces it exactly.
     """
     (
         table_name,
@@ -280,6 +344,8 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple, t
         class_table_name,
         stride_name,
         collapse_spec,
+        mode,
+        aux_start,
     ) = task
     t_task = time.perf_counter()
     _tracker_inherited()  # snapshot before the first attach registers anything
@@ -320,6 +386,18 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple, t
     t_attach = time.perf_counter()
 
     dfa = DFA(table=table, start=start, accepting=accepting)
+    if mode == "collect":
+        positions = _segment_match_positions(
+            dfa, segment, int(aux_start),
+            sub_chunks=sub_chunks, k=k, lookback=lookback, prior=prior,
+        )
+        positions = positions + lo  # globalize to input coordinates
+        t_done = time.perf_counter()
+        timings = (
+            t_attach - t_task, t_done - t_attach, 0.0, t_done - t_task,
+            new_attaches,
+        )
+        return positions, np.zeros(0, dtype=np.int32), 0, 0, timings, (0, 0, 0, 0, 0)
     plan = plan_chunks(segment.size, sub_chunks)
     collapse_cfg = (
         CollapseConfig(cadence=collapse_spec[0], backoff=collapse_spec[1])
@@ -359,6 +437,22 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, int, int, tuple, t
     )
     chunks_conv = int(converged.sum()) if converged is not None else 0
     t_exec = time.perf_counter()
+
+    if mode == "maps":
+        # Scoreboard streaming: no fold — the parent consumes each chunk's
+        # (speculated -> ending) map individually, in arrival order.
+        timings = (
+            t_attach - t_task, t_exec - t_attach, 0.0, t_exec - t_task,
+            new_attaches,
+        )
+        counters = (
+            int(wstats.local_gathers),
+            int(wstats.collapse_scans),
+            int(wstats.lanes_collapsed),
+            chunks_conv,
+            0,
+        )
+        return spec, end, converged, 0, timings, counters
 
     # Fold chunk maps into one segment map over chunk 0's speculation row:
     # repeated semi-join composition, vectorized over the k entries.
@@ -706,13 +800,35 @@ class ScaleoutPool:
     # execution
     # ------------------------------------------------------------------ #
 
-    def run(self, inputs: np.ndarray, *, start: int | None = None) -> MultiprocessResult:
+    def run(
+        self,
+        inputs: np.ndarray,
+        *,
+        start: int | None = None,
+        schedule: str = "barrier",
+        collect_matches: bool = False,
+    ) -> MultiprocessResult:
         """Compute the final state of ``inputs``, starting from ``start``.
 
         ``start`` defaults to the machine's initial state; streaming callers
         pass the carried state instead. The result is bit-identical to the
         sequential reference (property tests assert this over machines ×
         inputs × worker counts × k).
+
+        ``schedule`` selects how worker results are combined:
+        ``"barrier"`` (default) stacks every worker's folded segment map
+        and runs the binary tree merge; ``"ooo"`` has workers stream their
+        *per-chunk* maps back and a parent-side
+        :class:`repro.core.scoreboard.ChunkScoreboard` consumes each one
+        the moment it arrives — provable speculation misses re-execute
+        (kernel-dispatched, in the parent) before the slowest worker has
+        even reported, and a retried or hedged task is re-issued on the
+        scoreboard rather than handled as a special case.
+
+        ``collect_matches=True`` adds a second task round that recovers
+        the accepting-state positions (regex match ends) from each
+        segment's true starting state; they come back on
+        ``MultiprocessResult.match_positions``, sorted and global.
 
         With supervision on (the default), worker failure is recovered —
         killed workers are respawned, stragglers and errors retried, and
@@ -722,6 +838,10 @@ class ScaleoutPool:
         """
         if self._closed:
             raise PoolClosedError("ScaleoutPool is closed")
+        if schedule not in ("barrier", "ooo"):
+            raise ValueError(
+                f"schedule must be 'barrier' or 'ooo', got {schedule!r}"
+            )
         t_run = time.perf_counter()
         obs = current_trace()
         dfa = self.dfa
@@ -743,15 +863,28 @@ class ScaleoutPool:
             num_inputs=dfa.num_inputs,
         )
         stats.pool_calls += 1
+        empty_pos = np.zeros(0, dtype=np.int64)
         if n == 0:
-            return MultiprocessResult(start, w, 0, stats)
+            return MultiprocessResult(
+                start, w, 0, stats,
+                match_positions=empty_pos if collect_matches else None,
+            )
         if w == 1:
             # Single-worker degenerate case: no dispatch, run in-process —
             # through the kernel layer, so even this path gets stride
             # stepping from the tables built at construction.
             final = run_segment_kernel(self._kplan, inputs, start)
             stats.pool_shm_bytes = self.shm_bytes
-            return MultiprocessResult(final, 1, 0, stats)
+            positions = None
+            if collect_matches:
+                positions = _segment_match_positions(
+                    dfa, inputs, start,
+                    sub_chunks=self.sub_chunks_per_worker, k=self.k,
+                    lookback=self.lookback, prior=self._prior,
+                )
+            return MultiprocessResult(
+                final, 1, 0, stats, match_positions=positions,
+            )
 
         with trace_span("pool.publish_input", bytes=int(inputs.nbytes)):
             self._ensure_input_capacity(n)
@@ -813,7 +946,9 @@ class ScaleoutPool:
                 seg_covered = np.ones(w, dtype=bool)
         t_spec = time.perf_counter()
 
-        def make_task(i: int) -> tuple:
+        run_mode = "maps" if schedule == "ooo" else "fold"
+
+        def make_task(i: int, mode: str | None = None, aux: int = -1) -> tuple:
             # Reads the *live* input segment name: a task rebuilt for retry
             # after a republish points workers at the fresh segment.
             return (
@@ -839,7 +974,50 @@ class ScaleoutPool:
                 self._class_table_shm.name,
                 None if self._stride_shm is None else self._stride_shm.name,
                 collapse_spec,
+                run_mode if mode is None else mode,
+                aux,
             )
+
+        # Out-of-order schedule: a parent-side scoreboard over every
+        # worker's sub-chunks, fed by the supervision loop's result stream.
+        board: ChunkScoreboard | None = None
+        gplan = None
+        sub = self.sub_chunks_per_worker
+        on_result = None
+        on_retry = None
+        if schedule == "ooo":
+            gplan = plan_from_lengths(
+                np.concatenate([
+                    plan_chunks(int(seg_plan.lengths[i]), sub).lengths
+                    for i in range(w)
+                ])
+            )
+            board = ChunkScoreboard(
+                run_dfa, inputs, gplan, self.k_eff, mode="parallel",
+                stats=stats,
+                reexec_fn=lambda c, s: run_segment_kernel(
+                    self._kplan, inputs[gplan.chunk_slice(c)], s
+                ),
+            )
+
+            def on_result(tid: int, payload: tuple) -> None:
+                # Stream this worker's chunk maps onto the scoreboard the
+                # moment its result is accepted — merging (and any provably
+                # necessary re-execution) overlaps the remaining workers.
+                smat, emat, conv = payload[0], payload[1], payload[2]
+                base = tid * sub
+                for c in range(smat.shape[0]):
+                    board.post(
+                        base + c, smat[c], emat[c],
+                        converged=bool(conv[c]) if conv is not None else False,
+                    )
+
+            def on_retry(tid: int) -> None:
+                # A retried/hedged task is a scoreboard re-issue: its chunks
+                # rewind to SPECULATED and wait for the next attempt's post.
+                base = tid * sub
+                for c in range(base, base + sub):
+                    board.reissue(c)
 
         def on_error(
             tid: int, exc_type: str, exc_repr: str, rep: SupervisionReport
@@ -862,7 +1040,7 @@ class ScaleoutPool:
         ]
         t_dispatch = time.perf_counter()
         try:
-            with trace_span("pool.wait", workers=w):
+            with trace_span("pool.wait", workers=w, schedule=schedule):
                 maps = self._sup.run_tasks(
                     tasks,
                     task_nbytes=seg_nbytes,
@@ -870,22 +1048,23 @@ class ScaleoutPool:
                     rebuild=make_task,
                     validate=lambda _tid, payload: self._valid_worker_map(payload),
                     on_error=on_error,
+                    on_result=on_result,
+                    on_retry=on_retry,
                     report=report,
                 )
         except DegradedExecution:
             return self._degraded_result(
                 inputs, start, stats, report,
                 t_run=t_run, t_publish=t_publish, t_spec=t_spec,
-                t_dispatch=t_dispatch,
+                t_dispatch=t_dispatch, collect_matches=collect_matches,
             )
         t_wait = time.perf_counter()
 
-        spec_rows = np.stack([m[0] for m in maps])
-        end_rows = np.stack([m[1] for m in maps])
         worker_timings = []
         for i, m in enumerate(maps):
-            stats.reexec_chunks_seq += m[2]
-            stats.reexec_items_seq += m[3]
+            if schedule == "barrier":
+                stats.reexec_chunks_seq += m[2]
+                stats.reexec_items_seq += m[3]
             gathers, scans, lanes, conv, skipped = m[5]
             stats.local_gathers += gathers
             stats.collapse_scans += scans
@@ -907,7 +1086,8 @@ class ScaleoutPool:
                     tid=i + 1, worker=i,
                     attach_s=attach_s, exec_s=exec_s, fold_s=fold_s,
                 )
-                sp.set(reexec_chunks=m[2], reexec_items=m[3])
+                if schedule == "barrier":
+                    sp.set(reexec_chunks=m[2], reexec_items=m[3])
                 obs.count("pool.shm.attaches", new_attaches)
                 obs.observe("pool.worker_exec_s", exec_s)
                 obs.observe("pool.worker_fold_s", fold_s)
@@ -923,24 +1103,43 @@ class ScaleoutPool:
                     else 0.7 * self._bps_ewma + 0.3 * bps
                 )
 
-        # Parent-side combine: the same binary tree merge as the simulated
-        # GPU — delayed invalidation, then a fix-up descent that re-executes
-        # only the segments whose boundary speculation genuinely missed.
-        # A segment whose boundary row covers its look-back image and whose
-        # returned map is constant is converged: the tree skips its checks.
-        seg_converged = None
-        if seg_covered is not None:
-            seg_converged = converged_chunks(end_rows, seg_covered)
-            stats.chunks_converged += int(seg_converged.sum())
-        with trace_span("pool.merge", workers=w):
+        true_chunk_starts = None
+        if schedule == "ooo":
+            # The scoreboard consumed every chunk map inside the wait loop;
+            # resolve() only flushes obs counters and reads the tail state.
+            with trace_span("pool.merge", workers=w, schedule="ooo"):
+                final, true_chunk_starts = board.resolve()
+            reexec_chunk_ids = sorted({c for _, c, _ in board.reexec_log})
+            reexec_segments = tuple(sorted({c // sub for c in reexec_chunk_ids}))
             results = ChunkResults(
-                spec=spec_rows, end=end_rows,
-                valid=np.ones_like(spec_rows, dtype=bool),
-                converged=seg_converged,
+                spec=board.spec, end=board.end, valid=board.valid,
             )
-            final, tree = merge_parallel(
-                run_dfa, inputs, seg_plan, results, reexec="delayed", stats=stats
-            )
+        else:
+            # Parent-side combine: the same binary tree merge as the
+            # simulated GPU — delayed invalidation, then a fix-up descent
+            # that re-executes only the segments whose boundary speculation
+            # genuinely missed. A segment whose boundary row covers its
+            # look-back image and whose returned map is constant is
+            # converged: the tree skips its checks.
+            spec_rows = np.stack([m[0] for m in maps])
+            end_rows = np.stack([m[1] for m in maps])
+            seg_converged = None
+            if seg_covered is not None:
+                seg_converged = converged_chunks(end_rows, seg_covered)
+                stats.chunks_converged += int(seg_converged.sum())
+            with trace_span("pool.merge", workers=w):
+                results = ChunkResults(
+                    spec=spec_rows, end=end_rows,
+                    valid=np.ones_like(spec_rows, dtype=bool),
+                    converged=seg_converged,
+                )
+                final, tree = merge_parallel(
+                    run_dfa, inputs, seg_plan, results, reexec="delayed",
+                    stats=stats,
+                )
+            reexec_segments = tuple(tree.reexecuted)
+            stats.success_total += w - 1
+            stats.success_hits += (w - 1) - sum(1 for c in reexec_segments if c > 0)
         t_merge = time.perf_counter()
         if obs is not None:
             if stats.collapse_scans:
@@ -951,21 +1150,76 @@ class ScaleoutPool:
                 obs.count("spec.chunks_converged", stats.chunks_converged)
             if stats.checks_skipped:
                 obs.count("spec.checks_skipped", stats.checks_skipped)
-        reexec_segments = tuple(tree.reexecuted)
-        stats.success_total += w - 1
-        stats.success_hits += (w - 1) - sum(1 for c in reexec_segments if c > 0)
+
+        # Second task round: recover accepting positions from each
+        # segment's now-known true starting state.
+        match_positions = None
+        degraded = False
+        t_collect = t_merge
+        if collect_matches:
+            if schedule == "ooo":
+                seg_first = np.arange(w) * sub
+                if true_chunk_starts is not None:
+                    seg_true = true_chunk_starts[seg_first]
+                else:
+                    _, tfull = true_boundary_walk(run_dfa, inputs, gplan, results)
+                    seg_true = tfull[seg_first]
+            else:
+                _, seg_true = true_boundary_walk(run_dfa, inputs, seg_plan, results)
+
+            def make_collect_task(i: int) -> tuple:
+                return make_task(i, mode="collect", aux=int(seg_true[i]))
+
+            def valid_positions(tid: int, payload: object) -> bool:
+                if not (isinstance(payload, tuple) and len(payload) == 6):
+                    return False
+                pos = payload[0]
+                if not isinstance(pos, np.ndarray) or pos.ndim != 1:
+                    return False
+                lo = int(seg_plan.starts[tid])
+                hi = lo + int(seg_plan.lengths[tid])
+                return not pos.size or bool(((pos >= lo) & (pos < hi)).all())
+
+            try:
+                with trace_span("pool.collect", workers=w):
+                    outs = self._sup.run_tasks(
+                        [make_collect_task(i) for i in range(w)],
+                        task_nbytes=seg_nbytes,
+                        bytes_per_sec=self._bps_ewma,
+                        rebuild=make_collect_task,
+                        validate=valid_positions,
+                        on_error=on_error,
+                        report=report,
+                    )
+                match_positions = np.concatenate(
+                    [np.asarray(o[0], dtype=np.int64) for o in outs]
+                )
+            except DegradedExecution:
+                # The final state is already exact; only the output pass
+                # degrades — recover the positions in-process.
+                degraded = True
+                match_positions = _segment_match_positions(
+                    dfa, inputs, start,
+                    sub_chunks=self.sub_chunks_per_worker, k=self.k,
+                    lookback=self.lookback, prior=self._prior,
+                )
+            t_collect = time.perf_counter()
+
         timing = PoolRunTiming(
             speculate_s=t_spec - t_publish,
             publish_s=t_publish - t_run,
             dispatch_s=t_dispatch - t_spec,
             wait_s=t_wait - t_dispatch,
             merge_s=t_merge - t_wait,
-            total_s=t_merge - t_run,
+            total_s=t_collect - t_run,
+            collect_s=t_collect - t_merge,
         )
         return MultiprocessResult(
             int(final), w, len(reexec_segments), stats, reexec_segments,
             timing=timing, worker_timings=tuple(worker_timings),
+            degraded=degraded,
             recovery=report if report.events else None,
+            match_positions=match_positions,
         )
 
     def _degraded_result(
@@ -979,6 +1233,7 @@ class ScaleoutPool:
         t_publish: float,
         t_spec: float,
         t_dispatch: float,
+        collect_matches: bool = False,
     ) -> MultiprocessResult:
         """Finish an unrecoverable run on the in-process engine.
 
@@ -994,6 +1249,13 @@ class ScaleoutPool:
             fallback = run_inprocess_fallback(
                 self.dfa, inputs, start=start, k=self.k, kernel="lockstep"
             )
+        positions = None
+        if collect_matches:
+            positions = _segment_match_positions(
+                self.dfa, inputs, start,
+                sub_chunks=self.sub_chunks_per_worker, k=self.k,
+                lookback=self.lookback, prior=self._prior,
+            )
         t_done = time.perf_counter()
         stats = stats.merged_with(fallback.stats)
         stats.pool_shm_bytes = self.shm_bytes
@@ -1008,6 +1270,7 @@ class ScaleoutPool:
         return MultiprocessResult(
             int(fallback.final_state), self.num_workers, 0, stats,
             timing=timing, degraded=True, recovery=report,
+            match_positions=positions,
         )
 
     # ------------------------------------------------------------------ #
@@ -1072,6 +1335,8 @@ def run_multiprocess(
     resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
     fault_plan: FaultPlan | None = None,
     pool: ScaleoutPool | None = None,
+    schedule: str = "barrier",
+    collect_matches: bool = False,
 ) -> MultiprocessResult:
     """Compute the final state using a pool of worker processes.
 
@@ -1083,10 +1348,13 @@ def run_multiprocess(
     pool); without one, a temporary pool is created and torn down around
     the single call. ``resilience``/``fault_plan`` configure worker
     supervision and deterministic failure drills exactly as on
-    :class:`ScaleoutPool`.
+    :class:`ScaleoutPool`; ``schedule``/``collect_matches`` are forwarded
+    to :meth:`ScaleoutPool.run`.
     """
     if pool is not None:
-        return pool.run(inputs)
+        return pool.run(
+            inputs, schedule=schedule, collect_matches=collect_matches
+        )
     with ScaleoutPool(
         dfa,
         num_workers=num_workers,
@@ -1098,4 +1366,6 @@ def run_multiprocess(
         resilience=resilience,
         fault_plan=fault_plan,
     ) as temp:
-        return temp.run(inputs)
+        return temp.run(
+            inputs, schedule=schedule, collect_matches=collect_matches
+        )

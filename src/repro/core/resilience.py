@@ -418,6 +418,8 @@ class SupervisedWorkerPool:
         rebuild: Callable[[int], Any] | None = None,
         validate: Callable[[int, Any], bool] | None = None,
         on_error: Callable[[int, str, str, SupervisionReport], None] | None = None,
+        on_result: Callable[[int, Any], None] | None = None,
+        on_retry: Callable[[int], None] | None = None,
         report: SupervisionReport | None = None,
     ) -> list:
         """Execute every task, surviving worker failure; results by task id.
@@ -428,6 +430,15 @@ class SupervisedWorkerPool:
         retried like an error); ``on_error(i, exc_type, exc_repr, report)``
         lets the caller repair shared state (e.g. re-publish an unlinked
         input segment) before the retry fires.
+
+        ``on_result(i, result)`` streams each accepted (validated) result
+        to the caller the moment it arrives, before the remaining tasks
+        finish — the scale-out pool feeds the chunk scoreboard with it.
+        ``on_retry(i)`` fires whenever task ``i`` is scheduled for another
+        attempt (error, corruption, deadline hedge, or worker death), so a
+        streaming consumer can un-commit anything derived from a previous
+        acceptance of that task. Results are still returned as a list at
+        the end; the hooks are additive.
 
         Raises :class:`DegradedExecution` when recovery is exhausted and
         :class:`PoolClosedError` after :meth:`close`.
@@ -440,15 +451,22 @@ class SupervisedWorkerPool:
         if report is None:
             report = SupervisionReport()
         if self.config is None:
-            return self._run_plain(run_id, list(tasks))
+            return self._run_plain(run_id, list(tasks), on_result=on_result)
         return self._run_supervised(
             run_id, list(tasks),
             task_nbytes=task_nbytes, bytes_per_sec=bytes_per_sec,
             rebuild=rebuild, validate=validate, on_error=on_error,
+            on_result=on_result, on_retry=on_retry,
             report=report,
         )
 
-    def _run_plain(self, run_id: int, tasks: list) -> list:
+    def _run_plain(
+        self,
+        run_id: int,
+        tasks: list,
+        *,
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list:
         """Supervision-disabled collection: blocking waits, errors raise."""
         n = len(tasks)
         for tid, payload in enumerate(tasks):
@@ -469,6 +487,8 @@ class SupervisedWorkerPool:
                 raise RuntimeError(f"worker task failed: {payload[0]}: {payload[1]}")
             results[tid] = payload
             got += 1
+            if on_result is not None:
+                on_result(tid, payload)
         return results
 
     def _pick_worker(self) -> _WorkerHandle | None:
@@ -491,6 +511,8 @@ class SupervisedWorkerPool:
         rebuild: Callable[[int], Any] | None,
         validate: Callable[[int, Any], bool] | None,
         on_error: Callable[[int, str, str, SupervisionReport], None] | None,
+        on_result: Callable[[int, Any], None] | None,
+        on_retry: Callable[[int], None] | None,
         report: SupervisionReport,
     ) -> list:
         cfg = self.config
@@ -541,6 +563,8 @@ class SupervisedWorkerPool:
                 degrade(
                     f"task {tid} exhausted {cfg.retry.max_retries} retries ({why})"
                 )
+            if on_retry is not None:
+                on_retry(tid)
             deferred.append(
                 [time.monotonic() + cfg.retry.delay_s(attempts[tid], self._rng), tid]
             )
@@ -659,6 +683,8 @@ class SupervisedWorkerPool:
                         else:
                             results[tid] = payload
                             done.add(tid)
+                            if on_result is not None:
+                                on_result(tid, payload)
                     else:
                         exc_type, exc_repr = payload
                         report.worker_errors += 1

@@ -33,7 +33,7 @@ on :attr:`StreamingExecutor.last_feed_degraded`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -54,17 +54,23 @@ __all__ = ["FeedCursor", "StreamingExecutor"]
 class FeedCursor:
     """An exact resume point in the stream.
 
-    Captures the carried machine state and the consumption counters — the
-    three values that define *where* the executor is in the input stream.
-    Take one with :meth:`StreamingExecutor.checkpoint` before risky work
-    and rewind with :meth:`StreamingExecutor.restore`; because
+    Captures the carried machine state, the consumption counters, and the
+    length of the collected-match log — the values that define *where* the
+    executor is in the input stream. Take one with
+    :meth:`StreamingExecutor.checkpoint` before risky work and rewind with
+    :meth:`StreamingExecutor.restore`; because
     :meth:`StreamingExecutor.feed` is atomic, a failed feed leaves the
     executor already at its pre-feed cursor without explicit bookkeeping.
+
+    ``matches_len`` lets :meth:`StreamingExecutor.restore` truncate match
+    positions recorded by feeds that are being rewound past — without it,
+    re-fed blocks would report their matches twice.
     """
 
     state: int
     items_consumed: int
     blocks_consumed: int
+    matches_len: int = 0
 
 
 @dataclass
@@ -75,7 +81,16 @@ class StreamingExecutor:
     executor pins ``measure_success`` on so per-block hit rates accumulate.
     With ``backend="pool"``, ``pool_workers`` processes execute each block
     and ``num_blocks``/``threads_per_block``/``merge``/``device`` are
-    ignored (they describe the simulated GPU, not the CPU pool).
+    ignored (they describe the simulated GPU, not the CPU pool);
+    ``collect_matches`` works on both backends — the pool recovers match
+    positions with a second worker round
+    (:meth:`repro.core.mp_executor.ScaleoutPool.run` with
+    ``collect_matches=True``).
+
+    ``schedule`` picks how each block's chunk maps are combined:
+    ``"barrier"`` (the classic full-merge) or ``"ooo"`` (the chunk
+    scoreboard, :mod:`repro.core.scoreboard`) — forwarded to the engine or
+    the pool per feed; results are bit-identical either way.
 
     ``kernel`` selects the local stepping kernel
     (:mod:`repro.core.kernels`); the default ``"auto"`` lets the cost
@@ -109,6 +124,7 @@ class StreamingExecutor:
     sub_chunks_per_worker: int = 64
     kernel: str = "auto"
     collapse: str | CollapseConfig | None = "auto"
+    schedule: str = "barrier"
     resilience: ResilienceConfig | None = DEFAULT_RESILIENCE
     fault_plan: FaultPlan | None = None
 
@@ -130,12 +146,11 @@ class StreamingExecutor:
             raise ValueError(
                 f"backend must be 'simulate' or 'pool', got {self.backend!r}"
             )
+        if self.schedule not in ("barrier", "ooo"):
+            raise ValueError(
+                f"schedule must be 'barrier' or 'ooo', got {self.schedule!r}"
+            )
         if self.backend == "pool":
-            if self.collect_matches:
-                raise ValueError(
-                    "backend='pool' computes final states only; match-position "
-                    "collection needs the simulated backend"
-                )
             self._pool = ScaleoutPool(
                 self.dfa,
                 num_workers=self.pool_workers,
@@ -171,18 +186,22 @@ class StreamingExecutor:
             state=self.state,
             items_consumed=self.items_consumed,
             blocks_consumed=self.blocks_consumed,
+            matches_len=len(self._matches),
         )
 
     def restore(self, cursor: FeedCursor) -> None:
         """Rewind to a :meth:`checkpoint`; the next feed resumes from it.
 
-        Only the stream *position* is rewound. Session stats are not —
-        they count work performed, including feeds later rewound past —
-        so pricing stays honest about what actually executed.
+        The stream *position* is rewound, and match positions collected by
+        feeds past the cursor are dropped — re-fed blocks would otherwise
+        report their matches twice. Session stats are not rewound — they
+        count work performed, including feeds later rewound past — so
+        pricing stays honest about what actually executed.
         """
         self.state = int(cursor.state)
         self.items_consumed = int(cursor.items_consumed)
         self.blocks_consumed = int(cursor.blocks_consumed)
+        del self._matches[int(cursor.matches_len):]
 
     def feed(self, block: np.ndarray) -> int:
         """Consume one block; returns the machine state after it.
@@ -199,6 +218,9 @@ class StreamingExecutor:
         """
         block = np.asarray(block)
         if block.size == 0:
+            # An empty block is a successful (trivial) feed: it must not
+            # leave a previous feed's degraded flag sticking to it.
+            self.last_feed_degraded = False
             return self.state
         degraded = False
         new_matches = None
@@ -207,7 +229,12 @@ class StreamingExecutor:
             backend=self.backend,
         ):
             if self._pool is not None:
-                result = self._pool.run(block, start=self.state)
+                result = self._pool.run(
+                    block, start=self.state, schedule=self.schedule,
+                    collect_matches=self.collect_matches,
+                )
+                if self.collect_matches:
+                    new_matches = result.match_positions + self.items_consumed
                 feed_stats = result.stats
                 new_stats = self.stats.merged_with(feed_stats)
                 new_stats.pool_shm_bytes = feed_stats.pool_shm_bytes
@@ -227,6 +254,7 @@ class StreamingExecutor:
                     price=False,
                     kernel=self.kernel,
                     collapse=self.collapse,
+                    schedule=self.schedule,
                 )
                 if self.collect_matches:
                     new_matches = sim.match_positions + self.items_consumed
@@ -236,6 +264,10 @@ class StreamingExecutor:
         # Commit point: nothing above mutated the executor.
         if new_matches is not None:
             self._matches.append(new_matches)
+        # Copy before adjusting num_items: feed_stats aliases the result
+        # object the engine/pool returned, and mutating that in place would
+        # change what a caller holding it observes.
+        feed_stats = replace(feed_stats)
         feed_stats.num_items = int(block.size)
         self._last_feed_stats = feed_stats
         self.stats = new_stats

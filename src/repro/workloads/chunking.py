@@ -19,7 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ChunkPlan", "plan_chunks", "transform_layout", "TransformedInput"]
+__all__ = [
+    "ChunkPlan",
+    "plan_chunks",
+    "plan_from_lengths",
+    "transform_layout",
+    "TransformedInput",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,33 @@ def plan_chunks(num_items: int, num_chunks: int) -> ChunkPlan:
     )
 
 
+def plan_from_lengths(lengths: np.ndarray) -> ChunkPlan:
+    """Build a :class:`ChunkPlan` from explicit per-chunk lengths.
+
+    Chunks are laid out contiguously in the given order. Unlike
+    :func:`plan_chunks`, the lengths may be arbitrarily skewed — the
+    scoreboard scheduler (:mod:`repro.core.scoreboard`) uses such plans to
+    model straggler chunks, where one long chunk holds every barrier stage
+    hostage. Lock-step helpers that assume near-equal chunks
+    (:func:`transform_layout`, :func:`repro.core.local.process_chunks`)
+    reject skewed plans; the engine routes them to the ragged execution
+    paths instead.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.ndim != 1 or lengths.size == 0:
+        raise ValueError(f"lengths must be a non-empty 1-D array, got {lengths.shape}")
+    if (lengths < 0).any():
+        raise ValueError("chunk lengths must be >= 0")
+    starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    return ChunkPlan(
+        num_items=int(lengths.sum()),
+        num_chunks=int(lengths.size),
+        starts=starts,
+        lengths=lengths,
+    )
+
+
 @dataclass(frozen=True)
 class TransformedInput:
     """Interleaved input layout: step-major instead of chunk-major.
@@ -110,6 +143,12 @@ def transform_layout(inputs: np.ndarray, plan: ChunkPlan) -> TransformedInput:
     if inputs.size != plan.num_items:
         raise ValueError(
             f"inputs length {inputs.size} != plan.num_items {plan.num_items}"
+        )
+    if plan.max_len - plan.min_len > 1:
+        raise ValueError(
+            "transform_layout requires a near-equal plan (lengths differ by "
+            f"<= 1), got min={plan.min_len} max={plan.max_len}; skewed plans "
+            "run in the natural layout"
         )
     q = plan.min_len
     idx = plan.starts[None, :] + np.arange(q, dtype=np.int64)[:, None]

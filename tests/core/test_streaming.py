@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.streaming import FeedCursor, StreamingExecutor
 from repro.fsm.run import run_reference, run_reference_trace
@@ -168,15 +169,47 @@ class TestPoolBackend:
             assert ex.state == run_reference(dfa, stream)
         assert pool.closed
 
-    def test_pool_rejects_collect_matches(self):
-        dfa = make_random_dfa(4, 2, seed=0)
-        with pytest.raises(ValueError):
-            StreamingExecutor(dfa, backend="pool", collect_matches=True)
+    def test_pool_collect_matches(self):
+        """The pool recovers match positions with a second worker round;
+        the stream sees them at global offsets, same as the simulator."""
+        dfa = make_random_dfa(5, 2, seed=4, accepting_fraction=0.4)
+        stream = random_input(2, 12_000, seed=5)
+        trace = run_reference_trace(dfa, stream)
+        want = np.flatnonzero(dfa.accepting[trace])
+        with StreamingExecutor(dfa, k=2, backend="pool", pool_workers=2,
+                               sub_chunks_per_worker=8,
+                               collect_matches=True) as ex:
+            for block in np.array_split(stream, 5):
+                ex.feed(block)
+            np.testing.assert_array_equal(ex.match_positions, want)
 
     def test_bad_backend_name(self):
         dfa = make_random_dfa(4, 2, seed=0)
         with pytest.raises(ValueError):
             StreamingExecutor(dfa, backend="cuda")
+
+    def test_bad_schedule_name(self):
+        dfa = make_random_dfa(4, 2, seed=0)
+        with pytest.raises(ValueError):
+            StreamingExecutor(dfa, schedule="barrier-free")
+
+    @pytest.mark.parametrize("backend", ["simulate", "pool"])
+    def test_ooo_schedule_equals_barrier(self, backend):
+        dfa = make_random_dfa(6, 3, seed=40, accepting_fraction=0.3)
+        stream = random_input(3, 15_000, seed=41)
+        finals, matches = [], []
+        for schedule in ("barrier", "ooo"):
+            with StreamingExecutor(dfa, k=2, num_blocks=2,
+                                   threads_per_block=32, backend=backend,
+                                   pool_workers=2, sub_chunks_per_worker=8,
+                                   collect_matches=True,
+                                   schedule=schedule) as ex:
+                for block in np.array_split(stream, 4):
+                    ex.feed(block)
+                finals.append(ex.state)
+                matches.append(ex.match_positions)
+        assert finals[0] == finals[1] == run_reference(dfa, stream)
+        np.testing.assert_array_equal(matches[0], matches[1])
 
 
 class TestLifetimeStats:
@@ -274,3 +307,96 @@ class TestFeedCursor:
             assert ex.checkpoint() == before
         finally:
             ex.close()
+
+
+class TestFeedRegressions:
+    """Regression tests for streaming correctness fixes."""
+
+    def test_restore_truncates_rewound_matches(self):
+        # Matches recorded by feeds past the cursor must vanish on restore,
+        # or re-fed blocks would report them twice.
+        dfa = make_random_dfa(5, 2, seed=50, accepting_fraction=0.4)
+        stream = random_input(2, 8_000, seed=51)
+        blocks = np.array_split(stream, 4)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=32,
+                               collect_matches=True)
+        ex.feed(blocks[0])
+        cur = ex.checkpoint()
+        kept = ex.match_positions.copy()
+        ex.feed(blocks[1])
+        ex.feed(blocks[2])
+        ex.restore(cur)
+        np.testing.assert_array_equal(ex.match_positions, kept)
+        # Replaying from the cursor yields exactly the straight-run matches.
+        for block in blocks[1:]:
+            ex.feed(block)
+        trace = run_reference_trace(dfa, stream)
+        want = np.flatnonzero(dfa.accepting[trace])
+        np.testing.assert_array_equal(ex.match_positions, want)
+
+    def test_feed_does_not_mutate_callers_stats(self):
+        # last_feed_stats is a per-block copy: committing num_items must not
+        # write through to the stats object the engine result owns.
+        dfa = make_random_dfa(5, 2, seed=52)
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=32)
+        ex.feed(random_input(2, 3_000, seed=53))
+        first = ex.last_feed_stats
+        assert first.num_items == 3_000
+        ex.feed(random_input(2, 1_000, seed=54))
+        # The first feed's snapshot is frozen, not aliased to live state.
+        assert first.num_items == 3_000
+        assert ex.last_feed_stats.num_items == 1_000
+
+    def test_empty_block_clears_degraded_flag(self):
+        dfa = make_random_dfa(4, 2, seed=55)
+        ex = StreamingExecutor(dfa, num_blocks=1, threads_per_block=32)
+        ex.last_feed_degraded = True  # as if the previous feed degraded
+        state = ex.feed(np.zeros(0, dtype=np.int32))
+        assert state == dfa.start
+        assert ex.last_feed_degraded is False
+
+
+class TestCheckpointRestoreProperty:
+    """Property test: any checkpoint/restore/replay interleaving is
+    invisible — state and collected matches equal the straight run."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_round_trip_with_matches(self, data):
+        seed = data.draw(st.integers(0, 1_000), label="seed")
+        n = data.draw(st.integers(1, 4_000), label="n")
+        n_blocks = data.draw(st.integers(1, 6), label="blocks")
+        rewinds = data.draw(st.integers(1, 3), label="rewinds")
+        dfa = make_random_dfa(
+            data.draw(st.integers(2, 8), label="states"), 3, seed=seed,
+            accepting_fraction=0.4,
+        )
+        stream = random_input(3, n, seed=seed + 1)
+        blocks = np.array_split(stream, n_blocks)
+
+        straight = StreamingExecutor(dfa, k=2, num_blocks=1,
+                                     threads_per_block=32,
+                                     collect_matches=True)
+        for b in blocks:
+            straight.feed(b)
+
+        ex = StreamingExecutor(dfa, k=2, num_blocks=1, threads_per_block=32,
+                               collect_matches=True)
+        i = 0
+        while i < len(blocks):
+            cur = ex.checkpoint()
+            ahead = data.draw(
+                st.integers(1, len(blocks) - i), label=f"ahead@{i}")
+            for b in blocks[i:i + ahead]:
+                ex.feed(b)
+            if rewinds > 0 and data.draw(st.booleans(), label=f"rewind@{i}"):
+                rewinds -= 1
+                ex.restore(cur)  # throw the work away and redo it
+                for b in blocks[i:i + ahead]:
+                    ex.feed(b)
+            i += ahead
+
+        assert ex.state == straight.state
+        assert ex.items_consumed == straight.items_consumed
+        np.testing.assert_array_equal(ex.match_positions,
+                                      straight.match_positions)
