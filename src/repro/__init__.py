@@ -32,7 +32,13 @@ Quick start::
     print(result.timing.speedup)
 """
 
-from repro.core.engine import EngineConfig, SpecExecutionResult, run_speculative
+from repro.core.engine import (
+    BatchExecutionResult,
+    EngineConfig,
+    SpecExecutionResult,
+    run_speculative,
+    run_speculative_batch,
+)
 from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.cost import CostModel, TimeBreakdown
@@ -42,6 +48,7 @@ from repro.obs.trace import RunTrace, trace_span
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchExecutionResult",
     "CostModel",
     "DFA",
     "DeviceSpec",
@@ -53,5 +60,6 @@ __all__ = [
     "TimeBreakdown",
     "__version__",
     "run_speculative",
+    "run_speculative_batch",
     "trace_span",
 ]

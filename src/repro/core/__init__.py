@@ -23,10 +23,12 @@ GPU cost model (:mod:`repro.gpu.cost`) prices into modeled V100 time.
 
 from repro.core.autotune import KChoice, KernelChoice, choose_k, choose_kernel
 from repro.core.engine import (
+    BatchExecutionResult,
     EngineConfig,
     SpecExecutionResult,
     run_inprocess_fallback,
     run_speculative,
+    run_speculative_batch,
 )
 from repro.core.faultinject import (
     FaultPlan,
@@ -47,6 +49,7 @@ from repro.core.kernels import (
     select_kernel,
 )
 from repro.core.mp_executor import (
+    BatchRunResult,
     MultiprocessResult,
     PoolRunTiming,
     ScaleoutPool,
@@ -68,6 +71,8 @@ from repro.core.streaming import FeedCursor, StreamingExecutor
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 
 __all__ = [
+    "BatchExecutionResult",
+    "BatchRunResult",
     "ChunkResults",
     "ChunkScoreboard",
     "DEFAULT_RESILIENCE",
@@ -109,6 +114,7 @@ __all__ = [
     "run_inprocess_fallback",
     "run_multiprocess",
     "run_speculative",
+    "run_speculative_batch",
     "select_kernel",
     "shm_unlink_race",
 ]

@@ -23,14 +23,20 @@ from repro.core.convergence import (
     converged_chunks,
     resolve_collapse,
 )
-from repro.core.kernels import KERNELS, plan_kernel, process_chunks_kernel
+from repro.core.kernels import (
+    KERNELS,
+    KernelPlan,
+    plan_kernel,
+    process_chunks_kernel,
+    run_segment_kernel,
+)
 from repro.core.local import (
     process_chunks,
     process_chunks_ragged,
     recover_accepts,
     recover_emissions,
 )
-from repro.core.lookback import enumerative_spec, speculate
+from repro.core.lookback import enumerative_spec, speculate, state_prior
 from repro.core.merge_par import MergeTree, merge_parallel
 from repro.core.merge_seq import merge_sequential
 from repro.core.predictor import HistoryPredictor
@@ -41,13 +47,20 @@ from repro.gpu.cost import CostModel, TimeBreakdown
 from repro.gpu.device import DeviceSpec, TESLA_V100, launch_geometry
 from repro.obs.trace import RunTrace, current_trace, trace_span
 from repro.util.validation import check_in_set
-from repro.workloads.chunking import ChunkPlan, plan_chunks, transform_layout
+from repro.workloads.chunking import (
+    ChunkPlan,
+    plan_chunks,
+    plan_from_lengths,
+    transform_layout,
+)
 
 __all__ = [
+    "BatchExecutionResult",
     "EngineConfig",
     "SpecExecutionResult",
     "run_inprocess_fallback",
     "run_speculative",
+    "run_speculative_batch",
 ]
 
 
@@ -698,6 +711,212 @@ def run_speculative(
         cache=cache,
         merge_tree=tree if keep_merge_tree else None,
         trace=run_trace,
+    )
+
+
+@dataclass
+class BatchExecutionResult:
+    """Per-request outcomes of one :func:`run_speculative_batch` call.
+
+    Attributes
+    ----------
+    final_states:
+        ``(num_requests,)`` int32 — each request's machine state after its
+        own segment, identical to running that segment alone.
+    accepted:
+        ``(num_requests,)`` bool — whether each final state is accepting.
+    stats:
+        Counted algorithmic events for the whole coalesced batch (one
+        :class:`repro.core.types.ExecStats` — per-request attribution is
+        not meaningful once chunks share a plan).
+    num_requests:
+        Number of coalesced requests (including empty ones).
+    plan:
+        The coalesced :class:`repro.workloads.chunking.ChunkPlan`, or None
+        when every segment was empty.
+    owners:
+        ``(num_chunks,)`` int32 mapping each chunk of ``plan`` back to the
+        request it belongs to (None when ``plan`` is None).
+    """
+
+    final_states: np.ndarray
+    accepted: np.ndarray
+    stats: ExecStats
+    num_requests: int
+    plan: ChunkPlan | None = None
+    owners: np.ndarray | None = None
+
+
+def run_speculative_batch(
+    dfa: DFA,
+    segments: list[np.ndarray],
+    *,
+    starts: list[int] | np.ndarray | None = None,
+    k: int | None = 4,
+    lookback: int = 8,
+    check: str = "auto",
+    chunk_items: int = 1 << 13,
+    kernel_plan: KernelPlan | None = None,
+    prior: np.ndarray | None = None,
+    stats: ExecStats | None = None,
+) -> BatchExecutionResult:
+    """Coalesce many independent requests into one speculative execution.
+
+    Every request shares ``dfa`` but is otherwise independent: request
+    ``r`` starts at ``starts[r]`` (default ``dfa.start``) and its final
+    state is exactly what running it alone would produce. The segments are
+    concatenated into a single chunk plan (each request contributes
+    ``ceil(len/chunk_items)`` chunks), speculated once, executed by the
+    active-list driver, and resolved on one seeded
+    :class:`repro.core.scoreboard.ChunkScoreboard` — each request's head
+    chunk carries a ``seeds`` entry, so resolution fronts never propagate
+    across request boundaries and no cross-request composition occurs.
+
+    This is the serving layer's execution primitive
+    (:mod:`repro.serve`): the per-call overhead of ``run_speculative``
+    (prior sampling, planning, a Python step loop per request) is paid
+    once for the whole batch instead of once per request.
+
+    Parameters
+    ----------
+    dfa:
+        The machine shared by every request in the batch.
+    segments:
+        One 1-D dense-symbol array per request (empty arrays allowed —
+        they resolve to their start state without executing).
+    starts:
+        Optional per-request starting states (defaults to ``dfa.start``);
+        lets streaming callers batch continuation segments.
+    k:
+        Speculation width per chunk (None = enumerative spec-N).
+    lookback:
+        Look-back window for speculation (head chunks additionally get
+        their true start pinned into the speculation row).
+    check:
+        Runtime-check implementation for scoreboard probes.
+    chunk_items:
+        Target items per chunk; requests longer than this split into
+        multiple chunks so stragglers don't serialize the batch.
+    kernel_plan:
+        Optional :class:`repro.core.kernels.KernelPlan` used for scalar
+        re-execution of speculation misses (stride kernels cut the Python
+        loop count); the fingerprint-keyed serving cache passes one in.
+    prior:
+        Optional state-occupancy prior for speculation ranking (cached per
+        DFA by the serving layer; sampled from the batch input otherwise).
+    stats:
+        Accumulate events into an existing
+        :class:`repro.core.types.ExecStats` (the server carries one per
+        round) instead of a fresh one.
+    """
+    if starts is None:
+        starts_arr = np.full(len(segments), dfa.start, dtype=np.int64)
+    else:
+        starts_arr = np.asarray(starts, dtype=np.int64)
+        if starts_arr.shape != (len(segments),):
+            raise ValueError(
+                f"starts must have one entry per segment, got "
+                f"{starts_arr.shape} for {len(segments)} segments"
+            )
+        if starts_arr.size and (
+            starts_arr.min() < 0 or starts_arr.max() >= dfa.num_states
+        ):
+            raise ValueError("starts contain states outside the machine")
+    segs = []
+    for i, seg in enumerate(segments):
+        seg = np.ascontiguousarray(np.asarray(seg))
+        if seg.ndim != 1:
+            raise ValueError(f"segment {i} must be 1-D, got shape {seg.shape}")
+        segs.append(seg)
+    if chunk_items < 1:
+        raise ValueError(f"chunk_items must be >= 1, got {chunk_items}")
+
+    num_requests = len(segs)
+    enumerative = k is None or k >= dfa.num_states
+    k_eff = dfa.num_states if enumerative else int(k)
+    if k_eff < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    final_states = np.empty(num_requests, dtype=np.int32)
+    lengths: list[int] = []
+    owners: list[int] = []
+    heads: dict[int, int] = {}
+    tail_chunk = np.full(num_requests, -1, dtype=np.int64)
+    for r, seg in enumerate(segs):
+        if not seg.size:
+            final_states[r] = starts_arr[r]  # resolved out-of-band
+            continue
+        nch = -(-seg.size // chunk_items)
+        heads[len(lengths)] = int(starts_arr[r])
+        lengths.extend(plan_chunks(seg.size, nch).lengths.tolist())
+        tail_chunk[r] = len(lengths) - 1
+        owners.extend([r] * nch)
+
+    if not lengths:
+        stats = stats or ExecStats(
+            num_items=0, num_chunks=0, k=k_eff,
+            num_states=dfa.num_states, num_inputs=dfa.num_inputs,
+        )
+        return BatchExecutionResult(
+            final_states=final_states,
+            accepted=dfa.accepting[final_states].astype(bool),
+            stats=stats,
+            num_requests=num_requests,
+        )
+
+    concat = np.concatenate([s for s in segs if s.size])
+    plan = plan_from_lengths(np.asarray(lengths, dtype=np.int64))
+    n = plan.num_chunks
+    if stats is None:
+        stats = ExecStats(
+            num_items=int(concat.size), num_chunks=n, k=k_eff,
+            num_states=dfa.num_states, num_inputs=dfa.num_inputs,
+        )
+
+    with trace_span(
+        "engine.batch", requests=num_requests, chunks=n, k=k_eff,
+        items=int(concat.size),
+    ):
+        with trace_span("engine.speculate", chunks=n, k=k_eff, lookback=lookback):
+            if enumerative:
+                spec = enumerative_spec(dfa, n)
+            else:
+                if prior is None:
+                    prior = state_prior(dfa, sample=concat[: 1 << 14])
+                spec = speculate(
+                    dfa, concat, plan, k_eff,
+                    lookback=lookback, prior=prior, stats=stats,
+                )
+                # Head chunks are request boundaries, not speculative ones:
+                # their true incoming state is known. Pin it into the row so
+                # the seeded probe hits instead of forcing a re-execution
+                # (the look-back window of a head chunk reads the previous
+                # request's tail, which predicts nothing).
+                for h, s in heads.items():
+                    if not (spec[h] == s).any():
+                        spec[h, -1] = s
+        reexec_fn = None
+        if kernel_plan is not None:
+            def reexec_fn(c: int, s: int) -> int:
+                return run_segment_kernel(
+                    kernel_plan, concat[plan.chunk_slice(c)], s
+                )
+        board = ChunkScoreboard(
+            dfa, concat, plan, k_eff, mode="parallel", check=check,
+            stats=stats, reexec_fn=reexec_fn, seeds=heads,
+        )
+        run_chunks_active(dfa, concat, plan, spec, board, stats=stats)
+        board.resolve()
+        live = tail_chunk >= 0
+        final_states[live] = board.out_state[tail_chunk[live]]
+
+    return BatchExecutionResult(
+        final_states=final_states,
+        accepted=dfa.accepting[final_states].astype(bool),
+        stats=stats,
+        num_requests=num_requests,
+        plan=plan,
+        owners=np.asarray(owners, dtype=np.int32),
     )
 
 

@@ -69,7 +69,7 @@ from repro.core.kernels import (
     process_chunks_kernel,
     run_segment_kernel,
 )
-from repro.core.local import process_chunks, recover_accepts
+from repro.core.local import process_chunks, process_chunks_ragged, recover_accepts
 from repro.core.lookback import speculate, state_prior
 from repro.core.merge_par import compose_maps, merge_parallel
 from repro.core.merge_seq import true_boundary_walk
@@ -89,6 +89,7 @@ from repro.obs.trace import add_count, current_trace, trace_span
 from repro.workloads.chunking import plan_chunks, plan_from_lengths
 
 __all__ = [
+    "BatchRunResult",
     "ScaleoutPool",
     "run_multiprocess",
     "MultiprocessResult",
@@ -175,6 +176,27 @@ class MultiprocessResult:
     degraded: bool = False
     recovery: SupervisionReport | None = None
     match_positions: np.ndarray | None = None
+
+
+@dataclass
+class BatchRunResult:
+    """Outcome of one :meth:`ScaleoutPool.run_batch` call.
+
+    Per-request final states and accept flags for a coalesced multi-request
+    batch — each entry identical to running that request alone. ``degraded``
+    means supervision gave up and every request was finished in-process
+    (still exact); ``recovery`` carries the
+    :class:`repro.core.resilience.SupervisionReport` whenever any recovery
+    action fired.
+    """
+
+    final_states: np.ndarray
+    accepted: np.ndarray
+    num_requests: int
+    num_workers: int
+    stats: ExecStats
+    degraded: bool = False
+    recovery: SupervisionReport | None = None
 
 
 # --------------------------------------------------------------------------- #
@@ -288,7 +310,7 @@ def _segment_match_positions(
 def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple, tuple]:
     """Run one segment task; return its result plus per-worker timings.
 
-    Three task modes, selected by the task's ``mode`` field:
+    Four task modes, selected by the task's ``mode`` field:
 
     * ``"fold"`` (the classic path): run ``sub_chunks`` speculative chunks
       and fold their maps left to right; return shape ``(spec_row,
@@ -298,6 +320,14 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
       converged_mask_or_None, 0, timings, counters)`` so the parent's
       :class:`repro.core.scoreboard.ChunkScoreboard` consumes each chunk
       map individually as worker results arrive.
+    * ``"bmaps"`` (coalesced-batch streaming, :meth:`ScaleoutPool.run_batch`):
+      like ``"maps"``, but the segment is a contiguous span of a
+      multi-request batch with *ragged* chunk lengths: ``aux_start``
+      carries ``(chunk_lengths, pins)`` where ``pins`` are
+      ``(local_chunk, state)`` request heads inside the span whose true
+      incoming state is known and gets pinned into the speculation row.
+      Chunks run under the divergent ragged driver; the return shape
+      matches ``"maps"`` with a ``None`` converged mask.
     * ``"collect"`` (second pass): the parent ships the segment's *true*
       starting state in ``aux_start``; return ``(global_positions,
       empty, 0, 0, timings, counters)`` where ``global_positions`` are
@@ -398,6 +428,30 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
             new_attaches,
         )
         return positions, np.zeros(0, dtype=np.int32), 0, 0, timings, (0, 0, 0, 0, 0)
+    if mode == "bmaps":
+        chunk_lengths, pins = aux_start
+        plan = plan_from_lengths(np.asarray(chunk_lengths, dtype=np.int64))
+        if k is None or k >= num_states:
+            spec = np.tile(
+                np.arange(num_states, dtype=np.int32), (plan.num_chunks, 1)
+            )
+        else:
+            spec = speculate(dfa, segment, plan, k, lookback=lookback, prior=prior)
+            # Chunk 0's look-back crosses into the previous span, which
+            # only the parent can see — use the boundary row it shipped.
+            spec[0] = boundary_row
+            for ci, s in pins:
+                if not (spec[ci] == s).any():
+                    spec[ci, -1] = s
+        wstats = ExecStats()
+        end = process_chunks_ragged(dfa, segment, plan, spec, stats=wstats)
+        t_done = time.perf_counter()
+        timings = (
+            t_attach - t_task, t_done - t_attach, 0.0, t_done - t_task,
+            new_attaches,
+        )
+        counters = (int(wstats.local_gathers), 0, 0, 0, 0)
+        return spec, end, None, 0, timings, counters
     plan = plan_chunks(segment.size, sub_chunks)
     collapse_cfg = (
         CollapseConfig(cadence=collapse_spec[0], backoff=collapse_spec[1])
@@ -1220,6 +1274,283 @@ class ScaleoutPool:
             degraded=degraded,
             recovery=report if report.events else None,
             match_positions=match_positions,
+        )
+
+    def run_batch(
+        self,
+        segments: list[np.ndarray],
+        *,
+        starts: list[int] | np.ndarray | None = None,
+        deadline_s: float | None = None,
+    ) -> BatchRunResult:
+        """Resolve many independent requests in one coalesced dispatch.
+
+        The serving layer's pool primitive: every request shares the
+        pool's machine but starts at its own ``starts[r]`` (default
+        ``dfa.start``) and gets exactly the final state running alone
+        would produce. Segments are concatenated into one ragged chunk
+        plan, split into contiguous per-worker spans balanced by item
+        count, and executed in ``"bmaps"`` mode; the parent resolves the
+        streamed chunk maps on one *seeded*
+        :class:`repro.core.scoreboard.ChunkScoreboard` — each request head
+        is a seed, so resolution never composes across request boundaries.
+
+        ``deadline_s`` clamps the supervision layer's per-task deadline
+        from above (the server passes the tightest remaining request
+        slack, so stragglers are hedged before the requests riding on
+        them expire). Worker failure recovers exactly as in :meth:`run`;
+        an unrecoverable pool degrades to in-process per-request
+        execution and flags the result ``degraded=True``.
+        """
+        if self._closed:
+            raise PoolClosedError("ScaleoutPool is closed")
+        obs = current_trace()
+        dfa = self.dfa
+        num_requests = len(segments)
+        if starts is None:
+            starts_arr = np.full(num_requests, dfa.start, dtype=np.int64)
+        else:
+            starts_arr = np.asarray(starts, dtype=np.int64)
+            if starts_arr.shape != (num_requests,):
+                raise ValueError(
+                    f"starts must have one entry per segment, got "
+                    f"{starts_arr.shape} for {num_requests} segments"
+                )
+            if starts_arr.size and (
+                starts_arr.min() < 0 or starts_arr.max() >= dfa.num_states
+            ):
+                raise ValueError("starts contain states outside the machine")
+        segs = []
+        for i, seg in enumerate(segments):
+            seg = np.ascontiguousarray(np.asarray(seg, dtype=self._input_dtype))
+            if seg.ndim != 1:
+                raise ValueError(f"segment {i} must be 1-D, got shape {seg.shape}")
+            segs.append(seg)
+        w = self.num_workers
+        stats = ExecStats(
+            num_chunks=w,
+            k=self.k_eff,
+            num_states=dfa.num_states,
+            num_inputs=dfa.num_inputs,
+        )
+        stats.pool_calls += 1
+
+        final_states = np.empty(num_requests, dtype=np.int32)
+        total = sum(int(s.size) for s in segs)
+        stats.num_items = total
+        # Target chunk length: fill every worker sub-slot, but never chunk
+        # finer than the requests themselves require.
+        target = max(1, -(-total // max(1, w * self.sub_chunks_per_worker)))
+        lengths: list[int] = []
+        heads: dict[int, int] = {}
+        tail_chunk = np.full(num_requests, -1, dtype=np.int64)
+        for r, seg in enumerate(segs):
+            if not seg.size:
+                final_states[r] = starts_arr[r]  # resolved out-of-band
+                continue
+            nch = -(-seg.size // target)
+            heads[len(lengths)] = int(starts_arr[r])
+            lengths.extend(plan_chunks(seg.size, nch).lengths.tolist())
+            tail_chunk[r] = len(lengths) - 1
+        accepted = lambda: dfa.accepting[final_states].astype(bool)  # noqa: E731
+
+        if not lengths:
+            return BatchRunResult(
+                final_states, accepted(), num_requests, w, stats,
+            )
+        concat = np.concatenate([s for s in segs if s.size])
+        gplan = plan_from_lengths(np.asarray(lengths, dtype=np.int64))
+        n_chunks = gplan.num_chunks
+        self.calls += 1
+
+        if w == 1:
+            # Degenerate single worker: no dispatch — resolve in-process
+            # through the kernel layer.
+            for r, seg in enumerate(segs):
+                if seg.size:
+                    final_states[r] = run_segment_kernel(
+                        self._kplan, seg, int(starts_arr[r])
+                    )
+            stats.pool_shm_bytes = self.shm_bytes
+            return BatchRunResult(
+                final_states, accepted(), num_requests, 1, stats,
+            )
+
+        with trace_span(
+            "pool.batch", requests=num_requests, chunks=n_chunks,
+            items=total, workers=w,
+        ):
+            with trace_span("pool.publish_input", bytes=int(concat.nbytes)):
+                self._ensure_input_capacity(total)
+                shm = self._input_shm
+                assert shm is not None
+                np.ndarray(
+                    (total,), dtype=self._input_dtype, buffer=shm.buf
+                )[:] = concat
+            stats.pool_shm_bytes = self.shm_bytes
+            if obs is not None:
+                obs.count("pool.shm.input_bytes", int(concat.nbytes))
+            report = SupervisionReport()
+            for fault in self._fault_plan.parent_faults(self.calls):
+                self._apply_parent_fault(fault, report)
+
+            # Contiguous per-worker chunk spans, balanced by item count.
+            csum = np.cumsum(gplan.lengths)
+            num_tasks = min(w, n_chunks)
+            cuts = (
+                np.searchsorted(
+                    csum,
+                    np.arange(1, num_tasks) * (total / num_tasks),
+                    side="left",
+                )
+                + 1
+            )
+            bounds = np.unique(np.concatenate(([0], cuts, [n_chunks])))
+            num_tasks = bounds.size - 1
+            span_items = np.diff(
+                np.concatenate(([0], csum[bounds[1:] - 1]))
+            )
+
+            # Span-boundary speculation rows over the global concatenation
+            # (workers cannot see their left neighbour's tail). Spans that
+            # open on a request head get the known start pinned via pins.
+            boundary = None
+            with trace_span("pool.speculate", workers=num_tasks, k=self.k_eff):
+                if self.k is not None:
+                    boundary = speculate(
+                        dfa,
+                        concat,
+                        plan_from_lengths(span_items),
+                        self.k,
+                        lookback=self.lookback,
+                        prior=self._prior,
+                        stats=stats,
+                    )
+
+            board = ChunkScoreboard(
+                dfa, concat, gplan, self.k_eff, mode="parallel",
+                stats=stats, seeds=heads,
+                reexec_fn=lambda c, s: run_segment_kernel(
+                    self._kplan, concat[gplan.chunk_slice(c)], s
+                ),
+            )
+
+            def make_btask(t: int) -> tuple:
+                lo_c, hi_c = int(bounds[t]), int(bounds[t + 1])
+                lo_item = 0 if lo_c == 0 else int(csum[lo_c - 1])
+                hi_item = int(csum[hi_c - 1])
+                span_lengths = tuple(
+                    int(x) for x in gplan.lengths[lo_c:hi_c]
+                )
+                pins = tuple(
+                    (c - lo_c, heads[c]) for c in heads if lo_c <= c < hi_c
+                )
+                return (
+                    self._table_shm.name,
+                    dfa.num_inputs,
+                    dfa.num_states,
+                    self._acc_shm.name,
+                    self._prior_shm.name,
+                    self._input_shm.name,
+                    total,
+                    self._input_dtype.str,
+                    lo_item,
+                    hi_item,
+                    dfa.start,
+                    self.k,
+                    hi_c - lo_c,
+                    self.lookback,
+                    None if boundary is None else boundary[t],
+                    self.kernel,
+                    self._kplan.compaction.num_classes,
+                    self._kplan.m,
+                    self._class_of_shm.name,
+                    self._class_table_shm.name,
+                    None if self._stride_shm is None else self._stride_shm.name,
+                    None,
+                    "bmaps",
+                    (span_lengths, pins),
+                )
+
+            def on_result(tid: int, payload: tuple) -> None:
+                smat, emat = payload[0], payload[1]
+                base = int(bounds[tid])
+                for c in range(smat.shape[0]):
+                    board.post(base + c, smat[c], emat[c])
+
+            def on_retry(tid: int) -> None:
+                for c in range(int(bounds[tid]), int(bounds[tid + 1])):
+                    board.reissue(c)
+
+            def on_error(
+                tid: int, exc_type: str, exc_repr: str, rep: SupervisionReport
+            ) -> None:
+                if (
+                    exc_type == "FileNotFoundError"
+                    and self._input_segment_missing()
+                ):
+                    self._republish_input(concat)
+                    rep.shm_republishes += 1
+                    add_count("fault.shm_republished")
+                    rep.record("shm_republish", task=tid, detail=exc_repr)
+
+            tasks = [make_btask(t) for t in range(num_tasks)]
+            stats.pool_task_bytes += sum(len(pickle.dumps(t)) for t in tasks)
+            span_nbytes = [
+                int(x) * self._input_dtype.itemsize for x in span_items
+            ]
+            t_dispatch = time.perf_counter()
+            try:
+                with trace_span("pool.wait", workers=num_tasks, schedule="batch"):
+                    maps = self._sup.run_tasks(
+                        tasks,
+                        task_nbytes=span_nbytes,
+                        bytes_per_sec=self._bps_ewma,
+                        rebuild=make_btask,
+                        validate=lambda _t, p: self._valid_worker_map(p),
+                        on_error=on_error,
+                        on_result=on_result,
+                        on_retry=on_retry,
+                        report=report,
+                        deadline_cap_s=deadline_s,
+                    )
+            except DegradedExecution:
+                with trace_span(
+                    "fault.degrade", reason=report.degrade_reason, workers=w
+                ):
+                    for r, seg in enumerate(segs):
+                        if seg.size:
+                            final_states[r] = run_segment_kernel(
+                                self._kplan, seg, int(starts_arr[r])
+                            )
+                return BatchRunResult(
+                    final_states, accepted(), num_requests, w, stats,
+                    degraded=True, recovery=report,
+                )
+            t_wait = time.perf_counter()
+
+            for m in maps:
+                stats.local_gathers += m[5][0]
+            for nbytes_t, m in zip(span_nbytes, maps):
+                total_s = m[4][3]
+                if total_s > 1e-9:
+                    bps = nbytes_t / total_s
+                    self._bps_ewma = (
+                        bps
+                        if self._bps_ewma is None
+                        else 0.7 * self._bps_ewma + 0.3 * bps
+                    )
+            if obs is not None:
+                obs.observe("pool.batch_wait_s", t_wait - t_dispatch)
+
+            with trace_span("pool.merge", workers=num_tasks, schedule="batch"):
+                board.resolve()
+            live = tail_chunk >= 0
+            final_states[live] = board.out_state[tail_chunk[live]]
+
+        return BatchRunResult(
+            final_states, accepted(), num_requests, w, stats,
+            recovery=report if report.events else None,
         )
 
     def _degraded_result(

@@ -421,6 +421,7 @@ class SupervisedWorkerPool:
         on_result: Callable[[int, Any], None] | None = None,
         on_retry: Callable[[int], None] | None = None,
         report: SupervisionReport | None = None,
+        deadline_cap_s: float | None = None,
     ) -> list:
         """Execute every task, surviving worker failure; results by task id.
 
@@ -440,6 +441,12 @@ class SupervisedWorkerPool:
         acceptance of that task. Results are still returned as a list at
         the end; the hooks are additive.
 
+        ``deadline_cap_s`` clamps the modeled per-task deadline from above
+        (floored at 50 ms so a nearly-expired request still gets a real
+        attempt) — the serving layer passes the tightest remaining request
+        slack in a batch so a straggler worker is hedged before the
+        requests riding on it blow their deadlines.
+
         Raises :class:`DegradedExecution` when recovery is exhausted and
         :class:`PoolClosedError` after :meth:`close`.
         """
@@ -457,7 +464,7 @@ class SupervisedWorkerPool:
             task_nbytes=task_nbytes, bytes_per_sec=bytes_per_sec,
             rebuild=rebuild, validate=validate, on_error=on_error,
             on_result=on_result, on_retry=on_retry,
-            report=report,
+            report=report, deadline_cap_s=deadline_cap_s,
         )
 
     def _run_plain(
@@ -514,6 +521,7 @@ class SupervisedWorkerPool:
         on_result: Callable[[int, Any], None] | None,
         on_retry: Callable[[int], None] | None,
         report: SupervisionReport,
+        deadline_cap_s: float | None = None,
     ) -> list:
         cfg = self.config
         n = len(tasks)
@@ -545,10 +553,12 @@ class SupervisedWorkerPool:
             if h is None:
                 degrade("no live workers to dispatch to")
             h.send(run_id, tid, payload)
+            d = cfg.deadline.deadline_s(nbytes[tid], bytes_per_sec)
+            if deadline_cap_s is not None:
+                d = max(0.05, min(d, deadline_cap_s))
             pending[tid] = _Pending(
                 worker_id=h.worker_id,
-                deadline_ts=time.monotonic()
-                + cfg.deadline.deadline_s(nbytes[tid], bytes_per_sec),
+                deadline_ts=time.monotonic() + d,
             )
 
         def retry(tid: int, why: str, worker: int = -1) -> None:

@@ -100,6 +100,18 @@ class ChunkScoreboard:
         ``(chunk, state) -> end_state`` used on a provable miss. Defaults
         to :func:`repro.fsm.run.run_segment` over the chunk's slice; the
         scale-out pool passes a stride-kernel implementation.
+    seeds:
+        Optional ``{chunk: known_incoming_state}`` map pinning *exact*
+        incoming states at arbitrary chunks. Each seed opens an
+        independent resolution front at construction time — the batching
+        layer (:func:`repro.core.engine.run_speculative_batch`) uses one
+        seed per coalesced request so many independent jobs resolve on a
+        single scoreboard without composing across request boundaries:
+        resolution never propagates *into* a seeded chunk (its incoming
+        state is already known), so a request tail's outgoing state never
+        leaks into the next request's head. Seeded chunks are not
+        speculative boundaries and are excluded from success-rate
+        accounting. A seed at chunk 0 overrides ``dfa.start``.
     """
 
     def __init__(
@@ -113,6 +125,7 @@ class ChunkScoreboard:
         check: str = "auto",
         stats: ExecStats | None = None,
         reexec_fn: Callable[[int, int], int] | None = None,
+        seeds: dict[int, int] | None = None,
     ) -> None:
         if mode not in ("sequential", "parallel"):
             raise ValueError(f"mode must be 'sequential' or 'parallel', got {mode!r}")
@@ -137,6 +150,17 @@ class ChunkScoreboard:
         self.out_state = np.full(n, -1, dtype=np.int32)
         if n:
             self.in_state[0] = dfa.start
+        self._seeds: dict[int, int] = {}
+        if seeds:
+            for c, s in seeds.items():
+                if not 0 <= c < n:
+                    raise ValueError(f"seed chunk {c} out of range [0, {n})")
+                if not 0 <= s < dfa.num_states:
+                    raise ValueError(
+                        f"seed state {s} out of range [0, {dfa.num_states})"
+                    )
+                self._seeds[int(c)] = int(s)
+                self.in_state[c] = int(s)
         self._retired = 0
 
         # Parallel-mode composed runs: lo -> [hi, end_row, valid_row]; the
@@ -206,7 +230,7 @@ class ChunkScoreboard:
             # light a secondary front at its successor.
             self.out_state[c] = self.end[c, 0]
             count_skipped(1, self.stats)
-            if self.stats is not None and c > 0:
+            if self.stats is not None and c > 0 and c not in self._seeds:
                 self.stats.success_total += 1
                 self.stats.success_hits += 1
             self._retire(c, STAGE_RETIRED)
@@ -295,7 +319,7 @@ class ChunkScoreboard:
     def _resolve_one(self, c: int, s: int) -> None:
         """Resolve a single posted chunk whose incoming state just arrived."""
         idx = self._probe(self.spec[c], self.valid[c], s)
-        if self.stats is not None and c > 0:
+        if self.stats is not None and c > 0 and c not in self._seeds:
             self.stats.success_total += 1
             if idx >= 0:
                 self.stats.success_hits += 1

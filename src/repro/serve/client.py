@@ -1,0 +1,111 @@
+"""Client-side convenience: awaitable handles and multi-tenant workloads.
+
+:class:`ServeClient` is the thin per-tenant wrapper callers use instead
+of juggling :class:`repro.serve.server.Tenant` handles by hand.
+:func:`zipf_workload` builds the skewed multi-tenant request stream the
+demo (``python -m repro.serve --demo``), the serving benchmark
+(``benchmarks/bench_serving.py``), and the tests all share: tenant
+popularity is Zipf-distributed (a few hot tenants dominate, a long tail
+trickles), and each request is a random window of its tenant's corpus so
+request sizes vary while results stay checkable against the reference
+runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.server import FSMServer, ServeResponse, Tenant
+
+__all__ = ["ServeClient", "WorkloadRequest", "zipf_workload"]
+
+
+class ServeClient:
+    """One tenant's handle on a running :class:`FSMServer`.
+
+    Purely a convenience binding — it adds no queueing or state of its
+    own, so any number of concurrent coroutines may share one client.
+    """
+
+    def __init__(self, server: FSMServer, tenant: Tenant) -> None:
+        self.server = server
+        self.tenant = tenant
+
+    async def match(
+        self,
+        symbols: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        request_id: str | None = None,
+    ) -> ServeResponse:
+        """Submit one job for this tenant and await its response."""
+        return await self.server.submit(
+            self.tenant,
+            symbols,
+            deadline_s=deadline_s,
+            request_id=request_id,
+        )
+
+    async def run_many(
+        self,
+        jobs: list[np.ndarray],
+        *,
+        deadline_s: float | None = None,
+    ) -> list[ServeResponse]:
+        """Submit ``jobs`` concurrently; responses in submission order."""
+        import asyncio
+
+        return list(
+            await asyncio.gather(
+                *(self.match(x, deadline_s=deadline_s) for x in jobs)
+            )
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One generated request: which tenant sends which symbol window."""
+
+    tenant: str
+    symbols: np.ndarray
+
+
+def zipf_workload(
+    tenant_corpora: dict[str, np.ndarray],
+    *,
+    num_requests: int,
+    mean_items: int,
+    alpha: float = 1.2,
+    seed: int = 0,
+) -> list[WorkloadRequest]:
+    """Generate a Zipf-skewed multi-tenant request stream.
+
+    Tenants (in ``tenant_corpora`` insertion order) get Zipf(``alpha``)
+    popularity — tenant ranked ``r`` is chosen proportionally to
+    ``1/(r+1)**alpha`` — and each request is a random window of the
+    chosen tenant's corpus with mean length ``mean_items`` (uniform in
+    ``[1, 2*mean_items]``, clamped to the corpus). Deterministic in
+    ``seed``.
+    """
+    if not tenant_corpora:
+        raise ValueError("tenant_corpora must not be empty")
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    if mean_items < 1:
+        raise ValueError(f"mean_items must be >= 1, got {mean_items}")
+    rng = np.random.default_rng(seed)
+    names = list(tenant_corpora)
+    pop = 1.0 / np.arange(1, len(names) + 1, dtype=np.float64) ** alpha
+    pop /= pop.sum()
+    picks = rng.choice(len(names), size=num_requests, p=pop)
+    out = []
+    for t in picks:
+        corpus = tenant_corpora[names[t]]
+        n = min(int(rng.integers(1, 2 * mean_items + 1)), corpus.size)
+        lo = int(rng.integers(0, corpus.size - n + 1)) if corpus.size > n else 0
+        out.append(
+            WorkloadRequest(tenant=names[t], symbols=corpus[lo : lo + n])
+        )
+    return out

@@ -1,0 +1,546 @@
+"""The asyncio FSM serving front-end: tenants, admission, round loop.
+
+:class:`FSMServer` accepts thousands of concurrent match jobs from many
+tenants and turns them into coalesced batch executions:
+
+* **Tenant registration** (:meth:`FSMServer.register_tenant`) resolves a
+  tenant's DFA to a shared :class:`_MachineState` keyed by
+  :func:`repro.core.predictor.dfa_fingerprint` — the state prior, the
+  autotuned kernel plan, and (under the pool executor) the publish-once
+  shared-memory :class:`repro.core.mp_executor.ScaleoutPool` are built
+  once per *machine*, not per tenant, so two tenants serving the same
+  regex share everything.
+* **Admission + scheduling** rides
+  :class:`repro.serve.scheduler.WeightedFairScheduler`: bounded queue
+  depths shed excess load as explicit ``status="shed"`` responses, WFQ
+  keeps tenants at their weighted shares, and requests about to miss
+  their deadline jump the fair order (EDF), with the predicted service
+  time coming from PR 4's :class:`repro.core.resilience.DeadlineModel`
+  over the server's measured throughput.
+* **Continuous chunk-level batching**: the single ``_batch_loop`` task
+  repeatedly asks the scheduler for the next round (requests sharing one
+  DFA), carves each request to the round's item budget
+  (:func:`repro.serve.batcher.carve_round`), and executes the slices as
+  one seeded batch — :func:`repro.core.engine.run_speculative_batch`
+  in-process or :meth:`repro.core.mp_executor.ScaleoutPool.run_batch` on
+  the shared pool. Unfinished requests re-queue with their carried state
+  and the *next* round is re-formed from scratch, so new arrivals join
+  between speculate/merge/re-exec rounds instead of waiting for a drain.
+
+Rounds execute in a worker thread (``asyncio.to_thread``) so the event
+loop keeps admitting, shedding, and timing requests while numpy crunches.
+All ``serve.*`` spans/counters land on the server's own
+:class:`repro.obs.RunTrace` (catalog in ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import run_speculative_batch
+from repro.core.faultinject import FaultPlan
+from repro.core.kernels import KernelPlan, plan_kernel
+from repro.core.lookback import state_prior
+from repro.core.mp_executor import ScaleoutPool
+from repro.core.predictor import dfa_fingerprint
+from repro.core.resilience import DeadlineModel
+from repro.fsm.dfa import DFA
+from repro.obs.trace import RunTrace
+from repro.serve.batcher import RoundPlan, carve_round
+from repro.serve.scheduler import QueuedRequest, WeightedFairScheduler
+
+__all__ = ["FSMServer", "ServeConfig", "ServeResponse", "Tenant"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operator knobs of one :class:`FSMServer`.
+
+    Attributes
+    ----------
+    max_queue_depth, max_tenant_queue_depth:
+        Admission-control bounds; a request past either is shed with an
+        explicit response instead of queued (see ``docs/SERVING.md``).
+    max_batch_requests:
+        Most requests one round may coalesce.
+    round_budget_items:
+        Target symbols per round; long requests are carved to an equal
+        share of it and continue in later rounds (continuous batching).
+    chunk_items:
+        Chunk length inside a batch — the coalescing granularity (and
+        the smallest useful per-round slice of a request).
+    k, lookback:
+        Speculation width and look-back window for batch execution.
+    executor:
+        ``"inline"`` — rounds run :func:`repro.core.engine.run_speculative_batch`
+        in a worker thread of this process; ``"pool"`` — rounds run on a
+        per-machine shared :class:`repro.core.mp_executor.ScaleoutPool`
+        (worker processes, supervision, degraded fallback).
+    pool_workers:
+        Worker-process count per machine pool (``executor="pool"``).
+    pool_fault_plan:
+        Deterministic fault injection forwarded to each machine pool —
+        the serving failure drills reuse :mod:`repro.core.faultinject`.
+    deadline_model:
+        PR 4's :class:`repro.core.resilience.DeadlineModel`, used to
+        predict a request's service time for EDF urgency (over the
+        server's measured items/sec) and, under the pool executor, to cap
+        worker-task deadlines at the tightest request slack in the round.
+    """
+
+    max_queue_depth: int = 1024
+    max_tenant_queue_depth: int = 256
+    max_batch_requests: int = 64
+    round_budget_items: int = 1 << 18
+    chunk_items: int = 1 << 13
+    k: int | None = 4
+    lookback: int = 8
+    executor: str = "inline"
+    pool_workers: int = 4
+    pool_fault_plan: FaultPlan | None = None
+    deadline_model: DeadlineModel = field(
+        default_factory=lambda: DeadlineModel(
+            floor_s=0.05, bytes_per_sec_floor=2e6, safety_factor=4.0
+        )
+    )
+
+
+@dataclass
+class ServeResponse:
+    """What a caller gets back for one submitted request.
+
+    ``status`` is ``"ok"`` (executed; ``final_state``/``accepted`` are
+    exactly what running the request alone would produce) or ``"shed"``
+    (admission control refused it; ``shed_reason`` says which bound and
+    no execution happened). ``deadline_missed`` reports — it does not
+    cancel: a late request still completes exactly. ``degraded`` means at
+    least one of the request's rounds fell back to in-process execution
+    after pool supervision gave up (the result is still exact).
+    """
+
+    status: str
+    tenant: str
+    request_id: str
+    final_state: int = -1
+    accepted: bool = False
+    items: int = 0
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    rounds: int = 0
+    batch_requests: int = 0
+    deadline_missed: bool = False
+    degraded: bool = False
+    shed_reason: str = ""
+
+
+@dataclass
+class _MachineState:
+    """Everything shareable across tenants serving the same DFA."""
+
+    dfa: DFA
+    fingerprint: str
+    prior: np.ndarray
+    kplan: KernelPlan
+    pool: ScaleoutPool | None = None
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """A registered tenant: a name bound to a (shared) machine."""
+
+    name: str
+    fingerprint: str
+    weight: float
+
+
+class FSMServer:
+    """Asyncio service layer over the speculative batch engine.
+
+    Typical use::
+
+        server = FSMServer(ServeConfig(executor="inline"))
+        t = server.register_tenant("acme", dfa)
+        await server.start()
+        resp = await server.submit(t, symbols)
+        await server.stop()
+
+    :meth:`submit` may be called before :meth:`start` — requests queue
+    (and shed past the admission bounds) and drain once the round loop
+    starts. One server instance belongs to one event loop.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        trace: RunTrace | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        if self.config.executor not in ("inline", "pool"):
+            raise ValueError(
+                f"executor must be 'inline' or 'pool', got "
+                f"{self.config.executor!r}"
+            )
+        self.trace = trace if trace is not None else RunTrace("serve")
+        self._sched = WeightedFairScheduler(
+            max_queue_depth=self.config.max_queue_depth,
+            max_tenant_queue_depth=self.config.max_tenant_queue_depth,
+            predict_service_s=self._predict_service_s,
+        )
+        self._machines: dict[str, _MachineState] = {}
+        self._tenants: dict[str, Tenant] = {}
+        self._work = asyncio.Event()
+        self._loop_task: asyncio.Task | None = None
+        self._stopping = False
+        self._closed = False
+        self._seq = 0
+        self._items_per_sec: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register_tenant(
+        self,
+        name: str,
+        dfa: DFA,
+        *,
+        weight: float = 1.0,
+        request_k: int | None = None,
+    ) -> Tenant:
+        """Register a tenant and build (or share) its machine state.
+
+        The expensive per-machine preparation — state prior, autotuned
+        kernel plan, and the publish-once shared-memory pool under the
+        pool executor — happens at most once per DFA fingerprint, however
+        many tenants register it. ``weight`` sets the tenant's WFQ share.
+        """
+        if self._closed:
+            raise RuntimeError("FSMServer is closed")
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        fp = dfa_fingerprint(dfa)
+        ms = self._machines.get(fp)
+        if ms is None:
+            with self.trace.span(
+                "serve.machine_build",
+                machine=fp[:12],
+                executor=self.config.executor,
+            ):
+                ms = self._build_machine(dfa, fp)
+            self._machines[fp] = ms
+            self.trace.count("serve.machines", 1)
+        tenant = Tenant(name=name, fingerprint=fp, weight=float(weight))
+        self._tenants[name] = tenant
+        self._sched.add_tenant(name, weight=weight)
+        self.trace.count("serve.tenants", 1)
+        return tenant
+
+    def _build_machine(self, dfa: DFA, fp: str) -> _MachineState:
+        """Build the shared per-DFA state (prior, kernel plan, pool)."""
+        cfg = self.config
+        k_eff = (
+            dfa.num_states
+            if cfg.k is None or cfg.k >= dfa.num_states
+            else cfg.k
+        )
+        ms = _MachineState(
+            dfa=dfa,
+            fingerprint=fp,
+            prior=state_prior(dfa),
+            kplan=plan_kernel(
+                dfa,
+                chunk_len=cfg.chunk_items,
+                num_chunks=max(1, cfg.round_budget_items // cfg.chunk_items),
+                k=k_eff,
+                kernel="auto",
+                amortize_builds=16,
+            ),
+        )
+        if cfg.executor == "pool":
+            ms.pool = ScaleoutPool(
+                dfa,
+                num_workers=cfg.pool_workers,
+                k=cfg.k,
+                sub_chunks_per_worker=max(
+                    1,
+                    cfg.round_budget_items
+                    // (cfg.pool_workers * cfg.chunk_items),
+                ),
+                lookback=cfg.lookback,
+                kernel="auto",
+                fault_plan=cfg.pool_fault_plan,
+            )
+        return ms
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Launch the round loop on the running event loop."""
+        if self._closed:
+            raise RuntimeError("FSMServer is closed")
+        if self._loop_task is not None:
+            return
+        self._stopping = False
+        self._loop_task = asyncio.get_running_loop().create_task(
+            self._batch_loop(), name="repro-serve-batch-loop"
+        )
+
+    async def stop(self) -> None:
+        """Drain queued requests, stop the round loop, keep machine state.
+
+        Safe to :meth:`start` again afterwards; call :meth:`close` for
+        full teardown (pool processes and shared memory).
+        """
+        if self._loop_task is None:
+            return
+        self._stopping = True
+        self._work.set()
+        await self._loop_task
+        self._loop_task = None
+
+    async def close(self) -> None:
+        """Stop the loop and release every machine's pool resources."""
+        await self.stop()
+        self._closed = True
+        for ms in self._machines.values():
+            if ms.pool is not None:
+                ms.pool.close()
+                ms.pool = None
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted and not yet completed by a round."""
+        return self._sched.depth
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def _predict_service_s(self, items: int) -> float:
+        """EDF urgency estimate: PR 4's deadline model over measured rate."""
+        ips = self._items_per_sec
+        itemsize = 4  # input symbols are int32 on the wire
+        bps = None if ips is None else ips * itemsize
+        return self.config.deadline_model.deadline_s(items * itemsize, bps)
+
+    async def submit(
+        self,
+        tenant: Tenant | str,
+        symbols: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        request_id: str | None = None,
+    ) -> ServeResponse:
+        """Submit one match job; resolves when it completes (or sheds).
+
+        ``deadline_s`` is relative to now; it prioritizes (EDF once the
+        request is predicted unable to make it) and is reported back as
+        ``deadline_missed`` — it never cancels the work. The returned
+        ``final_state``/``accepted`` are bit-exact against running the
+        request alone.
+        """
+        if self._closed:
+            raise RuntimeError("FSMServer is closed")
+        name = tenant.name if isinstance(tenant, Tenant) else tenant
+        t = self._tenants.get(name)
+        if t is None:
+            raise KeyError(f"unknown tenant {name!r}; register_tenant first")
+        symbols = np.ascontiguousarray(np.asarray(symbols))
+        if symbols.ndim != 1:
+            raise ValueError(f"symbols must be 1-D, got shape {symbols.shape}")
+        ms = self._machines[t.fingerprint]
+        num_inputs = int(ms.dfa.table.shape[0])
+        if symbols.size and not (
+            0 <= int(symbols.min()) and int(symbols.max()) < num_inputs
+        ):
+            raise ValueError(
+                f"symbols out of range for tenant {name!r}: machine expects "
+                f"ids in [0, {num_inputs}), got "
+                f"[{int(symbols.min())}, {int(symbols.max())}]"
+            )
+        self._seq += 1
+        rid = request_id if request_id is not None else f"{name}-{self._seq}"
+        now = time.monotonic()
+        req = QueuedRequest(
+            tenant=name,
+            fingerprint=t.fingerprint,
+            request_id=rid,
+            symbols=symbols,
+            size=int(symbols.size),
+            carry_state=int(ms.dfa.start),
+            deadline_ts=None if deadline_s is None else now + deadline_s,
+            enqueue_ts=now,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if not self._sched.try_enqueue(req):
+            reason = (
+                f"queue depth {self._sched.depth} at global bound "
+                f"{self.config.max_queue_depth}"
+                if self._sched.depth >= self.config.max_queue_depth
+                else f"tenant {name!r} at queue bound "
+                f"{self.config.max_tenant_queue_depth}"
+            )
+            self.trace.count("serve.shed", 1)
+            return ServeResponse(
+                status="shed", tenant=name, request_id=rid,
+                items=int(symbols.size), shed_reason=reason,
+            )
+        self.trace.count("serve.submitted", 1)
+        self._work.set()
+        return await req.future
+
+    # ------------------------------------------------------------------ #
+    # the round loop
+    # ------------------------------------------------------------------ #
+
+    async def _batch_loop(self) -> None:
+        cfg = self.config
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            while self._sched.depth:
+                selected = self._sched.select_round(
+                    max_requests=cfg.max_batch_requests,
+                    now=time.monotonic(),
+                )
+                if not selected:
+                    break
+                rnd = carve_round(
+                    selected,
+                    budget_items=cfg.round_budget_items,
+                    chunk_items=cfg.chunk_items,
+                )
+                t0 = time.monotonic()
+                with self.trace.span(
+                    "serve.round",
+                    machine=rnd.fingerprint[:12],
+                    requests=rnd.num_requests,
+                    items=rnd.total_items,
+                ):
+                    try:
+                        finals, degraded = await asyncio.to_thread(
+                            self._execute_round, rnd
+                        )
+                    except Exception as exc:
+                        # A poisoned round must not kill the loop (every
+                        # pending future would hang forever) and must not
+                        # re-queue (it would poison the next round too):
+                        # fail exactly its own riders and keep serving.
+                        self._fail_round(rnd, exc)
+                        continue
+                self._finish_round(rnd, finals, degraded, t0, time.monotonic())
+            if self._stopping:
+                return
+
+    def _execute_round(
+        self, rnd: RoundPlan
+    ) -> tuple[np.ndarray, bool]:
+        """Run one carved round (worker thread; no scheduler access here)."""
+        cfg = self.config
+        ms = self._machines[rnd.fingerprint]
+        segments = [
+            req.symbols[req.offset : req.offset + take]
+            for req, take in rnd.entries
+        ]
+        starts = [req.carry_state for req, _ in rnd.entries]
+        if ms.pool is not None:
+            now = time.monotonic()
+            slacks = [
+                req.deadline_ts - now
+                for req, _ in rnd.entries
+                if req.deadline_ts is not None
+            ]
+            res = ms.pool.run_batch(
+                segments,
+                starts=starts,
+                deadline_s=min(slacks) if slacks else None,
+            )
+            return res.final_states, res.degraded
+        res = run_speculative_batch(
+            ms.dfa,
+            segments,
+            starts=starts,
+            k=cfg.k,
+            lookback=cfg.lookback,
+            chunk_items=cfg.chunk_items,
+            kernel_plan=ms.kplan,
+            prior=ms.prior,
+        )
+        return res.final_states, False
+
+    def _fail_round(self, rnd: RoundPlan, exc: Exception) -> None:
+        """Propagate a round-execution failure to exactly its requests."""
+        self.trace.count("serve.round_errors", 1)
+        for req, _ in rnd.entries:
+            fut = req.future
+            if fut is not None and not fut.done():
+                fut.set_exception(exc)
+
+    def _finish_round(
+        self,
+        rnd: RoundPlan,
+        finals: np.ndarray,
+        degraded: bool,
+        t0: float,
+        t1: float,
+    ) -> None:
+        """Fold one round's results back into requests (event-loop side)."""
+        obs = self.trace
+        obs.count("serve.rounds", 1)
+        obs.observe("serve.batch_size", rnd.num_requests)
+        obs.observe("serve.round_items", rnd.total_items)
+        obs.observe("serve.round_s", t1 - t0)
+        if rnd.num_requests > 1:
+            obs.count("serve.coalesced", rnd.num_requests - 1)
+        if degraded:
+            obs.count("serve.degraded_rounds", 1)
+        if rnd.total_items and t1 > t0:
+            ips = rnd.total_items / (t1 - t0)
+            self._items_per_sec = (
+                ips
+                if self._items_per_sec is None
+                else 0.7 * self._items_per_sec + 0.3 * ips
+            )
+        for (req, take), fin in zip(rnd.entries, finals):
+            req.offset += take
+            req.carry_state = int(fin)
+            req.rounds += 1
+            req.batch_peak = max(req.batch_peak, rnd.num_requests)
+            req.degraded = req.degraded or degraded
+            if req.first_service_ts is None:
+                req.first_service_ts = t0
+            if req.offset < req.size:
+                self._sched.requeue(req)
+                continue
+            ms = self._machines[req.fingerprint]
+            missed = req.deadline_ts is not None and t1 > req.deadline_ts
+            resp = ServeResponse(
+                status="ok",
+                tenant=req.tenant,
+                request_id=req.request_id,
+                final_state=req.carry_state,
+                accepted=bool(ms.dfa.accepting[req.carry_state]),
+                items=req.size,
+                queue_wait_s=req.first_service_ts - req.enqueue_ts,
+                service_s=t1 - req.first_service_ts,
+                rounds=req.rounds,
+                batch_requests=req.batch_peak,
+                deadline_missed=missed,
+                degraded=req.degraded,
+            )
+            obs.count("serve.requests", 1)
+            obs.count("serve.items", req.size)
+            obs.observe("serve.queue_wait_s", resp.queue_wait_s)
+            obs.observe("serve.service_s", resp.service_s)
+            if missed:
+                obs.count("serve.deadline_miss", 1)
+            fut = req.future
+            if fut is not None and not fut.done():
+                fut.set_result(resp)
