@@ -17,11 +17,23 @@ Pipeline (one call to :func:`repro.core.engine.run_speculative`):
    (:mod:`repro.core.checks`) and eager or delayed re-execution;
 5. recover outputs (final state, match counts/positions, decoded symbols).
 
+``backend="native"`` (:mod:`repro.core.native`) runs steps 3-4's hot loops
+through C specialized per machine and compiled at first use, with a
+fingerprint-keyed JIT cache for warm restarts; the NumPy path remains the
+bit-exact fallback whenever no provider is available.
+
 Every step increments :class:`repro.core.types.ExecStats` counters that the
 GPU cost model (:mod:`repro.gpu.cost`) prices into modeled V100 time.
 """
 
-from repro.core.autotune import KChoice, KernelChoice, choose_k, choose_kernel
+from repro.core.autotune import (
+    BackendChoice,
+    KChoice,
+    KernelChoice,
+    choose_backend,
+    choose_k,
+    choose_kernel,
+)
 from repro.core.engine import (
     BatchExecutionResult,
     EngineConfig,
@@ -56,6 +68,11 @@ from repro.core.mp_executor import (
     WorkerTiming,
     run_multiprocess,
 )
+from repro.core.native import (
+    NativeKernel,
+    load_native_plan,
+    native_available,
+)
 from repro.core.predictor import HistoryPredictor, dfa_fingerprint
 from repro.core.resilience import (
     DEFAULT_RESILIENCE,
@@ -71,6 +88,7 @@ from repro.core.streaming import FeedCursor, StreamingExecutor
 from repro.core.types import ChunkResults, ExecStats, SegmentMaps
 
 __all__ = [
+    "BackendChoice",
     "BatchExecutionResult",
     "BatchRunResult",
     "ChunkResults",
@@ -90,6 +108,7 @@ __all__ = [
     "KernelPlan",
     "KernelSpec",
     "MultiprocessResult",
+    "NativeKernel",
     "PoolClosedError",
     "PoolRunTiming",
     "ResilienceConfig",
@@ -103,12 +122,15 @@ __all__ = [
     "WorkerTiming",
     "build_stride_tables",
     "chaos_plan_from_env",
+    "choose_backend",
     "choose_k",
     "choose_kernel",
     "corrupt_result_map",
     "delay_task",
     "dfa_fingerprint",
     "kill_worker",
+    "load_native_plan",
+    "native_available",
     "plan_kernel",
     "run_chunks_active",
     "run_inprocess_fallback",

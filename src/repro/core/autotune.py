@@ -40,9 +40,11 @@ __all__ = [
     "KChoice",
     "KernelChoice",
     "CollapseChoice",
+    "BackendChoice",
     "choose_k",
     "choose_kernel",
     "choose_collapse",
+    "choose_backend",
     "candidate_ks",
 ]
 
@@ -370,4 +372,159 @@ def choose_collapse(
         measured_s=measured,
         probe_cadence=probe_cadence(dfa, probe, k=k_eff),
         probe_items=int(probe.size),
+    )
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """Outcome of the local-processing backend auto-tuner.
+
+    ``measured_s`` maps each eligible backend (``"scalar"``,
+    ``"vectorized"``, ``"codegen"``, ``"native"``) to its best measured
+    execution time on the probe; ``build_s`` carries one-time costs
+    (stride-table build, codegen ``exec`` compile, native C compile or
+    artifact load) separately because they amortize across runs. An
+    unavailable backend (no compiler, over-budget table) is simply absent
+    from ``measured_s`` — it can never be chosen.
+    """
+
+    backend: str
+    measured_s: dict
+    build_s: dict
+    probe_items: int
+    kernel: str
+    native_provider: str | None = None
+
+    @property
+    def speedup_vs_numpy(self) -> float:
+        """Measured probe speedup of the winner over the NumPy path."""
+        base = self.measured_s.get("vectorized")
+        if not base:
+            return 1.0
+        return base / self.measured_s[self.backend]
+
+
+def choose_backend(
+    dfa: DFA,
+    inputs: np.ndarray,
+    *,
+    num_chunks: int = 1024,
+    k: int = 4,
+    lookback: int = 8,
+    probe_items: int = 1 << 16,
+    repeats: int = 3,
+    candidates: tuple[str, ...] = (
+        "scalar", "vectorized", "codegen", "native",
+    ),
+    kernel: str = "auto",
+    collapse=None,
+    table_budget_bytes: int | None = None,
+) -> BackendChoice:
+    """Measure every local-processing backend on a probe; pick the fastest.
+
+    The backend axis completes the tuner family (k, kernel, collapse):
+    every candidate executes the same speculated chunk plan over a prefix
+    of ``inputs``, timed as best-of-``repeats``. ``"vectorized"`` runs the
+    planned NumPy kernel (``kernel="auto"`` resolves per machine),
+    ``"codegen"`` the generated per-``k`` Python kernel, ``"native"`` the
+    compiled C loop (:mod:`repro.core.native`) — which is only *eligible*
+    when a provider loads and smoke-checks, so "no compiler" can never win
+    by accident, and only *chosen* when it actually measures faster. The
+    serving layer calls this at tenant-registration time, off the request
+    path.
+    """
+    from repro.core.kernels import (
+        DEFAULT_TABLE_BUDGET_BYTES,
+        plan_kernel,
+        process_chunks_kernel,
+    )
+    from repro.core.local import process_chunks
+    from repro.core.lookback import speculate
+    from repro.core.native import load_native_plan
+    from repro.workloads.chunking import plan_chunks, transform_layout
+
+    if table_budget_bytes is None:
+        table_budget_bytes = DEFAULT_TABLE_BUDGET_BYTES
+    inputs = np.asarray(inputs)
+    if inputs.size == 0:
+        raise ValueError("cannot tune the backend on an empty input")
+    probe = np.ascontiguousarray(inputs[: min(probe_items, inputs.size)])
+    plan = plan_chunks(probe.size, num_chunks)
+    k_eff = min(int(k), dfa.num_states)
+    spec = (
+        speculate(dfa, probe, plan, k_eff, lookback=lookback)
+        if k_eff < dfa.num_states
+        else np.tile(
+            np.arange(dfa.num_states, dtype=np.int32), (plan.num_chunks, 1)
+        )
+    )
+    transformed = transform_layout(probe, plan)
+    kplan = plan_kernel(
+        dfa, chunk_len=plan.max_len, num_chunks=plan.num_chunks, k=k_eff,
+        kernel=kernel, table_budget_bytes=table_budget_bytes,
+    )
+
+    measured: dict = {}
+    build: dict = {"kernel_plan": kplan.build_s}
+    native_provider: str | None = None
+    runners: dict = {}
+    for name in candidates:
+        if name == "vectorized":
+            if kplan.kernel == "lockstep":
+                runners[name] = lambda: process_chunks(
+                    dfa, probe, plan, spec, transformed=transformed,
+                    collapse=collapse,
+                )
+            else:
+                runners[name] = lambda: process_chunks_kernel(
+                    dfa, probe, plan, spec, kplan,
+                    transformed=transformed, collapse=collapse,
+                )
+        elif name == "scalar":
+            scalar_kp = plan_kernel(
+                dfa, chunk_len=plan.max_len, num_chunks=plan.num_chunks,
+                k=k_eff, kernel="scalar",
+                table_budget_bytes=table_budget_bytes,
+            )
+            runners[name] = lambda kp=scalar_kp: process_chunks_kernel(
+                dfa, probe, plan, spec, kp, collapse=collapse,
+            )
+        elif name == "codegen":
+            from repro.core.codegen.pykernel import compile_local_kernel
+
+            t0 = time.perf_counter()
+            fn = compile_local_kernel(k_eff)
+            build[name] = time.perf_counter() - t0
+            runners[name] = lambda f=fn: f(
+                dfa.table, spec, plan.starts, plan.lengths, probe,
+                transformed.main, transformed.tail,
+            )
+        elif name == "native":
+            t0 = time.perf_counter()
+            nk = load_native_plan(
+                dfa, k=k_eff, kplan=kplan, collapse=collapse,
+                table_budget_bytes=table_budget_bytes,
+            )
+            build[name] = time.perf_counter() - t0
+            if nk is None:
+                continue  # no compiler / provider: ineligible
+            native_provider = nk.provider
+            runners[name] = lambda n=nk: n.process_chunks(probe, plan, spec)
+        else:
+            raise ValueError(f"unknown backend candidate {name!r}")
+    for name, runner in runners.items():
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            runner()
+            best = min(best, time.perf_counter() - t0)
+        measured[name] = best
+    chosen = min(measured, key=measured.get)  # type: ignore[arg-type]
+    return BackendChoice(
+        backend=chosen,
+        measured_s=measured,
+        build_s=build,
+        probe_items=int(probe.size),
+        kernel=kplan.kernel,
+        native_provider=native_provider,
     )

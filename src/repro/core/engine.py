@@ -104,6 +104,11 @@ class EngineConfig:
     schedule:
         ``"barrier"`` (lock-step stage pipeline) or ``"ooo"`` (chunk
         scoreboard, :mod:`repro.core.scoreboard`).
+    backend:
+        The local-processing backend that actually ran: ``"vectorized"``,
+        ``"codegen"``, or ``"native"`` (requested ``"native"`` resolves
+        to ``"vectorized"`` when no compiler or provider is usable —
+        visible here and under the ``native.fallback`` counter).
     """
 
     k: int
@@ -120,6 +125,7 @@ class EngineConfig:
     kernel: str = "lockstep"
     collapse: str = "off"
     schedule: str = "barrier"
+    backend: str = "vectorized"
 
     @property
     def num_threads(self) -> int:
@@ -254,11 +260,16 @@ def run_speculative(
         CPU baseline cost per input item (defaults to the calibrated
         constant; pass a Table 3-derived value for paper-scale speedups).
     backend:
-        ``"vectorized"`` (one ``(n, k)`` gather per step) or ``"codegen"``
-        (the generated, per-``k`` specialized kernel from
+        ``"vectorized"`` (one ``(n, k)`` gather per step), ``"codegen"``
+        (the generated, per-``k`` specialized Python kernel from
         :mod:`repro.core.codegen.pykernel` — the paper's code-generation
-        path). Functionally identical; codegen does not support
-        ``cache_table`` or ``accept_count``.
+        path), or ``"native"`` (the same generator idea compiled to
+        machine code: :mod:`repro.core.native` emits specialized C for
+        ``(k, kernel, collapse)``, JIT-compiles it with the system
+        compiler, and caches artifacts by DFA fingerprint; automatically
+        falls back to ``"vectorized"`` when no compiler or provider is
+        usable). Functionally identical; codegen and native do not
+        support ``cache_table`` or ``accept_count``.
     kernel:
         Local-processing stepping kernel: ``"lockstep"`` (default — the
         paper's one-symbol-per-gather Algorithm 3, which is what the
@@ -331,7 +342,7 @@ def run_speculative(
     check_in_set("check", check, ("auto", "nested", "hash"))
     check_in_set("reexec", reexec, ("delayed", "eager"))
     check_in_set("layout", layout, ("transformed", "natural"))
-    check_in_set("backend", backend, ("vectorized", "codegen"))
+    check_in_set("backend", backend, ("vectorized", "codegen", "native"))
     check_in_set("kernel", kernel, ("auto",) + tuple(sorted(KERNELS)))
     check_in_set("schedule", schedule, ("barrier", "ooo"))
     if isinstance(collapse, str):
@@ -361,10 +372,13 @@ def run_speculative(
         n = plan.num_chunks
     ragged = plan.max_len - plan.min_len > 1
     if ragged:
-        # Skewed plans model stragglers; only the natural-layout vectorized
-        # lockstep paths understand them.
-        if backend != "vectorized":
-            raise ValueError("skewed plans require backend='vectorized'")
+        # Skewed plans model stragglers; only the natural-layout lockstep
+        # paths (vectorized NumPy or the compiled per-chunk loop)
+        # understand them.
+        if backend == "codegen":
+            raise ValueError(
+                "skewed plans require backend='vectorized' or 'native'"
+            )
         if kernel not in ("auto", "lockstep"):
             raise ValueError(f"skewed plans require kernel='lockstep', got {kernel!r}")
         kernel = "lockstep"
@@ -409,7 +423,34 @@ def run_speculative(
     needs_per_symbol = cache_table or ("accept_count" in collect)
     kplan = None
     kernel_resolved = "lockstep"
-    if kernel not in ("lockstep",):
+    nplan = None
+    if backend == "native":
+        if needs_per_symbol:
+            raise ValueError(
+                "backend='native' does not support cache_table or "
+                "accept_count; use the default vectorized backend"
+            )
+        from repro.core.native import load_native_plan
+
+        # Collapse behaviour is baked into the artifact; the plan is built
+        # inside the loader (lockstep included — the compiled per-symbol
+        # loop still removes the per-step dispatch).
+        nplan = load_native_plan(
+            dfa, k=k_eff, kernel=kernel, collapse=collapse_cfg,
+            chunk_len=plan.max_len, num_chunks=n,
+        )
+        if nplan is None:
+            # No compiler / compile failure / smoke mismatch — already
+            # counted under native.fallback.*; the NumPy path is always
+            # functionally identical.
+            backend = "vectorized"
+        else:
+            kplan = nplan.kplan
+            kernel_resolved = kplan.kernel
+            # Native reads the natural layout directly (explicit
+            # starts/lengths per chunk); skip the transform copy.
+            layout = "natural"
+    if nplan is None and kernel not in ("lockstep",):
         if backend == "codegen" or needs_per_symbol:
             if kernel != "auto":
                 raise ValueError(
@@ -442,6 +483,7 @@ def run_speculative(
         kernel=kernel_resolved,
         collapse=collapse_cfg.label if collapse_cfg is not None else "off",
         schedule=schedule,
+        backend="native" if nplan is not None else backend,
     )
     stats = ExecStats(
         num_items=int(inputs.size),
@@ -515,7 +557,7 @@ def run_speculative(
         "engine.local_exec", backend=backend, chunks=n, k=k_eff,
         kernel=kernel_resolved, schedule=schedule,
     ):
-        if ragged:
+        if ragged and nplan is None:
             acc = None
             if schedule == "ooo":
                 # Deferred: the active-list driver executes chunks and
@@ -524,6 +566,13 @@ def run_speculative(
                 end = None
             else:
                 end = process_chunks_ragged(dfa, inputs, plan, spec, stats=stats)
+        elif nplan is not None:
+            # One compiled call covers near-equal and skewed plans alike
+            # (per-chunk lengths are explicit in the native loop); under
+            # schedule="ooo" the executed chunks are posted shortest-first
+            # below, like any barrier backend.
+            end = nplan.process_chunks(inputs, plan, spec, stats=stats)
+            acc = None
         elif backend == "codegen":
             if cache_mask is not None or "accept_count" in collect:
                 raise ValueError(
@@ -577,8 +626,15 @@ def run_speculative(
         schedule=schedule,
     ):
         if schedule == "ooo":
+            reexec_fn = None
+            if nplan is not None:
+                # Provable speculation misses re-execute inside the
+                # compiled loop instead of the Python step loop.
+                def reexec_fn(c: int, s: int) -> int:
+                    return nplan.run_segment(inputs[plan.chunk_slice(c)], s)
             board = ChunkScoreboard(
                 dfa, inputs, plan, k_eff, mode=merge, check=check, stats=stats,
+                reexec_fn=reexec_fn,
             )
             if end is None:
                 # Ragged plan: the active-list driver executes the chunks
@@ -759,6 +815,7 @@ def run_speculative_batch(
     kernel_plan: KernelPlan | None = None,
     prior: np.ndarray | None = None,
     stats: ExecStats | None = None,
+    native=None,
 ) -> BatchExecutionResult:
     """Coalesce many independent requests into one speculative execution.
 
@@ -808,6 +865,13 @@ def run_speculative_batch(
         Accumulate events into an existing
         :class:`repro.core.types.ExecStats` (the server carries one per
         round) instead of a fresh one.
+    native:
+        A loaded :class:`repro.core.native.NativeKernel` compiled for
+        this machine at width ``k`` (the serving layer compiles one at
+        tenant-registration time, off the request path). When given, the
+        batch's chunks execute in the compiled loop and speculation
+        misses re-execute natively; the seeded scoreboard resolution is
+        unchanged and results stay bit-identical.
     """
     if starts is None:
         starts_arr = np.full(len(segments), dfa.start, dtype=np.int64)
@@ -896,7 +960,10 @@ def run_speculative_batch(
                     if not (spec[h] == s).any():
                         spec[h, -1] = s
         reexec_fn = None
-        if kernel_plan is not None:
+        if native is not None and native.spec.k == k_eff:
+            def reexec_fn(c: int, s: int) -> int:
+                return native.run_segment(concat[plan.chunk_slice(c)], s)
+        elif kernel_plan is not None:
             def reexec_fn(c: int, s: int) -> int:
                 return run_segment_kernel(
                     kernel_plan, concat[plan.chunk_slice(c)], s
@@ -905,7 +972,15 @@ def run_speculative_batch(
             dfa, concat, plan, k_eff, mode="parallel", check=check,
             stats=stats, reexec_fn=reexec_fn, seeds=heads,
         )
-        run_chunks_active(dfa, concat, plan, spec, board, stats=stats)
+        if native is not None and native.spec.k == k_eff:
+            # Execute the whole batch in one compiled call, then post the
+            # finished chunks shortest-first (simulated completion order —
+            # the same arrival pattern the active-list driver produces).
+            end = native.process_chunks(concat, plan, spec, stats=stats)
+            for c in np.argsort(plan.lengths, kind="stable"):
+                board.post(int(c), spec[c], end[c])
+        else:
+            run_chunks_active(dfa, concat, plan, spec, board, stats=stats)
         board.resolve()
         live = tail_chunk >= 0
         final_states[live] = board.out_state[tail_chunk[live]]

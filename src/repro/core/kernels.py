@@ -472,6 +472,7 @@ def process_chunks_kernel(
     transformed: TransformedInput | None = None,
     stats=None,
     collapse: CollapseConfig | None = None,
+    native=None,
 ) -> np.ndarray:
     """Kernel-dispatched equivalent of :func:`repro.core.local.process_chunks`.
 
@@ -484,6 +485,11 @@ def process_chunks_kernel(
     convergence layer (:mod:`repro.core.convergence`) through the stride
     loop; the scalar kernel deduplicates each chunk's lanes up front
     (its whole row is one collapse scan).
+
+    ``native`` is a loaded :class:`repro.core.native.NativeKernel` for the
+    same plan; when given, the whole call is dispatched to the compiled
+    loop (collapse behaviour is baked into the artifact, so ``collapse``
+    is ignored on that path).
     """
     spec = np.asarray(spec, dtype=np.int32)
     if spec.ndim != 2 or spec.shape[0] != plan.num_chunks:
@@ -491,6 +497,8 @@ def process_chunks_kernel(
             f"spec must have shape (num_chunks, k), got {spec.shape} for "
             f"{plan.num_chunks} chunks"
         )
+    if native is not None:
+        return native.process_chunks(inputs, plan, spec, stats=stats)
     if KERNELS[kplan.kernel].name == "scalar":
         # Class-map the input once (not once per lane) and advance each
         # chunk's lanes as one batch: the per-step table lookup gathers all

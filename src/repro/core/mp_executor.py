@@ -208,6 +208,32 @@ class BatchRunResult:
 # the current task are stale (the parent grew the input buffer) and are closed.
 _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
 
+# Native artifacts load once per worker process and are reused across tasks
+# (the parent ships the compiled .so *path* the same way it ships SHM segment
+# names). A failed load caches None so every retry doesn't re-attempt dlopen.
+_NATIVE_MISS = object()
+_NATIVE_LIBS: dict[str, object] = {}
+
+
+def _worker_native(path, meta, kplan):
+    """Resolve the shipped native artifact inside a worker (cached).
+
+    The returned kernel binds the *first* task's kernel-plan views; those
+    views alias the pool's shared segments, whose names stay in every
+    task's keep-set for the pool's life, so reuse across tasks is safe.
+    Returns None (and caches the failure) when loading is impossible —
+    the worker then runs its NumPy path, bit-identically.
+    """
+    if path is None:
+        return None
+    nk = _NATIVE_LIBS.get(path, _NATIVE_MISS)
+    if nk is _NATIVE_MISS:
+        from repro.core.native import load_artifact
+
+        nk = load_artifact(path, tuple(meta), kplan)
+        _NATIVE_LIBS[path] = nk
+    return nk
+
 
 _TRACKER_INHERITED: bool | None = None
 
@@ -350,6 +376,13 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
     converged sub-chunks (constant maps over achievable incoming states) —
     the collapse state is rebuilt from the task alone, so a retried or
     respawned worker reproduces it exactly.
+
+    When the parent shipped a compiled native artifact (``native_path`` +
+    ``native_meta``, riding the task tuple like the SHM segment names),
+    the worker dlopens it once per process and runs local processing and
+    the fold through :mod:`repro.core.native` — bit-identical to the
+    NumPy path, which remains the fallback whenever the artifact cannot
+    be loaded (e.g. the cache directory is not shared with the worker).
     """
     (
         table_name,
@@ -376,6 +409,8 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
         collapse_spec,
         mode,
         aux_start,
+        native_path,
+        native_meta,
     ) = task
     t_task = time.perf_counter()
     _tracker_inherited()  # snapshot before the first attach registers anything
@@ -444,13 +479,23 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
                 if not (spec[ci] == s).any():
                     spec[ci, -1] = s
         wstats = ExecStats()
-        end = process_chunks_ragged(dfa, segment, plan, spec, stats=wstats)
+        nk = _worker_native(native_path, native_meta, kplan)
+        if nk is not None and nk.spec.k == spec.shape[1]:
+            end = nk.process_chunks(segment, plan, spec, stats=wstats)
+        else:
+            end = process_chunks_ragged(dfa, segment, plan, spec, stats=wstats)
         t_done = time.perf_counter()
         timings = (
             t_attach - t_task, t_done - t_attach, 0.0, t_done - t_task,
             new_attaches,
         )
-        counters = (int(wstats.local_gathers), 0, 0, 0, 0)
+        counters = (
+            int(wstats.local_gathers),
+            int(wstats.collapse_scans),
+            int(wstats.lanes_collapsed),
+            0,
+            0,
+        )
         return spec, end, None, 0, timings, counters
     plan = plan_chunks(segment.size, sub_chunks)
     collapse_cfg = (
@@ -478,7 +523,11 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
         spec = speculate(dfa, segment, plan, k, lookback=lookback, prior=prior)
         spec[0] = boundary_row
     wstats = ExecStats()
-    if kernel_name == "lockstep":
+    nk = _worker_native(native_path, native_meta, kplan)
+    if nk is not None and nk.spec.k == spec.shape[1]:
+        # Collapse (when enabled) is baked into the artifact's cadence.
+        end = nk.process_chunks(segment, plan, spec, stats=wstats)
+    elif kernel_name == "lockstep":
         end, _ = process_chunks(
             dfa, segment, plan, spec, stats=wstats, collapse=collapse_cfg
         )
@@ -510,6 +559,28 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
 
     # Fold chunk maps into one segment map over chunk 0's speculation row:
     # repeated semi-join composition, vectorized over the k entries.
+    if nk is not None and nk.spec.k == spec.shape[1]:
+        # Native fold: first-match semi-join with in-C re-execution on
+        # misses and the same converged-chunk short-circuit.
+        row, fc = nk.fold_maps(
+            spec, end, segment, plan.starts, plan.lengths, converged=converged
+        )
+        t_done = time.perf_counter()
+        timings = (
+            t_attach - t_task, t_exec - t_attach, t_done - t_exec,
+            t_done - t_task, new_attaches,
+        )
+        counters = (
+            int(wstats.local_gathers) + fc.gathers,
+            int(wstats.collapse_scans),
+            int(wstats.lanes_collapsed),
+            chunks_conv,
+            fc.checks_skipped,
+        )
+        return (
+            spec[0].copy(), row, fc.reexec_chunks, fc.reexec_items,
+            timings, counters,
+        )
     spec_row = spec[0].copy()
     cur_end = end[0][None, :].copy()
     all_valid = np.ones((1, spec.shape[1]), dtype=bool)
@@ -624,6 +695,16 @@ class ScaleoutPool:
         :class:`CollapseConfig`. The resolved cadence ships inside each
         task tuple, so retried and respawned workers rebuild the same
         collapse state deterministically.
+    backend:
+        Hot-path implementation: ``"numpy"`` (default) or ``"native"``
+        (compile the specialized C kernel via :mod:`repro.core.native`,
+        matching the engine's explicit ``backend="native"`` opt-in). The
+        parent compiles **once** — lazily, after collapse resolution so
+        the cadence is baked in — and ships the artifact *path* inside
+        each task tuple the same way it ships shared-memory segment
+        names; each worker dlopens it once per process. Every failure
+        mode (no compiler, load error, smoke-check mismatch) falls back
+        to the NumPy path, bit-identically.
     resilience:
         :class:`repro.core.resilience.ResilienceConfig` governing worker
         supervision (deadlines, retry, respawn, quorum). The default keeps
@@ -649,6 +730,7 @@ class ScaleoutPool:
         kernel: str = "auto",
         table_budget_bytes: int = DEFAULT_TABLE_BUDGET_BYTES,
         collapse: str | CollapseConfig | None = "auto",
+        backend: str = "numpy",
         resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
         fault_plan: FaultPlan | None = None,
     ) -> None:
@@ -681,6 +763,14 @@ class ScaleoutPool:
                     f"collapse must be 'auto', 'on', 'off', or a "
                     f"CollapseConfig, got {collapse!r}"
                 )
+            if backend not in ("native", "numpy"):
+                raise ValueError(
+                    f"backend must be 'native' or 'numpy', got {backend!r}"
+                )
+            self._backend = backend
+            self._native = None
+            # Sentinel distinct from any collapse tag: "never loaded".
+            self._native_tag: object = ("unloaded",)
             self._collapse_mode = collapse
             self._collapse_requested = not (
                 collapse is None
@@ -850,6 +940,48 @@ class ScaleoutPool:
                 return False
         return True
 
+    def _ensure_native(self):
+        """Resolve the pool's native kernel lazily (compile once, reuse).
+
+        Called at each point of use rather than in ``__init__`` so the
+        artifact can bake in the collapse cadence, which ``"auto"``
+        collapse only resolves on the first non-empty run. If the
+        resolved collapse changes after an early load (a single-worker
+        or batch call preceding the first multi-worker run), the kernel
+        is reloaded under the new tag — cheap through the memory/disk
+        caches. Returns None whenever native execution is unavailable;
+        callers use the NumPy path unchanged.
+        """
+        if self._backend != "native":
+            return None
+        cfg = self._collapse_cfg if self._collapse_resolved else None
+        tag = None if cfg is None else (cfg.enabled, cfg.cadence, cfg.backoff)
+        if tag == self._native_tag:
+            return self._native
+        from repro.core.native import load_native_plan
+
+        self._native = load_native_plan(
+            self.dfa,
+            k=self.k_eff,
+            kplan=self._kplan,
+            collapse=cfg,
+            num_chunks=self.num_workers * self.sub_chunks_per_worker,
+        )
+        self._native_tag = tag
+        return self._native
+
+    def _native_task_fields(self) -> tuple:
+        """The ``(artifact_path, meta)`` pair shipped inside task tuples.
+
+        ``(None, None)`` when native is off or the provider has no
+        on-disk artifact to ship (numba) — workers then run NumPy while
+        the parent still re-executes natively.
+        """
+        nk = self._native
+        if nk is None or nk.artifact_path is None:
+            return None, None
+        return nk.artifact_path, nk.meta
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
@@ -925,9 +1057,14 @@ class ScaleoutPool:
             )
         if w == 1:
             # Single-worker degenerate case: no dispatch, run in-process —
-            # through the kernel layer, so even this path gets stride
-            # stepping from the tables built at construction.
-            final = run_segment_kernel(self._kplan, inputs, start)
+            # through the native kernel when available, else the kernel
+            # layer's stride stepping from the tables built at construction.
+            nk1 = self._ensure_native()
+            final = (
+                nk1.run_segment(inputs, start)
+                if nk1 is not None
+                else run_segment_kernel(self._kplan, inputs, start)
+            )
             stats.pool_shm_bytes = self.shm_bytes
             positions = None
             if collect_matches:
@@ -968,6 +1105,10 @@ class ScaleoutPool:
             if self._collapse_cfg is not None
             else None
         )
+        # Native kernel (compiled once per pool, after collapse resolution
+        # so the cadence is baked); its artifact path rides the task tuple.
+        nkern = self._ensure_native()
+        native_path, native_meta = self._native_task_fields()
 
         # Segment-boundary speculation rows, from look-back over the global
         # input (one vectorized call covering every boundary). Worker 0's
@@ -1030,6 +1171,8 @@ class ScaleoutPool:
                 collapse_spec,
                 run_mode if mode is None else mode,
                 aux,
+                native_path,
+                native_meta,
             )
 
         # Out-of-order schedule: a parent-side scoreboard over every
@@ -1046,12 +1189,18 @@ class ScaleoutPool:
                     for i in range(w)
                 ])
             )
+            if nkern is not None:
+                reexec_fn = lambda c, s: nkern.run_segment(  # noqa: E731
+                    inputs[gplan.chunk_slice(c)], s
+                )
+            else:
+                reexec_fn = lambda c, s: run_segment_kernel(  # noqa: E731
+                    self._kplan, inputs[gplan.chunk_slice(c)], s
+                )
             board = ChunkScoreboard(
                 run_dfa, inputs, gplan, self.k_eff, mode="parallel",
                 stats=stats,
-                reexec_fn=lambda c, s: run_segment_kernel(
-                    self._kplan, inputs[gplan.chunk_slice(c)], s
-                ),
+                reexec_fn=reexec_fn,
             )
 
             def on_result(tid: int, payload: tuple) -> None:
@@ -1362,15 +1511,20 @@ class ScaleoutPool:
         gplan = plan_from_lengths(np.asarray(lengths, dtype=np.int64))
         n_chunks = gplan.num_chunks
         self.calls += 1
+        nkern = self._ensure_native()
+        native_path, native_meta = self._native_task_fields()
+
+        def _resolve_one(seg: np.ndarray, s0: int) -> int:
+            if nkern is not None:
+                return nkern.run_segment(seg, s0)
+            return run_segment_kernel(self._kplan, seg, s0)
 
         if w == 1:
             # Degenerate single worker: no dispatch — resolve in-process
-            # through the kernel layer.
+            # through the native kernel or the kernel layer.
             for r, seg in enumerate(segs):
                 if seg.size:
-                    final_states[r] = run_segment_kernel(
-                        self._kplan, seg, int(starts_arr[r])
-                    )
+                    final_states[r] = _resolve_one(seg, int(starts_arr[r]))
             stats.pool_shm_bytes = self.shm_bytes
             return BatchRunResult(
                 final_states, accepted(), num_requests, 1, stats,
@@ -1430,8 +1584,8 @@ class ScaleoutPool:
             board = ChunkScoreboard(
                 dfa, concat, gplan, self.k_eff, mode="parallel",
                 stats=stats, seeds=heads,
-                reexec_fn=lambda c, s: run_segment_kernel(
-                    self._kplan, concat[gplan.chunk_slice(c)], s
+                reexec_fn=lambda c, s: _resolve_one(
+                    concat[gplan.chunk_slice(c)], s
                 ),
             )
 
@@ -1470,6 +1624,8 @@ class ScaleoutPool:
                     None,
                     "bmaps",
                     (span_lengths, pins),
+                    native_path,
+                    native_meta,
                 )
 
             def on_result(tid: int, payload: tuple) -> None:
@@ -1520,8 +1676,8 @@ class ScaleoutPool:
                 ):
                     for r, seg in enumerate(segs):
                         if seg.size:
-                            final_states[r] = run_segment_kernel(
-                                self._kplan, seg, int(starts_arr[r])
+                            final_states[r] = _resolve_one(
+                                seg, int(starts_arr[r])
                             )
                 return BatchRunResult(
                     final_states, accepted(), num_requests, w, stats,
@@ -1663,6 +1819,7 @@ def run_multiprocess(
     lookback: int = 8,
     kernel: str = "auto",
     collapse: str | CollapseConfig | None = "auto",
+    backend: str = "numpy",
     resilience: ResilienceConfig | None = DEFAULT_RESILIENCE,
     fault_plan: FaultPlan | None = None,
     pool: ScaleoutPool | None = None,
@@ -1694,6 +1851,7 @@ def run_multiprocess(
         lookback=lookback,
         kernel=kernel,
         collapse=collapse,
+        backend=backend,
         resilience=resilience,
         fault_plan=fault_plan,
     ) as temp:

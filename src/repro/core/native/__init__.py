@@ -1,0 +1,58 @@
+"""Native-compiled hot path: specialized C kernels with a JIT cache.
+
+The NumPy kernels (:mod:`repro.core.kernels`) pay a Python-level dispatch
+per macro-step; this package closes the paper's loop by *generating*
+specialized C for each plan — speculation width ``k`` unrolled into
+locals, stride-``m`` stepping, collapse-aware single-lane narrowing, and
+the ``compose_maps`` fold with its first-match semi-join — compiling it
+at first use with the system compiler, and caching artifacts in memory
+and on disk keyed by
+``(dfa_fingerprint, k, kernel, collapse, dtype, abi_version)`` so
+repeated tenants and restarted servers perform zero compiles.
+
+No hard dependency is added. Provider ladder: numba ``@njit`` (optional
+``native`` extra) → compiled artifact via cffi (optional) → compiled
+artifact via stdlib ctypes → pure NumPy (by falling back at the caller).
+:func:`load_native_plan` returns ``None`` on any failure; autotune
+(:func:`repro.core.autotune.choose_backend`) only selects
+``backend="native"`` when it measures faster than the NumPy path.
+
+``python -m repro.core.native`` prints the compile-cache statistics as
+JSON (used by CI to archive cache behaviour).
+"""
+
+from .build import (
+    ABI_VERSION,
+    build_stats,
+    cache_dir,
+    cache_key,
+    find_compiler,
+    reset_build_state,
+)
+from .cgen import UNROLL_LIMIT, NativeSpec, generate_source
+from .runtime import (
+    NativeKernel,
+    cache_stats,
+    clear_memory_cache,
+    load_artifact,
+    load_native_plan,
+    native_available,
+)
+
+__all__ = [
+    "ABI_VERSION",
+    "UNROLL_LIMIT",
+    "NativeSpec",
+    "NativeKernel",
+    "generate_source",
+    "build_stats",
+    "cache_stats",
+    "cache_dir",
+    "cache_key",
+    "clear_memory_cache",
+    "find_compiler",
+    "load_artifact",
+    "load_native_plan",
+    "native_available",
+    "reset_build_state",
+]

@@ -1,0 +1,17 @@
+"""Print native compile-cache statistics as JSON.
+
+CI archives this output after the native bench job so cache behaviour
+(compiles vs warm hits, compiler identity, fallbacks) is inspectable per
+run::
+
+    python -m repro.core.native > native-cache-stats.json
+"""
+
+import json
+import sys
+
+from .runtime import cache_stats
+
+if __name__ == "__main__":
+    json.dump(cache_stats(), sys.stdout, indent=2, default=str)
+    sys.stdout.write("\n")

@@ -1,0 +1,374 @@
+"""Generate specialized C sources for the native hot path.
+
+The paper's speedups come from a *generator* that fixes the speculation
+width at compile time so the compiler unrolls the per-state loop and keeps
+the lanes in registers. :func:`generate_source` is that generator for the
+CPU: given a :class:`NativeSpec` — ``(k, m, C, N, cadence, backoff)`` — it
+emits one C translation unit containing
+
+* ``nk_process_chunks`` — the local-processing kernel. One plain loop per
+  chunk (ragged lengths are free), ``k`` lanes unrolled into locals for
+  small ``k`` (an indexed lane array above :data:`UNROLL_LIMIT`), stride-m
+  stepping with the radix index computed inline from the class map, and a
+  collapse-aware fast path: on cadence, if every lane agrees, the chunk
+  narrows to a single-lane loop for its remaining symbols (bit-exact — a
+  chunk's ``spec -> end`` map is deterministic, so equal lanes stay equal).
+* ``nk_run_segment`` — the single-state re-execution primitive
+  (the native analog of :func:`repro.core.kernels.run_segment_kernel`).
+* ``nk_fold_maps`` — the left fold of per-chunk maps with the first-match
+  semi-join of :func:`repro.core.merge_par.compose_maps`, re-executing
+  misses natively (the worker-side fold of
+  :class:`repro.core.mp_executor.ScaleoutPool`, compiled).
+* ``nk_abi`` / ``nk_meta`` — sanity probes so a loader can verify an
+  artifact matches the plan it was compiled for.
+
+Transition tables are **not** baked into the artifact — they arrive as
+pointers (the compacted class table and the optional stride table), so one
+artifact serves every buffer location (shared-memory views included) and
+the cache key stays ``(dfa_fingerprint, k, kernel, collapse, dtype, abi)``.
+
+Counter slots written by the kernels (one ``int64[8]`` per call)::
+
+    0  state advances (physical gathers)
+    1  collapse scans
+    2  lanes collapsed
+    3  fold: chunks re-executed on a semi-join miss
+    4  fold: items re-executed (segment length x missing lanes)
+    5  fold: checks skipped on converged chunks
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NativeSpec", "UNROLL_LIMIT", "generate_source"]
+
+#: Lanes above this count use an indexed local array instead of unrolled
+#: scalar locals (the source would otherwise grow quadratically and spill
+#: registers anyway).
+UNROLL_LIMIT = 8
+
+#: Counter-slot indices (mirrored by the runtime wrapper).
+SLOT_GATHERS = 0
+SLOT_SCANS = 1
+SLOT_LANES_COLLAPSED = 2
+SLOT_FOLD_REEXEC_CHUNKS = 3
+SLOT_FOLD_REEXEC_ITEMS = 4
+SLOT_FOLD_CHECKS_SKIPPED = 5
+NUM_SLOTS = 8
+
+
+@dataclass(frozen=True)
+class NativeSpec:
+    """Everything the generator specializes on.
+
+    ``k`` is the speculation width (lanes per chunk), ``m`` the stride
+    (symbols per composed-table step; 1 = per-symbol stepping), ``C`` the
+    compacted class count, ``N`` the state count, and ``cadence`` the
+    collapse scan interval in symbols (0 disables the collapse fast path;
+    ``backoff`` multiplies the interval after an unproductive scan).
+    """
+
+    k: int
+    m: int
+    num_classes: int
+    num_states: int
+    cadence: int = 0
+    backoff: int = 2
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.m < 1:
+            raise ValueError(f"stride m must be >= 1, got {self.m}")
+        if self.num_classes < 1 or self.num_states < 1:
+            raise ValueError("num_classes and num_states must be >= 1")
+        if self.cadence < 0:
+            raise ValueError(f"cadence must be >= 0, got {self.cadence}")
+        if self.backoff < 1:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    @property
+    def unrolled(self) -> bool:
+        """Whether lanes become scalar locals (vs an indexed array)."""
+        return self.k <= UNROLL_LIMIT
+
+    @property
+    def collapsing(self) -> bool:
+        """Whether the collapse fast path is generated at all."""
+        return self.cadence > 0 and self.k > 1
+
+
+def _stride_index(spec: NativeSpec, base: str) -> list[str]:
+    """Lines computing the radix-packed stride index of ``m`` symbols."""
+    lines = [f"            i64 idx = class_of[{base}[t]];"]
+    for i in range(1, spec.m):
+        lines.append(
+            f"            idx = idx * NC + (i64)class_of[{base}[t + {i}]];"
+        )
+    return lines
+
+
+def _lane_step(spec: NativeSpec, row: str) -> list[str]:
+    """Lines advancing every lane through one table row."""
+    if spec.unrolled:
+        return [
+            f"            s{j} = {row}[s{j}];" for j in range(spec.k)
+        ]
+    return [
+        "            for (int j = 0; j < K; j++) st[j] = " + row + "[st[j]];"
+    ]
+
+
+def _lane_equal(spec: NativeSpec) -> str:
+    """Boolean expression: every lane holds the same state."""
+    if spec.unrolled:
+        if spec.k == 1:
+            return "1"
+        return " && ".join(f"s0 == s{j}" for j in range(1, spec.k))
+    return "nk_all_equal(st)"
+
+
+def _scan_block(spec: NativeSpec) -> list[str]:
+    """The cadence-gated collapse scan, or nothing when disabled."""
+    if not spec.collapsing:
+        return []
+    return [
+        "            if (t >= next_scan) {",
+        f"                counters[{SLOT_SCANS}] += 1;",
+        f"                if ({_lane_equal(spec)}) {{",
+        f"                    counters[{SLOT_LANES_COLLAPSED}] += K - 1;",
+        "                    goto collapsed;",
+        "                }",
+        "                interval *= BACKOFF;",
+        "                next_scan = t + interval;",
+        "            }",
+    ]
+
+
+def generate_source(spec: NativeSpec) -> str:
+    """Emit the full C translation unit for ``spec``."""
+    k, m = spec.k, spec.m
+
+    # --- lane storage ----------------------------------------------------- #
+    if spec.unrolled:
+        lane_load = "\n".join(
+            f"    i32 s{j} = lanes[{j}];" for j in range(k)
+        )
+        lane_store = "\n".join(
+            f"    lanes[{j}] = s{j};" for j in range(k)
+        )
+        lane_broadcast = "\n".join(
+            f"    lanes[{j}] = s0;" for j in range(k)
+        )
+        collapsed_seed = "s0"
+    else:
+        lane_load = (
+            "    i32 st[K];\n"
+            "    for (int j = 0; j < K; j++) st[j] = lanes[j];"
+        )
+        lane_store = "    for (int j = 0; j < K; j++) lanes[j] = st[j];"
+        lane_broadcast = "    for (int j = 0; j < K; j++) lanes[j] = st[0];"
+        collapsed_seed = "st[0]"
+
+    # --- per-symbol (tail) step ------------------------------------------- #
+    tail_step = "\n".join(
+        ["            const i32 *row = Tc + (i64)class_of[in[t]] * NS;"]
+        + _lane_step(spec, "row")
+    )
+
+    # --- stride main loop (only generated when m > 1) ---------------------- #
+    if m > 1:
+        stride_loop = "\n".join(
+            [
+                "        while (t + M <= len) {",
+                *_stride_index(spec, "in"),
+                "            const i32 *row = Tm + idx * NS;",
+                *_lane_step(spec, "row"),
+                "            t += M;",
+                f"            counters[{SLOT_GATHERS}] += K;",
+                *_scan_block(spec),
+                "        }",
+            ]
+        )
+        one_stride = "\n".join(
+            [
+                "        while (t + M <= len) {",
+                *_stride_index(spec, "in"),
+                "            s = Tm[idx * NS + s];",
+                "            t += M;",
+                "        }",
+            ]
+        )
+    else:
+        stride_loop = "        /* m == 1: per-symbol stepping only */"
+        one_stride = "        /* m == 1: per-symbol stepping only */"
+
+    scan_tail = "\n".join(_scan_block(spec))
+    collapse_decls = (
+        "    i64 next_scan = CAD;\n    i64 interval = CAD;"
+        if spec.collapsing
+        else "    /* collapse fast path disabled */"
+    )
+    collapsed_label = (
+        f"""
+collapsed:
+    /* Every lane agrees: finish the chunk single-lane, then broadcast. */
+    {{
+        i32 s = {collapsed_seed};
+        s = nk_advance_one(in + t, len - t, s, class_of, Tc, Tm);
+        counters[{SLOT_GATHERS}] += len - t;
+{_broadcast_from_s(spec)}
+    }}
+    return;"""
+        if spec.collapsing
+        else ""
+    )
+
+    all_equal_helper = (
+        """
+static int nk_all_equal(const i32 *st) {
+    for (int j = 1; j < K; j++)
+        if (st[j] != st[0]) return 0;
+    return 1;
+}
+"""
+        if (spec.collapsing and not spec.unrolled)
+        else ""
+    )
+
+    return f"""\
+/* Generated by repro.core.native.cgen — one artifact per
+ * (dfa_fingerprint, k, kernel, collapse, dtype, abi). Do not edit. */
+#include <stdint.h>
+
+#define NK_ABI_SOURCE 1
+#define K {k}
+#define M {m}
+#define NC {spec.num_classes}
+#define NS {spec.num_states}
+#define CAD {spec.cadence}
+#define BACKOFF {spec.backoff}
+
+typedef int32_t i32;
+typedef int64_t i64;
+typedef uint8_t u8;
+
+i32 nk_abi(void) {{ return NK_ABI_SOURCE; }}
+
+i32 nk_meta(i32 which) {{
+    switch (which) {{
+        case 0: return K;
+        case 1: return M;
+        case 2: return NC;
+        case 3: return NS;
+        case 4: return CAD;
+        default: return -1;
+    }}
+}}
+
+/* Advance one state through a segment: the re-execution primitive and the
+ * single-lane continuation of a collapsed chunk. */
+static i32 nk_advance_one(const i32 *in, i64 len, i32 s,
+                          const i32 *class_of, const i32 *Tc,
+                          const i32 *Tm) {{
+    i64 t = 0;
+    if (M > 1 && Tm) {{
+{one_stride}
+    }}
+    for (; t < len; t++)
+        s = Tc[(i64)class_of[in[t]] * NS + s];
+    return s;
+}}
+
+i32 nk_run_segment(const i32 *in, i64 len, i32 s, const i32 *class_of,
+                   const i32 *Tc, const i32 *Tm) {{
+    return nk_advance_one(in, len, s, class_of, Tc, Tm);
+}}
+{all_equal_helper}
+/* Advance all K lanes of one chunk. */
+static void nk_advance_chunk(const i32 *in, i64 len, i32 *lanes,
+                             const i32 *class_of, const i32 *Tc,
+                             const i32 *Tm, i64 *counters) {{
+{lane_load}
+    i64 t = 0;
+{collapse_decls}
+    if (M > 1 && Tm) {{
+{stride_loop}
+    }}
+    {{
+        while (t < len) {{
+{tail_step}
+            t += 1;
+            counters[{SLOT_GATHERS}] += K;
+{scan_tail}
+        }}
+    }}
+{lane_store}
+    return;{collapsed_label}
+}}
+
+/* The local-processing kernel: spec -> end maps for every chunk. */
+void nk_process_chunks(const i32 *inputs, const i64 *starts,
+                       const i64 *lengths, i64 nchunks, const i32 *spec,
+                       i32 *end, const i32 *class_of, const i32 *Tc,
+                       const i32 *Tm, i64 *counters) {{
+    for (i64 c = 0; c < nchunks; c++) {{
+        i32 lanes[K];
+        for (int j = 0; j < K; j++) lanes[j] = spec[c * K + j];
+        nk_advance_chunk(inputs + starts[c], lengths[c], lanes,
+                         class_of, Tc, Tm, counters);
+        for (int j = 0; j < K; j++) end[c * K + j] = lanes[j];
+    }}
+}}
+
+/* Left fold of per-chunk maps over chunk 0's speculation row: first-match
+ * semi-join (compose_maps semantics), native re-execution on a miss, and
+ * converged-chunk short-circuit. `row` carries the K running end states
+ * in and out. */
+void nk_fold_maps(const i32 *spec, const i32 *end, i64 nmaps,
+                  const i32 *inputs, const i64 *starts, const i64 *lengths,
+                  const u8 *converged, const i32 *class_of, const i32 *Tc,
+                  const i32 *Tm, i32 *row, i64 *counters) {{
+    for (i64 c = 1; c < nmaps; c++) {{
+        const i32 *sp = spec + c * K;
+        const i32 *en = end + c * K;
+        if (converged && converged[c]) {{
+            /* Constant map over achievable incoming states. */
+            for (int j = 0; j < K; j++) row[j] = en[0];
+            counters[{SLOT_FOLD_CHECKS_SKIPPED}] += K;
+            continue;
+        }}
+        i32 nxt[K];
+        int misses = 0;
+        for (int j = 0; j < K; j++) {{
+            i32 v = row[j];
+            int hit = -1;
+            for (int jj = 0; jj < K; jj++) {{
+                if (sp[jj] == v) {{ hit = jj; break; }}
+            }}
+            if (hit >= 0) {{
+                nxt[j] = en[hit];
+            }} else {{
+                nxt[j] = nk_advance_one(inputs + starts[c], lengths[c], v,
+                                        class_of, Tc, Tm);
+                misses++;
+            }}
+        }}
+        if (misses) {{
+            counters[{SLOT_FOLD_REEXEC_CHUNKS}] += 1;
+            counters[{SLOT_FOLD_REEXEC_ITEMS}] += lengths[c] * misses;
+        }}
+        for (int j = 0; j < K; j++) row[j] = nxt[j];
+    }}
+}}
+"""
+
+
+def _broadcast_from_s(spec: NativeSpec) -> str:
+    """Store the collapsed single lane ``s`` back into every output lane."""
+    if spec.unrolled:
+        return "\n".join(
+            f"        lanes[{j}] = s;" for j in range(spec.k)
+        )
+    return "        for (int j = 0; j < K; j++) lanes[j] = s;"

@@ -1,0 +1,803 @@
+"""Load compiled native kernels and expose them behind a NumPy interface.
+
+The public entry point is :func:`load_native_plan`: resolve (or accept) a
+:class:`~repro.core.kernels.KernelPlan`, specialize C source for
+``(k, kernel, collapse)``, compile-or-reuse the artifact (see
+:mod:`repro.core.native.build`), and return a :class:`NativeKernel` whose
+methods take the same arrays as the NumPy path. Every failure mode —
+no compiler, compile error, load error, smoke-check mismatch — returns
+``None`` (counted as ``native.fallback.*``) so callers degrade to NumPy
+without special-casing.
+
+Provider ladder (first available wins):
+
+1. **numba** — optional accelerator from the ``native`` extra: an
+   ``@njit`` mirror of the generated C, no compiler or artifact needed;
+2. **cffi** — optional accelerator: ``dlopen`` of the compiled artifact;
+3. **ctypes** — the zero-dependency floor, stdlib only;
+4. NumPy — by returning ``None`` from :func:`load_native_plan`.
+
+Each provider is smoke-checked at load time against a pure-Python table
+walk on a short random segment; a provider that disagrees (or raises) is
+demoted down the ladder rather than trusted.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...fsm.dfa import DFA
+from ...obs import add_count, trace_span
+from ..convergence import CollapseConfig
+from ..kernels import DEFAULT_TABLE_BUDGET_BYTES, KernelPlan, plan_kernel
+from ..predictor import dfa_fingerprint
+from . import build as _build
+from .cgen import (
+    NUM_SLOTS,
+    SLOT_FOLD_CHECKS_SKIPPED,
+    SLOT_FOLD_REEXEC_CHUNKS,
+    SLOT_FOLD_REEXEC_ITEMS,
+    SLOT_GATHERS,
+    SLOT_LANES_COLLAPSED,
+    SLOT_SCANS,
+    NativeSpec,
+    generate_source,
+)
+
+__all__ = [
+    "NativeKernel",
+    "load_native_plan",
+    "load_artifact",
+    "native_available",
+    "cache_stats",
+    "clear_memory_cache",
+]
+
+_MEM_CACHE_MAX = 64
+_mem_lock = threading.Lock()
+_mem_cache: "OrderedDict[tuple, NativeKernel]" = OrderedDict()
+
+
+def _i32(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a), dtype=np.int32)
+
+
+def _i64(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a), dtype=np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# artifact loaders
+# --------------------------------------------------------------------------- #
+
+
+class _CtypesLib:
+    """stdlib loader: raw pointers passed as integers through ``c_void_p``."""
+
+    provider = "ctypes"
+
+    def __init__(self, path: str) -> None:
+        lib = ctypes.CDLL(path)
+        P = ctypes.c_void_p
+        i32 = ctypes.c_int32
+        i64 = ctypes.c_int64
+        lib.nk_abi.restype = i32
+        lib.nk_abi.argtypes = []
+        lib.nk_meta.restype = i32
+        lib.nk_meta.argtypes = [i32]
+        lib.nk_run_segment.restype = i32
+        lib.nk_run_segment.argtypes = [P, i64, i32, P, P, P]
+        lib.nk_process_chunks.restype = None
+        lib.nk_process_chunks.argtypes = [P, P, P, i64, P, P, P, P, P, P]
+        lib.nk_fold_maps.restype = None
+        lib.nk_fold_maps.argtypes = [P, P, i64, P, P, P, P, P, P, P, P, P]
+        self._lib = lib
+
+    @staticmethod
+    def _ptr(a: np.ndarray | None) -> int | None:
+        return None if a is None else a.ctypes.data
+
+    def abi(self) -> int:
+        return int(self._lib.nk_abi())
+
+    def meta(self, which: int) -> int:
+        return int(self._lib.nk_meta(which))
+
+    def run_segment(self, inputs, start, class_of, Tc, Tm) -> int:
+        return int(
+            self._lib.nk_run_segment(
+                self._ptr(inputs), inputs.size, int(start),
+                self._ptr(class_of), self._ptr(Tc), self._ptr(Tm),
+            )
+        )
+
+    def process_chunks(
+        self, inputs, starts, lengths, spec, end, class_of, Tc, Tm, counters
+    ) -> None:
+        self._lib.nk_process_chunks(
+            self._ptr(inputs), self._ptr(starts), self._ptr(lengths),
+            int(starts.size), self._ptr(spec), self._ptr(end),
+            self._ptr(class_of), self._ptr(Tc), self._ptr(Tm),
+            self._ptr(counters),
+        )
+
+    def fold_maps(
+        self, spec, end, inputs, starts, lengths, converged,
+        class_of, Tc, Tm, row, counters,
+    ) -> None:
+        self._lib.nk_fold_maps(
+            self._ptr(spec), self._ptr(end), int(starts.size),
+            self._ptr(inputs), self._ptr(starts), self._ptr(lengths),
+            self._ptr(converged), self._ptr(class_of), self._ptr(Tc),
+            self._ptr(Tm), self._ptr(row), self._ptr(counters),
+        )
+
+
+_CFFI_CDEF = """
+int32_t nk_abi(void);
+int32_t nk_meta(int32_t which);
+int32_t nk_run_segment(const int32_t *in, int64_t len, int32_t s,
+                       const int32_t *class_of, const int32_t *Tc,
+                       const int32_t *Tm);
+void nk_process_chunks(const int32_t *inputs, const int64_t *starts,
+                       const int64_t *lengths, int64_t nchunks,
+                       const int32_t *spec, int32_t *end,
+                       const int32_t *class_of, const int32_t *Tc,
+                       const int32_t *Tm, int64_t *counters);
+void nk_fold_maps(const int32_t *spec, const int32_t *end, int64_t nmaps,
+                  const int32_t *inputs, const int64_t *starts,
+                  const int64_t *lengths, const uint8_t *converged,
+                  const int32_t *class_of, const int32_t *Tc,
+                  const int32_t *Tm, int32_t *row, int64_t *counters);
+"""
+
+
+class _CffiLib:
+    """cffi loader used when the ``native`` extra is installed."""
+
+    provider = "cffi"
+
+    def __init__(self, path: str) -> None:
+        import cffi
+
+        self._ffi = cffi.FFI()
+        self._ffi.cdef(_CFFI_CDEF)
+        self._lib = self._ffi.dlopen(path)
+
+    def _p32(self, a: np.ndarray | None):
+        if a is None:
+            return self._ffi.NULL
+        return self._ffi.cast("const int32_t *", a.ctypes.data)
+
+    def _p64(self, a: np.ndarray | None):
+        if a is None:
+            return self._ffi.NULL
+        return self._ffi.cast("const int64_t *", a.ctypes.data)
+
+    def abi(self) -> int:
+        return int(self._lib.nk_abi())
+
+    def meta(self, which: int) -> int:
+        return int(self._lib.nk_meta(which))
+
+    def run_segment(self, inputs, start, class_of, Tc, Tm) -> int:
+        return int(
+            self._lib.nk_run_segment(
+                self._p32(inputs), inputs.size, int(start),
+                self._p32(class_of), self._p32(Tc), self._p32(Tm),
+            )
+        )
+
+    def process_chunks(
+        self, inputs, starts, lengths, spec, end, class_of, Tc, Tm, counters
+    ) -> None:
+        ffi = self._ffi
+        self._lib.nk_process_chunks(
+            self._p32(inputs), self._p64(starts), self._p64(lengths),
+            int(starts.size), self._p32(spec),
+            ffi.cast("int32_t *", end.ctypes.data),
+            self._p32(class_of), self._p32(Tc), self._p32(Tm),
+            ffi.cast("int64_t *", counters.ctypes.data),
+        )
+
+    def fold_maps(
+        self, spec, end, inputs, starts, lengths, converged,
+        class_of, Tc, Tm, row, counters,
+    ) -> None:
+        ffi = self._ffi
+        conv = (
+            ffi.NULL
+            if converged is None
+            else ffi.cast("const uint8_t *", converged.ctypes.data)
+        )
+        self._lib.nk_fold_maps(
+            self._p32(spec), self._p32(end), int(starts.size),
+            self._p32(inputs), self._p64(starts), self._p64(lengths),
+            conv, self._p32(class_of), self._p32(Tc), self._p32(Tm),
+            ffi.cast("int32_t *", row.ctypes.data),
+            ffi.cast("int64_t *", counters.ctypes.data),
+        )
+
+
+class _NumbaLib:
+    """numba provider: an ``@njit`` mirror of the generated C.
+
+    Needs no compiler and no artifact — the loops take ``k``/``m`` as
+    runtime arguments, so one jit compilation serves every plan. Only
+    constructed when numba imports; any jit failure demotes the ladder.
+    """
+
+    provider = "numba"
+    _fns = None
+    _fns_lock = threading.Lock()
+
+    def __init__(self, spec: NativeSpec) -> None:
+        self._spec = spec
+        fns = self._compiled()
+        self._run_segment, self._process, self._fold = fns
+
+    @classmethod
+    def _compiled(cls):
+        with cls._fns_lock:
+            if cls._fns is not None:
+                return cls._fns
+            import numba  # noqa: F401  (raises when the extra is absent)
+            from numba import njit
+
+            @njit(cache=True)
+            def nb_run_segment(inputs, start, class_of, Tc, Tm, m, nc):
+                s = start
+                t = 0
+                n = inputs.shape[0]
+                if m > 1 and Tm.shape[0] > 0:
+                    while t + m <= n:
+                        idx = np.int64(class_of[inputs[t]])
+                        for i in range(1, m):
+                            idx = idx * nc + class_of[inputs[t + i]]
+                        s = Tm[idx, s]
+                        t += m
+                while t < n:
+                    s = Tc[class_of[inputs[t]], s]
+                    t += 1
+                return s
+
+            @njit(cache=True)
+            def nb_process(inputs, starts, lengths, spec, end, class_of,
+                           Tc, Tm, m, nc, cad, backoff, counters):
+                k = spec.shape[1]
+                for c in range(starts.shape[0]):
+                    lo = starts[c]
+                    length = lengths[c]
+                    lanes = spec[c].copy()
+                    t = 0
+                    next_scan = cad
+                    interval = cad
+                    collapsed = False
+                    if m > 1 and Tm.shape[0] > 0:
+                        while t + m <= length:
+                            idx = np.int64(class_of[inputs[lo + t]])
+                            for i in range(1, m):
+                                idx = idx * nc + class_of[inputs[lo + t + i]]
+                            for j in range(k):
+                                lanes[j] = Tm[idx, lanes[j]]
+                            t += m
+                            counters[0] += k
+                            if cad > 0 and k > 1 and t >= next_scan:
+                                counters[1] += 1
+                                same = True
+                                for j in range(1, k):
+                                    if lanes[j] != lanes[0]:
+                                        same = False
+                                        break
+                                if same:
+                                    counters[2] += k - 1
+                                    collapsed = True
+                                    break
+                                interval *= backoff
+                                next_scan = t + interval
+                    if not collapsed:
+                        while t < length:
+                            row = class_of[inputs[lo + t]]
+                            for j in range(k):
+                                lanes[j] = Tc[row, lanes[j]]
+                            t += 1
+                            counters[0] += k
+                            if cad > 0 and k > 1 and t >= next_scan:
+                                counters[1] += 1
+                                same = True
+                                for j in range(1, k):
+                                    if lanes[j] != lanes[0]:
+                                        same = False
+                                        break
+                                if same:
+                                    counters[2] += k - 1
+                                    collapsed = True
+                                    break
+                                interval *= backoff
+                                next_scan = t + interval
+                    if collapsed:
+                        s = nb_run_segment(
+                            inputs[lo + t: lo + length], lanes[0],
+                            class_of, Tc, Tm, m, nc,
+                        )
+                        counters[0] += length - t
+                        for j in range(k):
+                            lanes[j] = s
+                    for j in range(k):
+                        end[c, j] = lanes[j]
+
+            @njit(cache=True)
+            def nb_fold(spec, end, inputs, starts, lengths, converged,
+                        class_of, Tc, Tm, m, nc, row, counters):
+                k = spec.shape[1]
+                nxt = np.empty(k, dtype=np.int32)
+                for c in range(1, spec.shape[0]):
+                    if converged.shape[0] > 0 and converged[c]:
+                        for j in range(k):
+                            row[j] = end[c, 0]
+                        counters[5] += k
+                        continue
+                    misses = 0
+                    for j in range(k):
+                        v = row[j]
+                        hit = -1
+                        for jj in range(k):
+                            if spec[c, jj] == v:
+                                hit = jj
+                                break
+                        if hit >= 0:
+                            nxt[j] = end[c, hit]
+                        else:
+                            nxt[j] = nb_run_segment(
+                                inputs[starts[c]: starts[c] + lengths[c]],
+                                v, class_of, Tc, Tm, m, nc,
+                            )
+                            misses += 1
+                    if misses:
+                        counters[3] += 1
+                        counters[4] += lengths[c] * misses
+                    for j in range(k):
+                        row[j] = nxt[j]
+
+            cls._fns = (nb_run_segment, nb_process, nb_fold)
+            return cls._fns
+
+    def abi(self) -> int:
+        return _build.ABI_VERSION
+
+    def meta(self, which: int) -> int:
+        sp = self._spec
+        vals = (sp.k, sp.m, sp.num_classes, sp.num_states, sp.cadence)
+        return vals[which] if 0 <= which < len(vals) else -1
+
+    @staticmethod
+    def _tm(Tm):
+        return Tm if Tm is not None else np.zeros((0, 1), dtype=np.int32)
+
+    def run_segment(self, inputs, start, class_of, Tc, Tm) -> int:
+        sp = self._spec
+        return int(
+            self._run_segment(
+                inputs, np.int32(start), class_of, Tc, self._tm(Tm),
+                sp.m, sp.num_classes,
+            )
+        )
+
+    def process_chunks(
+        self, inputs, starts, lengths, spec, end, class_of, Tc, Tm, counters
+    ) -> None:
+        sp = self._spec
+        self._process(
+            inputs, starts, lengths, spec, end, class_of, Tc,
+            self._tm(Tm), sp.m, sp.num_classes, sp.cadence, sp.backoff,
+            counters,
+        )
+
+    def fold_maps(
+        self, spec, end, inputs, starts, lengths, converged,
+        class_of, Tc, Tm, row, counters,
+    ) -> None:
+        sp = self._spec
+        conv = (
+            converged
+            if converged is not None
+            else np.zeros(0, dtype=np.uint8)
+        )
+        self._fold(
+            spec, end, inputs, starts, lengths, conv, class_of, Tc,
+            self._tm(Tm), sp.m, sp.num_classes, row, counters,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the public wrapper
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class NativeCounters:
+    """Physical-work counters drained from one native call."""
+
+    gathers: int = 0
+    collapse_scans: int = 0
+    lanes_collapsed: int = 0
+    reexec_chunks: int = 0
+    reexec_items: int = 0
+    checks_skipped: int = 0
+
+
+class NativeKernel:
+    """One loaded, specialized native kernel bound to its tables.
+
+    Holds the resolved :class:`KernelPlan` (class map + stride table),
+    the compile :class:`~repro.core.native.cgen.NativeSpec`, and a
+    provider backend. Methods accept the same arrays as the NumPy path
+    and coerce to the contiguous int32/int64 layout the C expects.
+    """
+
+    def __init__(
+        self,
+        lib,
+        spec: NativeSpec,
+        kplan: KernelPlan,
+        *,
+        artifact_path: str | None,
+        key: str,
+    ) -> None:
+        self._lib = lib
+        self.spec = spec
+        self.kplan = kplan
+        self.artifact_path = artifact_path
+        self.key = key
+        self.provider = lib.provider
+        self._class_of = _i32(kplan.compaction.class_of)
+        self._Tc = _i32(kplan.compaction.table)
+        self._Tm = (
+            _i32(kplan.tables.table_m) if kplan.tables is not None else None
+        )
+
+    @property
+    def meta(self) -> tuple[int, int, int, int, int, int]:
+        """Shippable artifact metadata: ``(k, m, C, N, cadence, backoff)``."""
+        sp = self.spec
+        return (
+            sp.k, sp.m, sp.num_classes, sp.num_states, sp.cadence, sp.backoff
+        )
+
+    # -- primitives -------------------------------------------------------- #
+
+    def run_segment(self, symbols: np.ndarray, start: int) -> int:
+        """Native analog of :func:`repro.core.kernels.run_segment_kernel`."""
+        symbols = _i32(symbols)
+        if symbols.size == 0:
+            return int(start)
+        return self._lib.run_segment(
+            symbols, int(start), self._class_of, self._Tc, self._Tm
+        )
+
+    def process_chunks(
+        self,
+        inputs: np.ndarray,
+        plan,
+        spec: np.ndarray,
+        *,
+        stats=None,
+    ) -> np.ndarray:
+        """Native analog of :func:`repro.core.kernels.process_chunks_kernel`.
+
+        Returns the ``(num_chunks, k)`` ending-state matrix. Event
+        counters in ``stats`` keep lock-step semantics (transitions =
+        symbols x width) exactly like the NumPy kernels, so modeled
+        numbers stay backend-independent; physical counters come from the
+        native counter block.
+        """
+        spec = _i32(spec)
+        if spec.ndim != 2 or spec.shape[0] != plan.num_chunks:
+            raise ValueError(
+                f"spec must have shape (num_chunks, k), got {spec.shape} "
+                f"for {plan.num_chunks} chunks"
+            )
+        if spec.shape[1] != self.spec.k:
+            raise ValueError(
+                f"native kernel compiled for k={self.spec.k}, got "
+                f"k={spec.shape[1]}"
+            )
+        inputs = _i32(inputs)
+        starts = _i64(plan.starts)
+        lengths = _i64(plan.lengths)
+        end = np.empty_like(spec)
+        counters = np.zeros(NUM_SLOTS, dtype=np.int64)
+        with trace_span(
+            "native.process_chunks", chunks=plan.num_chunks, k=self.spec.k,
+            provider=self.provider,
+        ):
+            self._lib.process_chunks(
+                inputs, starts, lengths, spec, end,
+                self._class_of, self._Tc, self._Tm, counters,
+            )
+        if stats is not None:
+            stats.local_steps += plan.max_len
+            stats.local_transitions += int(plan.lengths.sum()) * spec.shape[1]
+            stats.local_input_reads += int(plan.lengths.sum())
+            stats.local_gathers += int(counters[SLOT_GATHERS])
+            stats.collapse_scans += int(counters[SLOT_SCANS])
+            stats.lanes_collapsed += int(counters[SLOT_LANES_COLLAPSED])
+        add_count("native.chunks", plan.num_chunks)
+        return end
+
+    def fold_maps(
+        self,
+        spec: np.ndarray,
+        end: np.ndarray,
+        inputs: np.ndarray,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        converged: np.ndarray | None = None,
+        row: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, NativeCounters]:
+        """Left fold of per-chunk maps with first-match semi-join semantics.
+
+        The native form of the pool worker's fold: ``row`` (default
+        ``end[0]``) carries chunk 0's running ending states; each further
+        map is composed via first-match lookup in its speculation row,
+        misses re-execute natively, and ``converged`` chunks
+        short-circuit to their constant map. Returns the folded row and
+        the drained counters.
+        """
+        spec = _i32(spec)
+        end = _i32(end)
+        inputs = _i32(inputs)
+        starts = _i64(starts)
+        lengths = _i64(lengths)
+        if row is None:
+            row = end[0].copy()
+        row = _i32(row).copy()
+        conv = (
+            np.ascontiguousarray(converged, dtype=np.uint8)
+            if converged is not None
+            else None
+        )
+        counters = np.zeros(NUM_SLOTS, dtype=np.int64)
+        self._lib.fold_maps(
+            spec, end, inputs, starts, lengths, conv,
+            self._class_of, self._Tc, self._Tm, row, counters,
+        )
+        return row, NativeCounters(
+            gathers=int(counters[SLOT_GATHERS]),
+            reexec_chunks=int(counters[SLOT_FOLD_REEXEC_CHUNKS]),
+            reexec_items=int(counters[SLOT_FOLD_REEXEC_ITEMS]),
+            checks_skipped=int(counters[SLOT_FOLD_CHECKS_SKIPPED]),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# loading / smoke check
+# --------------------------------------------------------------------------- #
+
+
+def _smoke_check(nk: NativeKernel, dfa: DFA) -> bool:
+    """Cross-check the provider against a pure-Python table walk."""
+    rng = np.random.default_rng(12345)
+    n = max(2 * nk.spec.m + 3, 11)
+    seg = rng.integers(0, dfa.num_inputs, size=n, dtype=np.int32)
+    table = dfa.table
+    for start in range(min(dfa.num_states, nk.spec.k + 1)):
+        s = start
+        for sym in seg.tolist():
+            s = int(table[sym, s])
+        if nk.run_segment(seg, start) != s:
+            return False
+    return True
+
+
+def _load_lib(path: str, spec: NativeSpec):
+    """Try cffi then ctypes on a compiled artifact; validate its metadata."""
+    last_exc: Exception | None = None
+    for cls in (_CffiLib, _CtypesLib):
+        try:
+            lib = cls(path)
+        except Exception as exc:  # ImportError, OSError, cdef errors
+            last_exc = exc
+            continue
+        if lib.abi() != _build.ABI_VERSION:
+            last_exc = RuntimeError(
+                f"artifact {path} has ABI {lib.abi()}, "
+                f"expected {_build.ABI_VERSION}"
+            )
+            continue
+        expect = (spec.k, spec.m, spec.num_classes, spec.num_states)
+        got = tuple(lib.meta(i) for i in range(4))
+        if got != expect:
+            last_exc = RuntimeError(
+                f"artifact {path} metadata {got} != plan {expect}"
+            )
+            continue
+        return lib
+    if last_exc is not None:
+        raise last_exc
+    raise RuntimeError("no loader available")
+
+
+def _try_numba(spec: NativeSpec):
+    try:
+        return _NumbaLib(spec)
+    except Exception:
+        return None
+
+
+def native_available() -> bool:
+    """Whether *some* native provider can work in this process."""
+    if _build.find_compiler() is not None:
+        return True
+    try:
+        import numba  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def _native_spec(kplan: KernelPlan, k: int, collapse: CollapseConfig | None) -> NativeSpec:
+    collapsing = collapse is not None and collapse.enabled and k > 1
+    return NativeSpec(
+        k=k,
+        m=kplan.m,
+        num_classes=kplan.compaction.num_classes,
+        num_states=kplan.compaction.num_states,
+        cadence=collapse.cadence if collapsing else 0,
+        backoff=collapse.backoff if collapsing else 2,
+    )
+
+
+def _collapse_tag(spec: NativeSpec) -> str:
+    if spec.cadence <= 0:
+        return "off"
+    return f"on(W={spec.cadence},B={spec.backoff})"
+
+
+def load_native_plan(
+    dfa: DFA,
+    *,
+    k: int,
+    kernel: str = "auto",
+    kplan: KernelPlan | None = None,
+    collapse: CollapseConfig | None = None,
+    chunk_len: int = 1 << 14,
+    num_chunks: int = 256,
+    table_budget_bytes: int | None = None,
+    cache_dir: str | None = None,
+) -> NativeKernel | None:
+    """Specialize, compile (or reuse) and load the native kernel for a plan.
+
+    Returns ``None`` — after counting a ``native.fallback`` — whenever
+    native execution is unavailable or untrustworthy; callers then use
+    the NumPy path unchanged.
+    """
+    budget = (
+        table_budget_bytes
+        if table_budget_bytes is not None
+        else DEFAULT_TABLE_BUDGET_BYTES
+    )
+    try:
+        if kplan is None:
+            kplan = plan_kernel(
+                dfa, chunk_len=chunk_len, num_chunks=num_chunks, k=k,
+                kernel=kernel, table_budget_bytes=budget,
+            )
+    except ValueError:
+        _build.note_fallback("plan")
+        return None
+
+    spec = _native_spec(kplan, k, collapse)
+    fp = dfa_fingerprint(dfa)
+    key = _build.cache_key(
+        fp, k=k, kernel=f"{kplan.kernel}:m{spec.m}",
+        collapse=_collapse_tag(spec),
+    )
+    mem_key = (key, id(kplan))
+    with _mem_lock:
+        hit = _mem_cache.get(mem_key)
+        if hit is not None:
+            _mem_cache.move_to_end(mem_key)
+    if hit is not None:
+        _build.note_mem_hit()
+        return hit
+
+    with trace_span("native.load", key=key, kernel=kplan.kernel, k=k):
+        nk = _materialize(dfa, spec, kplan, key, cache_dir)
+    if nk is None:
+        return None
+    with _mem_lock:
+        _mem_cache[mem_key] = nk
+        _mem_cache.move_to_end(mem_key)
+        while len(_mem_cache) > _MEM_CACHE_MAX:
+            _mem_cache.popitem(last=False)
+    return nk
+
+
+def _materialize(
+    dfa: DFA,
+    spec: NativeSpec,
+    kplan: KernelPlan,
+    key: str,
+    cache_dir: str | None,
+) -> NativeKernel | None:
+    # Ladder rung 1: numba (no compiler needed).
+    lib = _try_numba(spec)
+    if lib is not None:
+        nk = NativeKernel(lib, spec, kplan, artifact_path=None, key=key)
+        try:
+            if _smoke_check(nk, dfa):
+                return nk
+        except Exception:
+            pass
+        _build.note_fallback("numba_smoke")
+
+    # Ladder rungs 2-3: compiled artifact via cffi, then ctypes.
+    try:
+        path = _build.ensure_artifact(
+            key, lambda: generate_source(spec), directory=cache_dir
+        )
+        lib = _load_lib(path, spec)
+    except Exception:
+        _build.note_fallback("compile")
+        return None
+    nk = NativeKernel(lib, spec, kplan, artifact_path=path, key=key)
+    try:
+        ok = _smoke_check(nk, dfa)
+    except Exception:
+        ok = False
+    if not ok:
+        _build.note_fallback("smoke")
+        return None
+    return nk
+
+
+def load_artifact(
+    path: str,
+    meta: tuple,
+    kplan: KernelPlan,
+) -> NativeKernel | None:
+    """Load a pre-compiled artifact shipped by path (pool workers).
+
+    ``meta`` is ``(k, m, num_classes, num_states, cadence, backoff)`` as
+    produced by the parent's :class:`NativeKernel` — workers never
+    compile; a load failure of any kind returns ``None`` so the worker
+    falls back to its NumPy path.
+    """
+    try:
+        spec = NativeSpec(
+            k=int(meta[0]), m=int(meta[1]), num_classes=int(meta[2]),
+            num_states=int(meta[3]), cadence=int(meta[4]),
+            backoff=int(meta[5]),
+        )
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        lib = _load_lib(path, spec)
+        return NativeKernel(
+            lib, spec, kplan, artifact_path=path,
+            key=os.path.splitext(os.path.basename(path))[0],
+        )
+    except Exception:
+        _build.note_fallback("worker_load")
+        return None
+
+
+def cache_stats() -> dict:
+    """Compile-cache statistics snapshot (memory + disk + compiler)."""
+    snap = _build.build_stats()
+    with _mem_lock:
+        snap["mem_entries"] = len(_mem_cache)
+    return snap
+
+
+def clear_memory_cache() -> None:
+    """Drop in-memory loaded kernels (test hook; disk artifacts remain)."""
+    with _mem_lock:
+        _mem_cache.clear()

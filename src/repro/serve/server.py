@@ -6,10 +6,12 @@ tenants and turns them into coalesced batch executions:
 * **Tenant registration** (:meth:`FSMServer.register_tenant`) resolves a
   tenant's DFA to a shared :class:`_MachineState` keyed by
   :func:`repro.core.predictor.dfa_fingerprint` — the state prior, the
-  autotuned kernel plan, and (under the pool executor) the publish-once
-  shared-memory :class:`repro.core.mp_executor.ScaleoutPool` are built
-  once per *machine*, not per tenant, so two tenants serving the same
-  regex share everything.
+  autotuned kernel plan, the measured-and-compiled native kernel
+  (:mod:`repro.core.native`, ``ServeConfig.backend``), and (under the
+  pool executor) the publish-once shared-memory
+  :class:`repro.core.mp_executor.ScaleoutPool` are built once per
+  *machine*, not per tenant, so two tenants serving the same regex share
+  everything — including the compile.
 * **Admission + scheduling** rides
   :class:`repro.serve.scheduler.WeightedFairScheduler`: bounded queue
   depths shed excess load as explicit ``status="shed"`` responses, WFQ
@@ -41,10 +43,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.autotune import choose_backend
 from repro.core.engine import run_speculative_batch
 from repro.core.faultinject import FaultPlan
 from repro.core.kernels import KernelPlan, plan_kernel
 from repro.core.lookback import state_prior
+from repro.core.native import NativeKernel, load_native_plan
 from repro.core.mp_executor import ScaleoutPool
 from repro.core.predictor import dfa_fingerprint
 from repro.core.resilience import DeadlineModel
@@ -82,6 +86,14 @@ class ServeConfig:
         (worker processes, supervision, degraded fallback).
     pool_workers:
         Worker-process count per machine pool (``executor="pool"``).
+    backend:
+        Hot-path implementation per machine: ``"auto"`` (default —
+        at registration time, compile the native kernel and *measure* it
+        against the NumPy path on a synthetic probe, keeping whichever
+        wins), ``"native"`` (compile unconditionally, NumPy only when
+        compilation is impossible), or ``"numpy"`` (never compile). All
+        native work happens in :meth:`FSMServer.register_tenant` — off
+        the request path — and is shared across tenants of one machine.
     pool_fault_plan:
         Deterministic fault injection forwarded to each machine pool —
         the serving failure drills reuse :mod:`repro.core.faultinject`.
@@ -101,6 +113,7 @@ class ServeConfig:
     lookback: int = 8
     executor: str = "inline"
     pool_workers: int = 4
+    backend: str = "auto"
     pool_fault_plan: FaultPlan | None = None
     deadline_model: DeadlineModel = field(
         default_factory=lambda: DeadlineModel(
@@ -146,6 +159,7 @@ class _MachineState:
     prior: np.ndarray
     kplan: KernelPlan
     pool: ScaleoutPool | None = None
+    native: NativeKernel | None = None
 
 
 @dataclass(frozen=True)
@@ -184,6 +198,11 @@ class FSMServer:
             raise ValueError(
                 f"executor must be 'inline' or 'pool', got "
                 f"{self.config.executor!r}"
+            )
+        if self.config.backend not in ("auto", "native", "numpy"):
+            raise ValueError(
+                f"backend must be 'auto', 'native', or 'numpy', got "
+                f"{self.config.backend!r}"
             )
         self.trace = trace if trace is not None else RunTrace("serve")
         self._sched = WeightedFairScheduler(
@@ -261,6 +280,7 @@ class FSMServer:
                 amortize_builds=16,
             ),
         )
+        ms.native = self._resolve_native(dfa, k_eff, ms.kplan)
         if cfg.executor == "pool":
             ms.pool = ScaleoutPool(
                 dfa,
@@ -273,9 +293,44 @@ class FSMServer:
                 ),
                 lookback=cfg.lookback,
                 kernel="auto",
+                backend="native" if ms.native is not None else "numpy",
                 fault_plan=cfg.pool_fault_plan,
             )
         return ms
+
+    def _resolve_native(
+        self, dfa: DFA, k_eff: int, kplan: KernelPlan
+    ) -> NativeKernel | None:
+        """Compile (and, under ``"auto"``, measure) the native kernel.
+
+        Runs inside :meth:`register_tenant` — off the request path — so
+        request latency never pays a compile. ``"auto"`` keeps the native
+        kernel only when a measured probe says it beats the NumPy path
+        on this machine; every failure mode (no compiler, native loses,
+        smoke-check mismatch) resolves to None and the round loop runs
+        NumPy unchanged.
+        """
+        cfg = self.config
+        if cfg.backend == "numpy":
+            return None
+        if cfg.backend == "native":
+            return load_native_plan(dfa, k=k_eff, kplan=kplan)
+        rng = np.random.default_rng(0xC0FFEE)
+        probe = rng.integers(0, dfa.num_inputs, size=1 << 15, dtype=np.int32)
+        choice = choose_backend(
+            dfa,
+            probe,
+            num_chunks=max(4, probe.size // cfg.chunk_items),
+            k=k_eff,
+            lookback=cfg.lookback,
+            probe_items=probe.size,
+            repeats=2,
+            candidates=("vectorized", "native"),
+        )
+        self.trace.count("serve.backend_probes", 1)
+        if choice.backend != "native":
+            return None
+        return load_native_plan(dfa, k=k_eff, kplan=kplan)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -472,6 +527,7 @@ class FSMServer:
             chunk_items=cfg.chunk_items,
             kernel_plan=ms.kplan,
             prior=ms.prior,
+            native=ms.native,
         )
         return res.final_states, False
 
