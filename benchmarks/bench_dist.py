@@ -1,0 +1,252 @@
+"""Measure cross-host coordination overhead and recovery; write ``BENCH_dist.json``.
+
+Two questions, answered against the same machine and input:
+
+1. **Fault-free coordination overhead** — what do the TCP frames, the
+   per-host boundary staging, heartbeats, and the hierarchical merge cost
+   when nothing fails? Measured as :class:`repro.dist.coordinator.ShardCoordinator`
+   throughput over a :class:`repro.dist.agent.LocalCluster` vs a single
+   :class:`repro.core.mp_executor.ScaleoutPool` with the *same total worker
+   count*. The acceptance bound is <10%.
+2. **Recovery** — when one host dies mid-run, does the coordinator reshard
+   onto the survivors and still return the exact reference state, and what
+   does the detour cost in wall clock?
+
+Run standalone (argparse script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py --items 2000000
+    PYTHONPATH=src python benchmarks/bench_dist.py --quick --check
+
+``--check`` exits non-zero if fault-free coordination overhead exceeds the
+bound or a recovery run degrades below resharding / returns a wrong final
+state — the CI guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.apps.registry import APPLICATIONS, get_application
+from repro.core import faultinject as fi
+from repro.core.mp_executor import ScaleoutPool
+from repro.core.resilience import DeadlineModel, RetryPolicy
+from repro.dist.agent import LocalCluster
+from repro.dist.coordinator import DistConfig, ShardCoordinator
+from repro.dist.netfaults import NetFaultPlan
+from repro.fsm.run import run_reference
+
+OVERHEAD_BOUND_PCT = 10.0  # acceptance: fault-free coordination cost < 10%
+
+#: Supervision tuned for a loaded benchmark box: a high deadline floor so
+#: scheduler jitter on an oversubscribed machine never triggers spurious
+#: hedges in the fault-free leg (host death in the recovery leg is
+#: detected by the closed link, not by deadlines, so recovery stays
+#: immediate).
+TUNED = dict(
+    heartbeat_interval_s=0.5,
+    heartbeat_timeout_s=5.0,
+    deadline=DeadlineModel(
+        floor_s=30.0, bytes_per_sec_floor=1e6, safety_factor=8.0
+    ),
+    retry=RetryPolicy(max_retries=3, backoff_base_s=0.05),
+)
+
+
+def build_workload(app_name: str, num_items: int, seed: int):
+    """One paper application's machine plus a coordinator-scale input."""
+    app = get_application(app_name)
+    return app.build_instance(num_items, seed=seed)
+
+
+def timed_local(dfa, inputs, *, num_workers: int, k: int | None,
+                repeats: int) -> list[float]:
+    """Per-run seconds on one local pool (first call excluded: warm-up)."""
+    with ScaleoutPool(dfa, num_workers=num_workers, k=k,
+                      fault_plan=fi.FaultPlan()) as pool:
+        pool.run(inputs)
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            pool.run(inputs)
+            times.append(time.perf_counter() - t0)
+    return times
+
+
+def timed_dist(dfa, inputs, *, agents: int, agent_workers: int,
+               k: int | None, repeats: int) -> list[float]:
+    """Per-run seconds through the coordinator (first call excluded)."""
+    with LocalCluster(agents, agent_workers=agent_workers) as cluster:
+        cfg = DistConfig(k=k, shards_per_host=agent_workers, **TUNED)
+        with ShardCoordinator(dfa, cluster.addresses, config=cfg,
+                              net_faults=NetFaultPlan()) as coord:
+            coord.run(inputs)
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                coord.run(inputs)
+                times.append(time.perf_counter() - t0)
+    return times
+
+
+def bench_overhead(dfa, inputs, *, agents: int, agent_workers: int,
+                   k: int | None, repeats: int) -> dict:
+    """Coordinator vs local pool at equal total worker count."""
+    total_workers = agents * agent_workers
+    base = timed_local(dfa, inputs, num_workers=total_workers, k=k,
+                       repeats=repeats)
+    dist = timed_dist(dfa, inputs, agents=agents,
+                      agent_workers=agent_workers, k=k, repeats=repeats)
+    base_s = statistics.median(base)
+    dist_s = statistics.median(dist)
+    return {
+        "local_median_s": base_s,
+        "dist_median_s": dist_s,
+        "local_throughput_items_per_s": inputs.size / base_s,
+        "dist_throughput_items_per_s": inputs.size / dist_s,
+        "overhead_pct": (dist_s / base_s - 1.0) * 100.0,
+        "total_workers": total_workers,
+        "repeats": repeats,
+    }
+
+
+def bench_recovery(dfa, inputs, *, agents: int, agent_workers: int,
+                   k: int | None, repeats: int) -> dict:
+    """Wall-clock cost of losing one host mid-run, plus exactness."""
+    ref = run_reference(dfa, inputs)
+    cfg = DistConfig(k=k, shards_per_host=agent_workers, **TUNED)
+    with LocalCluster(agents, agent_workers=agent_workers) as cluster:
+        with ShardCoordinator(dfa, cluster.addresses, config=cfg,
+                              net_faults=NetFaultPlan()) as coord:
+            coord.run(inputs)  # warm-up
+            clean_s = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                coord.run(inputs)
+                clean_s.append(time.perf_counter() - t0)
+    runs = []
+    faulted_s = []
+    for i in range(repeats):
+        with LocalCluster(agents, agent_workers=agent_workers) as cluster:
+            with ShardCoordinator(dfa, cluster.addresses, config=cfg,
+                                  net_faults=NetFaultPlan()) as coord:
+                coord.run(inputs)  # warm-up: stage pools on every host
+                cluster.kill(i % agents)  # the link drops mid-run
+                t0 = time.perf_counter()
+                res = coord.run(inputs)
+                faulted_s.append(time.perf_counter() - t0)
+        runs.append({
+            "correct": bool(res.final_state == ref),
+            "ladder": res.ladder,
+            "degraded": bool(res.degraded),
+            "hosts_left": res.num_hosts,
+        })
+    clean = statistics.median(clean_s)
+    faulted = statistics.median(faulted_s)
+    return {
+        "clean_median_s": clean,
+        "host_death_median_s": faulted,
+        "recovery_latency_s": max(0.0, faulted - clean),
+        "runs": runs,
+    }
+
+
+def check_report(report: dict) -> list[str]:
+    """Return acceptance violations (empty = all good)."""
+    problems = []
+    pct = report["overhead"]["overhead_pct"]
+    if pct >= OVERHEAD_BOUND_PCT:
+        problems.append(
+            f"fault-free coordination overhead {pct:.2f}% exceeds the "
+            f"{OVERHEAD_BOUND_PCT:.1f}% bound"
+        )
+    for i, run in enumerate(report["recovery"]["runs"]):
+        if not run["correct"]:
+            problems.append(f"recovery run {i} returned a wrong final state")
+        if run["ladder"] not in ("", "reshard"):
+            problems.append(
+                f"recovery run {i} fell to ladder rung {run['ladder']!r}, "
+                "expected resharding onto surviving hosts"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--items", type=int, default=2_000_000, help="input symbols")
+    ap.add_argument(
+        "--app", default="huffman", choices=sorted(APPLICATIONS),
+        help="paper application supplying the machine and input",
+    )
+    ap.add_argument("--agents", type=int, default=3, help="host agents")
+    ap.add_argument("--agent-workers", type=int, default=2,
+                    help="pool workers per host agent")
+    ap.add_argument("--k", type=int, default=None,
+                    help="speculation width (default spec-N)")
+    ap.add_argument("--repeats", type=int, default=5, help="timed runs per config")
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized run (200k items, 3 repeats)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on overhead/recovery acceptance violations")
+    ap.add_argument("--out", default="BENCH_dist.json", help="output path")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.items = min(args.items, 200_000)
+        args.repeats = min(args.repeats, 3)
+
+    dfa, inputs = build_workload(args.app, args.items, seed=7)
+    overhead = bench_overhead(
+        dfa, inputs, agents=args.agents, agent_workers=args.agent_workers,
+        k=args.k, repeats=args.repeats,
+    )
+    print(
+        f"fault-free: local pool {overhead['local_median_s'] * 1e3:.1f} ms, "
+        f"coordinator {overhead['dist_median_s'] * 1e3:.1f} ms "
+        f"({args.agents} hosts), overhead {overhead['overhead_pct']:+.2f}%"
+    )
+    recovery = bench_recovery(
+        dfa, inputs, agents=args.agents, agent_workers=args.agent_workers,
+        k=args.k, repeats=args.repeats,
+    )
+    print(
+        f"recovery:   clean {recovery['clean_median_s'] * 1e3:.1f} ms, "
+        f"one host killed {recovery['host_death_median_s'] * 1e3:.1f} ms, "
+        f"latency {recovery['recovery_latency_s'] * 1e3:.1f} ms"
+    )
+
+    report = {
+        "benchmark": "dist",
+        "application": args.app,
+        "items": int(inputs.size),
+        "states": dfa.num_states,
+        "alphabet": dfa.num_inputs,
+        "agents": args.agents,
+        "agent_workers": args.agent_workers,
+        "k": args.k,
+        "overhead_bound_pct": OVERHEAD_BOUND_PCT,
+        "overhead": overhead,
+        "recovery": recovery,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {args.out}")
+
+    if args.check:
+        problems = check_report(report)
+        for p in problems:
+            print(f"CHECK FAILED: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"check passed: overhead {overhead['overhead_pct']:.2f}% < "
+            f"{OVERHEAD_BOUND_PCT:.1f}%, all recoveries exact"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,6 +222,7 @@ def run_speculative(
     plan: ChunkPlan | None = None,
     history: HistoryPredictor | str | None = None,
     trace: RunTrace | None = None,
+    dist=None,
 ) -> SpecExecutionResult:
     """Execute ``dfa`` over ``inputs`` with spec-k speculation.
 
@@ -269,7 +270,10 @@ def run_speculative(
         compiler, and caches artifacts by DFA fingerprint; automatically
         falls back to ``"vectorized"`` when no compiler or provider is
         usable). Functionally identical; codegen and native do not
-        support ``cache_table`` or ``accept_count``.
+        support ``cache_table`` or ``accept_count``. ``"dist"`` hands the
+        whole run to the cross-host layer (:mod:`repro.dist`) — see the
+        ``dist`` parameter; only ``k`` and ``lookback`` carry over, the
+        modeled-GPU knobs do not apply across hosts.
     kernel:
         Local-processing stepping kernel: ``"lockstep"`` (default — the
         paper's one-symbol-per-gather Algorithm 3, which is what the
@@ -319,6 +323,13 @@ def run_speculative(
         and speculation metrics into. When omitted, the ambient trace (if
         one was activated via ``RunTrace.activate()``) is used; with
         neither, observability is off and adds no measurable overhead.
+    dist:
+        ``backend="dist"`` only: a live
+        :class:`repro.dist.coordinator.ShardCoordinator` (runs on its
+        standing cluster), a dict of
+        :func:`repro.dist.coordinator.run_distributed` keyword arguments
+        (``num_agents``, ``agent_workers``, ``config``, ``net_faults``),
+        or None for an ephemeral 2-agent loopback cluster.
 
     Returns
     -------
@@ -337,12 +348,17 @@ def run_speculative(
                 collect=collect, price=price, cpu_transition_ns=cpu_transition_ns,
                 keep_merge_tree=keep_merge_tree, backend=backend, kernel=kernel,
                 collapse=collapse, schedule=schedule, plan=plan, history=history,
+                dist=dist,
             )
     check_in_set("merge", merge, ("sequential", "parallel"))
     check_in_set("check", check, ("auto", "nested", "hash"))
     check_in_set("reexec", reexec, ("delayed", "eager"))
     check_in_set("layout", layout, ("transformed", "natural"))
-    check_in_set("backend", backend, ("vectorized", "codegen", "native"))
+    check_in_set(
+        "backend", backend, ("vectorized", "codegen", "native", "dist")
+    )
+    if backend == "dist":
+        return _run_dist(dfa, inputs, k=k, lookback=lookback, dist=dist)
     check_in_set("kernel", kernel, ("auto",) + tuple(sorted(KERNELS)))
     check_in_set("schedule", schedule, ("barrier", "ooo"))
     if isinstance(collapse, str):
@@ -992,6 +1008,56 @@ def run_speculative_batch(
         num_requests=num_requests,
         plan=plan,
         owners=np.asarray(owners, dtype=np.int32),
+    )
+
+
+def _run_dist(dfa, inputs, *, k, lookback, dist) -> SpecExecutionResult:
+    """``backend="dist"``: delegate the run to the cross-host layer.
+
+    ``dist`` selects the infrastructure: a live
+    :class:`repro.dist.coordinator.ShardCoordinator` runs on its standing
+    cluster; a dict is keyword arguments for
+    :func:`repro.dist.coordinator.run_distributed` (``num_agents``,
+    ``agent_workers``, ``config``, ``net_faults``); None gets an
+    ephemeral 2-agent loopback cluster. Results are bit-exact with every
+    other backend; the modeled-GPU instrumentation (pricing, layouts,
+    caches) does not apply across hosts and is omitted.
+    """
+    from repro.dist.coordinator import DistConfig, ShardCoordinator, run_distributed
+
+    inputs = np.ascontiguousarray(np.asarray(inputs, dtype=np.int32))
+    if inputs.ndim != 1:
+        raise ValueError(f"inputs must be 1-D, got shape {inputs.shape}")
+    if isinstance(dist, ShardCoordinator):
+        res = dist.run(inputs)
+    else:
+        opts = dict(dist) if dist else {}
+        opts.setdefault("config", DistConfig(k=k, lookback=lookback))
+        res = run_distributed(dfa, inputs, **opts)
+    k_eff = dfa.num_states if (k is None or k >= dfa.num_states) else int(k)
+    config = EngineConfig(
+        k=k_eff,
+        enumerative=k_eff >= dfa.num_states,
+        num_blocks=1,
+        threads_per_block=max(1, res.num_shards),
+        merge="parallel",
+        check="auto",
+        reexec="delayed",
+        layout="natural",
+        lookback=lookback,
+        cache_table=False,
+        device=TESLA_V100,
+        kernel="lockstep",
+        collapse="off",
+        schedule="barrier",
+        backend="dist",
+    )
+    return SpecExecutionResult(
+        final_state=int(res.final_state),
+        stats=res.stats,
+        config=config,
+        accepted=bool(dfa.accepting[int(res.final_state)]),
+        trace=current_trace(),
     )
 
 

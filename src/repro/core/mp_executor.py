@@ -45,7 +45,10 @@ Deterministic failure drills come from :mod:`repro.core.faultinject`.
 from __future__ import annotations
 
 import atexit
+import os
 import pickle
+import signal
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -91,6 +94,7 @@ from repro.workloads.chunking import plan_chunks, plan_from_lengths
 __all__ = [
     "BatchRunResult",
     "ScaleoutPool",
+    "fold_segment_map",
     "run_multiprocess",
     "MultiprocessResult",
     "PoolClosedError",
@@ -626,6 +630,90 @@ def _worker_run(task: tuple) -> tuple[np.ndarray, np.ndarray, object, int, tuple
     return spec_row, cur_end[0], reexec_chunks, reexec_items, timings, counters
 
 
+def fold_segment_map(
+    dfa: DFA,
+    kplan: KernelPlan,
+    inputs: np.ndarray,
+    boundary_row: np.ndarray,
+    *,
+    sub_chunks: int = 16,
+    k: int | None = None,
+    lookback: int = 8,
+    prior: np.ndarray | None = None,
+    native=None,
+) -> np.ndarray:
+    """In-process ``speculated -> ending`` map of one segment.
+
+    Lane ``j`` of the returned row is the machine's state after
+    ``inputs`` when it entered at ``boundary_row[j]`` — the same folded
+    segment map a pool worker computes, without a pool: the segment is
+    split into ``sub_chunks`` speculative chunks, processed through the
+    kernel layer, and folded left to right with
+    :func:`repro.core.merge_par.compose_maps`, re-executing speculation
+    misses locally so the map is always complete over ``boundary_row``.
+
+    This is the single-process leaf of the cross-host hierarchy
+    (:mod:`repro.dist`): a host agent with one worker, or a pool whose
+    supervision degraded, still returns an exact map for the
+    coordinator's host-level tree merge. ``boundary_row`` length must
+    equal the speculation width the caller runs everywhere else
+    (``k``, or ``num_states`` for spec-N).
+    """
+    boundary_row = np.ascontiguousarray(
+        np.asarray(boundary_row, dtype=np.int32)
+    )
+    if boundary_row.ndim != 1:
+        raise ValueError(
+            f"boundary_row must be 1-D, got shape {boundary_row.shape}"
+        )
+    width = int(boundary_row.size)
+    k_eff = dfa.num_states if (k is None or k >= dfa.num_states) else int(k)
+    if width != k_eff:
+        raise ValueError(
+            f"boundary_row has {width} lanes but k_eff is {k_eff}"
+        )
+    inputs = np.ascontiguousarray(np.asarray(inputs, dtype=np.int32))
+    if inputs.size == 0:
+        return boundary_row.copy()
+    sub_chunks = max(1, min(int(sub_chunks), int(inputs.size)))
+    plan = plan_chunks(int(inputs.size), sub_chunks)
+    if k is None or k >= dfa.num_states:
+        spec = np.tile(
+            np.arange(dfa.num_states, dtype=np.int32), (sub_chunks, 1)
+        )
+    else:
+        spec = speculate(
+            dfa, inputs, plan, k_eff, lookback=lookback, prior=prior
+        )
+    spec[0] = boundary_row
+    wstats = ExecStats()
+    if native is not None and native.spec.k == spec.shape[1]:
+        end = native.process_chunks(inputs, plan, spec, stats=wstats)
+        row, _fc = native.fold_maps(
+            spec, end, inputs, plan.starts, plan.lengths
+        )
+        return row
+    if kplan.kernel == "lockstep":
+        end, _ = process_chunks(dfa, inputs, plan, spec, stats=wstats)
+    else:
+        end = process_chunks_kernel(
+            dfa, inputs, plan, spec, kplan, stats=wstats
+        )
+    cur_end = end[0][None, :].copy()
+    all_valid = np.ones((1, spec.shape[1]), dtype=bool)
+    for c in range(1, sub_chunks):
+        nxt, found, _ = compose_maps(
+            cur_end, all_valid, spec[c][None, :], end[c][None, :], all_valid
+        )
+        misses = np.flatnonzero(~found[0])
+        if misses.size:
+            sub = inputs[plan.chunk_slice(c)]
+            for j in misses:
+                nxt[0, j] = run_segment_kernel(kplan, sub, int(cur_end[0, j]))
+        cur_end = nxt
+    return cur_end[0].copy()
+
+
 # --------------------------------------------------------------------------- #
 # parent side
 # --------------------------------------------------------------------------- #
@@ -647,6 +735,46 @@ def _close_live_pools() -> None:
 
 
 atexit.register(_close_live_pools)
+
+# The atexit hook covers normal interpreter exit, but a SIGTERM/SIGINT with
+# the *default* disposition kills the process without running atexit — and
+# with it, leaks every live pool's /dev/shm segments and worker processes.
+# The first pool constructed from the main thread therefore installs a
+# teardown handler for both signals, only where the handler is still the
+# Python default (a host application's own handlers are never clobbered,
+# and then owns teardown — the atexit path still covers it if its handler
+# exits cleanly). The handler closes every live pool, then re-delivers the
+# signal's default behaviour so exit status and KeyboardInterrupt semantics
+# are unchanged.
+_SIGNAL_TEARDOWN_INSTALLED = False
+
+
+def _signal_teardown(signum: int, frame) -> None:
+    """Close live pools, then re-deliver the signal's default action."""
+    _close_live_pools()
+    if signum == signal.SIGINT:
+        signal.signal(signum, signal.default_int_handler)
+        raise KeyboardInterrupt
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_signal_teardown() -> None:
+    """Install the teardown handler once, from the main thread only."""
+    global _SIGNAL_TEARDOWN_INSTALLED
+    if _SIGNAL_TEARDOWN_INSTALLED:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal.signal is main-thread-only; retry on a later pool
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            if signal.getsignal(sig) in (
+                signal.SIG_DFL, signal.default_int_handler,
+            ):
+                signal.signal(sig, _signal_teardown)
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        return
+    _SIGNAL_TEARDOWN_INSTALLED = True
 
 
 class ScaleoutPool:
@@ -739,6 +867,12 @@ class ScaleoutPool:
         # `__del__`, or the atexit hook) never trips an AttributeError and
         # never leaks a published segment.
         self._closed = False
+        # Serializes input-segment (re)publication against close(): a
+        # signal handler tearing the pool down mid-run must either see a
+        # registered segment (and unlink it) or make the publisher unlink
+        # its own orphan. RLock — the handler runs on the main thread and
+        # may interrupt a publisher on the main thread.
+        self._shm_lock = threading.RLock()
         self._sup: SupervisedWorkerPool | None = None
         self._table_shm = None
         self._acc_shm = None
@@ -836,6 +970,7 @@ class ScaleoutPool:
         except BaseException:
             self.close()
             raise
+        _install_signal_teardown()
         _LIVE_POOLS.add(self)
 
     # ------------------------------------------------------------------ #
@@ -853,11 +988,20 @@ class ScaleoutPool:
         if n <= self._input_capacity and self._input_shm is not None:
             return
         capacity = max(n, 2 * self._input_capacity, 1)
-        old = self._input_shm
-        self._input_shm = shared_memory.SharedMemory(
-            create=True, size=capacity * self._input_dtype.itemsize
-        )
-        self._input_capacity = capacity
+        # Create *inside* the lock: close() flips ``_closed`` and snapshots
+        # the segment list under the same lock, so a segment is either
+        # refused (pool already closed) or registered before the closing
+        # sweep runs — never created-but-unregistered when a signal
+        # handler tears the pool down concurrently.
+        with self._shm_lock:
+            if self._closed:
+                raise PoolClosedError("ScaleoutPool is closed")
+            new = shared_memory.SharedMemory(
+                create=True, size=capacity * self._input_dtype.itemsize
+            )
+            old = self._input_shm
+            self._input_shm = new
+            self._input_capacity = capacity
         if old is not None:
             old.close()
             try:
@@ -911,16 +1055,22 @@ class ScaleoutPool:
         live segment name, so workers re-attach the new segment on their
         next attempt.
         """
-        old = self._input_shm
         n = int(inputs.size)
         capacity = max(self._input_capacity, n, 1)
-        self._input_shm = shared_memory.SharedMemory(
-            create=True, size=capacity * self._input_dtype.itemsize
-        )
-        self._input_capacity = capacity
-        np.ndarray((n,), dtype=self._input_dtype, buffer=self._input_shm.buf)[
-            :
-        ] = inputs
+        # Same create-inside-the-lock discipline as _ensure_input_capacity;
+        # the fill stays under the lock too, so a concurrent close cannot
+        # unmap the fresh segment mid-copy (republishes are rare — this
+        # only runs on the injected unlink-race fault path).
+        with self._shm_lock:
+            if self._closed:
+                raise PoolClosedError("ScaleoutPool is closed")
+            new = shared_memory.SharedMemory(
+                create=True, size=capacity * self._input_dtype.itemsize
+            )
+            np.ndarray((n,), dtype=self._input_dtype, buffer=new.buf)[:] = inputs
+            old = self._input_shm
+            self._input_shm = new
+            self._input_capacity = capacity
         if old is not None:
             old.close()
             try:
@@ -1400,6 +1550,7 @@ class ScaleoutPool:
             except DegradedExecution:
                 # The final state is already exact; only the output pass
                 # degrades — recover the positions in-process.
+                self._check_open_for_fallback()
                 degraded = True
                 match_positions = _segment_match_positions(
                     dfa, inputs, start,
@@ -1424,6 +1575,195 @@ class ScaleoutPool:
             recovery=report if report.events else None,
             match_positions=match_positions,
         )
+
+    def run_map(
+        self,
+        inputs: np.ndarray,
+        boundary_row: np.ndarray,
+    ) -> np.ndarray:
+        """Compute this segment's ``speculated -> ending`` map over the pool.
+
+        Lane ``j`` of the returned row is the machine's state after
+        ``inputs`` when entered at ``boundary_row[j]``. Unlike
+        :meth:`run`, no lane is pinned to a known true start: the caller
+        — the cross-host :class:`repro.dist.coordinator.ShardCoordinator`
+        — owns boundary speculation for the *shard* boundaries, ships
+        each host its row, and composes the returned host maps with the
+        same binary tree merge the pool applies to its workers. The pool
+        is the middle level of that hierarchy: the shard is split across
+        workers, each worker folds its sub-chunks, and the parent folds
+        the worker maps left to right, re-executing lane misses through
+        the kernel layer.
+
+        ``boundary_row`` must have ``k_eff`` lanes (the pool's ``k``, or
+        ``num_states`` for spec-N pools, where the row must enumerate
+        every state). Supervision failures degrade internally to
+        :func:`fold_segment_map`, so the method always returns a
+        complete exact map — the coordinator sees a slow host, never a
+        wrong one.
+        """
+        if self._closed:
+            raise PoolClosedError("ScaleoutPool is closed")
+        dfa = self.dfa
+        boundary_row = np.ascontiguousarray(
+            np.asarray(boundary_row, dtype=np.int32)
+        )
+        if boundary_row.ndim != 1 or boundary_row.size != self.k_eff:
+            raise ValueError(
+                f"boundary_row must have {self.k_eff} lanes, got shape "
+                f"{boundary_row.shape}"
+            )
+        if self.k is None and not np.array_equal(
+            np.sort(boundary_row), np.arange(dfa.num_states, dtype=np.int32)
+        ):
+            raise ValueError(
+                "spec-N pools need boundary_row to enumerate every state"
+            )
+        inputs = np.ascontiguousarray(np.asarray(inputs, dtype=self._input_dtype))
+        if inputs.ndim != 1:
+            raise ValueError(f"inputs must be 1-D, got shape {inputs.shape}")
+        n = int(inputs.size)
+        if n == 0:
+            return boundary_row.copy()
+        self.calls += 1
+        w = self.num_workers
+        if not self._collapse_resolved:
+            self._collapse_cfg = resolve_collapse(
+                self._collapse_mode, dfa, inputs, k=self.k_eff
+            )
+            self._collapse_resolved = True
+        nkern = self._ensure_native()
+
+        def local_map() -> np.ndarray:
+            return fold_segment_map(
+                dfa, self._kplan, inputs, boundary_row,
+                sub_chunks=self.sub_chunks_per_worker, k=self.k,
+                lookback=self.lookback, prior=self._prior, native=nkern,
+            )
+
+        if w == 1 or n < w:
+            return local_map()
+
+        with trace_span("pool.publish_input", bytes=int(inputs.nbytes)):
+            self._ensure_input_capacity(n)
+            shm = self._input_shm
+            assert shm is not None
+            buf = np.ndarray((n,), dtype=self._input_dtype, buffer=shm.buf)
+            buf[:] = inputs
+
+        report = SupervisionReport()
+        seg_plan = plan_chunks(n, w)
+        collapse_spec = (
+            (self._collapse_cfg.cadence, self._collapse_cfg.backoff)
+            if self._collapse_cfg is not None
+            else None
+        )
+        native_path, native_meta = self._native_task_fields()
+        # Interior worker boundaries speculate from look-back inside the
+        # shard; worker 0 enters at the coordinator's row, unpinned.
+        if self.k is not None:
+            boundary = speculate(
+                dfa, inputs, seg_plan, self.k,
+                lookback=self.lookback, prior=self._prior,
+            )
+            boundary[0] = boundary_row
+        else:
+            boundary = None
+
+        def make_task(i: int) -> tuple:
+            return (
+                self._table_shm.name,
+                dfa.num_inputs,
+                dfa.num_states,
+                self._acc_shm.name,
+                self._prior_shm.name,
+                self._input_shm.name,
+                n,
+                self._input_dtype.str,
+                int(seg_plan.starts[i]),
+                int(seg_plan.starts[i] + seg_plan.lengths[i]),
+                int(dfa.start),
+                self.k,
+                self.sub_chunks_per_worker,
+                self.lookback,
+                None if boundary is None else boundary[i],
+                self.kernel,
+                self._kplan.compaction.num_classes,
+                self._kplan.m,
+                self._class_of_shm.name,
+                self._class_table_shm.name,
+                None if self._stride_shm is None else self._stride_shm.name,
+                collapse_spec,
+                "fold",
+                -1,
+                native_path,
+                native_meta,
+            )
+
+        def on_error(
+            tid: int, exc_type: str, exc_repr: str, rep: SupervisionReport
+        ) -> None:
+            if exc_type == "FileNotFoundError" and self._input_segment_missing():
+                self._republish_input(inputs)
+                rep.shm_republishes += 1
+                add_count("fault.shm_republished")
+                rep.record("shm_republish", task=tid, detail=exc_repr)
+
+        seg_nbytes = [
+            int(seg_plan.lengths[i]) * self._input_dtype.itemsize
+            for i in range(w)
+        ]
+        try:
+            with trace_span("pool.wait", workers=w, schedule="map"):
+                maps = self._sup.run_tasks(
+                    [make_task(i) for i in range(w)],
+                    task_nbytes=seg_nbytes,
+                    bytes_per_sec=self._bps_ewma,
+                    rebuild=make_task,
+                    validate=lambda _t, payload: self._valid_worker_map(payload),
+                    on_error=on_error,
+                    report=report,
+                )
+        except DegradedExecution:
+            self._check_open_for_fallback()
+            with trace_span("fault.degrade", reason=report.degrade_reason):
+                return local_map()
+
+        # Fold worker maps left to right over the coordinator's lanes —
+        # the k-lane generalization of the true-start walk in run().
+        spec0 = maps[0][0]
+        cur = np.asarray(maps[0][1], dtype=np.int32)
+        if not np.array_equal(spec0, boundary_row):
+            # spec-N workers return maps over arange(num_states); align
+            # the lane order to the coordinator's row.
+            if not np.array_equal(
+                spec0, np.arange(dfa.num_states, dtype=np.int32)
+            ):  # pragma: no cover - worker protocol guarantees one of the two
+                return local_map()
+            cur = cur[boundary_row]
+        cur = cur[None, :].copy()
+        all_valid = np.ones((1, self.k_eff), dtype=bool)
+        with trace_span("pool.merge", workers=w, schedule="map"):
+            for i in range(1, w):
+                spec_i = np.asarray(maps[i][0], dtype=np.int32)
+                end_i = np.asarray(maps[i][1], dtype=np.int32)
+                nxt, found, _ = compose_maps(
+                    cur, all_valid, spec_i[None, :], end_i[None, :], all_valid
+                )
+                misses = np.flatnonzero(~found[0])
+                if misses.size:
+                    seg = inputs[seg_plan.chunk_slice(i)]
+                    for j in misses:
+                        nxt[0, j] = (
+                            nkern.run_segment(seg, int(cur[0, j]))
+                            if nkern is not None
+                            else run_segment_kernel(
+                                self._kplan, seg, int(cur[0, j])
+                            )
+                        )
+                    add_count("pool.map_lane_reexecs", int(misses.size))
+                cur = nxt
+        return cur[0].copy()
 
     def run_batch(
         self,
@@ -1671,6 +2011,7 @@ class ScaleoutPool:
                         deadline_cap_s=deadline_s,
                     )
             except DegradedExecution:
+                self._check_open_for_fallback()
                 with trace_span(
                     "fault.degrade", reason=report.degrade_reason, workers=w
                 ):
@@ -1709,6 +2050,17 @@ class ScaleoutPool:
             recovery=report if report.events else None,
         )
 
+    def _check_open_for_fallback(self) -> None:
+        """Refuse the in-process fallback on a closed pool.
+
+        Degradation preserves results for live callers; a pool closed
+        mid-run (the signal-teardown handler, ``atexit``) has no caller
+        left to serve, and a daemon thread still inside a long native
+        call while the interpreter finalizes can crash teardown.
+        """
+        if self._closed:
+            raise PoolClosedError("ScaleoutPool closed during run")
+
     def _degraded_result(
         self,
         inputs: np.ndarray,
@@ -1729,6 +2081,7 @@ class ScaleoutPool:
         The returned result is flagged ``degraded=True`` and carries the
         full :class:`SupervisionReport` of everything tried first.
         """
+        self._check_open_for_fallback()
         with trace_span(
             "fault.degrade", reason=report.degrade_reason,
             workers=self.num_workers,
@@ -1779,21 +2132,33 @@ class ScaleoutPool:
         """
         if getattr(self, "_closed", True):
             return
-        self._closed = True
+        with self._shm_lock:
+            if self._closed:  # lost the race to a concurrent close
+                return
+            self._closed = True
+            segments = (
+                self._table_shm, self._acc_shm, self._prior_shm,
+                self._class_of_shm, self._class_table_shm, self._stride_shm,
+                self._input_shm,
+            )
         _LIVE_POOLS.discard(self)
         if self._sup is not None:
             self._sup.close()
-        for shm in (
-            self._table_shm, self._acc_shm, self._prior_shm,
-            self._class_of_shm, self._class_table_shm, self._stride_shm,
-            self._input_shm,
-        ):
+        for shm in segments:
             if shm is None:
                 continue
+            # Unlink first: removing the /dev/shm name is the part that
+            # must never be skipped. Unmapping can legitimately fail (a
+            # run thread may still hold a view of the buffer) — the
+            # mapping is reclaimed at process exit either way, and
+            # unmapping under a concurrent writer would be a segfault.
             try:
-                shm.close()
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            try:
+                shm.close()
+            except BufferError:  # a live view pins the mapping
                 pass
 
     def __enter__(self) -> "ScaleoutPool":

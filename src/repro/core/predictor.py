@@ -29,6 +29,7 @@ import tempfile
 import numpy as np
 
 from repro.fsm.dfa import DFA
+from repro.obs.trace import add_count
 
 __all__ = ["dfa_fingerprint", "HistoryPredictor"]
 
@@ -81,17 +82,38 @@ class HistoryPredictor:
                 raw = json.load(f)
         except (OSError, ValueError):
             # A torn or foreign file is treated as an empty history — the
-            # predictor degrades to the sample prior, never to an error.
+            # predictor degrades to the sample prior, never to an error —
+            # and the corruption is made visible on the ambient trace.
+            add_count("predictor.load_corrupt")
             self._store = {}
             return
         if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+            add_count("predictor.load_corrupt")
             self._store = {}
             return
-        self._store = {
-            fp: entry
-            for fp, entry in raw.get("machines", {}).items()
-            if isinstance(entry, dict) and "counts" in entry
-        }
+        machines = raw.get("machines", {})
+        if not isinstance(machines, dict):
+            add_count("predictor.load_corrupt")
+            self._store = {}
+            return
+        store: dict[str, dict] = {}
+        dropped = False
+        for fp, entry in machines.items():
+            if not (
+                isinstance(entry, dict)
+                and isinstance(entry.get("counts"), list)
+                and all(
+                    isinstance(c, (int, float)) and not isinstance(c, bool)
+                    for c in entry["counts"]
+                )
+            ):
+                dropped = True
+                continue
+            store[fp] = entry
+        if dropped:
+            # Partial corruption: keep the sound entries, count the rot.
+            add_count("predictor.load_corrupt")
+        self._store = store
 
     def save(self) -> None:
         """Write the store atomically (temp file + rename); no-op in memory mode."""

@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import math
 import random
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -225,6 +227,13 @@ def _supervised_worker_loop(
     as ``kind='error'`` with the exception type name and repr — the worker
     itself survives and keeps serving. ``None`` is the shutdown sentinel.
     """
+    # A forked worker inherits the parent's Python-level signal handlers
+    # (e.g. the pool's own shm-teardown handler), which close over parent
+    # state — including locks another parent thread may have held at fork
+    # time. Running them here can deadlock and make the worker survive
+    # ``terminate()``. Workers answer signals with the default action.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     specs = faultinject.specs_from_wire(wire_faults)
     seq = 0
     while True:
@@ -319,6 +328,9 @@ class SupervisedWorkerPool:
         self._result_q = None
         self._run_seq = 0
         self._closed = False
+        # Serializes spawning against close(): a respawn that loses this
+        # race would create a worker no close() sweep will ever see.
+        self._lifecycle_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -337,21 +349,32 @@ class SupervisedWorkerPool:
         )
 
     def _spawn_into(self, handle: _WorkerHandle) -> None:
-        """(Re)start the process behind a worker slot; raises on failure."""
-        handle.task_q = self._ctx.SimpleQueue()
-        handle.proc = self._ctx.Process(
-            target=_supervised_worker_loop,
-            args=(
-                handle.worker_id, self._fn, handle.task_q, self._result_q,
-                self.fault_plan.worker_wire(),
-            ),
-            daemon=True,
-            name=f"repro-scaleout-{handle.worker_id}",
-        )
-        handle.proc.start()
-        handle.dead = False
-        handle.strikes = 0
-        handle.assigned.clear()
+        """(Re)start the process behind a worker slot; raises on failure.
+
+        Raises :class:`PoolClosedError` on a closed pool: a mid-run
+        respawn racing a concurrent :meth:`close` (the teardown path
+        terminating this run's workers is what *caused* the death) would
+        otherwise orphan the fresh process forever.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                raise PoolClosedError(
+                    "SupervisedWorkerPool closed during respawn"
+                )
+            handle.task_q = self._ctx.SimpleQueue()
+            handle.proc = self._ctx.Process(
+                target=_supervised_worker_loop,
+                args=(
+                    handle.worker_id, self._fn, handle.task_q, self._result_q,
+                    self.fault_plan.worker_wire(),
+                ),
+                daemon=True,
+                name=f"repro-scaleout-{handle.worker_id}",
+            )
+            handle.proc.start()
+            handle.dead = False
+            handle.strikes = 0
+            handle.assigned.clear()
 
     def ensure_started(self) -> None:
         """Spawn all workers on first use; heal dead slots between runs."""
@@ -371,9 +394,10 @@ class SupervisedWorkerPool:
 
     def close(self) -> None:
         """Shut every worker down and release the queues (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
         for h in self._handles:
             if h.proc is not None and h.proc.is_alive():
                 try:
@@ -386,6 +410,13 @@ class SupervisedWorkerPool:
             h.proc.join(timeout=0.5)
             if h.proc.is_alive():
                 h.proc.terminate()
+                h.proc.join(timeout=0.5)
+            if h.proc.is_alive():
+                # A worker that survives SIGTERM (wedged in native code,
+                # or mid-handler) must not outlive the pool: the leaked
+                # process would hang interpreter exit on the
+                # multiprocessing atexit join.
+                h.proc.kill()
                 h.proc.join(timeout=0.5)
             if h.task_q is not None:
                 try:

@@ -1,0 +1,281 @@
+"""Deterministic network fault injection for the distributed layer.
+
+The same discipline as :mod:`repro.core.faultinject`, lifted from
+process faults to *link* faults: a :class:`NetFaultPlan` holds an
+ordered set of :class:`NetFaultSpec` drills, each bound to a single
+injection site (host, direction, message type, per-site sequence
+number) and fired **exactly once**. The coordinator's transport
+channels apply the plan — drills run where the coordinator can observe
+them deterministically, so a seeded plan reproduces the identical
+failure sequence on every run regardless of host-side timing.
+
+Fault kinds
+-----------
+``drop``
+    The matched message silently vanishes (send: never written; recv:
+    parsed and discarded). The supervision layer must recover it via
+    deadline expiry and re-dispatch.
+``delay``
+    The matched message is held ``delay_s`` seconds before delivery —
+    the slow-link drill that exercises hedged re-dispatch.
+``dup``
+    The matched message is delivered twice. Result de-duplication
+    (dispatch sequence numbers) must drop the second copy.
+``truncate``
+    The frame is torn mid-write and the connection closed — the peer
+    sees a short read. Models a host dying mid-send.
+``partition``
+    Opens a symmetric partition window of ``duration_s`` seconds on the
+    host's link: every send is dropped and every received message
+    discarded until the window closes.
+``crash``
+    The coordinator orders the agent to exit its serve loop (the
+    kill-a-host drill) and severs the link.
+
+Chaos mode: :func:`chaos_net_plan_from_env` arms a seeded one-partition
+plan from the ``REPRO_CHAOS`` environment variable, mirroring
+:func:`repro.core.faultinject.chaos_plan_from_env` — the dist CI job
+runs the suite under it. Clean-behaviour tests pass an explicit empty
+``NetFaultPlan()`` to opt out, the same convention the pool uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "NET_KINDS",
+    "NetFaultPlan",
+    "NetFaultSpec",
+    "chaos_net_plan_from_env",
+    "crash_host",
+    "delay_message",
+    "drop_message",
+    "duplicate_message",
+    "partition_host",
+    "truncate_frame",
+]
+
+#: Fault kinds the transport channel knows how to apply.
+NET_KINDS = ("drop", "delay", "dup", "truncate", "partition", "crash")
+
+_SPEC_IDS = itertools.count()
+_CHAOS_SEQ = itertools.count()
+
+
+@dataclass
+class NetFaultSpec:
+    """One network fault bound to a single injection site.
+
+    The site is ``(host, direction, match_type, at_match)``: the spec
+    fires on the ``at_match``-th message (0-based) of type
+    ``match_type`` (any type when None) crossing host ``host``'s link
+    in ``direction`` (``"send"`` = coordinator to agent, ``"recv"`` =
+    agent to coordinator, as seen from the coordinator). ``seen`` is
+    the spec's private site counter; ``fired`` makes it exactly-once.
+    """
+
+    fault_id: str
+    kind: str
+    host: int
+    direction: str = "send"
+    match_type: str | None = None
+    at_match: int = 0
+    delay_s: float = 0.0
+    duration_s: float = 0.0
+    seen: int = 0
+    fired: bool = False
+
+    def matches(self, host: int, direction: str, msg_type: str) -> bool:
+        """Whether this message is at the spec's site; advances ``seen``.
+
+        Only unfired specs count messages, so the site sequence number
+        is stable however many other drills share the plan.
+        """
+        if self.fired or host != self.host or direction != self.direction:
+            return False
+        if self.match_type is not None and msg_type != self.match_type:
+            return False
+        hit = self.seen == self.at_match
+        self.seen += 1
+        return hit
+
+
+def drop_message(
+    host: int,
+    *,
+    direction: str = "recv",
+    match_type: str | None = None,
+    at_match: int = 0,
+) -> NetFaultSpec:
+    """Message ``at_match`` of ``match_type`` on ``host``'s link vanishes."""
+    return NetFaultSpec(
+        fault_id=f"drop:h{host}:{direction}#{next(_SPEC_IDS)}",
+        kind="drop", host=host, direction=direction,
+        match_type=match_type, at_match=at_match,
+    )
+
+
+def delay_message(
+    host: int,
+    *,
+    direction: str = "recv",
+    match_type: str | None = None,
+    at_match: int = 0,
+    seconds: float = 0.25,
+) -> NetFaultSpec:
+    """The matched message is held ``seconds`` before delivery."""
+    return NetFaultSpec(
+        fault_id=f"delay:h{host}:{direction}#{next(_SPEC_IDS)}",
+        kind="delay", host=host, direction=direction,
+        match_type=match_type, at_match=at_match, delay_s=float(seconds),
+    )
+
+
+def duplicate_message(
+    host: int,
+    *,
+    direction: str = "recv",
+    match_type: str | None = None,
+    at_match: int = 0,
+) -> NetFaultSpec:
+    """The matched message is delivered twice (duplicate-result drill)."""
+    return NetFaultSpec(
+        fault_id=f"dup:h{host}:{direction}#{next(_SPEC_IDS)}",
+        kind="dup", host=host, direction=direction,
+        match_type=match_type, at_match=at_match,
+    )
+
+
+def truncate_frame(
+    host: int,
+    *,
+    direction: str = "send",
+    match_type: str | None = None,
+    at_match: int = 0,
+) -> NetFaultSpec:
+    """The matched frame is torn mid-write and the link severed."""
+    return NetFaultSpec(
+        fault_id=f"truncate:h{host}:{direction}#{next(_SPEC_IDS)}",
+        kind="truncate", host=host, direction=direction,
+        match_type=match_type, at_match=at_match,
+    )
+
+
+def partition_host(
+    host: int,
+    *,
+    match_type: str | None = None,
+    at_match: int = 0,
+    duration_s: float = 0.3,
+) -> NetFaultSpec:
+    """A symmetric partition window opens at the matched send site."""
+    return NetFaultSpec(
+        fault_id=f"partition:h{host}#{next(_SPEC_IDS)}",
+        kind="partition", host=host, direction="send",
+        match_type=match_type, at_match=at_match,
+        duration_s=float(duration_s),
+    )
+
+
+def crash_host(
+    host: int,
+    *,
+    match_type: str | None = None,
+    at_match: int = 0,
+) -> NetFaultSpec:
+    """The agent is ordered to exit its serve loop at the matched site."""
+    return NetFaultSpec(
+        fault_id=f"crash:h{host}#{next(_SPEC_IDS)}",
+        kind="crash", host=host, direction="send",
+        match_type=match_type, at_match=at_match,
+    )
+
+
+class NetFaultPlan:
+    """An ordered set of network faults plus fired-state bookkeeping.
+
+    The plan lives in the coordinator; each channel consults it at every
+    send and receive. Mirrors :class:`repro.core.faultinject.FaultPlan`:
+    ``empty``, ``fired_ids``, :meth:`mark_fired`, :meth:`is_fired` have
+    the same semantics, and every spec fires at most once.
+    """
+
+    def __init__(self, faults: tuple | list = ()) -> None:
+        self.specs: list[NetFaultSpec] = list(faults)
+        for spec in self.specs:
+            if spec.kind not in NET_KINDS:
+                raise ValueError(f"unknown net fault kind {spec.kind!r}")
+            if spec.direction not in ("send", "recv"):
+                raise ValueError(
+                    f"direction must be 'send' or 'recv', got "
+                    f"{spec.direction!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (the production default)."""
+        return not self.specs
+
+    @property
+    def fired_ids(self) -> set[str]:
+        """Ids of specs that have already fired."""
+        return {s.fault_id for s in self.specs if s.fired}
+
+    def spec(self, fault_id: str) -> NetFaultSpec | None:
+        """Look up a spec by id (None when unknown)."""
+        for s in self.specs:
+            if s.fault_id == fault_id:
+                return s
+        return None
+
+    def mark_fired(self, fault_id: str) -> bool:
+        """Mark a spec fired; returns True if it was previously unfired."""
+        s = self.spec(fault_id)
+        if s is None or s.fired:
+            return False
+        s.fired = True
+        return True
+
+    def is_fired(self, fault_id: str) -> bool:
+        """Whether the named spec has fired."""
+        s = self.spec(fault_id)
+        return s is not None and s.fired
+
+    def due(self, host: int, direction: str, msg_type: str) -> list[NetFaultSpec]:
+        """Unfired specs whose site matches this message, in plan order.
+
+        Matching advances each candidate spec's private site counter, so
+        call this exactly once per message crossing the channel.
+        """
+        return [
+            s for s in self.specs if s.matches(host, direction, msg_type)
+        ]
+
+
+def chaos_net_plan_from_env(num_hosts: int, env=None) -> NetFaultPlan | None:
+    """A seeded one-partition plan when ``REPRO_CHAOS`` is set, else None.
+
+    Each call draws a fresh (but deterministic, given the env token and
+    the process-wide call sequence) victim host whose link partitions
+    around its first shard dispatch — the dist CI chaos leg. Topologies
+    too small to lose a host (``num_hosts < 2``) get no plan.
+    """
+    env = os.environ if env is None else env
+    token = env.get("REPRO_CHAOS", "")
+    if not token or num_hosts < 2:
+        return None
+    rng = random.Random(f"dist:{token}:{next(_CHAOS_SEQ)}")
+    return NetFaultPlan([
+        partition_host(
+            rng.randrange(num_hosts),
+            match_type="run_shard",
+            duration_s=0.2,
+        )
+    ])

@@ -1,0 +1,430 @@
+"""Length-prefixed JSON+binary frames over TCP for the dist layer.
+
+One frame is::
+
+    MAGIC(4) | u32 body_len | u32 header_len | header_json | array bytes
+
+Headers are plain JSON dicts (the message type rides ``header["type"]``);
+numpy arrays ship as raw bytes after the header, described by the
+reserved ``__arrays__`` header key (``[[name, dtype, shape], ...]`` in
+payload order) — the same publish-once/dispatch-names discipline as the
+shared-memory pool, without a serialization dependency: the stdlib and
+numpy are the whole wire stack. msgpack would shave header bytes but is
+not guaranteed present, and headers are tiny next to the arrays.
+
+:class:`Channel` wraps a connected socket with framing, per-direction
+message counters, and the coordinator-side network fault hook: every
+send and receive consults an optional
+:class:`repro.dist.netfaults.NetFaultPlan`, so deterministic
+drop/delay/duplicate/truncate/partition/crash drills happen *in the
+transport*, invisible to the protocol layers above — exactly where a
+real flaky network would bite.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.dist.netfaults import NetFaultPlan
+from repro.obs.trace import add_count
+
+__all__ = [
+    "Channel",
+    "TransportClosed",
+    "TransportError",
+    "TransportTimeout",
+    "connect",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Frame magic: "Repro Frame, Dist, version 1".
+MAGIC = b"RFD1"
+
+#: Refuse frames beyond this size — a torn length prefix must not make
+#: the receiver try to allocate terabytes.
+MAX_FRAME_BYTES = 1 << 31
+
+#: Cap on one blocking send: a wedged peer whose receive buffer never
+#: drains turns into a :class:`TransportClosed` (-> dead host, recovered
+#: by supervision) instead of hanging the coordinator forever.
+SEND_TIMEOUT_S = 30.0
+
+_HDR = struct.Struct("<4sII")
+
+
+class TransportError(RuntimeError):
+    """Base class for dist transport failures."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed (or the link was severed) mid-conversation."""
+
+
+class TransportTimeout(TransportError):
+    """No complete frame arrived within the receive timeout."""
+
+
+def _encode(header: dict, arrays: dict[str, np.ndarray] | None) -> bytes:
+    """Serialize one frame to bytes."""
+    blobs: list[bytes] = []
+    meta = []
+    for name, arr in (arrays or {}).items():
+        arr = np.ascontiguousarray(arr)
+        meta.append([name, arr.dtype.str, list(arr.shape)])
+        blobs.append(arr.tobytes())
+    header = dict(header)
+    header["__arrays__"] = meta
+    hdr = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payload = b"".join(blobs)
+    body_len = 4 + len(hdr) + len(payload)
+    return _HDR.pack(MAGIC, body_len, len(hdr)) + hdr + payload
+
+
+def send_frame(
+    sock: socket.socket, header: dict, arrays: dict[str, np.ndarray] | None = None
+) -> int:
+    """Write one frame; returns the bytes sent."""
+    frame = _encode(header, arrays)
+    try:
+        sock.sendall(frame)
+    except (OSError, ValueError) as exc:
+        raise TransportClosed(f"send failed: {exc!r}") from exc
+    return len(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int, deadline: float | None) -> bytes:
+    """Read exactly ``n`` bytes or raise (timeout / peer closed)."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout(f"timed out reading frame ({got}/{n}B)")
+        try:
+            if deadline is not None:
+                sock.settimeout(remaining)
+            chunk = sock.recv(n - got)
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"timed out reading frame ({got}/{n}B)"
+            ) from exc
+        except OSError as exc:
+            raise TransportClosed(f"recv failed: {exc!r}") from exc
+        if not chunk:
+            raise TransportClosed("peer closed the connection")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def _decode_body(
+    body: bytes, hdr_len: int
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Decode a frame body (JSON header + packed arrays)."""
+    try:
+        header = json.loads(body[:hdr_len].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise TransportClosed(f"undecodable frame header: {exc!r}") from exc
+    arrays: dict[str, np.ndarray] = {}
+    off = hdr_len
+    for name, dtype, shape in header.pop("__arrays__", []):
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dt.itemsize
+        if off + nbytes > len(body):
+            raise TransportClosed(f"frame truncated inside array {name!r}")
+        arrays[name] = (
+            np.frombuffer(body, dtype=dt, count=count, offset=off)
+            .reshape(shape)
+            .copy()
+        )
+        off += nbytes
+    return header, arrays
+
+
+def recv_frame(
+    sock: socket.socket, timeout: float | None = None
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read one frame; returns ``(header, arrays)``.
+
+    Raises :class:`TransportTimeout` when no complete frame arrives in
+    ``timeout`` seconds and :class:`TransportClosed` on EOF or a
+    malformed frame (a torn write is indistinguishable from a dead
+    peer, and is treated as one).
+
+    A timeout here abandons any partially-read frame, desynchronizing
+    the stream — callers that poll with short timeouts and keep the
+    connection must go through :meth:`Channel.recv`, which buffers
+    partial frames across calls.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    prefix = _recv_exact(sock, _HDR.size, deadline)
+    magic, body_len, hdr_len = _HDR.unpack(prefix)
+    if magic != MAGIC or body_len > MAX_FRAME_BYTES or hdr_len + 4 > body_len:
+        raise TransportClosed(
+            f"malformed frame (magic={magic!r}, body={body_len}, hdr={hdr_len})"
+        )
+    body = _recv_exact(sock, body_len - 4, deadline)
+    return _decode_body(body, hdr_len)
+
+
+class Channel:
+    """One framed, fault-injectable connection to a peer.
+
+    ``host`` and ``faults`` are the coordinator-side fault hook: every
+    message crossing the channel (either direction) is offered to the
+    :class:`NetFaultPlan`, and matched drills are applied *here* —
+    dropped, delayed, duplicated, torn, or swallowed by an open
+    partition window — before the protocol layer sees anything. Agents
+    construct channels with no plan and get plain framing.
+
+    Not thread-safe for concurrent sends; the coordinator serializes
+    sends per channel and dedicates one reader thread per channel.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        host: int = -1,
+        faults: NetFaultPlan | None = None,
+    ) -> None:
+        self.sock = sock
+        # Timeouts are per-socket-object state in Python; a dedicated
+        # dup'd descriptor for the receive side lets a reader thread poll
+        # with short timeouts while sends keep their own (long) timeout
+        # on the original socket.
+        self._recv_sock = sock.dup()
+        sock.settimeout(SEND_TIMEOUT_S)
+        self.host = int(host)
+        self.faults = faults if faults is not None else NetFaultPlan()
+        self.sent = 0
+        self.received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.partition_until = 0.0
+        self._pending: deque[tuple[dict, dict[str, np.ndarray]]] = deque()
+        # Partial-frame accumulator for the resumable receive path: a
+        # poll timeout mid-frame keeps what already arrived, so the next
+        # call resumes at the exact stream position instead of treating
+        # leftover body bytes as the next frame's preamble.
+        self._rbuf = bytearray()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran or a fault severed the link."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the underlying sockets (idempotent).
+
+        Shuts the socket down before closing the descriptors: an agent's
+        pool worker subprocesses fork-inherit the connection fd, so a
+        plain ``close`` would leave the kernel socket open in those
+        copies and the peer would never see EOF — host death would only
+        surface at the heartbeat timeout. ``shutdown`` acts on the
+        socket itself, so the FIN goes out immediately.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already disconnected
+            pass
+        for s in (self.sock, self._recv_sock):
+            try:
+                s.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def _partitioned(self) -> bool:
+        return time.monotonic() < self.partition_until
+
+    def _fire(self, spec, counter: str) -> None:
+        """Mark one drill fired on the plan and the obs counters."""
+        if self.faults.mark_fired(spec.fault_id):
+            add_count(counter)
+            add_count("dist.faults_fired")
+
+    # ------------------------------------------------------------------ #
+    # send path
+    # ------------------------------------------------------------------ #
+
+    def send(
+        self, header: dict, arrays: dict[str, np.ndarray] | None = None
+    ) -> bool:
+        """Send one message; returns False when a drill swallowed it.
+
+        A ``truncate`` drill tears the frame and severs the link
+        (raises :class:`TransportClosed`, as a real torn send would); a
+        ``crash`` drill replaces the message with a ``die`` order to
+        the agent and severs the link.
+        """
+        if self._closed:
+            raise TransportClosed("channel is closed")
+        msg_type = str(header.get("type", ""))
+        repeats = 1
+        for spec in self.faults.due(self.host, "send", msg_type):
+            if spec.kind == "drop":
+                self._fire(spec, "dist.net.drops")
+                return False
+            if spec.kind == "delay":
+                self._fire(spec, "dist.net.delays")
+                time.sleep(spec.delay_s)
+            elif spec.kind == "dup":
+                self._fire(spec, "dist.net.dups")
+                repeats = 2
+            elif spec.kind == "partition":
+                self._fire(spec, "dist.net.partitions")
+                self.partition_until = time.monotonic() + spec.duration_s
+            elif spec.kind == "truncate":
+                self._fire(spec, "dist.net.truncates")
+                frame = _encode(header, arrays)
+                try:
+                    self.sock.sendall(frame[: max(1, len(frame) // 2)])
+                except OSError:
+                    pass
+                self.close()
+                raise TransportClosed("frame torn by truncate drill")
+            elif spec.kind == "crash":
+                self._fire(spec, "dist.net.crashes")
+                try:
+                    send_frame(self.sock, {"type": "die"})
+                except TransportClosed:
+                    pass
+                self.close()
+                raise TransportClosed("host crashed by drill")
+        if self._partitioned():
+            add_count("dist.net.partition_drops")
+            return False
+        for _ in range(repeats):
+            self.bytes_sent += send_frame(self.sock, header, arrays)
+            self.sent += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # receive path
+    # ------------------------------------------------------------------ #
+
+    def _fill(self, deadline: float | None) -> None:
+        """Pull one chunk off the socket into the frame accumulator."""
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout(
+                    f"timed out mid-frame ({len(self._rbuf)}B buffered)"
+                )
+        try:
+            self._recv_sock.settimeout(remaining)
+            chunk = self._recv_sock.recv(1 << 16)
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"timed out mid-frame ({len(self._rbuf)}B buffered)"
+            ) from exc
+        except OSError as exc:
+            raise TransportClosed(f"recv failed: {exc!r}") from exc
+        if not chunk:
+            raise TransportClosed("peer closed the connection")
+        self._rbuf += chunk
+
+    def _recv_one(
+        self, deadline: float | None
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        """Read one frame through the resumable accumulator.
+
+        Unlike the stateless :func:`recv_frame`, a
+        :class:`TransportTimeout` here leaves the partial frame in
+        ``_rbuf`` and the stream stays framed — essential for pollers
+        that call with short timeouts while a large frame (a staged
+        input shard, the published machine) is still in flight.
+        """
+        while len(self._rbuf) < _HDR.size:
+            self._fill(deadline)
+        magic, body_len, hdr_len = _HDR.unpack(self._rbuf[: _HDR.size])
+        if (
+            magic != MAGIC
+            or body_len > MAX_FRAME_BYTES
+            or hdr_len + 4 > body_len
+        ):
+            raise TransportClosed(
+                f"malformed frame (magic={bytes(magic)!r}, "
+                f"body={body_len}, hdr={hdr_len})"
+            )
+        total = _HDR.size + body_len - 4
+        while len(self._rbuf) < total:
+            self._fill(deadline)
+        body = bytes(self._rbuf[_HDR.size:total])
+        del self._rbuf[:total]
+        self.bytes_received += total
+        return _decode_body(body, hdr_len)
+
+    def recv(
+        self, timeout: float | None = None
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        """Receive one message, applying recv-direction drills.
+
+        Dropped and partition-swallowed messages are consumed and the
+        read continues within the same ``timeout`` budget; duplicated
+        messages are queued and returned by consecutive calls. A
+        timeout with a frame partially arrived keeps the partial bytes
+        buffered — the next call resumes the same frame.
+        """
+        if self._pending:
+            return self._pending.popleft()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            header, arrays = self._recv_one(deadline)
+            self.received += 1
+            msg_type = str(header.get("type", ""))
+            drop = False
+            for spec in self.faults.due(self.host, "recv", msg_type):
+                if spec.kind == "drop":
+                    self._fire(spec, "dist.net.drops")
+                    drop = True
+                elif spec.kind == "delay":
+                    self._fire(spec, "dist.net.delays")
+                    time.sleep(spec.delay_s)
+                elif spec.kind == "dup":
+                    self._fire(spec, "dist.net.dups")
+                    self._pending.append((header, arrays))
+                elif spec.kind == "partition":
+                    self._fire(spec, "dist.net.partitions")
+                    self.partition_until = (
+                        time.monotonic() + spec.duration_s
+                    )
+                elif spec.kind == "truncate":
+                    self._fire(spec, "dist.net.truncates")
+                    self.close()
+                    raise TransportClosed("frame torn by truncate drill")
+            if self._partitioned():
+                add_count("dist.net.partition_drops")
+                drop = True
+            if not drop:
+                return header, arrays
+
+
+def connect(
+    address: tuple[str, int],
+    *,
+    timeout: float = 5.0,
+    host: int = -1,
+    faults: NetFaultPlan | None = None,
+) -> Channel:
+    """Open a fault-injectable channel to ``(host, port)``."""
+    try:
+        sock = socket.create_connection(address, timeout=timeout)
+    except OSError as exc:
+        raise TransportClosed(f"connect to {address} failed: {exc!r}") from exc
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return Channel(sock, host=host, faults=faults)

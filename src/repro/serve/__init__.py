@@ -14,7 +14,12 @@ priority. See ``docs/SERVING.md`` for the architecture and
 """
 
 from repro.serve.batcher import RoundPlan, carve_round
-from repro.serve.client import ServeClient, WorkloadRequest, zipf_workload
+from repro.serve.client import (
+    ServeClient,
+    ServeTimeoutError,
+    WorkloadRequest,
+    zipf_workload,
+)
 from repro.serve.scheduler import (
     QueuedRequest,
     TenantQueue,
@@ -29,6 +34,7 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "ServeResponse",
+    "ServeTimeoutError",
     "Tenant",
     "TenantQueue",
     "WeightedFairScheduler",

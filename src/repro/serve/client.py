@@ -13,25 +13,52 @@ runner.
 
 from __future__ import annotations
 
+import asyncio
+import random
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.serve.server import FSMServer, ServeResponse, Tenant
 
-__all__ = ["ServeClient", "WorkloadRequest", "zipf_workload"]
+__all__ = [
+    "ServeClient",
+    "ServeTimeoutError",
+    "WorkloadRequest",
+    "zipf_workload",
+]
+
+
+class ServeTimeoutError(TimeoutError):
+    """A client request exceeded ``timeout_s`` on every allowed attempt.
+
+    Carries enough context to log usefully: which tenant, how many
+    attempts were made, and the per-attempt budget that was blown.
+    """
+
+    def __init__(self, tenant: str, attempts: int, timeout_s: float) -> None:
+        self.tenant = tenant
+        self.attempts = attempts
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"request for tenant {tenant!r} timed out after {attempts} "
+            f"attempt(s) of {timeout_s}s each"
+        )
 
 
 class ServeClient:
     """One tenant's handle on a running :class:`FSMServer`.
 
-    Purely a convenience binding — it adds no queueing or state of its
-    own, so any number of concurrent coroutines may share one client.
+    Purely a convenience binding plus client-side robustness: an
+    optional per-request timeout and bounded retry with jittered
+    exponential backoff. It adds no queueing or state of its own, so any
+    number of concurrent coroutines may share one client.
     """
 
     def __init__(self, server: FSMServer, tenant: Tenant) -> None:
         self.server = server
         self.tenant = tenant
+        self._rng = random.Random(hash(tenant.name) & 0xFFFFFFFF)
 
     async def match(
         self,
@@ -39,14 +66,48 @@ class ServeClient:
         *,
         deadline_s: float | None = None,
         request_id: str | None = None,
+        timeout_s: float | None = None,
+        max_retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.25,
     ) -> ServeResponse:
-        """Submit one job for this tenant and await its response."""
-        return await self.server.submit(
-            self.tenant,
-            symbols,
-            deadline_s=deadline_s,
-            request_id=request_id,
-        )
+        """Submit one job for this tenant and await its response.
+
+        Without ``timeout_s`` the await is unbounded (the server's own
+        deadline accounting still applies). With it, each attempt gets
+        ``timeout_s`` seconds; on expiry the client retries up to
+        ``max_retries`` more times, sleeping
+        ``backoff_base_s * backoff_factor**attempt`` (± ``backoff_jitter``
+        as a fraction, never negative) between attempts, then raises
+        :class:`ServeTimeoutError`. Retried attempts are fresh
+        submissions — admission control sees each one anew, and a shed
+        response is returned (not retried: shedding is an answer, not a
+        failure).
+        """
+        attempts = max(1, int(max_retries) + 1)
+        for attempt in range(attempts):
+            coro = self.server.submit(
+                self.tenant,
+                symbols,
+                deadline_s=deadline_s,
+                request_id=request_id,
+            )
+            if timeout_s is None:
+                return await coro
+            try:
+                return await asyncio.wait_for(coro, timeout=timeout_s)
+            except asyncio.TimeoutError:
+                self.server.trace.count("serve.client_timeouts", 1)
+                if attempt + 1 >= attempts:
+                    raise ServeTimeoutError(
+                        self.tenant.name, attempts, timeout_s
+                    ) from None
+                self.server.trace.count("serve.client_retries", 1)
+                delay = backoff_base_s * (backoff_factor ** attempt)
+                jitter = 1.0 + backoff_jitter * (2 * self._rng.random() - 1)
+                await asyncio.sleep(max(0.0, delay * jitter))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def run_many(
         self,
@@ -55,8 +116,6 @@ class ServeClient:
         deadline_s: float | None = None,
     ) -> list[ServeResponse]:
         """Submit ``jobs`` concurrently; responses in submission order."""
-        import asyncio
-
         return list(
             await asyncio.gather(
                 *(self.match(x, deadline_s=deadline_s) for x in jobs)

@@ -52,6 +52,8 @@ from repro.core.native import NativeKernel, load_native_plan
 from repro.core.mp_executor import ScaleoutPool
 from repro.core.predictor import dfa_fingerprint
 from repro.core.resilience import DeadlineModel
+from repro.dist.agent import LocalCluster
+from repro.dist.coordinator import DistConfig, ShardCoordinator
 from repro.fsm.dfa import DFA
 from repro.obs.trace import RunTrace
 from repro.serve.batcher import RoundPlan, carve_round
@@ -83,9 +85,20 @@ class ServeConfig:
         ``"inline"`` — rounds run :func:`repro.core.engine.run_speculative_batch`
         in a worker thread of this process; ``"pool"`` — rounds run on a
         per-machine shared :class:`repro.core.mp_executor.ScaleoutPool`
-        (worker processes, supervision, degraded fallback).
+        (worker processes, supervision, degraded fallback); ``"dist"`` —
+        rounds run on a per-machine
+        :class:`repro.dist.coordinator.ShardCoordinator` over
+        ``dist_hosts`` (or an owned loopback cluster of ``dist_agents``
+        agents when no hosts are given), with cross-host supervision and
+        the full degrade ladder behind every round.
     pool_workers:
         Worker-process count per machine pool (``executor="pool"``).
+    dist_hosts:
+        ``executor="dist"``: agent ``(host, port)`` addresses to shard
+        across. Empty — the server owns a loopback
+        :class:`repro.dist.agent.LocalCluster` per machine.
+    dist_agents:
+        Loopback agent count when ``dist_hosts`` is empty.
     backend:
         Hot-path implementation per machine: ``"auto"`` (default —
         at registration time, compile the native kernel and *measure* it
@@ -113,6 +126,8 @@ class ServeConfig:
     lookback: int = 8
     executor: str = "inline"
     pool_workers: int = 4
+    dist_hosts: tuple = ()
+    dist_agents: int = 2
     backend: str = "auto"
     pool_fault_plan: FaultPlan | None = None
     deadline_model: DeadlineModel = field(
@@ -160,6 +175,8 @@ class _MachineState:
     kplan: KernelPlan
     pool: ScaleoutPool | None = None
     native: NativeKernel | None = None
+    coordinator: ShardCoordinator | None = None
+    cluster: LocalCluster | None = None
 
 
 @dataclass(frozen=True)
@@ -194,9 +211,9 @@ class FSMServer:
         trace: RunTrace | None = None,
     ) -> None:
         self.config = config or ServeConfig()
-        if self.config.executor not in ("inline", "pool"):
+        if self.config.executor not in ("inline", "pool", "dist"):
             raise ValueError(
-                f"executor must be 'inline' or 'pool', got "
+                f"executor must be 'inline', 'pool', or 'dist', got "
                 f"{self.config.executor!r}"
             )
         if self.config.backend not in ("auto", "native", "numpy"):
@@ -296,6 +313,20 @@ class FSMServer:
                 backend="native" if ms.native is not None else "numpy",
                 fault_plan=cfg.pool_fault_plan,
             )
+        elif cfg.executor == "dist":
+            addresses = [tuple(a) for a in cfg.dist_hosts]
+            if not addresses:
+                ms.cluster = LocalCluster(cfg.dist_agents)
+                addresses = ms.cluster.addresses
+            ms.coordinator = ShardCoordinator(
+                dfa,
+                addresses,
+                config=DistConfig(
+                    k=cfg.k,
+                    lookback=cfg.lookback,
+                    local_fallback_workers=cfg.pool_workers,
+                ),
+            )
         return ms
 
     def _resolve_native(
@@ -368,6 +399,12 @@ class FSMServer:
             if ms.pool is not None:
                 ms.pool.close()
                 ms.pool = None
+            if ms.coordinator is not None:
+                ms.coordinator.close()
+                ms.coordinator = None
+            if ms.cluster is not None:
+                ms.cluster.close()
+                ms.cluster = None
 
     @property
     def queue_depth(self) -> int:
@@ -505,6 +542,16 @@ class FSMServer:
             for req, take in rnd.entries
         ]
         starts = [req.carry_state for req, _ in rnd.entries]
+        if ms.coordinator is not None:
+            # Each request's slice runs across the cluster; carried
+            # states thread through exactly as in the other executors.
+            finals = np.empty(len(segments), dtype=np.int32)
+            degraded = False
+            for i, (seg, st) in enumerate(zip(segments, starts)):
+                dres = ms.coordinator.run(seg, start=st)
+                finals[i] = dres.final_state
+                degraded |= dres.degraded
+            return finals, degraded
         if ms.pool is not None:
             now = time.monotonic()
             slacks = [

@@ -1,0 +1,76 @@
+"""Corrupt-store robustness of the history predictor (ISSUE 9 satellite).
+
+A torn, foreign, or partially-rotten JSON store must never take the
+engine down: the predictor falls back to an empty history (sample-prior
+speculation) and the corruption is visible as the
+``predictor.load_corrupt`` counter on the ambient trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.predictor import HistoryPredictor, dfa_fingerprint
+from repro.obs.trace import RunTrace
+
+from tests.conftest import make_random_dfa, random_input
+
+
+def load_counting(path):
+    """Load a predictor under a trace; return (predictor, counters)."""
+    with RunTrace(run_id="pred").activate() as tr:
+        pred = HistoryPredictor(path)
+    counts = {c.name: c.value for c in tr.counters.values()}
+    return pred, counts
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        b"{ this is not json",
+        b"\x00\x01\x02\xff binary garbage",
+        b"[1, 2, 3]",  # valid JSON, wrong shape
+        b'{"version": 999, "machines": {}}',  # future format
+        b'{"version": 1, "machines": "not-a-dict"}',
+        b"",
+    ],
+)
+def test_corrupt_store_falls_back_empty_and_counts(tmp_path, payload):
+    path = tmp_path / "history.json"
+    path.write_bytes(payload)
+    pred, counts = load_counting(path)
+    dfa = make_random_dfa(12, 4, seed=2)
+    assert pred.prior(dfa) is None  # empty history, sample prior wins
+    assert counts.get("predictor.load_corrupt", 0) == 1
+
+
+def test_partially_corrupt_store_keeps_sound_entries(tmp_path):
+    dfa = make_random_dfa(12, 4, seed=2)
+    path = tmp_path / "history.json"
+    good = HistoryPredictor(path)
+    good.observe(dfa, random_input(4, 500, seed=3)[:0])  # may be empty run
+    good.observe(dfa, random_input(4, 2_000, seed=3))
+    assert good.prior(dfa) is not None
+
+    raw = json.loads(path.read_text())
+    raw["machines"]["deadbeef"] = {"counts": "rotten"}
+    raw["machines"]["cafebabe"] = {"counts": [1, "x", 3]}
+    path.write_text(json.dumps(raw))
+
+    pred, counts = load_counting(path)
+    assert counts.get("predictor.load_corrupt", 0) == 1
+    assert pred.prior(dfa) is not None  # the sound entry survived
+    assert dfa_fingerprint(dfa) in pred._store
+    assert "deadbeef" not in pred._store and "cafebabe" not in pred._store
+
+
+def test_clean_store_counts_nothing(tmp_path):
+    dfa = make_random_dfa(12, 4, seed=2)
+    path = tmp_path / "history.json"
+    good = HistoryPredictor(path)
+    good.observe(dfa, random_input(4, 2_000, seed=3))
+    pred, counts = load_counting(path)
+    assert "predictor.load_corrupt" not in counts
+    assert pred.prior(dfa) is not None

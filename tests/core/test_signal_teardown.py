@@ -1,0 +1,110 @@
+"""Signal-teardown drill: a signalled parent leaves no shared memory.
+
+ISSUE 9 satellite: prove :class:`repro.core.mp_executor.ScaleoutPool`'s
+SIGTERM/SIGINT handler makes teardown idempotent — a parent process
+killed mid-run unlinks every ``/dev/shm`` segment it published before
+dying, and the signal's default consequence (death by SIGTERM, or
+``KeyboardInterrupt`` for SIGINT) is preserved.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+#: Child: build a pool, start a long run on a thread, signal readiness,
+#: then spin until the parent's signal kills it. SIGINT surfaces as
+#: KeyboardInterrupt (the pool's handler re-raises it after unlinking);
+#: the child exits via os._exit the way a real application's Ctrl-C
+#: handler would — letting the interpreter *finalize* under a daemon
+#: thread that is mid-NumPy-call is a known CPython crash mode that has
+#: nothing to do with the pool's teardown.
+CHILD = textwrap.dedent(
+    """
+    import os, sys, threading, time
+    import numpy as np
+    from repro.core.faultinject import FaultPlan
+    from repro.core.mp_executor import ScaleoutPool
+    from repro.fsm.dfa import DFA
+
+    dfa = DFA.random(16, 6, rng=0)
+    pool = ScaleoutPool(dfa, num_workers=2, fault_plan=FaultPlan())
+    inputs = np.random.default_rng(0).integers(
+        0, 6, size=2_000_000, dtype=np.int32
+    )
+    def work():
+        while True:
+            pool.run(inputs)
+    t = threading.Thread(target=work, daemon=True)
+    t.start()
+    print("READY", flush=True)  # segments exist from construction
+    try:
+        time.sleep(30)
+    except KeyboardInterrupt:
+        os._exit(1)
+    """
+)
+
+
+def shm_segments() -> set:
+    """Names of POSIX shared-memory segments currently in /dev/shm."""
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signalled_parent_leaves_no_shm(signum):
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm on this platform")
+    before = shm_segments()
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD],
+        env={**os.environ, "PYTHONPATH": SRC},
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        assert proc.stdout.readline().strip() == "READY"
+        mid = shm_segments() - before
+        assert mid, "pool should have published shared segments"
+        proc.send_signal(signum)
+        rc = proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    # Default consequence preserved: SIGTERM kills with -SIGTERM;
+    # SIGINT surfaces as KeyboardInterrupt, which the child's own
+    # handler converts to exit code 1 (or -SIGINT if the signal lands
+    # before the pool's handler is in place).
+    if signum == signal.SIGTERM:
+        assert rc == -signal.SIGTERM
+    else:
+        assert rc in (1, -signal.SIGINT)
+    assert shm_segments() <= before, "signalled parent leaked /dev/shm"
+
+
+def test_signal_teardown_idempotent_with_close():
+    """An explicit close() after the handler installed still works."""
+    import numpy as np
+
+    from repro.core.faultinject import FaultPlan
+    from repro.core.mp_executor import ScaleoutPool
+    from repro.fsm.dfa import DFA
+
+    before = shm_segments()
+    dfa = DFA.random(12, 4, rng=1)
+    pool = ScaleoutPool(dfa, num_workers=2, fault_plan=FaultPlan())
+    inputs = np.random.default_rng(1).integers(0, 4, size=50_000, dtype=np.int32)
+    res = pool.run(inputs)
+    pool.close()
+    pool.close()  # idempotent
+    assert res.final_state >= 0
+    assert shm_segments() <= before

@@ -1,0 +1,1 @@
+"""Tests for the cross-host distributed layer (repro.dist)."""

@@ -1,0 +1,151 @@
+"""Clean-path correctness of the cross-host layer: always bit-exact.
+
+Every test passes an explicit empty :class:`NetFaultPlan` so the suite
+stays deterministic under the CI chaos leg (``REPRO_CHAOS`` arms the
+seeded plan only when no explicit plan is given) — the same convention
+the pool tests use with ``FaultPlan()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_speculative
+from repro.dist import (
+    DistConfig,
+    LocalCluster,
+    NetFaultPlan,
+    ShardCoordinator,
+    run_distributed,
+)
+from repro.fsm.run import run_reference
+from repro.obs.trace import RunTrace
+
+from tests.conftest import make_random_dfa, random_input
+
+NO_FAULTS = NetFaultPlan
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One 3-agent loopback cluster shared by the module's tests."""
+    with LocalCluster(3) as c:
+        yield c
+
+
+@pytest.mark.parametrize("k", [None, 4])
+@pytest.mark.parametrize("shards_per_host", [1, 2])
+def test_three_agents_bit_exact(cluster, k, shards_per_host):
+    dfa = make_random_dfa(24, 8, seed=7)
+    inputs = random_input(8, 90_000, seed=11)
+    with ShardCoordinator(
+        dfa,
+        cluster.addresses,
+        config=DistConfig(k=k, shards_per_host=shards_per_host),
+        net_faults=NO_FAULTS(),
+    ) as coord:
+        res = coord.run(inputs)
+    assert res.final_state == run_reference(dfa, inputs)
+    assert not res.degraded and res.ladder == ""
+    assert res.num_shards == 3 * shards_per_host
+
+
+def test_carried_start_and_reuse(cluster):
+    """One coordinator serves many runs, including carried start states."""
+    dfa = make_random_dfa(16, 6, seed=3)
+    with ShardCoordinator(
+        dfa, cluster.addresses, net_faults=NO_FAULTS()
+    ) as coord:
+        carry = None
+        whole = random_input(6, 60_000, seed=21)
+        for lo in range(0, whole.size, 20_000):
+            seg = whole[lo : lo + 20_000]
+            res = coord.run(seg, start=carry)
+            carry = res.final_state
+        assert carry == run_reference(dfa, whole)
+
+
+def test_empty_and_tiny_inputs(cluster):
+    dfa = make_random_dfa(12, 4, seed=5)
+    with ShardCoordinator(
+        dfa, cluster.addresses, net_faults=NO_FAULTS()
+    ) as coord:
+        empty = coord.run(np.empty(0, dtype=np.int32))
+        assert empty.final_state == dfa.start and empty.num_shards == 0
+        one = np.array([2], dtype=np.int32)
+        assert coord.run(one).final_state == run_reference(dfa, one)
+        few = random_input(4, 2, seed=6)  # fewer items than hosts
+        assert coord.run(few).final_state == run_reference(dfa, few)
+
+
+def test_input_validation(cluster):
+    dfa = make_random_dfa(12, 4, seed=5)
+    with ShardCoordinator(
+        dfa, cluster.addresses, net_faults=NO_FAULTS()
+    ) as coord:
+        with pytest.raises(ValueError, match="1-D"):
+            coord.run(np.zeros((3, 3), dtype=np.int32))
+        with pytest.raises(ValueError, match="start state"):
+            coord.run(np.zeros(4, dtype=np.int32), start=99)
+    with pytest.raises(RuntimeError, match="closed"):
+        coord.run(np.zeros(4, dtype=np.int32))
+    with pytest.raises(ValueError, match="address"):
+        ShardCoordinator(dfa, [], net_faults=NO_FAULTS())
+
+
+def test_run_distributed_ephemeral_cluster():
+    dfa = make_random_dfa(20, 6, seed=9)
+    inputs = random_input(6, 50_000, seed=13)
+    res = run_distributed(
+        dfa, inputs, num_agents=2, net_faults=NO_FAULTS()
+    )
+    assert res.final_state == run_reference(dfa, inputs)
+    assert not res.degraded
+
+
+def test_engine_backend_dist():
+    dfa = make_random_dfa(16, 5, seed=17)
+    inputs = random_input(5, 40_000, seed=19)
+    res = run_speculative(
+        dfa,
+        inputs,
+        backend="dist",
+        dist={"num_agents": 2, "net_faults": NO_FAULTS()},
+    )
+    assert res.final_state == run_reference(dfa, inputs)
+    assert res.config.backend == "dist"
+    assert res.accepted == bool(dfa.accepting[res.final_state])
+
+
+def test_engine_backend_dist_with_standing_coordinator(cluster):
+    dfa = make_random_dfa(16, 5, seed=23)
+    inputs = random_input(5, 30_000, seed=29)
+    with ShardCoordinator(
+        dfa, cluster.addresses, net_faults=NO_FAULTS()
+    ) as coord:
+        res = run_speculative(dfa, inputs, backend="dist", dist=coord)
+    assert res.final_state == run_reference(dfa, inputs)
+
+
+def test_clean_run_emits_dist_counters(cluster):
+    dfa = make_random_dfa(16, 6, seed=31)
+    inputs = random_input(6, 30_000, seed=37)
+    with RunTrace(run_id="clean").activate() as tr:
+        with ShardCoordinator(
+            dfa, cluster.addresses, net_faults=NO_FAULTS()
+        ) as coord:
+            res = coord.run(inputs)
+    assert res.final_state == run_reference(dfa, inputs)
+    counts = {c.name: c.value for c in tr.counters.values()}
+    assert counts["dist.shards"] == 3
+    assert counts["dist.dispatches"] == 3
+    assert counts["dist.shard_maps"] == 3
+    assert counts["dist.merge.shard_maps"] == 3
+    assert counts.get("dist.publish_bytes", 0) > 0
+    # A clean run takes no recovery actions and fires no drills.
+    for name in (
+        "dist.host_deaths", "dist.hedges", "dist.retries",
+        "dist.redispatches", "dist.degraded_runs", "dist.faults_fired",
+    ):
+        assert name not in counts, name

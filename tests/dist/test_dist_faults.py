@@ -1,0 +1,199 @@
+"""Failure drills for the distributed layer: exact under every fault.
+
+Each drill runs a 3-agent topology with a deterministic
+:class:`NetFaultPlan`, asserts bit-exactness against the sequential
+reference, and checks the drill's ``dist.*`` counter trail — the drills
+from ISSUE 9: kill an agent, partition mid-run, duplicate a shard
+result, and a slow host triggering hedged re-dispatch, plus every rung
+of the degrade ladder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resilience import DeadlineModel, RetryPolicy
+from repro.dist import (
+    DistConfig,
+    LocalCluster,
+    NetFaultPlan,
+    ShardCoordinator,
+    chaos_net_plan_from_env,
+    crash_host,
+    delay_message,
+    drop_message,
+    duplicate_message,
+    partition_host,
+)
+from repro.fsm.run import run_reference
+from repro.obs.trace import RunTrace
+
+from tests.conftest import make_random_dfa, random_input
+
+#: Tight supervision so drills resolve in test time, not wall-clock time.
+FAST = dict(
+    heartbeat_interval_s=0.1,
+    heartbeat_timeout_s=1.0,
+    deadline=DeadlineModel(
+        floor_s=0.4, bytes_per_sec_floor=1e6, safety_factor=4.0
+    ),
+    retry=RetryPolicy(max_retries=3, backoff_base_s=0.02),
+    run_timeout_s=30.0,
+)
+
+
+def run_drill(faults, *, agents=3, config=None, items=90_000, kill=None):
+    """One drilled run; returns (result, reference, counters)."""
+    dfa = make_random_dfa(24, 8, seed=7)
+    inputs = random_input(8, items, seed=11)
+    cfg = config if config is not None else DistConfig(**FAST)
+    with RunTrace(run_id="drill").activate() as tr:
+        with LocalCluster(agents) as cluster:
+            with ShardCoordinator(
+                dfa,
+                cluster.addresses,
+                config=cfg,
+                net_faults=NetFaultPlan(faults),
+            ) as coord:
+                if kill is not None:
+                    # Abrupt EOF before dispatch: the shard sent to the
+                    # dead host never completes and the closed-link event
+                    # must reshard it mid-run — deterministic, unlike a
+                    # timer racing the (fast) shard computation.
+                    cluster.kill(kill)
+                res = coord.run(inputs)
+    counts = {c.name: c.value for c in tr.counters.values()}
+    return res, run_reference(dfa, inputs), counts
+
+
+def test_drill_crash_agent_reshards_to_survivors():
+    res, want, counts = run_drill([crash_host(1, match_type="run_shard")])
+    assert res.final_state == want
+    assert not res.degraded and res.ladder == "reshard"
+    assert counts["dist.net.crashes"] == 1
+    assert counts["dist.host_deaths"] == 1
+    assert counts["dist.redispatches"] >= 1
+    assert counts["dist.resharded_runs"] == 1
+    assert res.num_hosts == 2  # the crashed host stays dead
+    assert any(e.kind == "reshard" for e in res.recovery_events)
+
+
+def test_drill_hard_kill_mid_run_reshards():
+    """Abrupt socket EOF (agent killed), not a polite crash order."""
+    res, want, counts = run_drill([], kill=1)
+    assert res.final_state == want
+    assert not res.degraded
+    assert counts["dist.host_deaths"] == 1
+    assert counts.get("dist.redispatches", 0) >= 1
+
+
+def test_drill_partition_mid_run_recovers_by_deadline():
+    res, want, counts = run_drill(
+        [partition_host(2, match_type="run_shard", duration_s=0.3)]
+    )
+    assert res.final_state == want
+    assert not res.degraded
+    assert counts["dist.net.partitions"] == 1
+    assert counts.get("dist.net.partition_drops", 0) >= 1
+    # The swallowed dispatch expired and was hedged or retried.
+    assert counts["dist.deadline_expirations"] >= 1
+    assert counts.get("dist.hedges", 0) + counts.get("dist.retries", 0) >= 1
+
+
+def test_drill_duplicate_shard_result_dropped():
+    res, want, counts = run_drill(
+        [duplicate_message(0, direction="recv", match_type="shard_map")]
+    )
+    assert res.final_state == want
+    assert not res.degraded
+    assert counts["dist.net.dups"] == 1
+    assert counts["dist.duplicates_dropped"] == 1
+    assert counts["dist.shard_maps"] == 3  # exactly one result per shard
+
+
+def test_drill_slow_host_triggers_hedge():
+    res, want, counts = run_drill(
+        [delay_message(1, direction="recv", match_type="shard_map",
+                       seconds=2.5)]
+    )
+    assert res.final_state == want
+    assert not res.degraded
+    assert counts["dist.hedges"] == 1
+    # Either the hedge or (later) the delayed original answered; the
+    # loser's copy is dropped by sequence number when it arrives in-run.
+    assert counts["dist.shard_maps"] == 3
+
+
+def test_drill_dropped_dispatch_retries():
+    cfg = DistConfig(**{**FAST, "hedge": False})
+    res, want, counts = run_drill(
+        [drop_message(2, direction="send", match_type="run_shard")],
+        config=cfg,
+    )
+    assert res.final_state == want
+    assert not res.degraded
+    assert counts["dist.net.drops"] == 1
+    assert counts["dist.retries"] >= 1
+
+
+def test_ladder_local_pool_rung():
+    """All hosts dead + local pool configured -> exact, degraded."""
+    cfg = DistConfig(**FAST, local_fallback_workers=2)
+    res, want, counts = run_drill(
+        [crash_host(0, match_type="run_shard"),
+         crash_host(1, match_type="run_shard"),
+         crash_host(2, match_type="run_shard")],
+        config=cfg,
+    )
+    assert res.final_state == want
+    assert res.degraded and res.ladder == "local_pool"
+    assert counts["dist.degraded_runs"] == 1
+    assert res.report is not None and res.report.degraded
+
+
+def test_ladder_inprocess_rung():
+    """All hosts dead, no local pool -> in-process engine, exact."""
+    res, want, counts = run_drill(
+        [crash_host(0, match_type="run_shard"),
+         crash_host(1, match_type="run_shard"),
+         crash_host(2, match_type="run_shard")]
+    )
+    assert res.final_state == want
+    assert res.degraded and res.ladder == "inprocess"
+    assert counts["dist.degraded_runs"] == 1
+
+
+def test_coordinator_survives_runs_after_host_death():
+    """A dead host stays dead; later runs use the survivors, exactly."""
+    dfa = make_random_dfa(16, 6, seed=3)
+    inputs = random_input(6, 60_000, seed=5)
+    with LocalCluster(3) as cluster:
+        with ShardCoordinator(
+            dfa,
+            cluster.addresses,
+            config=DistConfig(**FAST),
+            net_faults=NetFaultPlan([crash_host(2, match_type="run_shard")]),
+        ) as coord:
+            first = coord.run(inputs)
+            second = coord.run(inputs)
+    want = run_reference(dfa, inputs)
+    assert first.final_state == want and second.final_state == want
+    assert second.num_hosts == 2 and second.ladder == ""
+
+
+def test_chaos_env_plan_seeding():
+    assert chaos_net_plan_from_env(3, env={}) is None
+    assert chaos_net_plan_from_env(1, env={"REPRO_CHAOS": "x"}) is None
+    plan = chaos_net_plan_from_env(3, env={"REPRO_CHAOS": "tick"})
+    assert plan is not None and len(plan) == 1
+    spec = plan.specs[0]
+    assert spec.kind == "partition" and 0 <= spec.host < 3
+
+
+@pytest.mark.parametrize("seq", range(3))
+def test_chaos_partition_run_is_exact(seq):
+    """The CI chaos leg's exact shape: seeded one-partition runs."""
+    plan = chaos_net_plan_from_env(3, env={"REPRO_CHAOS": f"ci-{seq}"})
+    res, want, counts = run_drill(list(plan.specs))
+    assert res.final_state == want
+    assert counts["dist.net.partitions"] == 1
