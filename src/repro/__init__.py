@@ -39,6 +39,14 @@ from repro.core.engine import (
     run_speculative,
     run_speculative_batch,
 )
+from repro.core.multipattern import (
+    MachineStack,
+    MultiPatternResult,
+    PatternResult,
+    run_multipattern,
+    run_multipattern_batch,
+    stack_machines,
+)
 from repro.core.types import ExecStats
 from repro.fsm.dfa import DFA
 from repro.gpu.cost import CostModel, TimeBreakdown
@@ -54,12 +62,18 @@ __all__ = [
     "DeviceSpec",
     "EngineConfig",
     "ExecStats",
+    "MachineStack",
+    "MultiPatternResult",
+    "PatternResult",
     "RunTrace",
     "SpecExecutionResult",
     "TESLA_V100",
     "TimeBreakdown",
     "__version__",
+    "run_multipattern",
+    "run_multipattern_batch",
     "run_speculative",
     "run_speculative_batch",
+    "stack_machines",
     "trace_span",
 ]

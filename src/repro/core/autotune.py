@@ -41,10 +41,12 @@ __all__ = [
     "KernelChoice",
     "CollapseChoice",
     "BackendChoice",
+    "RouteChoice",
     "choose_k",
     "choose_kernel",
     "choose_collapse",
     "choose_backend",
+    "choose_route",
     "candidate_ks",
 ]
 
@@ -527,4 +529,100 @@ def choose_backend(
         probe_items=int(probe.size),
         kernel=kplan.kernel,
         native_provider=native_provider,
+    )
+
+
+@dataclass(frozen=True)
+class RouteChoice:
+    """Outcome of the multi-pattern route auto-tuner.
+
+    ``measured_s`` maps each eligible route (``"batched"``, ``"product"``)
+    to its best measured probe time; the product route is absent when the
+    reachable product blows the state budget (it can then never be
+    chosen). ``product_states`` is the minimised product's state count
+    when it was materialized.
+    """
+
+    route: str
+    measured_s: dict
+    probe_items: int
+    num_patterns: int
+    product_states: int | None = None
+
+    @property
+    def speedup_vs_batched(self) -> float:
+        """Measured probe speedup of the winner over the batched route."""
+        base = self.measured_s.get("batched")
+        if not base:
+            return 1.0
+        return base / self.measured_s[self.route]
+
+
+def choose_route(
+    machines,
+    inputs: np.ndarray,
+    *,
+    k: int = 4,
+    num_chunks: int = 64,
+    lookback: int = 8,
+    probe_items: int = 1 << 16,
+    repeats: int = 3,
+    kernel: str = "auto",
+    collapse="auto",
+    product_budget: int | None = None,
+) -> "RouteChoice":
+    """Measure both multi-pattern routes on a probe; pick the fastest.
+
+    The static selector (:func:`repro.core.multipattern.run_multipattern`
+    with ``route="auto"``) only asks whether the product *fits*; this
+    tuner asks which route actually *wins* on this machine group and this
+    input, with the same probe-then-pick discipline as the other axes.
+    The product route is eligible only when the reachable product stays
+    under ``product_budget`` states after parallel minimisation.
+    """
+    from repro.core.multipattern import (
+        DEFAULT_PRODUCT_BUDGET,
+        _build_product,
+        run_multipattern,
+        stack_machines,
+    )
+    from repro.fsm.product import ProductStateBudget
+
+    if product_budget is None:
+        product_budget = DEFAULT_PRODUCT_BUDGET
+    inputs = np.asarray(inputs)
+    if inputs.size == 0:
+        raise ValueError("cannot tune the route on an empty input")
+    probe = np.ascontiguousarray(inputs[: min(probe_items, inputs.size)])
+    stack = stack_machines(list(machines))
+
+    product_states: int | None = None
+    routes = ["batched"]
+    try:
+        prod = _build_product(stack, budget=int(product_budget))
+    except ProductStateBudget:
+        pass
+    else:
+        product_states = int(prod.dfa.num_states)
+        routes.append("product")
+
+    measured: dict = {}
+    for route in routes:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            run_multipattern(
+                stack.machines, probe, k=k, num_chunks=num_chunks,
+                lookback=lookback, kernel=kernel, collapse=collapse,
+                route=route, collect=(), stack=stack,
+            )
+            best = min(best, time.perf_counter() - t0)
+        measured[route] = best
+    chosen = min(measured, key=measured.get)  # type: ignore[arg-type]
+    return RouteChoice(
+        route=chosen,
+        measured_s=measured,
+        probe_items=int(probe.size),
+        num_patterns=stack.num_patterns,
+        product_states=product_states,
     )

@@ -337,6 +337,36 @@ def run_speculative(
         Final state, statistics, optional outputs, optional modeled timing,
         and the observing trace (if any).
     """
+    if isinstance(dfa, (list, tuple)):
+        # Multi-pattern group: one pass answers every machine at once.
+        # Dispatches to :func:`repro.core.multipattern.run_multipattern`
+        # (route="auto" — batched union stepping, or the minimised product
+        # when it fits); use that entry point directly for route control.
+        from repro.core.multipattern import run_multipattern
+
+        if backend not in ("vectorized", "native"):
+            raise ValueError(
+                f"multi-pattern groups support backend='vectorized' or "
+                f"'native', got {backend!r}"
+            )
+        for item in collect:
+            check_in_set("collect item", item, ("match_positions",))
+        return run_multipattern(
+            dfa,
+            inputs,
+            k=k,
+            num_chunks=num_blocks * threads_per_block,
+            merge=merge,
+            check=check,
+            lookback=lookback,
+            kernel=kernel,
+            collapse=collapse,
+            schedule=schedule,
+            backend=backend,
+            collect=collect,
+            plan=plan,
+            trace=trace,
+        )
     if trace is not None:
         with trace.activate():
             return run_speculative(

@@ -928,6 +928,12 @@ class ScaleoutPool:
                 fault_plan = chaos_plan_from_env(self.num_workers)
             self._fault_plan = fault_plan if fault_plan is not None else FaultPlan()
             self._bps_ewma: float | None = None
+            # Multi-pattern group state (set by `for_group`).
+            self._stack = None
+            self._mp_widths: tuple = ()
+            self._mp_k: int | None = None
+            self._mp_native = None
+            self._mp_native_loaded = False
 
             # Resolve the stepping kernel once, for the pool's whole life.
             # The chunk length is unknown until inputs arrive, so selection
@@ -1574,6 +1580,333 @@ class ScaleoutPool:
             degraded=degraded,
             recovery=report if report.events else None,
             match_positions=match_positions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # multi-pattern groups
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_group(
+        cls, machines, *, k: int | None = 4, **kwargs
+    ) -> "ScaleoutPool":
+        """Build a pool answering a whole pattern group in one pass.
+
+        The group is stacked into its block-diagonal union machine
+        (:func:`repro.core.multipattern.stack_machines`) and the pool is
+        constructed **on the union**: the joint-class union table, class
+        map, and any composed stride table are published to shared memory
+        once, here, and serve every subsequent :meth:`run_multi` call for
+        free. ``k`` is the *per-pattern* speculation width (clamped to
+        each pattern's state count); the workers step all patterns' lanes
+        through one fused gather per symbol, exactly like the in-process
+        batched route.
+        """
+        from repro.core.multipattern import _pattern_widths, stack_machines
+
+        stack = stack_machines(machines)
+        widths = _pattern_widths(stack, k)
+        pool = cls(stack.union_dfa, k=int(sum(widths)), **kwargs)
+        pool._stack = stack
+        pool._mp_widths = tuple(int(w_) for w_ in widths)
+        pool._mp_k = k
+        return pool
+
+    def _ensure_native_multi(self):
+        """Native kernel for group runs: total lane width, collapse off.
+
+        Worker-internal speculation rows over the union are not
+        group-structured (lanes land wherever the prior puts them), so
+        the group-aware collapse fast path cannot be enabled here — the
+        artifact is compiled with ``cadence=0``, where lane stepping is
+        layout-agnostic. Compiled once per pool; ``None`` (NumPy path)
+        on any failure.
+        """
+        if self._backend != "native" or self._stack is None:
+            return None
+        if self._mp_native_loaded:
+            return self._mp_native
+        from repro.core.native import load_native_plan
+
+        self._mp_native = load_native_plan(
+            self.dfa,
+            k=self.k_eff,
+            kplan=self._kplan,
+            collapse=None,
+            num_chunks=self.num_workers * self.sub_chunks_per_worker,
+        )
+        self._mp_native_loaded = True
+        return self._mp_native
+
+    def run_multi(self, inputs: np.ndarray, *, collect_matches: bool = False):
+        """Answer "which patterns fired, and where" in one scaled-out pass.
+
+        Requires a pool built with :meth:`for_group`. The raw symbol
+        stream is remapped through the group's joint alphabet compaction
+        (one gather), published to the shared input segment, and every
+        worker folds its segment's per-chunk maps over the union machine
+        — all patterns advance through one table gather per symbol. The
+        parent then resolves each pattern independently: a left-to-right
+        semi-join fold over the workers' segment maps, probing each
+        pattern's trajectory against the returned speculation rows, with
+        a provable miss re-executed on the kernel plan. Returns a
+        :class:`repro.core.multipattern.MultiPatternResult` with
+        ``route="pool"``; bit-exact against the per-pattern sequential
+        reference. An unrecoverable pool degrades to the in-process
+        batched route (same result shape).
+        """
+        from repro.core.multipattern import (
+            MultiPatternResult,
+            PatternResult,
+            _batched_accept_matrix,
+            _pattern_widths,
+            _recover_group_matches,
+            run_multipattern,
+        )
+        from repro.core.lookback import enumerative_spec
+
+        if self._closed:
+            raise PoolClosedError("ScaleoutPool is closed")
+        stack = self._stack
+        if stack is None:
+            raise ValueError(
+                "run_multi requires a pool built with ScaleoutPool.for_group"
+            )
+        t_run = time.perf_counter()
+        union = self.dfa
+        P = stack.num_patterns
+        widths = np.asarray(self._mp_widths, dtype=np.int64)
+        lane_off = np.concatenate([[0], np.cumsum(widths)])
+        K_total = int(lane_off[-1])
+        starts_u = (
+            stack.offsets[:-1]
+            + np.array([m.start for m in stack.machines], dtype=np.int64)
+        )
+
+        inputs = np.ascontiguousarray(np.asarray(inputs))
+        if inputs.ndim != 1:
+            raise ValueError(f"inputs must be 1-D, got shape {inputs.shape}")
+        cls_stream = np.ascontiguousarray(
+            stack.joint.remap(inputs).astype(self._input_dtype)
+        )
+        n = int(cls_stream.size)
+        w = self.num_workers
+        self.calls += 1
+
+        stats = ExecStats(
+            num_items=n, num_chunks=w, k=K_total,
+            num_states=union.num_states, num_inputs=union.num_inputs,
+        )
+        stats.pool_calls += 1
+
+        def _local(reason: str):
+            # Degenerate / degraded path: the in-process batched route on
+            # the already-built stack (no re-stacking, no re-compaction).
+            res = run_multipattern(
+                list(stack.machines), inputs,
+                k=self._mp_k, num_chunks=max(2, self.sub_chunks_per_worker),
+                route="batched", stack=stack,
+                collect=("match_positions",) if collect_matches else (),
+            )
+            add_count(f"mp.pool.{reason}")
+            return res
+
+        if n == 0:
+            patterns = tuple(
+                PatternResult(
+                    name=m.name or f"pattern_{p}",
+                    accepted=bool(m.accepting[m.start]),
+                    final_state=int(m.start),
+                    match_positions=(
+                        np.zeros(0, dtype=np.int64) if collect_matches else None
+                    ),
+                    true_starts=None,
+                )
+                for p, m in enumerate(stack.machines)
+            )
+            return MultiPatternResult(
+                route="pool", patterns=patterns, stats=stats,
+                plan=plan_chunks(0, 1), stack=stack,
+            )
+        if w == 1:
+            return _local("single_worker")
+
+        with trace_span("pool.publish_input", bytes=int(cls_stream.nbytes)):
+            self._ensure_input_capacity(n)
+            shm = self._input_shm
+            assert shm is not None
+            buf = np.ndarray((n,), dtype=self._input_dtype, buffer=shm.buf)
+            buf[:] = cls_stream
+        stats.pool_shm_bytes = self.shm_bytes
+
+        report = SupervisionReport()
+        for fault in self._fault_plan.parent_faults(self.calls):
+            self._apply_parent_fault(fault, report)
+
+        seg_plan = plan_chunks(n, w)
+        nkern = self._ensure_native_multi()
+        native_path, native_meta = (
+            (None, None)
+            if nkern is None or nkern.artifact_path is None
+            else (nkern.artifact_path, nkern.meta)
+        )
+
+        # Per-pattern boundary speculation over the class machines,
+        # stacked into union lanes; segment 0 pins every pattern's start.
+        boundary = np.empty((w, K_total), dtype=np.int32)
+        with trace_span("pool.speculate", workers=w, k=K_total, patterns=P):
+            sample = cls_stream[: 1 << 14]
+            for p, cdfa in enumerate(stack.class_dfas):
+                lo, hi = int(lane_off[p]), int(lane_off[p + 1])
+                if widths[p] >= cdfa.num_states:
+                    spec_p = enumerative_spec(cdfa, w)
+                else:
+                    prior = stack.pattern_prior(p, sample)
+                    spec_p = speculate(
+                        cdfa, cls_stream, seg_plan, int(widths[p]),
+                        lookback=self.lookback, prior=prior, stats=stats,
+                    )
+                boundary[:, lo:hi] = spec_p + int(stack.offsets[p])
+                if not (boundary[0, lo:hi] == starts_u[p]).any():
+                    boundary[0, lo] = starts_u[p]
+
+        def make_task(i: int, mode: str | None = None, aux: int = -1) -> tuple:
+            return (
+                self._table_shm.name,
+                union.num_inputs,
+                union.num_states,
+                self._acc_shm.name,
+                self._prior_shm.name,
+                self._input_shm.name,
+                n,
+                self._input_dtype.str,
+                int(seg_plan.starts[i]),
+                int(seg_plan.starts[i] + seg_plan.lengths[i]),
+                union.start,
+                K_total if K_total < union.num_states else None,
+                self.sub_chunks_per_worker,
+                self.lookback,
+                boundary[i],
+                self.kernel,
+                self._kplan.compaction.num_classes,
+                self._kplan.m,
+                self._class_of_shm.name,
+                self._class_table_shm.name,
+                None if self._stride_shm is None else self._stride_shm.name,
+                None,  # multi-block rows cannot collapse at full-row grain
+                "fold" if mode is None else mode,
+                aux,
+                native_path,
+                native_meta,
+            )
+
+        def on_error(
+            tid: int, exc_type: str, exc_repr: str, rep: SupervisionReport
+        ) -> None:
+            if exc_type == "FileNotFoundError" and self._input_segment_missing():
+                self._republish_input(cls_stream)
+                rep.shm_republishes += 1
+                add_count("fault.shm_republished")
+                rep.record("shm_republish", task=tid, detail=exc_repr)
+
+        seg_nbytes = [
+            int(seg_plan.lengths[i]) * self._input_dtype.itemsize
+            for i in range(w)
+        ]
+        with trace_span("pool.dispatch", workers=w) as dispatch_span:
+            tasks = [make_task(i) for i in range(w)]
+            task_bytes = sum(len(pickle.dumps(t)) for t in tasks)
+            stats.pool_task_bytes += task_bytes
+            dispatch_span.set(task_bytes=task_bytes)
+        try:
+            with trace_span("pool.wait", workers=w, schedule="multi"):
+                maps = self._sup.run_tasks(
+                    tasks,
+                    task_nbytes=seg_nbytes,
+                    bytes_per_sec=self._bps_ewma,
+                    rebuild=make_task,
+                    validate=lambda _tid, payload: self._valid_worker_map(payload),
+                    on_error=on_error,
+                    report=report,
+                )
+        except DegradedExecution:
+            self._check_open_for_fallback()
+            res = _local("degraded")
+            return res
+
+        for m in maps:
+            stats.reexec_chunks_seq += m[2]
+            stats.reexec_items_seq += m[3]
+            gathers, scans, lanes, conv, skipped = m[5]
+            stats.local_gathers += gathers
+            stats.collapse_scans += scans
+            stats.lanes_collapsed += lanes
+            stats.chunks_converged += conv
+            stats.checks_skipped += skipped
+
+        # Parent-side resolution: one left-to-right semi-join fold per
+        # pattern over the workers' segment maps. All P trajectories probe
+        # each segment's speculation row at once; a pattern whose true
+        # incoming state was not speculated re-executes that segment on
+        # the kernel plan (class-mapped, stride-packed).
+        seg_true = np.empty((w, P), dtype=np.int64)
+        vec = starts_u.copy()
+        with trace_span("pool.merge", workers=w, schedule="multi", patterns=P):
+            for i in range(w):
+                seg_true[i] = vec
+                sp_row, en_row = maps[i][0], maps[i][1]
+                eq = sp_row[None, :] == vec[:, None]
+                found = eq.any(axis=1)
+                first = eq.argmax(axis=1)
+                nxt = en_row[first].astype(np.int64)
+                misses = np.flatnonzero(~found)
+                if misses.size:
+                    seg = cls_stream[
+                        seg_plan.starts[i]:
+                        seg_plan.starts[i] + seg_plan.lengths[i]
+                    ]
+                    for p in misses:
+                        if nkern is not None:
+                            nxt[p] = nkern.run_segment(seg, int(vec[p]))
+                        else:
+                            nxt[p] = run_segment_kernel(
+                                self._kplan, seg, int(vec[p])
+                            )
+                    stats.reexec_chunks_seq += 1
+                    stats.reexec_items_seq += int(seg.size) * int(misses.size)
+                vec = nxt
+            stats.success_total += (w - 1) * P
+            stats.success_hits += (w - 1) * P - int(stats.reexec_chunks_seq)
+
+        matches: list = [None] * P
+        if collect_matches:
+            with trace_span("pool.collect", route="pool", patterns=P):
+                accept_matrix = _batched_accept_matrix(stack)
+                matches = _recover_group_matches(
+                    union.table, accept_matrix, cls_stream, seg_plan,
+                    seg_true.astype(np.int32),
+                )
+
+        patterns = tuple(
+            PatternResult(
+                name=stack.machines[p].name or f"pattern_{p}",
+                accepted=bool(union.accepting[int(vec[p])]),
+                final_state=int(vec[p] - stack.offsets[p]),
+                match_positions=matches[p],
+                true_starts=(seg_true[:, p] - int(stack.offsets[p])).astype(
+                    np.int32
+                ),
+            )
+            for p in range(P)
+        )
+        add_count("mp.pool.runs")
+        obs = current_trace()
+        if obs is not None:
+            obs.count("mp.patterns", P)
+            obs.observe("pool.multi_total_s", time.perf_counter() - t_run)
+        return MultiPatternResult(
+            route="pool", patterns=patterns, stats=stats,
+            plan=seg_plan, stack=stack,
         )
 
     def run_map(

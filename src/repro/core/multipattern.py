@@ -1,0 +1,991 @@
+"""Multi-pattern execution: N machines, one pass over the stream.
+
+The NIDS scenario checks many patterns against the same input. Running one
+speculative pass per pattern reads the stream P times; this layer answers
+"which of N rules fired where" in **one** pass, by one of two routes:
+
+**Batched stepping** (:func:`run_multipattern`, ``route="batched"``).
+All patterns are compacted onto a *joint* cross-pattern alphabet
+(:func:`repro.fsm.alphabet.compact_alphabet_joint`) and their class tables
+are stacked block-diagonally into one *union table*: pattern ``p``'s states
+are shifted by ``offset[p]`` and ``union[c, offset[p] + q] =
+tables[p][c, q] + offset[p]``. Stepping a ``(chunks, sum_p k_p)`` state
+matrix through the union table advances **all** patterns with one fused
+gather per (stride of) symbol(s) — the padding-free realization of the
+``(P, C, S)`` padded 3-D table (exposed by
+:meth:`repro.fsm.alphabet.JointCompaction.padded_table` for inspection).
+Because blocks are disjoint and closed under transition, every existing
+layer works per-pattern on column slices: speculation, stride-m kernels
+(one radix-packed stream shared by all patterns), convergence collapse
+(duplicate lanes only ever collide within a pattern's block), both merges,
+and the out-of-order scoreboard.
+
+**Product route** (``route="product"``). The reachable product of the
+group's class machines (:func:`repro.fsm.product.product_dfa`, whole-frontier
+construction) is minimised with the parallel partition refinement
+(:func:`repro.fsm.minimize.minimize_dfa` ``parallel=True``) while
+preserving per-component acceptance, then the whole group rides the
+ordinary single-DFA fast path — including the native backend — as one
+machine. Only viable when the product stays under a state budget.
+
+``route="auto"`` tries the product under the budget and falls back to
+batched; :func:`repro.core.autotune.choose_route` is the measured version.
+
+Per-pattern match positions are recovered from one additional truth pass
+shared by the whole group (not one pass per pattern), and are bit-exact
+against the sequential reference on every kernel / schedule / collapse
+combination — the property tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import (
+    CollapseConfig,
+    converged_chunks,
+    resolve_collapse,
+)
+from repro.core.kernels import (
+    DEFAULT_TABLE_BUDGET_BYTES,
+    KERNELS,
+    KernelPlan,
+    plan_kernel,
+    process_chunks_kernel,
+)
+from repro.core.lookback import enumerative_spec, speculate, state_prior
+from repro.core.local import process_chunks_ragged
+from repro.core.merge_par import merge_parallel
+from repro.core.merge_seq import merge_sequential, true_boundary_walk
+from repro.core.scoreboard import ChunkScoreboard
+from repro.core.types import ChunkResults, ExecStats
+from repro.fsm.alphabet import (
+    AlphabetCompaction,
+    JointCompaction,
+    compact_alphabet_joint,
+)
+from repro.fsm.dfa import DFA
+from repro.fsm.product import (
+    ProductDFA,
+    ProductStateBudget,
+    minimize_product,
+    product_dfa,
+)
+from repro.obs.trace import RunTrace, current_trace, trace_span
+from repro.util.validation import check_in_set
+from repro.workloads.chunking import ChunkPlan, plan_chunks, transform_layout
+
+__all__ = [
+    "MachineStack",
+    "MultiPatternResult",
+    "PatternResult",
+    "stack_machines",
+    "run_multipattern",
+    "run_multipattern_batch",
+]
+
+# The product route only pays when the minimised product is small enough to
+# make one k-wide pass cheaper than the (sum k_p)-wide batched pass;
+# "auto" stops materialising the product past this many states and falls
+# back to batched.
+DEFAULT_PRODUCT_BUDGET = 512
+# Product construction cost grows with P even when the result is small;
+# "auto" does not attempt it past this group size.
+DEFAULT_PRODUCT_MAX_PATTERNS = 8
+
+
+@dataclass(frozen=True)
+class MachineStack:
+    """A pattern group compiled for batched multi-DFA stepping.
+
+    Attributes
+    ----------
+    machines:
+        The original machines, in group order.
+    joint:
+        The cross-pattern :class:`repro.fsm.alphabet.JointCompaction`
+        (shared ``class_of`` + one class table per pattern).
+    offsets:
+        ``(P + 1,)`` int64 — pattern ``p`` owns union states
+        ``offsets[p] .. offsets[p+1] - 1``.
+    union_dfa:
+        The block-diagonal stacked machine over the joint class alphabet.
+        Its transition function is the disjoint union of the patterns';
+        it is **never** run as one trajectory (a single state only tracks
+        one block) — the batched kernels carry one lane group per pattern.
+    class_dfas:
+        Per-pattern machines over the joint class alphabet (pattern-local
+        state ids) — what speculation, merges, and re-execution run on.
+    """
+
+    machines: tuple
+    joint: JointCompaction
+    offsets: np.ndarray
+    union_dfa: DFA
+    class_dfas: tuple
+    _prior_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def num_patterns(self) -> int:
+        """Group size ``P``."""
+        return len(self.machines)
+
+    @property
+    def num_union_states(self) -> int:
+        """Total stacked state count ``sum_p S_p``."""
+        return int(self.offsets[-1])
+
+    @property
+    def table_bytes(self) -> int:
+        """Footprint of the published union class table."""
+        return int(self.union_dfa.table.nbytes)
+
+    def identity_compaction(self) -> AlphabetCompaction:
+        """The union table as an already-compacted kernel input.
+
+        Joint classes are distinct by construction (two identical union
+        rows would mean every pattern agreed, contradicting joint
+        compaction), so the class map is the identity and
+        :func:`repro.core.kernels.plan_kernel` can skip re-compaction.
+        """
+        c = self.joint.num_classes
+        return AlphabetCompaction(
+            class_of=np.arange(c, dtype=np.int32),
+            table=self.union_dfa.table,
+            num_symbols=c,
+        )
+
+    def pattern_prior(self, p: int, sample: np.ndarray) -> np.ndarray:
+        """Pattern ``p``'s speculation prior, computed once per stack.
+
+        The prior only steers *which* states get speculated — a stale one
+        costs misses, never wrong answers — so the sampled reference walk
+        (the expensive part) runs once per pattern and is reused by every
+        subsequent call against this stack.
+        """
+        hit = self._prior_cache.get(p)
+        if hit is None:
+            hit = state_prior(self.class_dfas[p], sample=sample)
+            if sample.size:
+                self._prior_cache[p] = hit
+        return hit
+
+
+def stack_machines(machines: list[DFA]) -> MachineStack:
+    """Compile a pattern group into a :class:`MachineStack`.
+
+    Validates that all machines share an input space, computes the joint
+    alphabet compaction, and builds the block-diagonal union table.
+    """
+    if not machines:
+        raise ValueError("multi-pattern group of zero machines")
+    num_inputs = machines[0].num_inputs
+    for m in machines:
+        if m.num_inputs != num_inputs:
+            raise ValueError(
+                f"machines disagree on num_inputs: {m.num_inputs} != {num_inputs}"
+            )
+    with trace_span("mp.stack", patterns=len(machines)) as sp:
+        joint = compact_alphabet_joint([m.table for m in machines])
+        sizes = np.asarray(joint.state_counts, dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        blocks = [
+            t.astype(np.int64) + offsets[p] for p, t in enumerate(joint.tables)
+        ]
+        union_table = np.ascontiguousarray(
+            np.concatenate(blocks, axis=1).astype(np.int32)
+        )
+        union_accepting = np.concatenate([m.accepting for m in machines])
+        union_dfa = DFA(
+            table=union_table,
+            start=int(machines[0].start),
+            accepting=union_accepting,
+            name="union:" + ",".join(m.name or "?" for m in machines),
+        )
+        class_dfas = tuple(
+            DFA(
+                table=joint.tables[p],
+                start=int(m.start),
+                accepting=m.accepting,
+                name=m.name,
+            )
+            for p, m in enumerate(machines)
+        )
+        sp.set(
+            classes=joint.num_classes,
+            union_states=int(offsets[-1]),
+            table_bytes=int(union_table.nbytes),
+        )
+    obs = current_trace()
+    if obs is not None:
+        obs.count("mp.padded_table_bytes", int(union_table.nbytes))
+    return MachineStack(
+        machines=tuple(machines),
+        joint=joint,
+        offsets=offsets,
+        union_dfa=union_dfa,
+        class_dfas=class_dfas,
+    )
+
+
+@dataclass
+class PatternResult:
+    """One pattern's outcome within a multi-pattern run.
+
+    ``final_state`` and ``true_starts`` are in the pattern's *own* state
+    space on the batched route; the product route executes a minimised
+    product whose states have no per-component decomposition, so there they
+    are ``None`` (acceptance and match positions stay exact on both).
+    """
+
+    name: str
+    accepted: bool
+    final_state: int | None = None
+    match_positions: np.ndarray | None = None
+    true_starts: np.ndarray | None = None
+
+    @property
+    def match_count(self) -> int:
+        """Number of recovered match positions (0 when not collected)."""
+        return 0 if self.match_positions is None else int(self.match_positions.size)
+
+
+@dataclass
+class MultiPatternResult:
+    """Everything produced by one :func:`run_multipattern` call.
+
+    Attributes
+    ----------
+    route:
+        ``"batched"`` or ``"product"`` — the route that actually ran.
+    patterns:
+        One :class:`PatternResult` per machine, in group order.
+    stats:
+        Counted algorithmic events for the whole group (one
+        :class:`repro.core.types.ExecStats`; per-pattern attribution is
+        not meaningful once lanes share a gather).
+    plan:
+        The shared :class:`repro.workloads.chunking.ChunkPlan`.
+    stack:
+        The compiled :class:`MachineStack` (batched route only).
+    product:
+        The minimised :class:`repro.fsm.product.ProductDFA` (product
+        route only).
+    product_true_starts:
+        Product-state chunk-boundary map (product route only).
+    trace:
+        The observing :class:`repro.obs.RunTrace`, if any.
+    """
+
+    route: str
+    patterns: tuple
+    stats: ExecStats
+    plan: ChunkPlan
+    stack: MachineStack | None = None
+    product: ProductDFA | None = None
+    product_true_starts: np.ndarray | None = None
+    trace: RunTrace | None = field(default=None, repr=False)
+
+    @property
+    def num_patterns(self) -> int:
+        """Group size ``P``."""
+        return len(self.patterns)
+
+    @property
+    def accepted(self) -> np.ndarray:
+        """``(P,)`` bool — per-pattern acceptance of the whole input."""
+        return np.array([p.accepted for p in self.patterns], dtype=bool)
+
+    @property
+    def match_positions(self) -> tuple:
+        """Per-pattern match-position arrays (``None`` when not collected)."""
+        return tuple(p.match_positions for p in self.patterns)
+
+
+def _recover_group_matches(
+    table: np.ndarray,
+    accept_matrix: np.ndarray,
+    cls: np.ndarray,
+    plan: ChunkPlan,
+    states0: np.ndarray,
+    *,
+    shared_trajectory: bool = False,
+) -> list[np.ndarray]:
+    """One shared truth pass recovering every pattern's match positions.
+
+    ``states0`` is ``(num_chunks, W)`` — one trajectory per pattern on the
+    batched route (``W = P``, union states), a single shared trajectory on
+    the product route (``shared_trajectory=True``, ``W = 1``).
+    ``accept_matrix`` is ``(S, P)`` bool; gathering it at the current
+    states yields the ``(num_chunks, P)`` acceptance panel each step. Cost
+    is one pass over the stream for the whole group, not one per pattern.
+    """
+    P = accept_matrix.shape[1]
+    S = np.asarray(states0, dtype=np.int32).copy()
+    lanes = np.arange(S.shape[1], dtype=np.intp)[None, :]
+    pos_parts: list[np.ndarray] = []
+    pat_parts: list[np.ndarray] = []
+
+    def visit(pos: np.ndarray, S: np.ndarray) -> None:
+        if shared_trajectory:
+            acc = accept_matrix[S[:, 0]]          # (rows, P)
+        else:
+            acc = accept_matrix[S, lanes[: 1]]    # acc[c, p] at lane p's state
+        if acc.any():
+            rows, pats = np.nonzero(acc)
+            pos_parts.append(pos[rows].astype(np.int64))
+            pat_parts.append(pats.astype(np.int64))
+
+    q = plan.min_len
+    starts = plan.starts
+    for j in range(q):
+        pos = starts + j
+        S = table[cls[pos][:, None], S]
+        visit(pos, S)
+    long_idx = np.flatnonzero(plan.lengths > q)
+    if long_idx.size:
+        pos = starts[long_idx] + q
+        S2 = table[cls[pos][:, None], S[long_idx]]
+        visit(pos, S2)
+
+    if not pos_parts:
+        return [np.zeros(0, dtype=np.int64) for _ in range(P)]
+    all_pos = np.concatenate(pos_parts)
+    all_pat = np.concatenate(pat_parts)
+    out = []
+    for p in range(P):
+        sel = all_pos[all_pat == p]
+        out.append(np.sort(sel, kind="stable"))
+    return out
+
+
+def _batched_accept_matrix(stack: MachineStack) -> np.ndarray:
+    """``(S_total, P)`` panel: union state ``s`` accepts for pattern ``p``.
+
+    Off-block entries are False, so gathering at pattern ``p``'s trajectory
+    column can never credit a match to another pattern.
+    """
+    s_total = stack.num_union_states
+    P = stack.num_patterns
+    acc = np.zeros((s_total, P), dtype=bool)
+    for p, m in enumerate(stack.machines):
+        lo, hi = int(stack.offsets[p]), int(stack.offsets[p + 1])
+        acc[lo:hi, p] = m.accepting
+    return acc
+
+
+def run_multipattern(
+    machines,
+    inputs: np.ndarray,
+    *,
+    k: int | None = 4,
+    num_chunks: int = 256,
+    merge: str = "parallel",
+    check: str = "auto",
+    lookback: int = 8,
+    kernel: str = "auto",
+    collapse: str | CollapseConfig | None = "auto",
+    schedule: str = "barrier",
+    backend: str = "vectorized",
+    route: str = "auto",
+    product_budget: int = DEFAULT_PRODUCT_BUDGET,
+    product_max_patterns: int = DEFAULT_PRODUCT_MAX_PATTERNS,
+    collect: tuple[str, ...] = ("match_positions",),
+    plan: ChunkPlan | None = None,
+    table_budget_bytes: int = DEFAULT_TABLE_BUDGET_BYTES,
+    stack: MachineStack | None = None,
+    trace: RunTrace | None = None,
+) -> MultiPatternResult:
+    """Run every machine in ``machines`` over ``inputs`` in one pass.
+
+    Parameters mirror :func:`repro.core.engine.run_speculative` where they
+    mean the same thing; the ones specific to this layer:
+
+    Parameters
+    ----------
+    machines:
+        The pattern group — a list of :class:`repro.fsm.dfa.DFA` over one
+        shared input space. A prebuilt :class:`MachineStack` can be passed
+        via ``stack`` to amortize group compilation across calls.
+    k:
+        Per-pattern speculation width; clamped to each pattern's state
+        count (ragged groups simply get ragged lane widths). ``None``
+        enumerates every pattern's states.
+    route:
+        ``"batched"``, ``"product"``, or ``"auto"`` — auto tries the
+        product when the group is small enough (``product_max_patterns``)
+        and the reachable product stays under ``product_budget`` states
+        after parallel minimisation; otherwise batched.
+    product_budget:
+        Max product states "auto" will accept (construction aborts at the
+        budget, so a hopeless group costs only a prefix of the product).
+    collect:
+        ``("match_positions",)`` (default) recovers per-pattern match
+        positions from one shared truth pass; ``()`` skips it.
+    backend:
+        ``"vectorized"`` or ``"native"``. Batched-route native execution
+        compiles the union machine with the pattern count baked in
+        (:mod:`repro.core.native`); the product route rides the ordinary
+        single-DFA native path. Falls back to vectorized silently.
+
+    Returns
+    -------
+    MultiPatternResult
+        Per-pattern outcomes plus group-level stats and route metadata.
+    """
+    if trace is not None:
+        with trace.activate():
+            return run_multipattern(
+                machines, inputs, k=k, num_chunks=num_chunks, merge=merge,
+                check=check, lookback=lookback, kernel=kernel,
+                collapse=collapse, schedule=schedule, backend=backend,
+                route=route, product_budget=product_budget,
+                product_max_patterns=product_max_patterns, collect=collect,
+                plan=plan, table_budget_bytes=table_budget_bytes, stack=stack,
+            )
+    check_in_set("merge", merge, ("sequential", "parallel"))
+    check_in_set("check", check, ("auto", "nested", "hash"))
+    check_in_set("schedule", schedule, ("barrier", "ooo"))
+    check_in_set("backend", backend, ("vectorized", "native"))
+    check_in_set("route", route, ("auto", "batched", "product"))
+    check_in_set("kernel", kernel, ("auto",) + tuple(sorted(KERNELS)))
+    for item in collect:
+        check_in_set("collect item", item, ("match_positions",))
+
+    inputs = np.ascontiguousarray(np.asarray(inputs))
+    if inputs.ndim != 1:
+        raise ValueError(f"inputs must be 1-D, got shape {inputs.shape}")
+    if stack is None:
+        stack = stack_machines(list(machines))
+    P = stack.num_patterns
+
+    if plan is None:
+        plan = plan_chunks(inputs.size, max(1, min(num_chunks, max(1, inputs.size))))
+    elif plan.num_items != inputs.size:
+        raise ValueError(
+            f"plan covers {plan.num_items} items but inputs has {inputs.size}"
+        )
+    if plan.max_len - plan.min_len > 1:
+        raise ValueError("multi-pattern execution requires a near-equal plan")
+
+    with trace_span(
+        "mp.run", patterns=P, items=int(inputs.size), route=route,
+        schedule=schedule, merge=merge,
+    ) as sp:
+        cls = stack.joint.remap(inputs).astype(np.int32)
+
+        if route == "auto":
+            route = _select_route(
+                stack, product_budget=product_budget,
+                product_max_patterns=product_max_patterns,
+            )
+        if route == "product":
+            prod = _build_product(stack, budget=None)
+            result = _run_product_route(
+                stack, prod, cls, plan, k=k, merge=merge, check=check,
+                lookback=lookback, kernel=kernel, collapse=collapse,
+                schedule=schedule, backend=backend, collect=collect,
+                table_budget_bytes=table_budget_bytes,
+            )
+        else:
+            result = _run_batched_route(
+                stack, cls, plan, k=k, merge=merge, check=check,
+                lookback=lookback, kernel=kernel, collapse=collapse,
+                schedule=schedule, backend=backend, collect=collect,
+                table_budget_bytes=table_budget_bytes,
+            )
+        sp.set(route=result.route)
+    obs = current_trace()
+    if obs is not None:
+        obs.count("mp.runs", 1)
+        obs.count("mp.patterns", P)
+        obs.count(f"mp.route.{result.route}", 1)
+        if result.product is not None:
+            obs.count("mp.product_states", result.product.dfa.num_states)
+    return result
+
+
+# Cache of route probes: the reachable-product attempt is pure function of
+# the group's tables, so repeat calls (serving rounds, benchmarks) skip it.
+_route_cache: dict[tuple, str] = {}
+
+
+def _group_key(stack: MachineStack) -> tuple:
+    return tuple(
+        (d.num_states, d.table.tobytes(), d.accepting.tobytes())
+        for d in stack.class_dfas
+    )
+
+
+def _select_route(
+    stack: MachineStack, *, product_budget: int, product_max_patterns: int
+) -> str:
+    """Static route selection: product iff it is small enough to win.
+
+    The batched pass is ``sum_p min(k, S_p)`` lanes wide; the product pass
+    is ``min(k, S_prod)`` lanes wide. With the construction budget-gated,
+    the rule reduces to: try the product for small groups, accept it when
+    the minimised machine stays under ``product_budget`` states.
+    :func:`repro.core.autotune.choose_route` replaces this with measurement.
+    """
+    if stack.num_patterns > product_max_patterns:
+        return "batched"
+    key = (_group_key(stack), int(product_budget))
+    hit = _route_cache.get(key)
+    if hit is not None:
+        return hit
+    with trace_span(
+        "mp.route_probe", patterns=stack.num_patterns, budget=product_budget
+    ) as sp:
+        try:
+            prod = _build_product(stack, budget=int(product_budget))
+        except ProductStateBudget:
+            route = "batched"
+            sp.set(route=route, reason="budget")
+        else:
+            route = "product"
+            sp.set(route=route, product_states=prod.dfa.num_states)
+    _route_cache[key] = route
+    return route
+
+
+# Minimised products are cached alongside route decisions — serving rounds
+# and the autotuner probe repeatedly on identical groups.
+_product_cache: dict[tuple, ProductDFA] = {}
+
+
+def _build_product(stack: MachineStack, *, budget: int | None) -> ProductDFA:
+    """Reachable product of the group's class machines, minimised.
+
+    The raw reachable construction is budget-gated *before* minimisation
+    (an oversized intermediate is the expensive part); minimisation then
+    runs the parallel refinement and must land under the budget too.
+    """
+    key = (_group_key(stack), budget)
+    hit = _product_cache.get(key)
+    if hit is not None:
+        return hit
+    raw_budget = None if budget is None else max(4 * budget, budget + 64)
+    prod = product_dfa(
+        list(stack.class_dfas), name="product:" + (stack.union_dfa.name or ""),
+        max_states=raw_budget,
+    )
+    mini = minimize_product(prod, parallel=True)
+    if budget is not None and mini.dfa.num_states > budget:
+        raise ProductStateBudget(budget, mini.dfa.num_states)
+    _product_cache[key] = mini
+    return mini
+
+
+def _run_product_route(
+    stack: MachineStack,
+    prod: ProductDFA,
+    cls: np.ndarray,
+    plan: ChunkPlan,
+    *,
+    k,
+    merge: str,
+    check: str,
+    lookback: int,
+    kernel: str,
+    collapse,
+    schedule: str,
+    backend: str,
+    collect: tuple[str, ...],
+    table_budget_bytes: int,
+) -> MultiPatternResult:
+    """One single-DFA speculative pass over the minimised product."""
+    from repro.core.engine import run_speculative
+
+    res = run_speculative(
+        prod.dfa,
+        cls,
+        k=k,
+        merge=merge,
+        check=check,
+        lookback=lookback,
+        kernel=kernel,
+        collapse=collapse,
+        schedule=schedule,
+        backend=backend,
+        plan=plan,
+        measure_success=True,
+        collect=(),
+        price=False,
+    )
+    matches: list[np.ndarray | None] = [None] * stack.num_patterns
+    if "match_positions" in collect:
+        with trace_span("mp.recover", route="product", patterns=stack.num_patterns):
+            accept_matrix = np.stack(prod.accept_masks, axis=1)
+            matches = _recover_group_matches(
+                prod.dfa.table, accept_matrix, cls, plan,
+                res.true_starts[:, None], shared_trajectory=True,
+            )
+    final = int(res.final_state)
+    patterns = tuple(
+        PatternResult(
+            name=stack.machines[p].name or f"pattern_{p}",
+            accepted=bool(prod.accept_masks[p][final]),
+            final_state=None,
+            match_positions=matches[p],
+            true_starts=None,
+        )
+        for p in range(stack.num_patterns)
+    )
+    return MultiPatternResult(
+        route="product",
+        patterns=patterns,
+        stats=res.stats,
+        plan=plan,
+        product=prod,
+        product_true_starts=res.true_starts,
+        trace=current_trace(),
+    )
+
+
+def _pattern_widths(stack: MachineStack, k) -> list[int]:
+    """Per-pattern speculation widths (``k`` clamped to each state count)."""
+    if k is None:
+        return [d.num_states for d in stack.class_dfas]
+    if int(k) < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return [min(int(k), d.num_states) for d in stack.class_dfas]
+
+
+def _run_batched_route(
+    stack: MachineStack,
+    cls: np.ndarray,
+    plan: ChunkPlan,
+    *,
+    k,
+    merge: str,
+    check: str,
+    lookback: int,
+    kernel: str,
+    collapse,
+    schedule: str,
+    backend: str,
+    collect: tuple[str, ...],
+    table_budget_bytes: int,
+) -> MultiPatternResult:
+    """Batched multi-DFA stepping over the block-diagonal union table."""
+    P = stack.num_patterns
+    n = plan.num_chunks
+    widths = _pattern_widths(stack, k)
+    lane_off = np.concatenate([[0], np.cumsum(widths)])
+    K_total = int(lane_off[-1])
+    union = stack.union_dfa
+    stats = ExecStats(
+        num_items=int(cls.size),
+        num_chunks=n,
+        k=K_total,
+        num_states=union.num_states,
+        num_inputs=union.num_inputs,
+    )
+
+    collapse_requested = not (
+        collapse is None
+        or collapse == "off"
+        or (isinstance(collapse, CollapseConfig) and not collapse.enabled)
+    )
+    collapse_cfg = None
+    if collapse_requested:
+        with trace_span("mp.collapse_resolve", k=K_total) as sp:
+            collapse_cfg = resolve_collapse(collapse, union, cls, k=K_total)
+            sp.set(resolved=collapse_cfg.label if collapse_cfg else "off")
+
+    # --- speculation: per-pattern look-back, stacked into union lanes --- #
+    spec_cols: list[np.ndarray] = []
+    covered_cols: list[np.ndarray | None] = []
+    with trace_span("mp.speculate", patterns=P, chunks=n, k=K_total):
+        sample = cls[: 1 << 14]
+        for p, cdfa in enumerate(stack.class_dfas):
+            if widths[p] >= cdfa.num_states:
+                spec_p = enumerative_spec(cdfa, n)
+                cov_p = np.ones(n, dtype=bool) if collapse_requested else None
+            else:
+                prior = stack.pattern_prior(p, sample) if cls.size else None
+                out = speculate(
+                    cdfa, cls, plan, widths[p],
+                    lookback=lookback, prior=prior, stats=stats,
+                    return_coverage=collapse_requested,
+                )
+                spec_p, cov_p = out if collapse_requested else (out, None)
+            spec_cols.append(spec_p)
+            covered_cols.append(cov_p)
+        spec_all = np.concatenate(
+            [s.astype(np.int64) + stack.offsets[p] for p, s in enumerate(spec_cols)],
+            axis=1,
+        ).astype(np.int32)
+
+    # --- kernel plan over the union table (identity compaction) --------- #
+    kplan = plan_kernel(
+        union, chunk_len=plan.max_len, num_chunks=n, k=K_total,
+        kernel=kernel, table_budget_bytes=table_budget_bytes,
+        compaction=stack.identity_compaction(),
+    )
+    nplan = None
+    if backend == "native":
+        from repro.core.native import load_native_plan
+
+        nplan = load_native_plan(
+            union, k=K_total, kernel=kplan.kernel, kplan=kplan,
+            collapse=collapse_cfg, chunk_len=plan.max_len, num_chunks=n,
+            patterns=P, group_widths=tuple(int(w) for w in widths),
+        )
+
+    # --- one fused local pass for all patterns -------------------------- #
+    with trace_span(
+        "mp.local_exec", chunks=n, k=K_total, kernel=kplan.kernel,
+        backend="native" if nplan is not None else "vectorized",
+    ):
+        transformed = transform_layout(cls, plan) if nplan is None else None
+        end_all = process_chunks_kernel(
+            union, cls, plan, spec_all, kplan,
+            transformed=transformed, stats=stats, collapse=collapse_cfg,
+            native=nplan,
+        )
+
+    # --- per-pattern merge / resolution --------------------------------- #
+    finals = np.empty(P, dtype=np.int64)
+    boundary = np.empty((n, P), dtype=np.int32)
+    with trace_span("mp.resolve", patterns=P, schedule=schedule, merge=merge):
+        for p, cdfa in enumerate(stack.class_dfas):
+            lo, hi = int(lane_off[p]), int(lane_off[p + 1])
+            off = int(stack.offsets[p])
+            spec_p = spec_cols[p]
+            end_p = (end_all[:, lo:hi].astype(np.int64) - off).astype(np.int32)
+            converged_p = None
+            if collapse_requested and covered_cols[p] is not None:
+                converged_p = converged_chunks(end_p, covered_cols[p])
+                stats.chunks_converged += int(converged_p.sum())
+            if schedule == "ooo":
+                board = ChunkScoreboard(
+                    cdfa, cls, plan, widths[p], mode=merge, check=check,
+                    stats=stats,
+                )
+                for c in np.argsort(plan.lengths, kind="stable"):
+                    board.post(
+                        int(c), spec_p[c], end_p[c],
+                        converged=(
+                            bool(converged_p[c]) if converged_p is not None
+                            else False
+                        ),
+                    )
+                final_p, ts_p = board.resolve()
+                if ts_p is None:
+                    results = ChunkResults(
+                        spec=board.spec, end=board.end, valid=board.valid,
+                        converged=converged_p,
+                    )
+                    _, ts_p = true_boundary_walk(cdfa, cls, plan, results)
+            else:
+                results = ChunkResults(
+                    spec=spec_p, end=end_p,
+                    valid=np.ones_like(spec_p, dtype=bool),
+                    converged=converged_p,
+                )
+                if merge == "sequential":
+                    final_p, ts_p = merge_sequential(
+                        cdfa, cls, plan, results, check=check, stats=stats
+                    )
+                else:
+                    final_p, _ = merge_parallel(
+                        cdfa, cls, plan, results, check=check, stats=stats
+                    )
+                    _, ts_p = true_boundary_walk(cdfa, cls, plan, results)
+            finals[p] = int(final_p)
+            boundary[:, p] = ts_p
+
+    # --- shared match recovery ------------------------------------------ #
+    matches: list[np.ndarray | None] = [None] * P
+    if "match_positions" in collect:
+        with trace_span("mp.recover", route="batched", patterns=P):
+            accept_matrix = _batched_accept_matrix(stack)
+            states0 = boundary.astype(np.int64) + stack.offsets[:-1][None, :]
+            matches = _recover_group_matches(
+                union.table, accept_matrix, cls, plan,
+                states0.astype(np.int32),
+            )
+
+    patterns = tuple(
+        PatternResult(
+            name=stack.machines[p].name or f"pattern_{p}",
+            accepted=bool(stack.machines[p].accepting[finals[p]]),
+            final_state=int(finals[p]),
+            match_positions=matches[p],
+            true_starts=boundary[:, p].copy(),
+        )
+        for p in range(P)
+    )
+    return MultiPatternResult(
+        route="batched",
+        patterns=patterns,
+        stats=stats,
+        plan=plan,
+        stack=stack,
+        trace=current_trace(),
+    )
+
+
+def run_multipattern_batch(
+    stack: MachineStack,
+    segments: list[np.ndarray],
+    *,
+    k: int | None = 4,
+    lookback: int = 8,
+    check: str = "auto",
+    chunk_items: int = 1 << 13,
+    starts: np.ndarray | None = None,
+    stats: ExecStats | None = None,
+):
+    """Coalesce many requests against one pattern group into one pass.
+
+    The serving layer's multi-pattern primitive: every request's raw
+    segment is checked against **all** patterns of the group. Segments are
+    concatenated into one shared chunk plan, the union table advances all
+    patterns' lanes in one fused pass, and each pattern resolves on its own
+    seeded :class:`repro.core.scoreboard.ChunkScoreboard` (request heads
+    pin that pattern's start state, so resolution fronts never cross
+    request boundaries).
+
+    ``starts`` (optional, ``(num_requests, P)`` pattern-local states)
+    carries each request's per-pattern state into the round — the serving
+    layer's continuous batching threads a carved request's state through
+    successive rounds this way. Defaults to every pattern's start state.
+
+    Returns ``(final_states, accepted)`` where both are
+    ``(num_requests, P)`` — per-request, per-pattern outcomes in the
+    patterns' own state spaces.
+    """
+    from repro.workloads.chunking import plan_from_lengths
+
+    P = stack.num_patterns
+    segs = []
+    for i, seg in enumerate(segments):
+        seg = np.ascontiguousarray(np.asarray(seg))
+        if seg.ndim != 1:
+            raise ValueError(f"segment {i} must be 1-D, got shape {seg.shape}")
+        segs.append(seg)
+    if chunk_items < 1:
+        raise ValueError(f"chunk_items must be >= 1, got {chunk_items}")
+    num_requests = len(segs)
+    widths = _pattern_widths(stack, k)
+    K_total = int(sum(widths))
+
+    if starts is not None:
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.shape != (num_requests, P):
+            raise ValueError(
+                f"starts must have shape ({num_requests}, {P}), "
+                f"got {starts.shape}"
+            )
+        for p, cdfa in enumerate(stack.class_dfas):
+            col = starts[:, p]
+            if col.size and not bool(
+                ((col >= 0) & (col < cdfa.num_states)).all()
+            ):
+                raise ValueError(
+                    f"starts[:, {p}] out of range [0, {cdfa.num_states})"
+                )
+
+    final_states = np.empty((num_requests, P), dtype=np.int32)
+    if starts is not None:
+        final_states[:] = starts
+    else:
+        for p, cdfa in enumerate(stack.class_dfas):
+            final_states[:, p] = cdfa.start
+
+    lengths: list[int] = []
+    heads: list[tuple[int, int]] = []  # (head chunk, request) pairs
+    tail_chunk = np.full(num_requests, -1, dtype=np.int64)
+    for r, seg in enumerate(segs):
+        if not seg.size:
+            continue
+        nch = -(-seg.size // chunk_items)
+        heads.append((len(lengths), r))
+        lengths.extend(plan_chunks(seg.size, nch).lengths.tolist())
+        tail_chunk[r] = len(lengths) - 1
+
+    accepted = np.zeros((num_requests, P), dtype=bool)
+    if not lengths:
+        for p, cdfa in enumerate(stack.class_dfas):
+            accepted[:, p] = cdfa.accepting[final_states[:, p]]
+        return final_states, accepted
+
+    concat = np.concatenate([s for s in segs if s.size])
+    cls = stack.joint.remap(concat).astype(np.int32)
+    plan = plan_from_lengths(np.asarray(lengths, dtype=np.int64))
+    n = plan.num_chunks
+    union = stack.union_dfa
+    if stats is None:
+        stats = ExecStats(
+            num_items=int(cls.size), num_chunks=n, k=K_total,
+            num_states=union.num_states, num_inputs=union.num_inputs,
+        )
+
+    with trace_span(
+        "mp.batch", requests=num_requests, patterns=P, chunks=n, k=K_total,
+    ):
+        spec_cols = []
+        sample = cls[: 1 << 14]
+        for p, cdfa in enumerate(stack.class_dfas):
+            head_state = {
+                h: (int(starts[r, p]) if starts is not None else int(cdfa.start))
+                for h, r in heads
+            }
+            if widths[p] >= cdfa.num_states:
+                spec_p = enumerative_spec(cdfa, n)
+            else:
+                prior = stack.pattern_prior(p, sample)
+                spec_p = speculate(
+                    cdfa, cls, plan, widths[p],
+                    lookback=lookback, prior=prior, stats=stats,
+                )
+                for h, s in head_state.items():
+                    if not (spec_p[h] == s).any():
+                        spec_p[h, -1] = s
+            spec_cols.append(spec_p)
+        spec_all = np.concatenate(
+            [s.astype(np.int64) + stack.offsets[p] for p, s in enumerate(spec_cols)],
+            axis=1,
+        ).astype(np.int32)
+
+        if plan.max_len - plan.min_len <= 1:
+            kplan = plan_kernel(
+                union, chunk_len=plan.max_len, num_chunks=n, k=K_total,
+                kernel="auto", compaction=stack.identity_compaction(),
+            )
+            end_all = process_chunks_kernel(
+                union, cls, plan, spec_all, kplan, stats=stats,
+            )
+        else:
+            # Mixed request sizes make the coalesced plan skewed; the
+            # divergent full-width lockstep pass still advances every
+            # pattern's lanes in one fused gather per step.
+            end_all = process_chunks_ragged(
+                union, cls, plan, spec_all, stats=stats,
+            )
+
+        lane_off = np.concatenate([[0], np.cumsum(widths)])
+        live = tail_chunk >= 0
+        for p, cdfa in enumerate(stack.class_dfas):
+            lo, hi = int(lane_off[p]), int(lane_off[p + 1])
+            off = int(stack.offsets[p])
+            end_p = (end_all[:, lo:hi].astype(np.int64) - off).astype(np.int32)
+            seeds = {
+                h: (int(starts[r, p]) if starts is not None else int(cdfa.start))
+                for h, r in heads
+            }
+            board = ChunkScoreboard(
+                cdfa, cls, plan, widths[p], mode="parallel", check=check,
+                stats=stats, seeds=seeds,
+            )
+            for c in np.argsort(plan.lengths, kind="stable"):
+                board.post(int(c), spec_cols[p][c], end_p[c])
+            board.resolve()
+            final_states[live, p] = board.out_state[tail_chunk[live]]
+            accepted[:, p] = cdfa.accepting[final_states[:, p]]
+    return final_states, accepted

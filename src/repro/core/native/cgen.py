@@ -67,6 +67,16 @@ class NativeSpec:
     compacted class count, ``N`` the state count, and ``cadence`` the
     collapse scan interval in symbols (0 disables the collapse fast path;
     ``backoff`` multiplies the interval after an unproductive scan).
+
+    ``patterns`` bakes the multi-pattern lane layout in as a constant
+    (``NK_P``): the ``k`` lanes are the concatenation of ``patterns``
+    per-pattern lane groups over a block-diagonal stacked-union table
+    (``group_widths`` gives each group's lane count; empty means an even
+    ``k / patterns`` split). Lane stepping is identical — the union
+    table's blocks are closed, so one fused gather still advances every
+    pattern — but the collapse fast path becomes group-aware: lanes from
+    different blocks can never be equal, so the scan tests *within-group*
+    agreement and the collapsed continuation steps one lane per pattern.
     """
 
     k: int
@@ -75,6 +85,8 @@ class NativeSpec:
     num_states: int
     cadence: int = 0
     backoff: int = 2
+    patterns: int = 1
+    group_widths: tuple = ()
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -87,6 +99,45 @@ class NativeSpec:
             raise ValueError(f"cadence must be >= 0, got {self.cadence}")
         if self.backoff < 1:
             raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.patterns < 1:
+            raise ValueError(f"patterns must be >= 1, got {self.patterns}")
+        if self.group_widths:
+            widths = tuple(int(w) for w in self.group_widths)
+            if len(widths) != self.patterns:
+                raise ValueError(
+                    f"group_widths has {len(widths)} entries for "
+                    f"{self.patterns} patterns"
+                )
+            if any(w < 1 for w in widths):
+                raise ValueError(f"group widths must be >= 1, got {widths}")
+            if sum(widths) != self.k:
+                raise ValueError(
+                    f"group widths {widths} sum to {sum(widths)}, not k={self.k}"
+                )
+            object.__setattr__(self, "group_widths", widths)
+        elif self.patterns > 1:
+            if self.k % self.patterns:
+                raise ValueError(
+                    f"k={self.k} not divisible by patterns={self.patterns} "
+                    "and no group_widths given"
+                )
+
+    @property
+    def groups(self) -> tuple:
+        """Per-pattern lane widths (resolved; always sums to ``k``)."""
+        if self.group_widths:
+            return self.group_widths
+        if self.patterns == 1:
+            return (self.k,)
+        return (self.k // self.patterns,) * self.patterns
+
+    @property
+    def group_offsets(self) -> tuple:
+        """Lane offset of each group plus the total (``patterns + 1`` ints)."""
+        offs = [0]
+        for w in self.groups:
+            offs.append(offs[-1] + w)
+        return tuple(offs)
 
     @property
     def unrolled(self) -> bool:
@@ -96,7 +147,7 @@ class NativeSpec:
     @property
     def collapsing(self) -> bool:
         """Whether the collapse fast path is generated at all."""
-        return self.cadence > 0 and self.k > 1
+        return self.cadence > 0 and self.k > self.patterns
 
 
 def _stride_index(spec: NativeSpec, base: str) -> list[str]:
@@ -121,11 +172,22 @@ def _lane_step(spec: NativeSpec, row: str) -> list[str]:
 
 
 def _lane_equal(spec: NativeSpec) -> str:
-    """Boolean expression: every lane holds the same state."""
+    """Boolean expression: every lane group holds one state per group.
+
+    For a single pattern this is plain all-lanes-equal. For ``patterns``
+    groups over a stacked union, cross-group equality is impossible (the
+    blocks occupy disjoint state ranges), so only within-group agreement
+    is tested — collapse then fires exactly when every pattern converged.
+    """
     if spec.unrolled:
-        if spec.k == 1:
+        terms = []
+        offs = spec.group_offsets
+        for g in range(spec.patterns):
+            lo, hi = offs[g], offs[g + 1]
+            terms.extend(f"s{lo} == s{j}" for j in range(lo + 1, hi))
+        if not terms:
             return "1"
-        return " && ".join(f"s0 == s{j}" for j in range(1, spec.k))
+        return " && ".join(terms)
     return "nk_all_equal(st)"
 
 
@@ -137,7 +199,7 @@ def _scan_block(spec: NativeSpec) -> list[str]:
         "            if (t >= next_scan) {",
         f"                counters[{SLOT_SCANS}] += 1;",
         f"                if ({_lane_equal(spec)}) {{",
-        f"                    counters[{SLOT_LANES_COLLAPSED}] += K - 1;",
+        f"                    counters[{SLOT_LANES_COLLAPSED}] += K - NK_P;",
         "                    goto collapsed;",
         "                }",
         "                interval *= BACKOFF;",
@@ -210,8 +272,10 @@ def generate_source(spec: NativeSpec) -> str:
         if spec.collapsing
         else "    /* collapse fast path disabled */"
     )
-    collapsed_label = (
-        f"""
+    if not spec.collapsing:
+        collapsed_label = ""
+    elif spec.patterns == 1:
+        collapsed_label = f"""
 collapsed:
     /* Every lane agrees: finish the chunk single-lane, then broadcast. */
     {{
@@ -221,19 +285,49 @@ collapsed:
 {_broadcast_from_s(spec)}
     }}
     return;"""
-        if spec.collapsing
+    else:
+        collapsed_label = f"""
+collapsed:
+    /* Every pattern's lanes agree: finish one lane per pattern. */
+    {{
+        i32 gs[NK_P];
+{_group_seed(spec)}
+        nk_advance_group(in + t, len - t, gs, class_of, Tc, Tm);
+        counters[{SLOT_GATHERS}] += (len - t) * NK_P;
+{_group_broadcast(spec)}
+    }}
+    return;"""
+
+    goff_decl = (
+        "static const int GOFF[NK_P + 1] = {"
+        + ", ".join(str(o) for o in spec.group_offsets)
+        + "};\n"
+        if (spec.collapsing and spec.patterns > 1 and not spec.unrolled)
         else ""
     )
-
-    all_equal_helper = (
-        """
+    if not (spec.collapsing and not spec.unrolled):
+        all_equal_helper = ""
+    elif spec.patterns == 1:
+        all_equal_helper = """
 static int nk_all_equal(const i32 *st) {
     for (int j = 1; j < K; j++)
         if (st[j] != st[0]) return 0;
     return 1;
 }
 """
-        if (spec.collapsing and not spec.unrolled)
+    else:
+        all_equal_helper = """
+static int nk_all_equal(const i32 *st) {
+    for (int g = 0; g < NK_P; g++)
+        for (int j = GOFF[g] + 1; j < GOFF[g + 1]; j++)
+            if (st[j] != st[GOFF[g]]) return 0;
+    return 1;
+}
+"""
+    all_equal_helper = goff_decl + all_equal_helper
+    advance_group_helper = (
+        _advance_group_helper(spec)
+        if (spec.collapsing and spec.patterns > 1)
         else ""
     )
 
@@ -249,6 +343,7 @@ static int nk_all_equal(const i32 *st) {
 #define NS {spec.num_states}
 #define CAD {spec.cadence}
 #define BACKOFF {spec.backoff}
+#define NK_P {spec.patterns}
 
 typedef int32_t i32;
 typedef int64_t i64;
@@ -263,6 +358,7 @@ i32 nk_meta(i32 which) {{
         case 2: return NC;
         case 3: return NS;
         case 4: return CAD;
+        case 5: return NK_P;
         default: return -1;
     }}
 }}
@@ -285,7 +381,7 @@ i32 nk_run_segment(const i32 *in, i64 len, i32 s, const i32 *class_of,
                    const i32 *Tc, const i32 *Tm) {{
     return nk_advance_one(in, len, s, class_of, Tc, Tm);
 }}
-{all_equal_helper}
+{all_equal_helper}{advance_group_helper}
 /* Advance all K lanes of one chunk. */
 static void nk_advance_chunk(const i32 *in, i64 len, i32 *lanes,
                              const i32 *class_of, const i32 *Tc,
@@ -372,3 +468,65 @@ def _broadcast_from_s(spec: NativeSpec) -> str:
             f"        lanes[{j}] = s;" for j in range(spec.k)
         )
     return "        for (int j = 0; j < K; j++) lanes[j] = s;"
+
+
+def _group_seed(spec: NativeSpec) -> str:
+    """Load the first lane of each pattern group into ``gs``."""
+    offs = spec.group_offsets
+    if spec.unrolled:
+        return "\n".join(
+            f"        gs[{g}] = s{offs[g]};" for g in range(spec.patterns)
+        )
+    return "        for (int g = 0; g < NK_P; g++) gs[g] = st[GOFF[g]];"
+
+
+def _group_broadcast(spec: NativeSpec) -> str:
+    """Store each group's collapsed lane back into all of its lanes."""
+    offs = spec.group_offsets
+    if spec.unrolled:
+        return "\n".join(
+            f"        lanes[{j}] = gs[{g}];"
+            for g in range(spec.patterns)
+            for j in range(offs[g], offs[g + 1])
+        )
+    return (
+        "        for (int g = 0; g < NK_P; g++)\n"
+        "            for (int j = GOFF[g]; j < GOFF[g + 1]; j++)\n"
+        "                lanes[j] = gs[g];"
+    )
+
+
+def _advance_group_helper(spec: NativeSpec) -> str:
+    """Emit ``nk_advance_group``: one lane per pattern, stride-aware.
+
+    The per-pattern continuation of a fully collapsed multi-pattern
+    chunk — the same stepping as :func:`nk_advance_one` but over
+    ``NK_P`` states sharing each gathered table row.
+    """
+    if spec.m > 1:
+        stride = """\
+    if (M > 1 && Tm) {
+        while (t + M <= len) {
+            i64 idx = class_of[in[t]];
+            for (int i = 1; i < M; i++)
+                idx = idx * NC + (i64)class_of[in[t + i]];
+            const i32 *row = Tm + idx * NS;
+            for (int g = 0; g < NK_P; g++) gs[g] = row[gs[g]];
+            t += M;
+        }
+    }
+"""
+    else:
+        stride = "    /* m == 1: per-symbol stepping only */\n"
+    return f"""
+/* Advance one lane per pattern group (collapsed-chunk continuation). */
+static void nk_advance_group(const i32 *in, i64 len, i32 *gs,
+                             const i32 *class_of, const i32 *Tc,
+                             const i32 *Tm) {{
+    i64 t = 0;
+{stride}    for (; t < len; t++) {{
+        const i32 *row = Tc + (i64)class_of[in[t]] * NS;
+        for (int g = 0; g < NK_P; g++) gs[g] = row[gs[g]];
+    }}
+}}
+"""

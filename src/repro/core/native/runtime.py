@@ -463,11 +463,18 @@ class NativeKernel:
         )
 
     @property
-    def meta(self) -> tuple[int, int, int, int, int, int]:
-        """Shippable artifact metadata: ``(k, m, C, N, cadence, backoff)``."""
+    def meta(self) -> tuple:
+        """Shippable artifact metadata.
+
+        ``(k, m, C, N, cadence, backoff, patterns, group_widths)`` — the
+        trailing multi-pattern fields are ``(1, ())`` for single-pattern
+        kernels, and :func:`load_artifact` tolerates their absence for
+        older 6-tuples.
+        """
         sp = self.spec
         return (
-            sp.k, sp.m, sp.num_classes, sp.num_states, sp.cadence, sp.backoff
+            sp.k, sp.m, sp.num_classes, sp.num_states, sp.cadence,
+            sp.backoff, sp.patterns, sp.group_widths,
         )
 
     # -- primitives -------------------------------------------------------- #
@@ -643,8 +650,15 @@ def native_available() -> bool:
         return False
 
 
-def _native_spec(kplan: KernelPlan, k: int, collapse: CollapseConfig | None) -> NativeSpec:
-    collapsing = collapse is not None and collapse.enabled and k > 1
+def _native_spec(
+    kplan: KernelPlan,
+    k: int,
+    collapse: CollapseConfig | None,
+    *,
+    patterns: int = 1,
+    group_widths: tuple = (),
+) -> NativeSpec:
+    collapsing = collapse is not None and collapse.enabled and k > patterns
     return NativeSpec(
         k=k,
         m=kplan.m,
@@ -652,6 +666,8 @@ def _native_spec(kplan: KernelPlan, k: int, collapse: CollapseConfig | None) -> 
         num_states=kplan.compaction.num_states,
         cadence=collapse.cadence if collapsing else 0,
         backoff=collapse.backoff if collapsing else 2,
+        patterns=patterns,
+        group_widths=tuple(group_widths),
     )
 
 
@@ -659,6 +675,15 @@ def _collapse_tag(spec: NativeSpec) -> str:
     if spec.cadence <= 0:
         return "off"
     return f"on(W={spec.cadence},B={spec.backoff})"
+
+
+def _pattern_tag(spec: NativeSpec) -> str:
+    """Cache-key suffix for the multi-pattern lane layout (empty for P=1)."""
+    if spec.patterns == 1:
+        return ""
+    return ":p{}w{}".format(
+        spec.patterns, "-".join(str(w) for w in spec.groups)
+    )
 
 
 def load_native_plan(
@@ -672,12 +697,17 @@ def load_native_plan(
     num_chunks: int = 256,
     table_budget_bytes: int | None = None,
     cache_dir: str | None = None,
+    patterns: int = 1,
+    group_widths: tuple = (),
 ) -> NativeKernel | None:
     """Specialize, compile (or reuse) and load the native kernel for a plan.
 
-    Returns ``None`` — after counting a ``native.fallback`` — whenever
-    native execution is unavailable or untrustworthy; callers then use
-    the NumPy path unchanged.
+    ``patterns`` / ``group_widths`` bake the multi-pattern lane layout in
+    as compile-time constants (the stacked-union batched route: ``k`` is
+    then the *total* lane count across patterns and ``dfa`` the union
+    machine). Returns ``None`` — after counting a ``native.fallback`` —
+    whenever native execution is unavailable or untrustworthy; callers
+    then use the NumPy path unchanged.
     """
     budget = (
         table_budget_bytes
@@ -694,10 +724,17 @@ def load_native_plan(
         _build.note_fallback("plan")
         return None
 
-    spec = _native_spec(kplan, k, collapse)
+    try:
+        spec = _native_spec(
+            kplan, k, collapse,
+            patterns=patterns, group_widths=tuple(group_widths),
+        )
+    except ValueError:
+        _build.note_fallback("spec")
+        return None
     fp = dfa_fingerprint(dfa)
     key = _build.cache_key(
-        fp, k=k, kernel=f"{kplan.kernel}:m{spec.m}",
+        fp, k=k, kernel=f"{kplan.kernel}:m{spec.m}{_pattern_tag(spec)}",
         collapse=_collapse_tag(spec),
     )
     mem_key = (key, id(kplan))
@@ -766,16 +803,18 @@ def load_artifact(
 ) -> NativeKernel | None:
     """Load a pre-compiled artifact shipped by path (pool workers).
 
-    ``meta`` is ``(k, m, num_classes, num_states, cadence, backoff)`` as
-    produced by the parent's :class:`NativeKernel` — workers never
-    compile; a load failure of any kind returns ``None`` so the worker
-    falls back to its NumPy path.
+    ``meta`` is ``(k, m, num_classes, num_states, cadence, backoff[,
+    patterns, group_widths])`` as produced by the parent's
+    :class:`NativeKernel` — workers never compile; a load failure of any
+    kind returns ``None`` so the worker falls back to its NumPy path.
     """
     try:
         spec = NativeSpec(
             k=int(meta[0]), m=int(meta[1]), num_classes=int(meta[2]),
             num_states=int(meta[3]), cadence=int(meta[4]),
             backoff=int(meta[5]),
+            patterns=int(meta[6]) if len(meta) > 6 else 1,
+            group_widths=tuple(meta[7]) if len(meta) > 7 else (),
         )
         if not os.path.exists(path):
             raise FileNotFoundError(path)

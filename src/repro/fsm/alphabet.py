@@ -13,7 +13,13 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Alphabet", "AlphabetCompaction", "compact_alphabet"]
+__all__ = [
+    "Alphabet",
+    "AlphabetCompaction",
+    "JointCompaction",
+    "compact_alphabet",
+    "compact_alphabet_joint",
+]
 
 
 @dataclass(frozen=True)
@@ -199,4 +205,109 @@ def compact_alphabet(table: np.ndarray) -> AlphabetCompaction:
     class_table = np.ascontiguousarray(table[np.sort(first_idx)])
     return AlphabetCompaction(
         class_of=class_of, table=class_table, num_symbols=int(num_symbols)
+    )
+
+
+@dataclass(frozen=True)
+class JointCompaction:
+    """Cross-pattern equivalence-class compaction of several tables at once.
+
+    Two symbols are *jointly* equivalent when their transition rows are
+    identical in **every** pattern's table — no machine in the group can
+    distinguish them, so a single ``class_of`` remap of the shared stream
+    feeds all patterns. Joint classes are coarser than the per-pattern
+    optimum but are computed once, and the remapped stream is read once for
+    the whole group (the multi-pattern engine's one-pass guarantee).
+
+    Attributes
+    ----------
+    class_of:
+        ``(num_symbols,)`` int32 — dense joint class id of each symbol.
+    tables:
+        One ``(num_classes, S_p)`` int32 class table per pattern;
+        ``tables[p][class_of[a]] == original_tables[p][a]`` for every
+        symbol ``a``.
+    num_symbols:
+        Size of the original (shared) symbol axis.
+    """
+
+    class_of: np.ndarray
+    tables: tuple
+    num_symbols: int
+
+    @property
+    def num_patterns(self) -> int:
+        """Number of patterns compacted together (``P``)."""
+        return len(self.tables)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of joint symbol classes (``C``)."""
+        return int(self.tables[0].shape[0]) if self.tables else 0
+
+    @property
+    def state_counts(self) -> tuple:
+        """Per-pattern state counts ``S_p`` (ragged groups allowed)."""
+        return tuple(int(t.shape[1]) for t in self.tables)
+
+    @property
+    def compression(self) -> float:
+        """``num_symbols / num_classes`` for the joint classes."""
+        return self.num_symbols / max(1, self.num_classes)
+
+    def remap(self, symbols: np.ndarray) -> np.ndarray:
+        """Map a dense symbol-id array to joint class ids (one gather)."""
+        return self.class_of[np.asarray(symbols)]
+
+    def padded_table(self) -> np.ndarray:
+        """The ``(P, C, S_max)`` padded 3-D view of the group's tables.
+
+        Ragged patterns are padded with self-loops on the unused states,
+        which are unreachable from any real state; the batched kernels use
+        the equivalent block-diagonal stacked-union layout instead (no
+        padding), so this view exists for inspection, sizing, and the
+        native P-loop documentation.
+        """
+        p = self.num_patterns
+        c = self.num_classes
+        s_max = max(self.state_counts) if self.tables else 0
+        out = np.empty((p, c, s_max), dtype=np.int32)
+        for i, t in enumerate(self.tables):
+            out[i, :, : t.shape[1]] = t
+            out[i, :, t.shape[1]:] = np.arange(t.shape[1], s_max, dtype=np.int32)
+        return out
+
+
+def compact_alphabet_joint(tables: Sequence[np.ndarray]) -> JointCompaction:
+    """Joint equivalence-class compaction across a group of tables.
+
+    All tables must share the symbol axis (``(num_symbols, S_p)`` each,
+    ragged ``S_p`` allowed). Equivalent to :func:`compact_alphabet` on the
+    tables concatenated along the state axis: symbols collapse only when
+    every pattern agrees, and class ids keep the same deterministic
+    first-appearance numbering (the scale-out pool ships ``class_of``
+    through shared memory, so workers must agree on ids).
+    """
+    if not tables:
+        raise ValueError("joint compaction of zero tables")
+    mats = [np.ascontiguousarray(np.asarray(t, dtype=np.int32)) for t in tables]
+    num_symbols = mats[0].shape[0]
+    for t in mats:
+        if t.ndim != 2:
+            raise ValueError(
+                f"tables must be 2-D (num_symbols, num_states), got {t.shape}"
+            )
+        if t.shape[0] != num_symbols:
+            raise ValueError(
+                f"tables disagree on num_symbols: {t.shape[0]} != {num_symbols}"
+            )
+    stacked = np.concatenate(mats, axis=1)
+    comp = compact_alphabet(stacked)
+    offs = np.concatenate([[0], np.cumsum([t.shape[1] for t in mats])])
+    per = tuple(
+        np.ascontiguousarray(comp.table[:, offs[i]: offs[i + 1]])
+        for i in range(len(mats))
+    )
+    return JointCompaction(
+        class_of=comp.class_of, tables=per, num_symbols=int(num_symbols)
     )

@@ -8,8 +8,14 @@ accepting per component. One speculative pass then matches all patterns at
 once, at the cost of a (potentially much) larger state space — the same
 redundancy-vs-passes trade-off as spec-k itself.
 
-Only states reachable from the joint start are materialized, so the
-product is usually far smaller than the |Q1|x|Q2|x... worst case.
+Only states reachable from the joint start are materialized, and the
+construction expands whole BFS frontiers per step: one fancy-index per
+component gathers every successor of the current frontier, successor
+tuples are packed into mixed-radix int64 keys, and ``np.unique`` +
+``np.searchsorted`` discover the new states — no per-(state, symbol)
+Python loop. A ``max_states`` budget raises :class:`ProductStateBudget`
+as soon as the frontier would exceed it, so route selection can bail out
+of hopeless groups after touching only a prefix of the product.
 """
 
 from __future__ import annotations
@@ -19,8 +25,21 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fsm.dfa import DFA
+from repro.fsm.minimize import _combine_labels, minimize_dfa
 
-__all__ = ["ProductDFA", "product_dfa"]
+__all__ = ["ProductDFA", "ProductStateBudget", "product_dfa", "minimize_product"]
+
+
+class ProductStateBudget(ValueError):
+    """Raised when the reachable product exceeds ``max_states``."""
+
+    def __init__(self, limit: int, reached: int) -> None:
+        super().__init__(
+            f"reachable product exceeds max_states={limit} "
+            f"(materialized {reached} states before stopping)"
+        )
+        self.limit = limit
+        self.reached = reached
 
 
 @dataclass(frozen=True)
@@ -29,11 +48,14 @@ class ProductDFA:
 
     ``accept_masks[i]`` marks the product states in which component ``i``
     accepts, so per-pattern match positions can be recovered from one run.
+    ``state_tuples`` (when retained) maps each product state to its
+    component-state tuple as an ``(num_states, P)`` int32 array.
     """
 
     dfa: DFA
     accept_masks: tuple  # tuple of (num_states,) bool arrays
     component_names: tuple
+    state_tuples: np.ndarray | None = None
 
     @property
     def num_components(self) -> int:
@@ -45,12 +67,20 @@ class ProductDFA:
         return self.accept_masks[i][states]
 
 
-def product_dfa(machines: list[DFA], *, name: str = "product") -> ProductDFA:
+def product_dfa(
+    machines: list[DFA],
+    *,
+    name: str = "product",
+    max_states: int | None = None,
+    keep_state_tuples: bool = True,
+) -> ProductDFA:
     """Reachable product of ``machines`` (all over the same input space).
 
     The product accepts iff *any* component accepts (union semantics for
     the combined machine's own ``accepting``); per-component masks allow
-    finer queries. Raises if the machines disagree on ``num_inputs``.
+    finer queries. Raises if the machines disagree on ``num_inputs``, and
+    :class:`ProductStateBudget` if more than ``max_states`` reachable
+    states get materialized.
     """
     if not machines:
         raise ValueError("product of zero machines")
@@ -61,6 +91,82 @@ def product_dfa(machines: list[DFA], *, name: str = "product") -> ProductDFA:
                 f"machines disagree on num_inputs: {m.num_inputs} != {num_inputs}"
             )
 
+    sizes = np.array([m.num_states for m in machines], dtype=np.int64)
+    # Mixed-radix packing: key = sum_i q_i * stride_i. Falls back to the
+    # tuple-keyed loop if the full product would overflow int64 (keys must
+    # be unique per tuple, not per reachable state).
+    bits = float(np.sum(np.log2(np.maximum(sizes, 1))))
+    if bits >= 62.0:
+        return _product_dfa_tuples(
+            machines, name=name, max_states=max_states,
+            keep_state_tuples=keep_state_tuples,
+        )
+    strides = np.ones(len(machines), dtype=np.int64)
+    strides[1:] = np.cumprod(sizes[:-1])
+
+    start = np.array([m.start for m in machines], dtype=np.int64)
+    start_key = int(start @ strides)
+    comp = start[None, :]                       # (n, P) discovered tuples
+    known_keys = np.array([start_key], dtype=np.int64)   # sorted
+    known_ids = np.array([0], dtype=np.int64)            # aligned with keys
+    frontier = comp                              # ids are contiguous per level
+    table_cols: list[np.ndarray] = []
+    n = 1
+    while frontier.size:
+        # (num_inputs, |F|, P) successor tuples of the whole frontier.
+        succ = np.stack(
+            [m.table[:, frontier[:, i]] for i, m in enumerate(machines)],
+            axis=-1,
+        ).astype(np.int64)
+        keys = succ @ strides                    # (num_inputs, |F|)
+        # Flatten state-major so ids come out in the same order as the
+        # classic FIFO worklist (per state, per symbol) — numbering is then
+        # identical to the tuple-keyed fallback.
+        flat = keys.T.ravel()
+        uniq, first, inv = np.unique(flat, return_index=True, return_inverse=True)
+        pos = np.searchsorted(known_keys, uniq)
+        pos_c = np.minimum(pos, known_keys.size - 1)
+        seen = known_keys[pos_c] == uniq
+        ids = np.empty(uniq.size, dtype=np.int64)
+        ids[seen] = known_ids[pos_c[seen]]
+        new_first = first[~seen]
+        if new_first.size:
+            # Assign fresh ids in first-appearance order (deterministic BFS).
+            order = np.argsort(new_first, kind="stable")
+            fresh = np.empty(new_first.size, dtype=np.int64)
+            fresh[order] = n + np.arange(new_first.size)
+            ids[~seen] = fresh
+            new_comp = succ.transpose(1, 0, 2).reshape(-1, len(machines))[
+                new_first[order]
+            ]
+            n += new_first.size
+            if max_states is not None and n > max_states:
+                raise ProductStateBudget(max_states, n)
+            comp = np.vstack([comp, new_comp])
+            merged_keys = np.concatenate([known_keys, uniq[~seen]])
+            merged_ids = np.concatenate([known_ids, ids[~seen]])
+            sort = np.argsort(merged_keys, kind="stable")
+            known_keys = merged_keys[sort]
+            known_ids = merged_ids[sort]
+            frontier = new_comp
+        else:
+            frontier = np.empty((0, len(machines)), dtype=np.int64)
+        table_cols.append(ids[inv].reshape(keys.shape[1], keys.shape[0]).T)
+
+    table = np.concatenate(table_cols, axis=1).astype(np.int32)
+    masks = [m.accepting[comp[:, i]] for i, m in enumerate(machines)]
+    return _assemble(machines, table, comp, masks, name, keep_state_tuples)
+
+
+def _product_dfa_tuples(
+    machines: list[DFA],
+    *,
+    name: str,
+    max_states: int | None,
+    keep_state_tuples: bool,
+) -> ProductDFA:
+    """Tuple-keyed fallback for products too wide for int64 packing."""
+    num_inputs = machines[0].num_inputs
     start = tuple(m.start for m in machines)
     ids: dict[tuple, int] = {start: 0}
     worklist = [start]
@@ -77,29 +183,70 @@ def product_dfa(machines: list[DFA], *, name: str = "product") -> ProductDFA:
             nid = ids.get(nxt)
             if nid is None:
                 nid = len(ids)
+                if max_states is not None and nid + 1 > max_states:
+                    raise ProductStateBudget(max_states, nid + 1)
                 ids[nxt] = nid
                 worklist.append(nxt)
             row.append(nid)
         rows.append(row)
 
-    n = len(ids)
     table = np.asarray(rows, dtype=np.int32).T
-    masks = []
-    for i, m in enumerate(machines):
-        mask = np.zeros(n, dtype=bool)
-        for tup, sid in ids.items():
-            mask[sid] = bool(m.accepting[tup[i]])
-        masks.append(mask)
+    comp = np.asarray(worklist, dtype=np.int64)
+    masks = [m.accepting[comp[:, i]] for i, m in enumerate(machines)]
+    return _assemble(machines, table, comp, masks, name, keep_state_tuples)
+
+
+def _assemble(
+    machines: list[DFA],
+    table: np.ndarray,
+    comp: np.ndarray,
+    masks: list[np.ndarray],
+    name: str,
+    keep_state_tuples: bool,
+) -> ProductDFA:
+    n = comp.shape[0]
     any_accept = np.logical_or.reduce(masks) if masks else np.zeros(n, dtype=bool)
     combined = DFA(
         table=table,
         start=0,
-        accepting=any_accept,
+        accepting=np.ascontiguousarray(any_accept),
         alphabet=machines[0].alphabet,
         name=name,
     )
     return ProductDFA(
         dfa=combined,
-        accept_masks=tuple(masks),
-        component_names=tuple(m.name or f"component_{i}" for i, m in enumerate(machines)),
+        accept_masks=tuple(np.ascontiguousarray(m) for m in masks),
+        component_names=tuple(
+            m.name or f"component_{i}" for i, m in enumerate(machines)
+        ),
+        state_tuples=comp.astype(np.int32) if keep_state_tuples else None,
+    )
+
+
+def minimize_product(prod: ProductDFA, *, parallel: bool = True) -> ProductDFA:
+    """Minimize a product machine while preserving per-component acceptance.
+
+    Plain minimization would merge states whose *union* acceptance agrees
+    but whose per-component vectors differ, destroying ``accept_masks``.
+    Instead the per-component acceptance vector is packed into an initial
+    partition label, so merged states always share one vector and the masks
+    project exactly onto the quotient.
+    """
+    masks = prod.accept_masks
+    labels = np.zeros(prod.dfa.num_states, dtype=np.int64)
+    for mask in masks:
+        labels = _combine_labels(labels, mask.astype(np.int64))
+    mini, mapping = minimize_dfa(
+        prod.dfa, parallel=parallel, labels=labels, return_mapping=True,
+    )
+    new_masks = []
+    for mask in masks:
+        nm = np.zeros(mini.num_states, dtype=bool)
+        nm[mapping[mapping >= 0]] = mask[mapping >= 0]
+        new_masks.append(nm)
+    return ProductDFA(
+        dfa=mini,
+        accept_masks=tuple(new_masks),
+        component_names=prod.component_names,
+        state_tuples=None,
     )

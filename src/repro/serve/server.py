@@ -166,6 +166,20 @@ class ServeResponse:
 
 
 @dataclass
+class _GroupInfo:
+    """Multi-pattern group shared by several tenants (one round, one pass).
+
+    ``stack`` is the group's block-diagonal union
+    (:class:`repro.core.multipattern.MachineStack`, built once at
+    registration); ``pattern_of`` maps each member tenant's name to its
+    pattern column in the stack.
+    """
+
+    stack: object
+    pattern_of: dict
+
+
+@dataclass
 class _MachineState:
     """Everything shareable across tenants serving the same DFA."""
 
@@ -177,6 +191,7 @@ class _MachineState:
     native: NativeKernel | None = None
     coordinator: ShardCoordinator | None = None
     cluster: LocalCluster | None = None
+    group: _GroupInfo | None = None
 
 
 @dataclass(frozen=True)
@@ -275,6 +290,91 @@ class FSMServer:
         self._sched.add_tenant(name, weight=weight)
         self.trace.count("serve.tenants", 1)
         return tenant
+
+    def register_group(
+        self,
+        members,
+        *,
+        weights=None,
+    ) -> tuple:
+        """Register several tenants whose DFAs share one input alphabet.
+
+        ``members`` is a sequence of ``(name, dfa)`` pairs over the same
+        symbol space. The DFAs are stacked into one block-diagonal union
+        (:func:`repro.core.multipattern.stack_machines` — joint alphabet
+        compaction, built once here, off the request path) and every
+        member tenant's requests coalesce into the **same** rounds: one
+        multi-pattern batched pass answers all members' requests
+        simultaneously (:func:`repro.core.multipattern.run_multipattern_batch`),
+        with each request's carried state threading through successive
+        rounds in its own pattern's state space. Group rounds execute
+        in-process regardless of ``executor`` (the batched pass is the
+        coalescing unit; use :meth:`ScaleoutPool.for_group` directly for
+        scaled-out group streams). Returns one :class:`Tenant` per member.
+        """
+        from repro.core.multipattern import stack_machines
+
+        if self._closed:
+            raise RuntimeError("FSMServer is closed")
+        members = list(members)
+        if not members:
+            raise ValueError("register_group of zero members")
+        names = [name for name, _ in members]
+        for name in names:
+            if name in self._tenants:
+                raise ValueError(f"tenant {name!r} already registered")
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate tenant names in group")
+        if weights is None:
+            weights = [1.0] * len(members)
+        if len(weights) != len(members):
+            raise ValueError(
+                f"{len(weights)} weights for {len(members)} members"
+            )
+        stack = stack_machines([dfa for _, dfa in members])
+        fp = dfa_fingerprint(stack.union_dfa)
+        ms = self._machines.get(fp)
+        if ms is None or ms.group is None:
+            with self.trace.span(
+                "serve.group_build", machine=fp[:12],
+                patterns=stack.num_patterns,
+            ):
+                union = stack.union_dfa
+                ms = _MachineState(
+                    dfa=union,
+                    fingerprint=fp,
+                    prior=state_prior(union),
+                    kplan=plan_kernel(
+                        union,
+                        chunk_len=self.config.chunk_items,
+                        num_chunks=max(
+                            1,
+                            self.config.round_budget_items
+                            // self.config.chunk_items,
+                        ),
+                        k=min(
+                            union.num_states,
+                            stack.num_patterns
+                            * (self.config.k or union.num_states),
+                        ),
+                        kernel="auto",
+                        compaction=stack.identity_compaction(),
+                        amortize_builds=16,
+                    ),
+                    group=_GroupInfo(stack=stack, pattern_of={}),
+                )
+            self._machines[fp] = ms
+            self.trace.count("serve.machines", 1)
+            self.trace.count("serve.groups", 1)
+        tenants = []
+        for p, ((name, _), weight) in enumerate(zip(members, weights)):
+            ms.group.pattern_of[name] = p
+            tenant = Tenant(name=name, fingerprint=fp, weight=float(weight))
+            self._tenants[name] = tenant
+            self._sched.add_tenant(name, weight=float(weight))
+            self.trace.count("serve.tenants", 1)
+            tenants.append(tenant)
+        return tuple(tenants)
 
     def _build_machine(self, dfa: DFA, fp: str) -> _MachineState:
         """Build the shared per-DFA state (prior, kernel plan, pool)."""
@@ -448,7 +548,15 @@ class FSMServer:
         if symbols.ndim != 1:
             raise ValueError(f"symbols must be 1-D, got shape {symbols.shape}")
         ms = self._machines[t.fingerprint]
-        num_inputs = int(ms.dfa.table.shape[0])
+        if ms.group is not None:
+            # Group requests arrive in the members' shared *raw* symbol
+            # space; the round remaps through the joint compaction.
+            num_inputs = int(ms.group.stack.joint.num_symbols)
+            p = ms.group.pattern_of[name]
+            init_state = int(ms.group.stack.machines[p].start)
+        else:
+            num_inputs = int(ms.dfa.table.shape[0])
+            init_state = int(ms.dfa.start)
         if symbols.size and not (
             0 <= int(symbols.min()) and int(symbols.max()) < num_inputs
         ):
@@ -466,7 +574,7 @@ class FSMServer:
             request_id=rid,
             symbols=symbols,
             size=int(symbols.size),
-            carry_state=int(ms.dfa.start),
+            carry_state=init_state,
             deadline_ts=None if deadline_s is None else now + deadline_s,
             enqueue_ts=now,
             future=asyncio.get_running_loop().create_future(),
@@ -542,6 +650,33 @@ class FSMServer:
             for req, take in rnd.entries
         ]
         starts = [req.carry_state for req, _ in rnd.entries]
+        if ms.group is not None:
+            # One batched multi-pattern round: every member's carry state
+            # rides in its own column; the other columns restart from each
+            # pattern's start state (they carry no tenant state of their own).
+            from repro.core.multipattern import run_multipattern_batch
+
+            stack = ms.group.stack
+            cols = [ms.group.pattern_of[req.tenant] for req, _ in rnd.entries]
+            starts_mat = np.tile(
+                np.array([m.start for m in stack.machines], dtype=np.int32),
+                (len(segments), 1),
+            )
+            for i, (c, st) in enumerate(zip(cols, starts)):
+                starts_mat[i, c] = st
+            self.trace.count("serve.group_rounds", 1)
+            finals_mat, _accepted = run_multipattern_batch(
+                stack,
+                segments,
+                k=cfg.k,
+                lookback=cfg.lookback,
+                chunk_items=cfg.chunk_items,
+                starts=starts_mat,
+            )
+            finals = np.array(
+                [finals_mat[i, c] for i, c in enumerate(cols)], dtype=np.int32
+            )
+            return finals, False
         if ms.coordinator is not None:
             # Each request's slice runs across the cluster; carried
             # states thread through exactly as in the other executors.
@@ -624,12 +759,19 @@ class FSMServer:
                 continue
             ms = self._machines[req.fingerprint]
             missed = req.deadline_ts is not None and t1 > req.deadline_ts
+            if ms.group is not None:
+                p = ms.group.pattern_of[req.tenant]
+                accepted = bool(
+                    ms.group.stack.machines[p].accepting[req.carry_state]
+                )
+            else:
+                accepted = bool(ms.dfa.accepting[req.carry_state])
             resp = ServeResponse(
                 status="ok",
                 tenant=req.tenant,
                 request_id=req.request_id,
                 final_state=req.carry_state,
-                accepted=bool(ms.dfa.accepting[req.carry_state]),
+                accepted=accepted,
                 items=req.size,
                 queue_wait_s=req.first_service_ts - req.enqueue_ts,
                 service_s=t1 - req.first_service_ts,

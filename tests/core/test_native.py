@@ -475,3 +475,110 @@ class TestChooseBackend:
         assert len(_KERNEL_CACHE) <= _KERNEL_CACHE_MAX
         # Most-recently-used entries survive the eviction.
         assert (_KERNEL_CACHE_MAX + 9) in _KERNEL_CACHE
+
+
+# --------------------------------------------------------------------------- #
+# multi-pattern (P-loop) code generation
+# --------------------------------------------------------------------------- #
+
+
+class TestMultiPatternCodegen:
+    def test_patterns_baked_as_constant(self):
+        spec = NativeSpec(
+            k=6, m=1, num_classes=4, num_states=12,
+            patterns=3, group_widths=(2, 2, 2),
+        )
+        src = generate_source(spec)
+        assert "#define NK_P 3" in src
+
+    def test_group_collapse_helpers_emitted(self):
+        spec = NativeSpec(
+            k=6, m=1, num_classes=4, num_states=12, cadence=8,
+            patterns=3, group_widths=(1, 2, 3),
+        )
+        src = generate_source(spec)
+        # Group-aware collapse: per-group seeds and a P-lane continuation.
+        assert "nk_advance_group" in src
+        assert "gs[" in src
+
+    def test_goff_table_only_for_array_lanes(self):
+        big = NativeSpec(
+            k=UNROLL_LIMIT + 4, m=1, num_classes=4, num_states=40,
+            cadence=8, patterns=2,
+            group_widths=(UNROLL_LIMIT, 4),
+        )
+        assert "GOFF" in generate_source(big)
+        small = NativeSpec(
+            k=4, m=1, num_classes=4, num_states=8, cadence=8,
+            patterns=2, group_widths=(2, 2),
+        )
+        assert "GOFF" not in generate_source(small)
+
+    def test_single_pattern_source_unchanged(self):
+        base = NativeSpec(k=4, m=2, num_classes=5, num_states=9, cadence=8)
+        explicit = NativeSpec(
+            k=4, m=2, num_classes=5, num_states=9, cadence=8,
+            patterns=1, group_widths=(4,),
+        )
+        assert generate_source(base) == generate_source(explicit)
+
+    def test_spec_validation(self):
+        # widths must cover k exactly, one width per pattern.
+        with pytest.raises(ValueError):
+            NativeSpec(
+                k=6, m=1, num_classes=4, num_states=12,
+                patterns=3, group_widths=(2, 2),
+            )
+        with pytest.raises(ValueError):
+            NativeSpec(
+                k=6, m=1, num_classes=4, num_states=12,
+                patterns=3, group_widths=(2, 2, 3),
+            )
+        with pytest.raises(ValueError):
+            NativeSpec(
+                k=6, m=1, num_classes=4, num_states=12,
+                patterns=3, group_widths=(2, 2, 0),
+            )
+        # k not divisible by patterns requires explicit widths.
+        with pytest.raises(ValueError):
+            NativeSpec(
+                k=7, m=1, num_classes=4, num_states=12, patterns=3,
+            )
+
+    def test_collapse_requires_spare_lanes(self):
+        # One lane per pattern leaves nothing to collapse.
+        spec = NativeSpec(
+            k=3, m=1, num_classes=4, num_states=6, cadence=8,
+            patterns=3, group_widths=(1, 1, 1),
+        )
+        assert not spec.collapsing
+
+    def test_pattern_tag_distinguishes_cache_entries(self):
+        from repro.core.native.runtime import _pattern_tag
+
+        single = NativeSpec(k=4, m=1, num_classes=4, num_states=8)
+        multi = NativeSpec(
+            k=4, m=1, num_classes=4, num_states=8,
+            patterns=2, group_widths=(2, 2),
+        )
+        assert _pattern_tag(single) == ""
+        tag = _pattern_tag(multi)
+        assert "p2" in tag and tag != _pattern_tag(single)
+
+    @needs_native
+    def test_group_kernel_meta_roundtrip(self, tmp_path):
+        from repro.core.multipattern import run_multipattern
+        from repro.fsm.dfa import DFA
+
+        machines = [
+            DFA.random(3 + i, 5, rng=70 + i, name=f"n{i}") for i in range(3)
+        ]
+        rng = np.random.default_rng(70)
+        inputs = rng.integers(0, 5, size=6000).astype(np.int32)
+        res = run_multipattern(
+            machines, inputs, k=3, num_chunks=8, kernel="lockstep",
+            backend="native", route="batched",
+        )
+        for pr, m in zip(res.patterns, machines):
+            tr_fin = run_reference(m, inputs)
+            assert pr.final_state == tr_fin

@@ -82,3 +82,72 @@ class TestEncoding:
         ab = Alphabet.lowercase()
         text = "speculative"
         assert ab.decode_text(ab.encode_text(text)) == text
+
+
+class TestJointCompaction:
+    def _tables(self, sizes, num_symbols=10, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            rng.integers(0, s, size=(num_symbols, s)).astype(np.int32)
+            for s in sizes
+        ]
+
+    def test_matches_concatenated_compaction(self):
+        from repro.fsm.alphabet import compact_alphabet, compact_alphabet_joint
+
+        tables = self._tables([3, 5, 2])
+        joint = compact_alphabet_joint(tables)
+        single = compact_alphabet(np.concatenate(tables, axis=1))
+        assert np.array_equal(joint.class_of, single.class_of)
+        assert joint.num_classes == single.num_classes
+
+    def test_round_trip_every_symbol(self):
+        from repro.fsm.alphabet import compact_alphabet_joint
+
+        tables = self._tables([4, 3], seed=1)
+        joint = compact_alphabet_joint(tables)
+        for p, t in enumerate(tables):
+            assert np.array_equal(joint.tables[p][joint.class_of], t)
+
+    def test_joint_coarser_than_per_pattern(self):
+        # Symbols 0 and 1 agree in table A but not in table B: joint
+        # compaction must keep them apart even though A alone merges them.
+        from repro.fsm.alphabet import compact_alphabet, compact_alphabet_joint
+
+        a = np.array([[0, 1], [0, 1], [1, 0]], dtype=np.int32)
+        b = np.array([[0, 1], [1, 0], [1, 0]], dtype=np.int32)
+        assert compact_alphabet(a).num_classes == 2
+        joint = compact_alphabet_joint([a, b])
+        assert joint.num_classes == 3
+        assert joint.class_of[0] != joint.class_of[1]
+
+    def test_identical_rows_do_merge(self):
+        from repro.fsm.alphabet import compact_alphabet_joint
+
+        t = np.array([[0, 1], [0, 1], [1, 1]], dtype=np.int32)
+        joint = compact_alphabet_joint([t, t.copy()])
+        assert joint.num_classes == 2
+        assert joint.class_of[0] == joint.class_of[1]
+        assert joint.compression == pytest.approx(1.5)
+
+    def test_ragged_padded_table(self):
+        from repro.fsm.alphabet import compact_alphabet_joint
+
+        tables = self._tables([2, 5], seed=2)
+        joint = compact_alphabet_joint(tables)
+        padded = joint.padded_table()
+        assert padded.shape == (2, joint.num_classes, 5)
+        # Padding states self-loop (unreachable, but well-formed).
+        assert np.array_equal(
+            padded[0, :, 2:], np.broadcast_to([2, 3, 4], (joint.num_classes, 3))
+        )
+
+    def test_validation(self):
+        from repro.fsm.alphabet import compact_alphabet_joint
+
+        with pytest.raises(ValueError):
+            compact_alphabet_joint([])
+        with pytest.raises(ValueError):
+            compact_alphabet_joint(
+                [np.zeros((3, 2), np.int32), np.zeros((4, 2), np.int32)]
+            )

@@ -66,3 +66,61 @@ class TestMinimize:
         m = minimize_dfa(dfa)
         inp = random_input(3, 500, seed=2)
         assert dfa.accepting[dfa.run(inp)] == m.accepting[m.run(inp)]
+
+
+class TestParallelMinimize:
+    @given(st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_partition_identical(self, seed):
+        dfa = make_random_dfa(12, 3, seed=seed)
+        seq = minimize_dfa(dfa, parallel=False)
+        par = minimize_dfa(dfa, parallel=True)
+        assert par.num_states == seq.num_states
+        inp = random_input(dfa.num_inputs, 500, seed=seed)
+        assert np.array_equal(
+            seq.accepting[np.asarray([seq.run(inp)])],
+            par.accepting[np.asarray([par.run(inp)])],
+        )
+
+    def test_labels_prevent_merging(self):
+        # Two states with identical behaviour but different labels must
+        # stay distinct (the product route labels by per-component
+        # acceptance mask).
+        table = np.array([[1, 1]], dtype=np.int32)  # both states -> 1
+        dfa = DFA(
+            table=table,
+            accepting=np.array([False, False]),
+            start=0,
+            name="lbl",
+        )
+        plain = minimize_dfa(dfa)
+        assert plain.num_states == 1
+        labelled = minimize_dfa(dfa, labels=np.array([0, 1]))
+        assert labelled.num_states == 2
+
+    def test_return_mapping(self):
+        dfa = make_random_dfa(10, 2, seed=5)
+        mdfa, mapping = minimize_dfa(dfa, return_mapping=True)
+        assert mapping.shape == (dfa.num_states,)
+        reachable = mapping >= 0
+        assert mapping[dfa.start] == mdfa.start
+        # The mapping is a DFA homomorphism on reachable states.
+        for s in np.flatnonzero(reachable):
+            for a in range(dfa.num_inputs):
+                assert mapping[dfa.table[a, s]] == mdfa.table[a, mapping[s]]
+        # Acceptance is preserved through the mapping.
+        assert np.array_equal(
+            dfa.accepting[reachable], mdfa.accepting[mapping[reachable]]
+        )
+
+    def test_parallel_with_labels_and_mapping(self):
+        dfa = make_random_dfa(9, 3, seed=7)
+        labels = np.arange(dfa.num_states) % 2
+        a, ma = minimize_dfa(
+            dfa, parallel=False, labels=labels, return_mapping=True
+        )
+        b, mb = minimize_dfa(
+            dfa, parallel=True, labels=labels, return_mapping=True
+        )
+        assert a.num_states == b.num_states
+        assert np.array_equal(ma, mb)

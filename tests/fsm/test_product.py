@@ -97,3 +97,64 @@ class TestProduct:
         prod = product_dfa([a, b])
         assert prod.component_names == ("alpha", "component_1")
         assert prod.num_components == 2
+
+
+class TestProductBudgetAndMinimize:
+    def test_budget_aborts_construction(self):
+        from repro.fsm.product import ProductStateBudget
+
+        machines = [make_random_dfa(6, 3, seed=20 + i) for i in range(3)]
+        with pytest.raises(ProductStateBudget):
+            product_dfa(machines, max_states=3)
+
+    def test_budget_is_a_value_error(self):
+        from repro.fsm.product import ProductStateBudget
+
+        assert issubclass(ProductStateBudget, ValueError)
+
+    def test_budget_large_enough_succeeds(self):
+        machines = [make_random_dfa(3, 2, seed=30 + i) for i in range(2)]
+        prod = product_dfa(machines, max_states=9)
+        assert prod.dfa.num_states <= 9
+
+    def test_minimize_product_preserves_components(self):
+        from repro.fsm.product import minimize_product
+
+        a = make_random_dfa(5, 2, seed=40, accepting_fraction=0.4)
+        b = make_random_dfa(4, 2, seed=41, accepting_fraction=0.4)
+        prod = product_dfa([a, b])
+        small = minimize_product(prod)
+        assert small.dfa.num_states <= prod.dfa.num_states
+        for seed in range(10):
+            inp = random_input(2, 120, seed=seed)
+            ps = run_reference(small.dfa, inp)
+            assert small.component_accepting(0, np.array([ps]))[0] == bool(
+                a.accepting[run_reference(a, inp)]
+            )
+            assert small.component_accepting(1, np.array([ps]))[0] == bool(
+                b.accepting[run_reference(b, inp)]
+            )
+
+    def test_minimize_product_parallel_equals_sequential(self):
+        from repro.fsm.product import minimize_product
+
+        machines = [make_random_dfa(4, 3, seed=50 + i) for i in range(2)]
+        prod = product_dfa(machines)
+        seq = minimize_product(prod, parallel=False)
+        par = minimize_product(prod, parallel=True)
+        assert seq.dfa.num_states == par.dfa.num_states
+
+    def test_vectorized_matches_tuple_fallback(self):
+        from repro.fsm.product import _product_dfa_tuples
+
+        machines = [make_random_dfa(4, 2, seed=60 + i) for i in range(3)]
+        fast = product_dfa(machines)
+        slow = _product_dfa_tuples(
+            machines, name="product", max_states=None, keep_state_tuples=True
+        )
+        assert fast.dfa.num_states == slow.dfa.num_states
+        for seed in range(8):
+            inp = random_input(2, 150, seed=seed)
+            assert bool(
+                fast.dfa.accepting[run_reference(fast.dfa, inp)]
+            ) == bool(slow.dfa.accepting[run_reference(slow.dfa, inp)])

@@ -379,3 +379,89 @@ class TestServing:
             await server.close()
 
         asyncio.run(drive())
+
+
+class TestServingGroups:
+    def test_group_members_coalesce_bit_exact(self):
+        from repro.fsm import DFA
+
+        num_inputs = 12
+        machines = {
+            f"g{p}": DFA.random(5 + p, num_inputs, rng=40 + p, name=f"g{p}")
+            for p in range(3)
+        }
+        rng = np.random.default_rng(7)
+        workload = []
+        for i in range(9):
+            # One request long enough to carve across several rounds.
+            n = 9000 if i == 4 else int(rng.integers(300, 3000))
+            workload.append(
+                (
+                    f"g{i % 3}",
+                    rng.integers(0, num_inputs, size=n).astype(np.int64),
+                )
+            )
+
+        async def drive():
+            server = FSMServer(
+                ServeConfig(
+                    round_budget_items=2048,
+                    chunk_items=512,
+                    max_batch_requests=8,
+                )
+            )
+            tenants = dict(
+                zip(machines, server.register_group(list(machines.items())))
+            )
+            assert len({t.fingerprint for t in tenants.values()}) == 1
+            await server.start()
+            resp = await asyncio.gather(
+                *(server.submit(tenants[n], sym) for n, sym in workload)
+            )
+            counters = dict(server.trace.counters_with_prefix("serve."))
+            await server.close()
+            return resp, counters
+
+        responses, counters = asyncio.run(drive())
+        for (name, sym), r in zip(workload, responses):
+            assert r.status == "ok"
+            dfa = machines[name]
+            assert r.final_state == run_segment(dfa, sym, dfa.start)
+            assert r.accepted == bool(dfa.accepting[r.final_state])
+        assert counters["serve.groups"] == 1
+        assert counters["serve.machines"] == 1
+        assert counters["serve.group_rounds"] >= 1
+        assert counters["serve.coalesced"] > 0
+        assert counters["serve.rounds"] > 1
+
+    def test_group_validation(self):
+        from repro.fsm import DFA
+
+        a = DFA.random(4, 6, rng=1, name="a")
+        b = DFA.random(5, 6, rng=2, name="b")
+
+        async def drive():
+            server = FSMServer(ServeConfig())
+            with pytest.raises(ValueError):
+                server.register_group([])
+            with pytest.raises(ValueError):
+                server.register_group([("x", a), ("x", b)])
+            with pytest.raises(ValueError):
+                server.register_group([("x", a)], weights=[1.0, 2.0])
+            (tx,) = server.register_group([("x", a)])
+            with pytest.raises(ValueError):
+                server.register_group([("x", a), ("y", b)])
+            await server.start()
+            # Raw symbols outside the shared alphabet are rejected even
+            # though joint compaction may use fewer classes internally.
+            with pytest.raises(ValueError):
+                await server.submit(tx, np.array([0, 6], dtype=np.int64))
+            resp = await server.submit(tx, np.array([0, 5], dtype=np.int64))
+            await server.close()
+            return resp
+
+        resp = asyncio.run(drive())
+        assert resp.status == "ok"
+        assert resp.final_state == run_segment(
+            a, np.array([0, 5], dtype=np.int64), a.start
+        )
